@@ -1,0 +1,77 @@
+// Ablation: the exact ILP placement vs a greedy frequency-density heuristic
+// (DESIGN.md design-choice #4). Also reports branch-and-bound effort.
+#include "bench/bench_util.h"
+#include "src/core/placement.h"
+#include "src/solver/assignment_ilp.h"
+
+namespace clara {
+namespace bench {
+namespace {
+
+void Run() {
+  PerfModel model;
+  NicConfig cfg = model.config();
+  Header("Ablation: ILP placement vs greedy heuristic");
+  std::printf("  %-10s %12s %12s %10s\n", "NF", "ILP cyc/pkt", "greedy ratio", "BB nodes");
+  // Use a shrunken hierarchy so capacity pressure forces non-trivial
+  // trade-offs (on the default config most NF state fits comfortably and
+  // greedy == ILP).
+  NicConfig tight = cfg;
+  tight.regions[static_cast<int>(MemRegion::kCls)].capacity_bytes = 8 * 1024;
+  tight.regions[static_cast<int>(MemRegion::kCtm)].capacity_bytes = 32 * 1024;
+  tight.regions[static_cast<int>(MemRegion::kImem)].capacity_bytes = 192 * 1024;
+  for (const char* name : {"mazunat", "dnsproxy", "webgen", "udpcount", "heavyhitter",
+                           "cmsketch"}) {
+    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows());
+
+    // Rebuild the same assignment problem PlaceState builds, then compare
+    // exact vs greedy objectives.
+    const Module& m = pr.module();
+    const NfProfile& profile = pr.profile();
+    double pkts = std::max<uint64_t>(1, profile.packets);
+    AssignmentProblem problem;
+    problem.capacity.resize(kNumMemRegions);
+    for (int r = 0; r < kNumMemRegions; ++r) {
+      problem.capacity[r] = tight.regions[r].capacity_bytes * 3 / 4;
+    }
+    for (size_t v = 0; v < m.state.size(); ++v) {
+      const StateVar& sv = m.state[v];
+      double freq = (profile.state_reads[v] + profile.state_writes[v]) / pkts;
+      problem.size.push_back(sv.SizeBytes());
+      std::vector<double> row(kNumMemRegions, AssignmentProblem::Infeasible());
+      for (int r = 0; r < kNumMemRegions; ++r) {
+        if (sv.SizeBytes() > problem.capacity[r]) {
+          continue;
+        }
+        double lat = tight.regions[r].latency_cycles;
+        if (static_cast<MemRegion>(r) == MemRegion::kEmem) {
+          double hit = VarCacheHitRate(sv, pr.workload, tight.emem_cache_bytes);
+          lat = hit * tight.emem_cache_latency + (1 - hit) * lat;
+        }
+        row[r] = freq * lat;
+      }
+      problem.cost.push_back(std::move(row));
+    }
+    AssignmentSolution exact = SolveAssignment(problem);
+    AssignmentSolution greedy = GreedyAssignment(problem);
+    if (!exact.feasible) {
+      std::printf("  %-10s   infeasible under the tightened hierarchy\n", name);
+      continue;
+    }
+    double ratio = greedy.feasible ? greedy.objective / exact.objective : -1;
+    std::printf("  %-10s %12.1f %12.3f %10llu\n", name, exact.objective, ratio,
+                static_cast<unsigned long long>(exact.nodes_explored));
+  }
+  Note("");
+  Note("greedy ratio = greedy objective / exact objective (1.000 = matched; the");
+  Note("ILP's advantage appears when capacities force cross-structure trade-offs).");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace clara
+
+int main() {
+  clara::bench::Run();
+  return 0;
+}

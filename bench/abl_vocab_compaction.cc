@@ -1,0 +1,69 @@
+// Ablation (paper §6, "Experience with ML models"): vocabulary compaction.
+// Training the same LSTM with raw operands (no compaction) explodes the
+// vocabulary and degrades prediction accuracy.
+#include "bench/bench_util.h"
+#include "src/core/predictor.h"
+#include "src/lang/lower.h"
+#include "src/ml/metrics.h"
+
+namespace clara {
+namespace bench {
+namespace {
+
+double HeldOutWmape(const InstructionPredictor& predictor) {
+  std::vector<double> truth;
+  std::vector<double> pred;
+  for (const char* name : {"tcpack", "udpipencap", "forcetcp", "anonipaddr", "tcpresp",
+                           "aggcounter", "timefilter"}) {
+    Program p = MakeElementByName(name);
+    LowerResult lr = LowerProgram(p);
+    auto gt = CompileGroundTruth(lr.module, predictor.options().backend);
+    const Function& f = lr.module.functions[0];
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+      if (f.blocks[b].instrs.size() < 2) {
+        continue;
+      }
+      truth.push_back(gt[b].compute);
+      pred.push_back(predictor.PredictBlock(lr.module, f.blocks[b]).compute);
+    }
+  }
+  return Wmape(truth, pred);
+}
+
+void Run() {
+  std::vector<Program> corpus = ElementCorpus();
+  PredictorOptions base;
+  base.train_programs = 220;
+  base.lstm.epochs = 14;
+  base.synth.profile = CorpusProfile(corpus);
+
+  Header("Ablation: vocabulary compaction (paper SS6)");
+  std::printf("training with compacted vocabulary...\n");
+  InstructionPredictor compact(base);
+  compact.Train();
+  PredictorOptions raw_opts = base;
+  raw_opts.abstraction = AbstractionMode::kRaw;
+  std::printf("training with raw operands (ablation)...\n");
+  InstructionPredictor raw(raw_opts);
+  raw.Train();
+
+  std::printf("\n  %-22s %12s %12s %14s\n", "variant", "vocab size", "train WMAPE",
+              "held-out WMAPE");
+  std::printf("  %-22s %12d %11.1f%% %13.1f%%\n", "compacted (Clara)", compact.vocab().size(),
+              compact.model().train_wmape() * 100, HeldOutWmape(compact) * 100);
+  std::printf("  %-22s %12d %11.1f%% %13.1f%%\n", "raw operands", raw.vocab().size(),
+              raw.model().train_wmape() * 100, HeldOutWmape(raw) * 100);
+  Note("");
+  Note("paper: \"our prior experience of applying LSTM without vocabulary");
+  Note("compaction shows much lower performance\" — unseen operand spellings all");
+  Note("collapse to <unk> at inference time.");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace clara
+
+int main() {
+  clara::bench::Run();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared helpers for the experiment-reproduction benches: NF profiling
+// against a workload, table formatting, and element-corpus access.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (see DESIGN.md's per-experiment index) and prints the same
+// rows/series the paper reports.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/elements/elements.h"
+#include "src/lang/interp.h"
+#include "src/nic/backend.h"
+#include "src/nic/demand.h"
+#include "src/nic/perf_model.h"
+#include "src/synth/synth.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+namespace bench {
+
+// An NF profiled under a workload: everything needed to build demands.
+struct ProfiledNf {
+  std::unique_ptr<NfInstance> nf;
+  NicProgram nic;
+  WorkloadSpec workload;
+
+  const Module& module() const { return nf->module(); }
+  const NfProfile& profile() const { return nf->profile(); }
+
+  NfDemand Demand(const NicConfig& cfg, const DemandOptions& opts = DemandOptions{}) const {
+    return BuildDemand(module(), nic, profile(), workload, cfg, opts);
+  }
+};
+
+inline ProfiledNf ProfileNf(Program program, const WorkloadSpec& workload,
+                            size_t packets = 4000, const LpmTable* lpm_accel = nullptr,
+                            int force_in_port = -1) {
+  ProfiledNf out;
+  out.nf = std::make_unique<NfInstance>(std::move(program));
+  if (!out.nf->ok()) {
+    std::fprintf(stderr, "profile error: %s\n", out.nf->error().c_str());
+    std::abort();
+  }
+  if (lpm_accel != nullptr) {
+    out.nf->SetLpmAccelTable(lpm_accel);
+  }
+  out.nic = CompileToNic(out.nf->module());
+  out.workload = workload;
+  Trace trace = GenerateTrace(workload, packets);
+  for (auto& pkt : trace.packets) {
+    // Mix directions for NAT-style elements unless the caller pins a port.
+    pkt.in_port = force_in_port >= 0 ? static_cast<uint16_t>(force_in_port)
+                                     : static_cast<uint16_t>(pkt.src_ip & 1);
+    out.nf->Process(pkt);
+  }
+  return out;
+}
+
+// The real-element corpus and its measured AST profile (guides synthesis).
+inline std::vector<Program> ElementCorpus() {
+  std::vector<Program> corpus;
+  for (const auto& info : ElementRegistry()) {
+    corpus.push_back(info.make());
+  }
+  return corpus;
+}
+
+inline SynthProfile CorpusProfile(const std::vector<Program>& corpus) {
+  std::vector<const Program*> ptrs;
+  for (const auto& p : corpus) {
+    ptrs.push_back(&p);
+  }
+  return MeasureCorpus(ptrs);
+}
+
+// ---- Table/plot text output ----
+
+inline void Header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+// A crude fixed-width horizontal bar for "figure" output.
+inline std::string Bar(double value, double max_value, int width = 36) {
+  int n = max_value > 0 ? static_cast<int>(value / max_value * width + 0.5) : 0;
+  if (n > width) {
+    n = width;
+  }
+  return std::string(static_cast<size_t>(n), '#');
+}
+
+}  // namespace bench
+}  // namespace clara
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// Figure 1: performance variability of five NFs on the simulated SmartNIC.
+// Each NF is benchmarked in 2-4 versions with the same core logic but
+// different porting strategies or workloads; latency is normalized against
+// the fastest version of that NF. The paper reports spreads up to 13.8x.
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/nf/lpm.h"
+
+namespace clara {
+namespace bench {
+namespace {
+
+struct Variant {
+  std::string nf;
+  std::string label;
+  double latency_us;
+};
+
+constexpr int kCores = 8;
+
+double Latency(const ProfiledNf& pr, const PerfModel& model,
+               const DemandOptions& opts = DemandOptions{}) {
+  return model.Evaluate(pr.Demand(model.config(), opts), kCores).latency_us;
+}
+
+void Run() {
+  PerfModel model;
+  std::vector<Variant> variants;
+
+  // NAT: checksum accelerator on/off (the paper's NAT variants). Outbound
+  // traffic over a modest flow set so every packet is translated.
+  {
+    WorkloadSpec w = WorkloadSpec::LargeFlows(128);
+    w.syn_ratio = 0.15;  // ensure every flow's mapping is established
+    ProfiledNf sw = ProfileNf(MakeMazuNat(false), w, 4000, nullptr, /*in_port=*/0);
+    ProfiledNf hw = ProfileNf(MakeMazuNat(true), w, 4000, nullptr, /*in_port=*/0);
+    variants.push_back({"NAT", "software checksum", Latency(sw, model)});
+    variants.push_back({"NAT", "checksum accel", Latency(hw, model)});
+  }
+
+  // DPI: ported variants scanning different packet-size prefixes.
+  for (int scan : {8, 16, 32, 64}) {
+    WorkloadSpec w = WorkloadSpec::SmallFlows(256);
+    ProfiledNf pr = ProfileNf(MakeDpi(scan), w);
+    variants.push_back({"DPI", "scan " + std::to_string(scan) + "B", Latency(pr, model)});
+  }
+
+  // FW: flow state in different memory locations x flow distributions.
+  {
+    for (const char* wl : {"small", "large"}) {
+      WorkloadSpec w = std::string(wl) == "small" ? WorkloadSpec::SmallFlows()
+                                                  : WorkloadSpec::LargeFlows(128);
+      ProfiledNf pr = ProfileNf(MakeFirewall(), w);
+      DemandOptions emem;  // default: all EMEM
+      DemandOptions imem;
+      imem.placement["conn_table"] = MemRegion::kImem;
+      imem.placement["allowed"] = MemRegion::kCls;
+      imem.placement["denied"] = MemRegion::kCls;
+      variants.push_back({"FW", std::string(wl) + " flows, EMEM state", Latency(pr, model, emem)});
+      variants.push_back({"FW", std::string(wl) + " flows, IMEM state", Latency(pr, model, imem)});
+    }
+  }
+
+  // LPM: rule-table sizes, optionally with the flow cache.
+  {
+    WorkloadSpec w = WorkloadSpec::LargeFlows(128);
+    ProfiledNf small_tbl = ProfileNf(MakeIpLookup(16, false, false), w);
+    ProfiledNf big_tbl = ProfileNf(MakeIpLookup(512, false, false), w);
+    ProfiledNf cached = ProfileNf(MakeIpLookup(512, false, true), w);
+    variants.push_back({"LPM", "16 rules", Latency(small_tbl, model)});
+    variants.push_back({"LPM", "512 rules", Latency(big_tbl, model)});
+    variants.push_back({"LPM", "512 rules + flow cache", Latency(cached, model)});
+  }
+
+  // HH: packet rates via flow-mix classes.
+  {
+    ProfiledNf hot = ProfileNf(MakeHeavyHitter(), WorkloadSpec::LargeFlows(128));
+    ProfiledNf cold = ProfileNf(MakeHeavyHitter(), WorkloadSpec::SmallFlows());
+    variants.push_back({"HH", "skewed traffic", Latency(hot, model)});
+    variants.push_back({"HH", "uniform traffic", Latency(cold, model)});
+  }
+
+  Header("Figure 1: performance variability of five NFs (latency, normalized per NF)");
+  std::string cur;
+  double best = 0;
+  double worst_spread = 0;
+  for (size_t i = 0; i < variants.size(); ++i) {
+    if (variants[i].nf != cur) {
+      cur = variants[i].nf;
+      best = 1e300;
+      for (const auto& v : variants) {
+        if (v.nf == cur) {
+          best = std::min(best, v.latency_us);
+        }
+      }
+      std::printf("\n  %s\n", cur.c_str());
+    }
+    double norm = variants[i].latency_us / best;
+    worst_spread = std::max(worst_spread, norm);
+    std::printf("    %-28s %6.2fx  (%7.2f us) %s\n", variants[i].label.c_str(), norm,
+                variants[i].latency_us, Bar(norm, 14.0, 28).c_str());
+  }
+  std::printf("\n  max spread across variants: %.1fx (paper: up to 13.8x)\n", worst_spread);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace clara
+
+int main() {
+  clara::bench::Run();
+  return 0;
+}

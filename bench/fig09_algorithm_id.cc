@@ -1,0 +1,150 @@
+// Figure 9 + Figure 10a: algorithm-identification precision/recall of
+// Clara's SPE+SVM vs AutoML, kNN, DNN, DT, GBDT on the identical feature
+// dataset, and the 2-D PCA separation of the feature space.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/core/algo_id.h"
+#include "src/lang/lower.h"
+#include "src/ml/automl.h"
+#include "src/ml/ensemble.h"
+#include "src/ml/knn.h"
+#include "src/ml/metrics.h"
+#include "src/ml/mlp.h"
+#include "src/ml/pca.h"
+#include "src/ml/tree.h"
+
+namespace clara {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("building the algorithm corpus and mining SPE features...\n");
+  AlgorithmIdentifier clara_id;
+  clara_id.Train(BuildAlgorithmCorpus(60, 2024));
+  std::printf("  %zu features mined (SPE n-grams + manual features)\n",
+              clara_id.feature_names().size());
+
+  // Held-out evaluation set (fresh seeds) under the same feature extractor.
+  auto held_out = BuildAlgorithmCorpus(25, 999);
+  TabularDataset test;
+  for (const auto& lp : held_out) {
+    Program copy = CloneProgram(lp.program);
+    LowerResult lr = LowerProgram(copy);
+    test.x.push_back(clara_id.ExtractFeatures(lr.module));
+    test.y.push_back(static_cast<int>(lp.label));
+  }
+  const TabularDataset& train = clara_id.dataset();
+
+  auto evaluate = [&](Classifier& model, const std::string& name) {
+    std::vector<int> truth;
+    std::vector<int> pred;
+    for (size_t i = 0; i < test.size(); ++i) {
+      truth.push_back(static_cast<int>(test.y[i]));
+      pred.push_back(model.Predict(test.x[i]));
+    }
+    auto pr = MultiClassPrecisionRecall(truth, pred, static_cast<int>(AccelClass::kNone));
+    std::printf("  %-10s %9.1f%% %9.1f%%\n", name.c_str(), pr.precision * 100,
+                pr.recall * 100);
+  };
+
+  Header("Figure 9: algorithm identification precision / recall");
+  std::printf("  %-10s %10s %10s\n", "Model", "Precision", "Recall");
+  {
+    // Clara = the trained SVM: evaluate via predictions on the same features.
+    std::vector<int> truth;
+    std::vector<int> pred;
+    for (const auto& lp : held_out) {
+      Program copy = CloneProgram(lp.program);
+      LowerResult lr = LowerProgram(copy);
+      truth.push_back(static_cast<int>(lp.label));
+      pred.push_back(static_cast<int>(clara_id.Classify(lr.module)));
+    }
+    auto pr = MultiClassPrecisionRecall(truth, pred, static_cast<int>(AccelClass::kNone));
+    std::printf("  %-10s %9.1f%% %9.1f%%   (paper: 96.6%% / 83.3%%)\n", "Clara",
+                pr.precision * 100, pr.recall * 100);
+  }
+  {
+    AutoMlReport report;
+    auto automl = AutoMlClassification(train, kNumAccelClasses, &report, 4);
+    std::printf("  [AutoML chose %s]\n", report.chosen.c_str());
+    evaluate(*automl, "AutoML");
+  }
+  {
+    KnnClassifier knn(KnnOptions{3});
+    knn.Fit(train, kNumAccelClasses);
+    evaluate(knn, "kNN");
+  }
+  {
+    MlpClassifier dnn;
+    dnn.Fit(train, kNumAccelClasses);
+    evaluate(dnn, "DNN");
+  }
+  {
+    TreeClassifier dt(TreeOptions{8, 2, 0});
+    dt.Fit(train, kNumAccelClasses);
+    evaluate(dt, "DT");
+  }
+  {
+    GbdtClassifier gbdt;
+    gbdt.Fit(train, kNumAccelClasses);
+    evaluate(gbdt, "GBDT");
+  }
+  Note("");
+  Note("paper: other models and AutoML are on par; accelerator algorithms have");
+  Note("distinct features (bitwise density for CRC, pointer chasing for LPM).");
+
+  // Figure 10a: PCA projection separation between classes.
+  Header("Figure 10a: PCA of algorithm-identification features");
+  PcaResult pca = ComputePca(train.x, 2);
+  double centroid[kNumAccelClasses][2] = {};
+  int counts[kNumAccelClasses] = {};
+  for (size_t i = 0; i < train.size(); ++i) {
+    FeatureVec p = pca.Project(train.x[i]);
+    int c = static_cast<int>(train.y[i]);
+    centroid[c][0] += p[0];
+    centroid[c][1] += p[1];
+    ++counts[c];
+  }
+  for (int c = 0; c < kNumAccelClasses; ++c) {
+    if (counts[c] > 0) {
+      centroid[c][0] /= counts[c];
+      centroid[c][1] /= counts[c];
+    }
+    std::printf("  class %-5s centroid: (%8.3f, %8.3f)  n=%d\n",
+                AccelClassName(static_cast<AccelClass>(c)), centroid[c][0], centroid[c][1],
+                counts[c]);
+  }
+  // Separation statistic: mean inter-centroid distance vs mean in-class spread.
+  double inter = 0;
+  int pairs = 0;
+  for (int a = 0; a < kNumAccelClasses; ++a) {
+    for (int b = a + 1; b < kNumAccelClasses; ++b) {
+      double dx = centroid[a][0] - centroid[b][0];
+      double dy = centroid[a][1] - centroid[b][1];
+      inter += std::sqrt(dx * dx + dy * dy);
+      ++pairs;
+    }
+  }
+  inter /= pairs;
+  double intra = 0;
+  for (size_t i = 0; i < train.size(); ++i) {
+    FeatureVec p = pca.Project(train.x[i]);
+    int c = static_cast<int>(train.y[i]);
+    double dx = p[0] - centroid[c][0];
+    double dy = p[1] - centroid[c][1];
+    intra += std::sqrt(dx * dx + dy * dy);
+  }
+  intra /= static_cast<double>(train.size());
+  std::printf("\n  inter-centroid distance / in-class spread: %.2f (>1 = separable)\n",
+              inter / intra);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace clara
+
+int main() {
+  clara::bench::Run();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Figure 14: NF colocation analysis.
+// (a) top-1/2/3 ranking accuracy of the pairwise ranker on synthesized NF
+//     groups, one model per ranking objective.
+// (b)/(c) throughput degradation and latency increase for the six pairings
+//     of the four complex NFs, ordered by Clara's ranking.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "src/core/colocation.h"
+#include "src/ml/metrics.h"
+
+namespace clara {
+namespace bench {
+namespace {
+
+void RankingAccuracy(const PerfModel& model, const SynthProfile& profile) {
+  Header("Figure 14a: colocation ranking accuracy by training objective");
+  std::printf("  %-10s %8s %8s %8s\n", "objective", "top-1", "top-2", "top-3");
+  for (RankObjective obj :
+       {RankObjective::kTotalThroughput, RankObjective::kAverageThroughput,
+        RankObjective::kTotalLatency, RankObjective::kAverageLatency}) {
+    ColocationOptions opts;
+    opts.objective = obj;
+    opts.train_nfs = 40;
+    opts.train_groups = 120;
+    opts.synth.profile = profile;
+    ColocationRanker ranker(opts);
+    ranker.Train(model, WorkloadSpec::SmallFlows());
+
+    // Held-out synthesized candidate groups.
+    SynthOptions hopts;
+    hopts.profile = profile;
+    std::vector<Program> programs = SynthesizeCorpus(24, hopts, 777 + static_cast<int>(obj));
+    std::vector<NfDemand> demands;
+    WorkloadSpec w = WorkloadSpec::SmallFlows();
+    for (auto& prog : programs) {
+      NfInstance nf(std::move(prog));
+      if (!nf.ok()) {
+        continue;
+      }
+      NicProgram nic = CompileToNic(nf.module());
+      Trace t = GenerateTrace(w, 500);
+      for (auto& pkt : t.packets) {
+        nf.Process(pkt);
+      }
+      demands.push_back(BuildDemand(nf.module(), nic, nf.profile(), w, model.config()));
+    }
+    Rng rng(4096);
+    std::vector<std::vector<double>> truth;
+    std::vector<std::vector<double>> pred;
+    for (int g = 0; g < 60; ++g) {
+      size_t anchor = rng.NextBounded(demands.size());
+      std::vector<double> ts;
+      std::vector<double> ps;
+      for (int i = 0; i < 5; ++i) {
+        size_t other = rng.NextBounded(demands.size());
+        ts.push_back(MeasurePair(model, demands[anchor], demands[other]).Friendliness(obj));
+        ps.push_back(ranker.ScorePair(demands[anchor], demands[other]));
+      }
+      truth.push_back(std::move(ts));
+      pred.push_back(std::move(ps));
+    }
+    std::printf("  %-10s %7.0f%% %7.0f%% %7.0f%%\n", RankObjectiveName(obj),
+                TopKAccuracy(truth, pred, 1) * 100, TopKAccuracy(truth, pred, 2) * 100,
+                TopKAccuracy(truth, pred, 3) * 100);
+  }
+  Note("paper: total-throughput objective is best; 70+% top-1, 85+% top-3.");
+}
+
+void RealPairs(const PerfModel& model, const SynthProfile& profile) {
+  // NF1: Mazu-NAT, NF2: DNSProxy, NF3: UDPCount, NF4: Webgen (paper naming).
+  const char* names[] = {"mazunat", "dnsproxy", "udpcount", "webgen"};
+  const char* labels[] = {"NF1", "NF2", "NF3", "NF4"};
+  std::vector<NfDemand> demands;
+  for (const char* n : names) {
+    ProfiledNf pr = ProfileNf(MakeElementByName(n), WorkloadSpec::SmallFlows());
+    demands.push_back(pr.Demand(model.config()));
+  }
+  ColocationOptions opts;
+  opts.train_nfs = 40;
+  opts.train_groups = 120;
+  opts.synth.profile = profile;
+  ColocationRanker ranker(opts);
+  ranker.Train(model, WorkloadSpec::SmallFlows());
+
+  struct PairRow {
+    std::string label;
+    double score;
+    PairOutcome outcome;
+  };
+  std::vector<PairRow> rows;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      PairRow row;
+      row.label = std::string(labels[a]) + "+" + labels[b];
+      row.score = ranker.ScorePair(demands[a], demands[b]);
+      row.outcome = MeasurePair(model, demands[a], demands[b]);
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const PairRow& x, const PairRow& y) { return x.score > y.score; });
+
+  Header("Figure 14b/c: colocation outcomes for the six real-NF pairs");
+  std::printf("  rank %-10s %10s %16s %18s\n", "pair", "score", "norm. tput",
+              "latency a/b (us)");
+  double best = 0;
+  double worst = 1e300;
+  std::vector<double> true_friendliness;
+  std::vector<double> scores;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    double fr = rows[i].outcome.Friendliness(RankObjective::kTotalThroughput);
+    best = std::max(best, fr);
+    worst = std::min(worst, fr);
+    true_friendliness.push_back(fr);
+    scores.push_back(rows[i].score);
+    std::printf("  %4zu %-10s %10.3f %15.1f%% %9.2f /%7.2f\n", i + 1, rows[i].label.c_str(),
+                rows[i].score, fr * 100, rows[i].outcome.lat_a_coloc,
+                rows[i].outcome.lat_b_coloc);
+  }
+  std::printf("\n  throughput degradation spread across strategies: %.1f%%"
+              " (paper: up to 15%%)\n",
+              (best - worst) * 100);
+  // Rank correlation between Clara's scores and measured friendliness.
+  int concordant = 0;
+  int total = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      ++total;
+      if ((scores[i] - scores[j]) * (true_friendliness[i] - true_friendliness[j]) >= 0) {
+        ++concordant;
+      }
+    }
+  }
+  std::printf("  pairwise rank concordance: %d/%d\n", concordant, total);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace clara
+
+int main() {
+  clara::PerfModel model;
+  std::vector<clara::Program> corpus = clara::bench::ElementCorpus();
+  clara::SynthProfile profile = clara::bench::CorpusProfile(corpus);
+  clara::bench::RankingAccuracy(model, profile);
+  clara::bench::RealPairs(model, profile);
+  return 0;
+}

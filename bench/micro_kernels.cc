@@ -1,0 +1,151 @@
+// google-benchmark microbenchmarks for the library's hot kernels: how fast
+// is the tooling itself (lowering, compilation, interpretation, inference,
+// solving)? Useful when extending Clara — none of the paper's figures depend
+// on these numbers.
+#include <benchmark/benchmark.h>
+
+#include "src/core/predictor.h"
+#include "src/elements/elements.h"
+#include "src/ir/vocab.h"
+#include "src/lang/interp.h"
+#include "src/lang/lower.h"
+#include "src/ml/lstm.h"
+#include "src/nic/backend.h"
+#include "src/nic/perf_model.h"
+#include "src/solver/assignment_ilp.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+namespace {
+
+void BM_LowerMazuNat(benchmark::State& state) {
+  for (auto _ : state) {
+    Program p = MakeMazuNat();
+    LowerResult lr = LowerProgram(p);
+    benchmark::DoNotOptimize(lr.module.functions[0].NumInstructions());
+  }
+}
+BENCHMARK(BM_LowerMazuNat);
+
+void BM_CompileToNicMazuNat(benchmark::State& state) {
+  Program p = MakeMazuNat();
+  LowerResult lr = LowerProgram(p);
+  for (auto _ : state) {
+    NicProgram nic = CompileToNic(lr.module);
+    benchmark::DoNotOptimize(nic.Totals().compute);
+  }
+}
+BENCHMARK(BM_CompileToNicMazuNat);
+
+void BM_InterpretPacket(benchmark::State& state) {
+  NfInstance nf(MakeMazuNat());
+  Trace trace = GenerateTrace(WorkloadSpec::SmallFlows(), 4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    Packet pkt = trace.packets[i++ & 4095];
+    pkt.in_port = 0;
+    nf.Process(pkt);
+    benchmark::DoNotOptimize(pkt.verdict);
+  }
+}
+BENCHMARK(BM_InterpretPacket);
+
+void BM_SimMapFind(benchmark::State& state) {
+  StateDecl d;
+  d.name = "m";
+  d.kind = StateKind::kMap;
+  d.key_fields = {Type::kI32, Type::kI32};
+  d.value_fields = {{"v", Type::kI32}};
+  d.capacity = 8192;
+  d.impl = MapImpl::kNicFixedBucket;
+  SimMap m(d);
+  for (uint64_t k = 1; k <= 4096; ++k) {
+    m.Insert({k, k + 1}, {k});
+  }
+  uint64_t k = 1;
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    auto r = m.Find({k, k + 1}, &out);
+    benchmark::DoNotOptimize(r.found);
+    k = k % 4096 + 1;
+  }
+}
+BENCHMARK(BM_SimMapFind);
+
+void BM_LstmInference(benchmark::State& state) {
+  SeqDataset data;
+  data.vocab = 64;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    SeqExample ex;
+    for (int t = 0; t < 24; ++t) {
+      ex.tokens.push_back(static_cast<int>(rng.NextBounded(64)));
+    }
+    ex.target = static_cast<double>(rng.NextBounded(40));
+    data.examples.push_back(std::move(ex));
+  }
+  LstmOptions opts;
+  opts.epochs = 2;
+  opts.hidden = 32;
+  LstmRegressor lstm(opts);
+  lstm.Fit(data);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.Predict(data.examples[i++ % 100].tokens));
+  }
+}
+BENCHMARK(BM_LstmInference);
+
+void BM_PerfModelEvaluate(benchmark::State& state) {
+  PerfModel model;
+  NfDemand d;
+  d.compute_cycles = 300;
+  d.pkt_accesses = 3;
+  StateDemand s;
+  s.accesses_per_pkt = 4;
+  s.words_per_access = 3;
+  s.region = MemRegion::kEmem;
+  s.cache_hit_rate = 0.7;
+  d.state.push_back(s);
+  int cores = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Evaluate(d, cores).throughput_mpps);
+    cores = cores % 60 + 1;
+  }
+}
+BENCHMARK(BM_PerfModelEvaluate);
+
+void BM_IlpSolve(benchmark::State& state) {
+  AssignmentProblem p;
+  Rng rng(7);
+  p.capacity = {1000, 4000, 16000, 1u << 30};
+  for (int i = 0; i < 8; ++i) {
+    p.size.push_back(100 + rng.NextBounded(3000));
+    std::vector<double> row;
+    for (int j = 0; j < 4; ++j) {
+      row.push_back(1.0 + static_cast<double>(rng.NextBounded(500)));
+    }
+    p.cost.push_back(row);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAssignment(p).objective);
+  }
+}
+BENCHMARK(BM_IlpSolve);
+
+void BM_VocabularyEncode(benchmark::State& state) {
+  Program p = MakeMazuNat();
+  LowerResult lr = LowerProgram(p);
+  Vocabulary vocab;
+  for (auto _ : state) {
+    for (const auto& blk : lr.module.functions[0].blocks) {
+      benchmark::DoNotOptimize(vocab.Encode(blk, lr.module).size());
+    }
+  }
+}
+BENCHMARK(BM_VocabularyEncode);
+
+}  // namespace
+}  // namespace clara
+
+BENCHMARK_MAIN();

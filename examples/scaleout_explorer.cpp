@@ -1,0 +1,59 @@
+// Scale-out explorer: latency/throughput curves vs core count for any
+// element of the suite under either workload class, with Clara's suggested
+// operating point — an interactive view of Figure 11.
+//
+// Build & run:  ./build/examples/scaleout_explorer [element] [small|large]
+//    e.g.       ./build/examples/scaleout_explorer dnsproxy small
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/scaleout.h"
+#include "src/elements/elements.h"
+#include "src/lang/interp.h"
+#include "src/nic/backend.h"
+#include "src/nic/demand.h"
+#include "src/workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace clara;
+  std::string element = argc > 1 ? argv[1] : "mazunat";
+  bool small = argc > 2 ? std::strcmp(argv[2], "large") != 0 : true;
+
+  PerfModel model;
+  WorkloadSpec workload = small ? WorkloadSpec::SmallFlows() : WorkloadSpec::LargeFlows();
+
+  std::printf("Profiling '%s' under the %s workload...\n", element.c_str(),
+              workload.name.c_str());
+  NfInstance nf(MakeElementByName(element));
+  NicProgram nic = CompileToNic(nf.module());
+  Trace trace = GenerateTrace(workload, 4000);
+  for (auto& pkt : trace.packets) {
+    pkt.in_port = pkt.src_ip & 1;
+    nf.Process(pkt);
+  }
+  NfDemand demand = BuildDemand(nf.module(), nic, nf.profile(), workload, model.config());
+  std::printf("  compute %.0f cycles/pkt, %.1f state accesses/pkt, intensity %.2f\n\n",
+              demand.compute_cycles, demand.TotalStateAccesses(),
+              demand.ArithmeticIntensity());
+
+  std::printf("Training the scale-out cost model...\n");
+  ScaleOutOptions opts;
+  opts.train_programs = 60;
+  ScaleOutAdvisor advisor(opts);
+  advisor.Train(model, {WorkloadSpec::LargeFlows(), WorkloadSpec::SmallFlows()});
+  int suggested = advisor.SuggestCores(demand);
+  int optimal = model.OptimalCores(demand);
+
+  std::printf("\n%6s %12s %12s %12s\n", "cores", "tput (Mpps)", "latency(us)", "T/L ratio");
+  for (int n = 2; n <= model.config().num_cores; n += 2) {
+    PerfPoint p = model.Evaluate(demand, n);
+    const char* mark = n == suggested ? "  <- Clara suggests"
+                       : n == optimal ? "  <- measured optimum"
+                                      : "";
+    std::printf("%6d %12.2f %12.2f %12.3f%s\n", n, p.throughput_mpps, p.latency_us,
+                p.RatioMppsPerUs(), mark);
+  }
+  std::printf("\nClara suggests %d cores; exhaustive sweep says %d.\n", suggested, optimal);
+  return 0;
+}

@@ -1,0 +1,365 @@
+#include "src/core/algo_id.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/ir/cfg.h"
+#include "src/ir/classify.h"
+#include "src/lang/lower.h"
+
+namespace clara {
+namespace {
+
+using BlockFilter = std::vector<bool>;  // per block: include in extraction?
+
+BlockFilter AllBlocks(const Module& m) {
+  return BlockFilter(m.functions.at(0).blocks.size(), true);
+}
+
+std::vector<std::string> TokensFiltered(const Module& m, const BlockFilter& filter) {
+  std::vector<std::string> tokens;
+  const Function& f = m.functions.at(0);
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    if (b < filter.size() && !filter[b]) {
+      continue;
+    }
+    for (const auto& i : f.blocks[b].instrs) {
+      switch (i.op) {
+        case Opcode::kLoad:
+        case Opcode::kStore:
+          tokens.push_back(std::string(OpcodeName(i.op)) + "." +
+                           AddressSpaceName(i.space) + (i.has_dyn_index ? ".idx" : ""));
+          break;
+        case Opcode::kCall:
+          tokens.push_back("call");
+          break;
+        default:
+          tokens.push_back(OpcodeName(i.op));
+          break;
+      }
+    }
+  }
+  return tokens;
+}
+
+// Function-wide taint analysis: which registers and stack slots carry values
+// (transitively) derived from stateful loads. Iterates to a fixed point so
+// derivations that flow through locals and across blocks (the classic trie
+// walk: next = trie[node]; node = next - 1) are captured.
+struct StateTaint {
+  std::set<uint32_t> regs;
+  std::set<uint32_t> slots;
+};
+
+StateTaint ComputeStateTaint(const Function& f) {
+  StateTaint t;
+  bool changed = true;
+  int iterations = 0;
+  while (changed && iterations++ < 8) {
+    changed = false;
+    for (const auto& blk : f.blocks) {
+      for (const auto& i : blk.instrs) {
+        bool derived = false;
+        if (i.op == Opcode::kLoad) {
+          if (i.space == AddressSpace::kState) {
+            derived = true;
+          } else if (i.space == AddressSpace::kStack && t.slots.count(i.sym) > 0) {
+            derived = true;
+          }
+        } else {
+          for (const auto& v : i.operands) {
+            if (v.is_reg() && t.regs.count(v.reg) > 0) {
+              derived = true;
+              break;
+            }
+          }
+        }
+        if (!derived) {
+          continue;
+        }
+        if (i.op == Opcode::kStore && i.space == AddressSpace::kStack &&
+            !i.operands.empty() && i.operands[0].is_reg() &&
+            t.regs.count(i.operands[0].reg) > 0) {
+          changed |= t.slots.insert(i.sym).second;
+        }
+        if (i.result != 0) {
+          changed |= t.regs.insert(i.result).second;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+FeatureVec ManualFeaturesFiltered(const Module& m, const BlockFilter& filter) {
+  const Function& f = m.functions.at(0);
+  Cfg cfg = BuildCfg(f);
+  StateTaint taint = ComputeStateTaint(f);
+
+  double compute = 1;
+  double mem = 1;
+  double bitwise = 0;
+  double shifts = 0;
+  double payload_loads = 0;
+  double loop_state_loads = 0;
+  double pointer_chase = 0;
+  int loop_blocks = 0;
+  int blocks_seen = 0;
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    if (b < filter.size() && !filter[b]) {
+      continue;
+    }
+    ++blocks_seen;
+    bool in_loop = b < cfg.loop_depth.size() && cfg.loop_depth[b] > 0;
+    if (in_loop) {
+      ++loop_blocks;
+    }
+    for (const auto& i : f.blocks[b].instrs) {
+      switch (Classify(i)) {
+        case InstrClass::kCompute:
+          ++compute;
+          break;
+        case InstrClass::kStatelessMem:
+        case InstrClass::kStatefulMem:
+          ++mem;
+          break;
+        default:
+          break;
+      }
+      switch (i.op) {
+        case Opcode::kAnd:
+        case Opcode::kOr:
+        case Opcode::kXor:
+          ++bitwise;
+          break;
+        case Opcode::kShl:
+        case Opcode::kLShr:
+        case Opcode::kAShr:
+          ++shifts;
+          break;
+        default:
+          break;
+      }
+      if (i.op == Opcode::kLoad) {
+        if (i.space == AddressSpace::kPacket && i.has_dyn_index) {
+          ++payload_loads;
+        }
+        if (i.space == AddressSpace::kState && i.has_dyn_index && in_loop) {
+          ++loop_state_loads;
+          const Value& idx = i.operands.back();
+          if (idx.is_reg() && taint.regs.count(idx.reg) > 0) {
+            ++pointer_chase;  // the trie-walk signature
+          }
+        }
+      }
+    }
+  }
+  double nblocks = std::max(1, blocks_seen);
+  return FeatureVec{
+      bitwise / compute,
+      shifts / compute,
+      static_cast<double>(loop_blocks) / nblocks,
+      pointer_chase / mem,
+      loop_state_loads / mem,
+      payload_loads / mem,
+  };
+}
+
+// All contiguous n-grams of `tokens` joined with '|'.
+std::set<std::string> NgramSet(const std::vector<std::string>& tokens, int nmin, int nmax) {
+  std::set<std::string> out;
+  for (int n = nmin; n <= nmax; ++n) {
+    for (size_t i = 0; i + n <= tokens.size(); ++i) {
+      std::string key = tokens[i];
+      for (int d = 1; d < n; ++d) {
+        key += "|" + tokens[i + d];
+      }
+      out.insert(std::move(key));
+    }
+  }
+  return out;
+}
+
+double CountOccurrences(const std::vector<std::string>& tokens,
+                        const std::vector<std::string>& pattern) {
+  if (pattern.empty() || tokens.size() < pattern.size()) {
+    return 0;
+  }
+  double count = 0;
+  for (size_t i = 0; i + pattern.size() <= tokens.size(); ++i) {
+    bool match = true;
+    for (size_t d = 0; d < pattern.size(); ++d) {
+      if (tokens[i + d] != pattern[d]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::string> SplitPattern(const std::string& key) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t bar = key.find('|', start);
+    if (bar == std::string::npos) {
+      parts.push_back(key.substr(start));
+      break;
+    }
+    parts.push_back(key.substr(start, bar - start));
+    start = bar + 1;
+  }
+  return parts;
+}
+
+FeatureVec FeaturesFiltered(const Module& m, const BlockFilter& filter,
+                            const std::vector<std::vector<std::string>>& patterns) {
+  std::vector<std::string> tokens = TokensFiltered(m, filter);
+  double norm = std::max<size_t>(1, tokens.size());
+  FeatureVec x;
+  x.reserve(patterns.size() + 6);
+  for (const auto& pattern : patterns) {
+    x.push_back(CountOccurrences(tokens, pattern) / norm * 100.0);
+  }
+  for (double v : ManualFeaturesFiltered(m, filter)) {
+    x.push_back(v);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::string> OpcodeTokens(const Module& m) {
+  return TokensFiltered(m, AllBlocks(m));
+}
+
+FeatureVec ManualFeatures(const Module& m) {
+  return ManualFeaturesFiltered(m, AllBlocks(m));
+}
+
+void AlgorithmIdentifier::Train(const std::vector<LabeledProgram>& corpus) {
+  std::vector<Module> modules;
+  std::vector<int> labels;
+  for (const auto& lp : corpus) {
+    Program copy = CloneProgram(lp.program);
+    LowerResult lr = LowerProgram(copy);
+    if (!lr.ok) {
+      continue;
+    }
+    modules.push_back(std::move(lr.module));
+    labels.push_back(static_cast<int>(lp.label));
+  }
+
+  // SPE mining: presence statistics per class.
+  std::vector<std::set<std::string>> present(modules.size());
+  for (size_t i = 0; i < modules.size(); ++i) {
+    present[i] = NgramSet(OpcodeTokens(modules[i]), opts_.ngram_min, opts_.ngram_max);
+  }
+  std::vector<int> class_counts(kNumAccelClasses, 0);
+  for (int l : labels) {
+    ++class_counts[l];
+  }
+  std::map<std::string, std::vector<int>> ngram_class_counts;
+  for (size_t i = 0; i < modules.size(); ++i) {
+    for (const auto& g : present[i]) {
+      auto& counts = ngram_class_counts[g];
+      if (counts.empty()) {
+        counts.assign(kNumAccelClasses, 0);
+      }
+      ++counts[labels[i]];
+    }
+  }
+  // Score candidates: high support in one positive class and near-absence in
+  // "none" programs (the paper's support/confidence criteria).
+  int none = static_cast<int>(AccelClass::kNone);
+  std::vector<std::pair<double, std::string>> scored;
+  for (const auto& [g, counts] : ngram_class_counts) {
+    double none_rate =
+        class_counts[none] > 0 ? static_cast<double>(counts[none]) / class_counts[none] : 0;
+    if (none_rate > opts_.max_none_rate) {
+      continue;
+    }
+    double best_support = 0;
+    for (int c = 0; c < kNumAccelClasses; ++c) {
+      if (c == none || class_counts[c] == 0) {
+        continue;
+      }
+      best_support =
+          std::max(best_support, static_cast<double>(counts[c]) / class_counts[c]);
+    }
+    if (best_support < opts_.min_support) {
+      continue;
+    }
+    scored.emplace_back(best_support - none_rate, g);
+  }
+  std::sort(scored.rbegin(), scored.rend());
+  patterns_.clear();
+  feature_names_.clear();
+  for (const auto& [score, g] : scored) {
+    if (static_cast<int>(patterns_.size()) >= opts_.max_patterns) {
+      break;
+    }
+    patterns_.push_back(SplitPattern(g));
+    feature_names_.push_back("spe:" + g);
+  }
+  for (const char* name : {"bitwise-density", "shift-density", "loop-fraction",
+                           "pointer-chase", "loop-table-load", "payload-density"}) {
+    feature_names_.push_back(name);
+  }
+
+  dataset_ = TabularDataset{};
+  for (size_t i = 0; i < modules.size(); ++i) {
+    dataset_.x.push_back(ExtractFeatures(modules[i]));
+    dataset_.y.push_back(labels[i]);
+  }
+  svm_ = LinearSvm(opts_.svm);
+  svm_.Fit(dataset_, kNumAccelClasses);
+  trained_ = true;
+}
+
+FeatureVec AlgorithmIdentifier::ExtractFeatures(const Module& m) const {
+  return FeaturesFiltered(m, AllBlocks(m), patterns_);
+}
+
+AccelClass AlgorithmIdentifier::Classify(const Module& m) const {
+  if (!trained_) {
+    return AccelClass::kNone;
+  }
+  // Whole-program view first.
+  int whole = svm_.Predict(ExtractFeatures(m));
+  if (whole != static_cast<int>(AccelClass::kNone)) {
+    return static_cast<AccelClass>(whole);
+  }
+  // Otherwise examine each loop region separately: the accelerator-eligible
+  // algorithm may be one code block of a larger NF (paper: "Clara ... uses
+  // the trained classifiers to label a given NF's code block"). Pick the
+  // non-none label with the strongest SVM margin across regions.
+  const Function& f = m.functions.at(0);
+  Cfg cfg = BuildCfg(f);
+  double best_margin = 0;
+  int best_label = static_cast<int>(AccelClass::kNone);
+  for (const auto& [tail, head] : cfg.back_edges) {
+    BlockFilter filter(f.blocks.size(), false);
+    for (uint32_t b : NaturalLoop(cfg, tail, head)) {
+      filter[b] = true;
+    }
+    FeatureVec x = FeaturesFiltered(m, filter, patterns_);
+    int label = svm_.Predict(x);
+    if (label == static_cast<int>(AccelClass::kNone)) {
+      continue;
+    }
+    double margin = svm_.Margin(x, label) - svm_.Margin(x, static_cast<int>(AccelClass::kNone));
+    if (margin > best_margin) {
+      best_margin = margin;
+      best_label = label;
+    }
+  }
+  return static_cast<AccelClass>(best_label);
+}
+
+}  // namespace clara

@@ -1,0 +1,71 @@
+// Algorithm identification for accelerator offloading (paper §4.1).
+//
+// Features are extracted with Sequential Pattern Extraction: frequent
+// contiguous opcode subsequences with high support in one accelerator class
+// and high confidence against the "none" class, augmented with hand-crafted
+// features (bitwise-op density, pointer-chasing loops, table lookups). A
+// one-vs-rest linear SVM classifies each NF into {CRC, LPM, AES, none}.
+#ifndef SRC_CORE_ALGO_ID_H_
+#define SRC_CORE_ALGO_ID_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/common.h"
+#include "src/ml/linear.h"
+#include "src/synth/algorithm_corpus.h"
+
+namespace clara {
+
+struct AlgoIdOptions {
+  int ngram_min = 2;
+  int ngram_max = 3;
+  int max_patterns = 48;
+  double min_support = 0.3;     // fraction of in-class programs containing it
+  double max_none_rate = 0.15;  // max fraction of "none" programs containing it
+  SvmOptions svm;
+};
+
+class AlgorithmIdentifier {
+ public:
+  explicit AlgorithmIdentifier(AlgoIdOptions opts = AlgoIdOptions{}) : opts_(opts) {}
+
+  // Mines SPE patterns from the corpus and trains the SVM.
+  void Train(const std::vector<LabeledProgram>& corpus);
+
+  bool trained() const { return trained_; }
+
+  // Classifies a lowered NF module.
+  AccelClass Classify(const Module& m) const;
+
+  // Feature vector for a module under the mined patterns (SPE counts,
+  // normalized, plus manual features).
+  FeatureVec ExtractFeatures(const Module& m) const;
+
+  const std::vector<std::string>& feature_names() const { return feature_names_; }
+
+  // The training dataset (features + labels), exposed so baseline models and
+  // PCA (Figures 9, 10a) use identical inputs.
+  const TabularDataset& dataset() const { return dataset_; }
+
+ private:
+  AlgoIdOptions opts_;
+  std::vector<std::vector<std::string>> patterns_;  // mined opcode n-grams
+  std::vector<std::string> feature_names_;
+  TabularDataset dataset_;
+  LinearSvm svm_;
+  bool trained_ = false;
+};
+
+// Opcode-level token stream of a module (block-concatenated, branch-aware);
+// the raw material for SPE mining.
+std::vector<std::string> OpcodeTokens(const Module& m);
+
+// Manual features (paper: "we also augment this with manually extracted
+// features"): {bitwise density, shift density, loop fraction,
+// pointer-chase score, table-lookup score, payload density}.
+FeatureVec ManualFeatures(const Module& m);
+
+}  // namespace clara
+
+#endif  // SRC_CORE_ALGO_ID_H_

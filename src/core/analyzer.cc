@@ -1,0 +1,108 @@
+#include "src/core/analyzer.h"
+
+#include <sstream>
+
+#include "src/lang/interp.h"
+#include "src/nic/backend.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+
+std::string OffloadingInsights::ToString(const NicConfig& cfg) const {
+  std::ostringstream os;
+  os << "=== Clara offloading insights for '" << nf_name << "' ===\n";
+  os << "[prediction]   compute instrs/pkt-path: " << prediction.total_compute
+     << ", stateful mem instrs: " << prediction.total_mem_state << "\n";
+  os << "[accelerator]  " << AccelClassName(accelerator);
+  if (accelerator != AccelClass::kNone) {
+    os << "  -> rewrite the matching block to use the " << AccelClassName(accelerator)
+       << " engine";
+  }
+  os << "\n";
+  os << "[scale-out]    suggested cores: " << suggested_cores << " / " << cfg.num_cores
+     << "\n";
+  os << "[placement]    ";
+  for (const auto& [var, region] : placement.placement) {
+    os << var << "->" << MemRegionName(region) << " ";
+  }
+  os << "(ILP nodes: " << placement.ilp_nodes << ")\n";
+  os << "[coalescing]   " << coalescing.packs.size() << " pack(s):";
+  for (const auto& pack : coalescing.packs) {
+    os << " {";
+    for (size_t i = 0; i < pack.vars.size(); ++i) {
+      os << (i > 0 ? "," : "") << pack.vars[i];
+    }
+    os << "|" << pack.pack_bytes << "B}";
+  }
+  os << "\n";
+  os << "[estimate]     naive: " << naive_perf.throughput_mpps << " Mpps / "
+     << naive_perf.latency_us << " us;  tuned: " << tuned_perf.throughput_mpps << " Mpps / "
+     << tuned_perf.latency_us << " us\n";
+  return os.str();
+}
+
+ClaraAnalyzer::ClaraAnalyzer(AnalyzerOptions opts)
+    : opts_(std::move(opts)), perf_model_(opts_.nic) {}
+
+void ClaraAnalyzer::Train(const std::vector<const Program*>& click_corpus) {
+  // §3.2: guide the synthesizer by the real corpus' AST distribution.
+  synth_profile_ = MeasureCorpus(click_corpus);
+
+  PredictorOptions popts = opts_.predictor;
+  popts.synth.profile = synth_profile_;
+  predictor_ = InstructionPredictor(popts);
+  predictor_.Train();
+
+  algo_id_ = AlgorithmIdentifier(opts_.algo_id);
+  algo_id_.Train(BuildAlgorithmCorpus(opts_.algo_corpus_per_class, opts_.seed));
+
+  ScaleOutOptions sopts = opts_.scaleout;
+  sopts.synth.profile = synth_profile_;
+  scaleout_ = ScaleOutAdvisor(sopts);
+  scaleout_.Train(perf_model_, {WorkloadSpec::LargeFlows(), WorkloadSpec::SmallFlows()});
+
+  ColocationOptions copts = opts_.colocation;
+  copts.synth.profile = synth_profile_;
+  colocation_ = ColocationRanker(copts);
+  colocation_.Train(perf_model_, WorkloadSpec::SmallFlows());
+
+  trained_ = true;
+}
+
+OffloadingInsights ClaraAnalyzer::Analyze(Program program, const WorkloadSpec& workload) const {
+  OffloadingInsights out;
+  out.nf_name = program.name;
+
+  NfInstance nf(std::move(program));
+  if (!nf.ok()) {
+    return out;
+  }
+  // Workload-specific profiling on the host (paper §4.3: run the NF with its
+  // reverse-ported data structures on the specified workload).
+  Trace trace = GenerateTrace(workload, opts_.profile_packets);
+  for (auto& pkt : trace.packets) {
+    nf.Process(pkt);
+  }
+  const Module& m = nf.module();
+
+  out.prediction = predictor_.PredictNf(m);
+  out.accelerator = algo_id_.Classify(m);
+
+  NicProgram nic = CompileToNic(m, opts_.predictor.backend);
+  NfDemand naive = BuildDemand(m, nic, nf.profile(), workload, opts_.nic);
+  out.suggested_cores = scaleout_.trained() ? scaleout_.SuggestCores(naive)
+                                            : perf_model_.OptimalCores(naive);
+
+  out.placement = PlaceState(m, nf.profile(), workload, opts_.nic);
+  out.coalescing = SuggestCoalescing(m, nf.profile());
+
+  DemandOptions tuned_opts;
+  tuned_opts.placement = out.placement.placement;
+  tuned_opts.coalescing = out.coalescing.effects;
+  NfDemand tuned = BuildDemand(m, nic, nf.profile(), workload, opts_.nic, tuned_opts);
+  out.naive_perf = perf_model_.Evaluate(naive, out.suggested_cores);
+  out.tuned_perf = perf_model_.Evaluate(tuned, out.suggested_cores);
+  return out;
+}
+
+}  // namespace clara

@@ -1,0 +1,118 @@
+#include "src/core/chain.h"
+
+#include <algorithm>
+#include <set>
+
+namespace clara {
+
+NfDemand CombineChain(const std::vector<ChainStage>& stages) {
+  NfDemand out;
+  out.compute_cycles = 0;
+  out.pkt_accesses = 0;
+  std::set<std::string> names;
+  double pkt_words = 0;
+  for (const auto& stage : stages) {
+    const NfDemand& d = stage.demand;
+    if (out.name.empty()) {
+      out.name = stage.name;
+      out.wire_bytes = d.wire_bytes;
+    } else {
+      out.name += "->" + stage.name;
+    }
+    out.compute_cycles += d.compute_cycles;
+    out.engine_cycles += d.engine_cycles;
+    out.pkt_accesses += d.pkt_accesses;
+    pkt_words += d.pkt_accesses * d.pkt_words_per_access;
+    for (StateDemand s : d.state) {
+      if (!names.insert(s.name).second) {
+        s.name = stage.name + "." + s.name;
+        names.insert(s.name);
+      }
+      out.state.push_back(std::move(s));
+    }
+  }
+  out.pkt_words_per_access = out.pkt_accesses > 0 ? pkt_words / out.pkt_accesses : 2.0;
+  if (out.compute_cycles < 1) {
+    out.compute_cycles = 1;
+  }
+  return out;
+}
+
+SplitPoint PartitionAdvisor::EvaluateHostOnly(const NfDemand& demand) const {
+  // Per-packet host service time: superscalar cores retire the instruction
+  // stream faster, and state accesses are cache-hit dominated.
+  double cycles = demand.compute_cycles / host_.ipc_advantage +
+                  (demand.TotalStateAccesses() + demand.pkt_accesses) * host_.mem_cycles;
+  double freq_hz = host_.freq_ghz * 1e9;
+  SplitPoint p;
+  p.latency_us = cycles / freq_hz * 1e6;
+  p.throughput_mpps = host_.cores * freq_hz / cycles / 1e6;
+  p.bound = SplitPoint::Bound::kHost;
+  return p;
+}
+
+std::vector<SplitPoint> PartitionAdvisor::EvaluateSplits(
+    const std::vector<ChainStage>& stages, int nic_cores) const {
+  std::vector<SplitPoint> out;
+  int n = static_cast<int>(stages.size());
+  for (int k = 0; k <= n; ++k) {
+    SplitPoint p;
+    p.nic_stages = k;
+    std::vector<ChainStage> nic_part(stages.begin(), stages.begin() + k);
+    std::vector<ChainStage> host_part(stages.begin() + k, stages.end());
+
+    double tput = 1e300;
+    double latency = 0;
+    double wire = stages.empty() ? 128.0 : stages.front().demand.wire_bytes;
+    p.bound = SplitPoint::Bound::kNic;
+    if (!nic_part.empty()) {
+      NfDemand nic_demand = CombineChain(nic_part);
+      wire = nic_demand.wire_bytes;
+      PerfPoint nic_perf = nic_.Evaluate(nic_demand, nic_cores);
+      tput = nic_perf.throughput_mpps;
+      latency += nic_perf.latency_us;
+    }
+    if (!host_part.empty()) {
+      SplitPoint host_perf = EvaluateHostOnly(CombineChain(host_part));
+      if (host_perf.throughput_mpps < tput) {
+        tput = host_perf.throughput_mpps;
+        p.bound = SplitPoint::Bound::kHost;
+      }
+      latency += host_perf.latency_us;
+      // Any host involvement crosses PCIe (to the host and back to the wire).
+      latency += 2 * host_.pcie_latency_us;
+      double pcie = host_.MaxPcieMpps(wire);
+      if (pcie < tput) {
+        tput = pcie;
+        p.bound = SplitPoint::Bound::kPcie;
+      }
+    }
+    // Packets always enter and leave through the NIC's wire ports, so line
+    // rate caps every split.
+    double line = nic_.config().MaxLineRateMpps(wire);
+    if (line < tput) {
+      tput = line;
+    }
+    p.throughput_mpps = tput >= 1e300 ? 0 : tput;
+    p.latency_us = latency;
+    out.push_back(p);
+  }
+  return out;
+}
+
+SplitPoint PartitionAdvisor::Best(const std::vector<ChainStage>& stages,
+                                  int nic_cores) const {
+  std::vector<SplitPoint> splits = EvaluateSplits(stages, nic_cores);
+  SplitPoint best = splits.front();
+  for (const auto& s : splits) {
+    if (s.throughput_mpps > best.throughput_mpps * (1 + 1e-9) ||
+        (std::abs(s.throughput_mpps - best.throughput_mpps) <=
+             1e-9 * best.throughput_mpps &&
+         s.latency_us < best.latency_us)) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace clara

@@ -1,0 +1,82 @@
+// NF service chains and partial offloading analysis.
+//
+// Click deployments compose elements into chains; the paper's §6 notes that
+// handling *partial* offloading — splitting a chain between host CPUs and
+// the SmartNIC — requires additionally reasoning about host performance and
+// the NIC-host crossing. This module provides both:
+//
+//   * CombineChain: aggregate the per-packet demands of a pipeline that runs
+//     entirely on the NIC (run-to-completion over all stages).
+//   * PartitionAdvisor: evaluate every prefix split "stages [0,k) on the
+//     NIC, [k,n) on the host" under a simple host model plus PCIe crossing
+//     costs, and suggest the best operating point.
+#ifndef SRC_CORE_CHAIN_H_
+#define SRC_CORE_CHAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nic/perf_model.h"
+
+namespace clara {
+
+struct ChainStage {
+  std::string name;
+  NfDemand demand;  // per-packet demand profiled for the NIC target
+};
+
+// Aggregates a chain into one run-to-completion demand: compute/engine/packet
+// traffic add; state demands concatenate (names are prefixed with the stage
+// name on collision).
+NfDemand CombineChain(const std::vector<ChainStage>& stages);
+
+// Host-side execution model: fewer, much faster cores with a deep cache
+// hierarchy, plus a PCIe link to the NIC.
+struct HostConfig {
+  int cores = 8;
+  double freq_ghz = 3.4;
+  // Wimpy-core instructions retire faster on the host (superscalar, OoO).
+  double ipc_advantage = 3.0;
+  // Average cycles per stateful access (cache-hit dominated).
+  double mem_cycles = 30;
+  // NIC<->host crossing.
+  double pcie_latency_us = 0.9;
+  double pcie_gbps = 100.0;  // effective DMA bandwidth
+
+  double MaxPcieMpps(double wire_bytes) const {
+    return pcie_gbps * 1e3 / (wire_bytes * 8.0);
+  }
+};
+
+struct SplitPoint {
+  int nic_stages = 0;  // stages [0, nic_stages) on the NIC, rest on the host
+  double throughput_mpps = 0;
+  double latency_us = 0;
+  // Which side saturates at this split.
+  enum class Bound { kNic, kHost, kPcie } bound = Bound::kNic;
+};
+
+class PartitionAdvisor {
+ public:
+  PartitionAdvisor(PerfModel nic_model, HostConfig host)
+      : nic_(std::move(nic_model)), host_(host) {}
+
+  // Evaluates every prefix split of the chain with `nic_cores` micro-engines
+  // reserved for the NIC part.
+  std::vector<SplitPoint> EvaluateSplits(const std::vector<ChainStage>& stages,
+                                         int nic_cores) const;
+
+  // The split with the best throughput (ties: lower latency).
+  SplitPoint Best(const std::vector<ChainStage>& stages, int nic_cores) const;
+
+  // Host-only evaluation of a combined demand (exposed for tests).
+  SplitPoint EvaluateHostOnly(const NfDemand& demand) const;
+
+ private:
+  PerfModel nic_;
+  HostConfig host_;
+};
+
+}  // namespace clara
+
+#endif  // SRC_CORE_CHAIN_H_

@@ -1,0 +1,180 @@
+#include "src/core/coalescing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+#include "src/ml/kmeans.h"
+
+namespace clara {
+namespace {
+
+// Scalar state variables with any recorded accesses, by module index.
+std::vector<size_t> CoalescableVars(const Module& m, const NfProfile& profile) {
+  std::vector<size_t> vars;
+  for (size_t v = 0; v < m.state.size(); ++v) {
+    if (m.state[v].kind == StateKind::kScalar &&
+        profile.state_reads[v] + profile.state_writes[v] > 0) {
+      vars.push_back(v);
+    }
+  }
+  return vars;
+}
+
+// Normalized per-block access vector of variable v (paper §4.4: p_i =
+// c_i / sum c_i over the k code blocks).
+FeatureVec AccessVector(const NfProfile& profile, size_t v) {
+  size_t blocks = profile.block_var_access.size();
+  FeatureVec vec(blocks, 0.0);
+  double total = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    vec[b] = static_cast<double>(profile.block_var_access[b][v]);
+    total += vec[b];
+  }
+  if (total > 0) {
+    for (auto& p : vec) {
+      p /= total;
+    }
+  }
+  return vec;
+}
+
+CoalescingPlan PlanFromGroups(const Module& m,
+                              const std::vector<std::vector<size_t>>& groups,
+                              const NfProfile& profile) {
+  CoalescingPlan plan;
+  for (const auto& group : groups) {
+    if (group.size() < 2) {
+      continue;
+    }
+    VarPack pack;
+    int bytes = 0;
+    for (size_t v : group) {
+      pack.vars.push_back(m.state[v].name);
+      bytes += BitWidth(m.state[v].elem_type) / 8;
+    }
+    pack.pack_bytes = bytes;
+    double pack_words = std::max(1.0, std::ceil(bytes / 4.0));
+
+    // Co-access-aware access reduction: per code block, the pack needs one
+    // wide transfer where the members previously issued one access each, so
+    // the packed count is the per-block max over members while the unpacked
+    // count is the per-block sum. Packing variables that are never accessed
+    // together therefore saves nothing (and costs width) — exactly why the
+    // clustering step matters.
+    double packed = 0;
+    double unpacked = 0;
+    for (size_t b = 0; b < profile.block_var_access.size(); ++b) {
+      uint64_t block_max = 0;
+      for (size_t v : group) {
+        uint64_t a = profile.block_var_access[b][v];
+        block_max = std::max(block_max, a);
+        unpacked += static_cast<double>(a);
+      }
+      packed += static_cast<double>(block_max);
+    }
+    double access_scale = unpacked > 0 ? packed / unpacked : 1.0;
+    for (size_t v : group) {
+      CoalesceEffect e;
+      e.access_scale = access_scale;
+      double own_words = std::max(1.0, std::ceil(BitWidth(m.state[v].elem_type) / 8.0 / 4.0));
+      e.words_scale = pack_words / own_words;
+      plan.effects[m.state[v].name] = e;
+    }
+    plan.packs.push_back(std::move(pack));
+  }
+  return plan;
+}
+
+}  // namespace
+
+CoalescingPlan SuggestCoalescing(const Module& m, const NfProfile& profile) {
+  std::vector<size_t> vars = CoalescableVars(m, profile);
+  if (vars.size() < 2) {
+    return CoalescingPlan{};
+  }
+  std::vector<FeatureVec> vectors;
+  vectors.reserve(vars.size());
+  for (size_t v : vars) {
+    vectors.push_back(AccessVector(profile, v));
+  }
+  int max_k = static_cast<int>(vars.size());
+  int k = ChooseKByElbow(vectors, max_k);
+  KMeansResult km = KMeans(vectors, k);
+
+  std::vector<std::vector<size_t>> groups(k);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    groups[km.assignment[i]].push_back(vars[i]);
+  }
+  CoalescingPlan plan = PlanFromGroups(m, groups, profile);
+  plan.clusters_considered = k;
+  return plan;
+}
+
+namespace {
+
+// Enumerates all set partitions of [0, n) via restricted growth strings:
+// rgs[i] is the group of element i, and rgs[i] <= 1 + max(rgs[0..i-1]).
+void EnumeratePartitionsRec(std::vector<int>& rgs, int pos, int max_so_far,
+                            const std::function<void(const std::vector<int>&)>& fn) {
+  if (pos == static_cast<int>(rgs.size())) {
+    fn(rgs);
+    return;
+  }
+  for (int g = 0; g <= max_so_far + 1; ++g) {
+    rgs[pos] = g;
+    EnumeratePartitionsRec(rgs, pos + 1, std::max(max_so_far, g), fn);
+  }
+}
+
+void EnumeratePartitions(int n, const std::function<void(const std::vector<int>&)>& fn) {
+  std::vector<int> rgs(n, 0);
+  EnumeratePartitionsRec(rgs, 1, 0, fn);  // element 0 always in group 0
+}
+
+}  // namespace
+
+CoalescingPlan ExhaustiveCoalescing(const Module& m, const NicProgram& nic,
+                                    const NfProfile& profile, const WorkloadSpec& workload,
+                                    const PerfModel& model, int cores, int max_vars) {
+  std::vector<size_t> vars = CoalescableVars(m, profile);
+  // Keep only the most frequently accessed variables (paper §5.8: "the total
+  // number of variables is too large for an exhaustive analysis").
+  std::sort(vars.begin(), vars.end(), [&](size_t a, size_t b) {
+    return profile.state_reads[a] + profile.state_writes[a] >
+           profile.state_reads[b] + profile.state_writes[b];
+  });
+  if (static_cast<int>(vars.size()) > max_vars) {
+    vars.resize(max_vars);
+  }
+  if (vars.size() < 2) {
+    return CoalescingPlan{};
+  }
+
+  CoalescingPlan best;
+  double best_score = -1;
+  int considered = 0;
+  EnumeratePartitions(static_cast<int>(vars.size()), [&](const std::vector<int>& rgs) {
+    ++considered;
+    int ngroups = *std::max_element(rgs.begin(), rgs.end()) + 1;
+    std::vector<std::vector<size_t>> groups(ngroups);
+    for (size_t i = 0; i < vars.size(); ++i) {
+      groups[rgs[i]].push_back(vars[i]);
+    }
+    CoalescingPlan plan = PlanFromGroups(m, groups, profile);
+    DemandOptions opts;
+    opts.coalescing = plan.effects;
+    NfDemand demand = BuildDemand(m, nic, profile, workload, model.config(), opts);
+    PerfPoint p = model.Evaluate(demand, cores);
+    double score = p.throughput_mpps / std::max(1e-9, p.latency_us);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(plan);
+    }
+  });
+  best.clusters_considered = considered;
+  return best;
+}
+
+}  // namespace clara

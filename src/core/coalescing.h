@@ -1,0 +1,42 @@
+// Memory access coalescing (paper §4.4): cluster global variables by their
+// per-block access vectors (k-means) and suggest packing co-accessed
+// variables adjacently, fetched with one coalesced access sized to the pack.
+// Also provides the exhaustive "expert" packing search of §5.8.
+#ifndef SRC_CORE_COALESCING_H_
+#define SRC_CORE_COALESCING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/lang/interp.h"
+#include "src/nic/demand.h"
+#include "src/nic/perf_model.h"
+
+namespace clara {
+
+struct VarPack {
+  std::vector<std::string> vars;
+  int pack_bytes = 0;           // suggested coalesced access size
+};
+
+struct CoalescingPlan {
+  std::vector<VarPack> packs;   // only packs with >= 2 variables
+  std::map<std::string, CoalesceEffect> effects;  // feed into BuildDemand
+  int clusters_considered = 0;
+};
+
+// Clara's clustering-based plan. Only scalar state variables participate
+// (arrays/maps are packed internally by their element layout).
+CoalescingPlan SuggestCoalescing(const Module& m, const NfProfile& profile);
+
+// Expert emulation: exhaustively tries every partition of the most
+// frequently accessed scalars (<= max_vars) and returns the plan with the
+// best simulated performance.
+CoalescingPlan ExhaustiveCoalescing(const Module& m, const NicProgram& nic,
+                                    const NfProfile& profile, const WorkloadSpec& workload,
+                                    const PerfModel& model, int cores, int max_vars = 6);
+
+}  // namespace clara
+
+#endif  // SRC_CORE_COALESCING_H_

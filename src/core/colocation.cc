@@ -1,0 +1,129 @@
+#include "src/core/colocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/lang/interp.h"
+#include "src/nic/backend.h"
+#include "src/nic/demand.h"
+
+namespace clara {
+
+const char* RankObjectiveName(RankObjective o) {
+  switch (o) {
+    case RankObjective::kTotalThroughput: return "Th.Tot.";
+    case RankObjective::kAverageThroughput: return "Th.Avg.";
+    case RankObjective::kTotalLatency: return "Lat.Tot.";
+    case RankObjective::kAverageLatency: return "Lat.Avg.";
+  }
+  return "?";
+}
+
+double PairOutcome::Friendliness(RankObjective o) const {
+  switch (o) {
+    case RankObjective::kTotalThroughput:
+      return (tput_a_coloc + tput_b_coloc) / std::max(1e-9, tput_a_solo + tput_b_solo);
+    case RankObjective::kAverageThroughput:
+      return 0.5 * (tput_a_coloc / std::max(1e-9, tput_a_solo) +
+                    tput_b_coloc / std::max(1e-9, tput_b_solo));
+    case RankObjective::kTotalLatency:
+      return (lat_a_solo + lat_b_solo) / std::max(1e-9, lat_a_coloc + lat_b_coloc);
+    case RankObjective::kAverageLatency:
+      return 0.5 * (lat_a_solo / std::max(1e-9, lat_a_coloc) +
+                    lat_b_solo / std::max(1e-9, lat_b_coloc));
+  }
+  return 0;
+}
+
+PairOutcome MeasurePair(const PerfModel& model, const NfDemand& a, const NfDemand& b) {
+  PairOutcome o;
+  int cores = model.config().num_cores;
+  int half = std::max(1, cores / 2);
+  // Solo baselines use the same per-NF core budget as the colocated run, so
+  // degradation isolates memory-system interference (paper: "each NF is
+  // given the same amount of SmartNIC resources").
+  PerfPoint a_solo = model.Evaluate(a, half);
+  PerfPoint b_solo = model.Evaluate(b, half);
+  auto [a_co, b_co] = model.EvaluatePair(a, half, b, half);
+  o.tput_a_solo = a_solo.throughput_mpps;
+  o.tput_b_solo = b_solo.throughput_mpps;
+  o.lat_a_solo = a_solo.latency_us;
+  o.lat_b_solo = b_solo.latency_us;
+  o.tput_a_coloc = a_co.throughput_mpps;
+  o.tput_b_coloc = b_co.throughput_mpps;
+  o.lat_a_coloc = a_co.latency_us;
+  o.lat_b_coloc = b_co.latency_us;
+  return o;
+}
+
+FeatureVec ColocationRanker::PairFeatures(const NfDemand& a, const NfDemand& b) {
+  auto dram_words = [](const NfDemand& d) {
+    double words = 0;
+    for (const auto& s : d.state) {
+      if (s.region == MemRegion::kEmem) {
+        words += s.accesses_per_pkt * s.words_per_access * (1 - s.cache_hit_rate);
+      }
+    }
+    return words;
+  };
+  double ai_a = a.ArithmeticIntensity();
+  double ai_b = b.ArithmeticIntensity();
+  return FeatureVec{
+      ai_a,
+      ai_b,
+      a.compute_cycles,
+      b.compute_cycles,
+      ai_a / std::max(1e-9, ai_b),
+      a.TotalStateAccesses(),
+      b.TotalStateAccesses(),
+      dram_words(a),
+      dram_words(b),
+      dram_words(a) + dram_words(b),
+  };
+}
+
+void ColocationRanker::Train(const PerfModel& model, const WorkloadSpec& workload) {
+  Rng rng(opts_.seed);
+  std::vector<Program> programs = SynthesizeCorpus(opts_.train_nfs, opts_.synth, opts_.seed);
+
+  // Profile each NF once to build its demand.
+  std::vector<NfDemand> demands;
+  for (auto& prog : programs) {
+    NfInstance nf(std::move(prog));
+    if (!nf.ok()) {
+      continue;
+    }
+    NicProgram nic = CompileToNic(nf.module());
+    Trace trace = GenerateTrace(workload, 600);
+    for (auto& pkt : trace.packets) {
+      nf.Process(pkt);
+    }
+    demands.push_back(BuildDemand(nf.module(), nic, nf.profile(), workload, model.config()));
+  }
+  if (demands.size() < opts_.group_size) {
+    return;
+  }
+
+  // Sample groups of candidate pairings; relevance = measured friendliness.
+  std::vector<RankGroup> groups;
+  for (size_t g = 0; g < opts_.train_groups; ++g) {
+    RankGroup group;
+    size_t anchor = rng.NextBounded(demands.size());
+    for (size_t i = 0; i < opts_.group_size; ++i) {
+      size_t other = rng.NextBounded(demands.size());
+      PairOutcome outcome = MeasurePair(model, demands[anchor], demands[other]);
+      group.items.push_back(PairFeatures(demands[anchor], demands[other]));
+      group.relevance.push_back(outcome.Friendliness(opts_.objective));
+    }
+    groups.push_back(std::move(group));
+  }
+  ranker_ = GbdtRanker(opts_.gbdt);
+  ranker_.Fit(groups);
+  trained_ = true;
+}
+
+double ColocationRanker::ScorePair(const NfDemand& a, const NfDemand& b) const {
+  return ranker_.Score(PairFeatures(a, b));
+}
+
+}  // namespace clara

@@ -1,0 +1,80 @@
+// NF colocation analysis (paper §4.5): pairwise learning-to-rank over NF
+// pairs, trained on measured colocation friendliness (collective colocated
+// throughput normalized by solo throughputs). Features follow the paper:
+// each NF's arithmetic intensity, compute instruction counts, and the ratio
+// of intensities, plus memory-pressure summaries.
+#ifndef SRC_CORE_COLOCATION_H_
+#define SRC_CORE_COLOCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ml/ensemble.h"
+#include "src/nic/perf_model.h"
+#include "src/synth/synth.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+
+// Ranking objective (Figure 14a trains one model per objective).
+enum class RankObjective {
+  kTotalThroughput,   // aggregate colocated tput / sum of solo tputs
+  kAverageThroughput, // mean of per-NF relative tputs
+  kTotalLatency,      // negative aggregate latency inflation
+  kAverageLatency,
+};
+
+const char* RankObjectiveName(RankObjective o);
+
+// Measured colocation outcome for a pair.
+struct PairOutcome {
+  double tput_a_solo = 0;
+  double tput_b_solo = 0;
+  double tput_a_coloc = 0;
+  double tput_b_coloc = 0;
+  double lat_a_solo = 0;
+  double lat_b_solo = 0;
+  double lat_a_coloc = 0;
+  double lat_b_coloc = 0;
+
+  double Friendliness(RankObjective o) const;
+};
+
+// Runs both NFs solo (all cores split evenly for colocation) and measures
+// the outcome on the performance model.
+PairOutcome MeasurePair(const PerfModel& model, const NfDemand& a, const NfDemand& b);
+
+struct ColocationOptions {
+  size_t train_nfs = 60;          // synthesized NFs for training groups
+  size_t train_groups = 150;      // sampled groups
+  size_t group_size = 5;          // candidate NFs per group
+  uint64_t seed = 4242;
+  RankObjective objective = RankObjective::kTotalThroughput;
+  GbdtOptions gbdt;
+  SynthOptions synth;
+};
+
+class ColocationRanker {
+ public:
+  explicit ColocationRanker(ColocationOptions opts = ColocationOptions{}) : opts_(opts) {}
+
+  // Synthesizes NFs, measures pairwise colocations on `model`, and trains
+  // the pairwise ranker.
+  void Train(const PerfModel& model, const WorkloadSpec& workload);
+
+  bool trained() const { return trained_; }
+
+  // Higher score = friendlier pairing.
+  double ScorePair(const NfDemand& a, const NfDemand& b) const;
+
+  static FeatureVec PairFeatures(const NfDemand& a, const NfDemand& b);
+
+ private:
+  ColocationOptions opts_;
+  GbdtRanker ranker_;
+  bool trained_ = false;
+};
+
+}  // namespace clara
+
+#endif  // SRC_CORE_COLOCATION_H_

@@ -1,0 +1,129 @@
+#include "src/core/placement.h"
+
+#include <chrono>
+
+#include "src/solver/assignment_ilp.h"
+
+namespace clara {
+namespace {
+
+// Effective uncontended latency of region `r` for variable `sv` under
+// `workload` (EMEM blends cache and DRAM latencies by hit rate).
+double RegionLatency(const NicConfig& cfg, MemRegion r, const StateVar& sv,
+                     const WorkloadSpec& workload) {
+  if (r == MemRegion::kEmem) {
+    double hit = VarCacheHitRate(sv, workload, cfg.emem_cache_bytes);
+    return hit * cfg.emem_cache_latency +
+           (1 - hit) * cfg.Region(MemRegion::kEmem).latency_cycles;
+  }
+  return cfg.Region(r).latency_cycles;
+}
+
+}  // namespace
+
+std::map<std::string, MemRegion> NaivePlacement(const Module& m) {
+  std::map<std::string, MemRegion> placement;
+  for (const auto& sv : m.state) {
+    placement[sv.name] = MemRegion::kEmem;
+  }
+  return placement;
+}
+
+PlacementResult PlaceState(const Module& m, const NfProfile& profile,
+                           const WorkloadSpec& workload, const NicConfig& cfg) {
+  PlacementResult out;
+  auto start = std::chrono::steady_clock::now();
+
+  AssignmentProblem problem;
+  double pkts = std::max<uint64_t>(1, profile.packets);
+  problem.capacity.resize(kNumMemRegions);
+  for (int r = 0; r < kNumMemRegions; ++r) {
+    // Leave headroom for runtime structures (rings, packet buffers).
+    problem.capacity[r] = cfg.regions[r].capacity_bytes * 3 / 4;
+  }
+  for (size_t v = 0; v < m.state.size(); ++v) {
+    const StateVar& sv = m.state[v];
+    double freq = (profile.state_reads[v] + profile.state_writes[v]) / pkts;
+    problem.size.push_back(sv.SizeBytes());
+    std::vector<double> row(kNumMemRegions, AssignmentProblem::Infeasible());
+    for (int r = 0; r < kNumMemRegions; ++r) {
+      MemRegion region = static_cast<MemRegion>(r);
+      if (sv.SizeBytes() > problem.capacity[r]) {
+        continue;  // cannot fit even alone
+      }
+      row[r] = freq * RegionLatency(cfg, region, sv, workload);
+    }
+    problem.cost.push_back(std::move(row));
+  }
+
+  AssignmentSolution sol = SolveAssignment(problem);
+  out.ok = sol.feasible;
+  out.ilp_objective = sol.objective;
+  out.ilp_nodes = sol.nodes_explored;
+  if (sol.feasible) {
+    for (size_t v = 0; v < m.state.size(); ++v) {
+      out.placement[m.state[v].name] = static_cast<MemRegion>(sol.location[v]);
+    }
+  } else {
+    out.placement = NaivePlacement(m);
+  }
+  out.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+PlacementResult ExhaustivePlacement(const Module& m, const NicProgram& nic,
+                                    const NfProfile& profile, const WorkloadSpec& workload,
+                                    const PerfModel& model, int cores) {
+  PlacementResult out;
+  size_t k = m.state.size();
+  if (k > 10) {
+    return out;  // search space too large; caller should use the ILP
+  }
+  std::vector<int> choice(k, 0);  // odometer over all t^k placements
+  double best_score = -1;
+  std::map<std::string, MemRegion> best;
+
+  // Odometer over all t^k placements; feasibility (capacity) is enforced by
+  // recomputing used bytes per region.
+  while (true) {
+    uint64_t used[kNumMemRegions] = {0, 0, 0, 0};
+    bool feasible = true;
+    for (size_t v = 0; v < k && feasible; ++v) {
+      used[choice[v]] += m.state[v].SizeBytes();
+      if (used[choice[v]] > model.config().regions[choice[v]].capacity_bytes * 3 / 4) {
+        feasible = false;
+      }
+    }
+    if (feasible) {
+      DemandOptions opts;
+      for (size_t v = 0; v < k; ++v) {
+        opts.placement[m.state[v].name] = static_cast<MemRegion>(choice[v]);
+      }
+      NfDemand demand = BuildDemand(m, nic, profile, workload, model.config(), opts);
+      PerfPoint p = model.Evaluate(demand, cores);
+      double score = p.throughput_mpps / std::max(1e-9, p.latency_us);
+      if (score > best_score) {
+        best_score = score;
+        best = opts.placement;
+      }
+    }
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < k) {
+      if (++choice[pos] < kNumMemRegions) {
+        break;
+      }
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == k) {
+      break;
+    }
+  }
+  out.ok = best_score >= 0;
+  out.placement = std::move(best);
+  return out;
+}
+
+}  // namespace clara

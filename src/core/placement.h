@@ -1,0 +1,45 @@
+// NF state placement (paper §4.3): given per-structure sizes and trace-
+// profiled access frequencies, choose a memory region for each stateful data
+// structure by solving the capacity-constrained assignment ILP that
+// minimizes total access latency. Also provides the exhaustive "expert"
+// search of §5.8 for comparison.
+#ifndef SRC_CORE_PLACEMENT_H_
+#define SRC_CORE_PLACEMENT_H_
+
+#include <map>
+#include <string>
+
+#include "src/lang/interp.h"
+#include "src/nic/demand.h"
+#include "src/nic/isa.h"
+#include "src/nic/perf_model.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+
+struct PlacementResult {
+  bool ok = false;
+  std::map<std::string, MemRegion> placement;
+  double ilp_objective = 0;     // estimated cycles/packet spent on state access
+  uint64_t ilp_nodes = 0;
+  double solve_seconds = 0;
+};
+
+// Clara's ILP placement. `profile` must come from running the NF on the
+// target workload (paper: pcap-profile-driven frequencies).
+PlacementResult PlaceState(const Module& m, const NfProfile& profile,
+                           const WorkloadSpec& workload, const NicConfig& cfg);
+
+// All-EMEM baseline (the naive port).
+std::map<std::string, MemRegion> NaivePlacement(const Module& m);
+
+// Expert emulation: exhaustively tries every feasible placement and returns
+// the one with the best simulated throughput/latency. Exponential in the
+// number of structures; intended for <= ~8 structures.
+PlacementResult ExhaustivePlacement(const Module& m, const NicProgram& nic,
+                                    const NfProfile& profile, const WorkloadSpec& workload,
+                                    const PerfModel& model, int cores);
+
+}  // namespace clara
+
+#endif  // SRC_CORE_PLACEMENT_H_

@@ -1,0 +1,73 @@
+#include "src/core/predictor.h"
+
+#include "src/lang/lower.h"
+
+namespace clara {
+
+std::vector<BlockTruth> CompileGroundTruth(const Module& m, const NicBackendOptions& opts) {
+  NicProgram prog = CompileToNic(m, opts);
+  std::vector<BlockTruth> out;
+  out.reserve(prog.blocks.size());
+  for (const auto& b : prog.blocks) {
+    out.push_back(BlockTruth{b.counts.compute, b.counts.mem_state});
+  }
+  return out;
+}
+
+void InstructionPredictor::Train() {
+  std::vector<Program> corpus =
+      SynthesizeCorpus(opts_.train_programs, opts_.synth, opts_.seed);
+  dataset_ = SeqDataset{};
+  for (auto& prog : corpus) {
+    LowerResult lr = LowerProgram(prog);
+    if (!lr.ok) {
+      continue;  // synthesized programs always lower; defensive
+    }
+    NicProgram nic = CompileToNic(lr.module, opts_.backend);
+    const Function& f = lr.module.functions[0];
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+      const BasicBlock& blk = f.blocks[b];
+      if (blk.instrs.size() < 2) {
+        continue;  // trivial terminator-only blocks carry no signal
+      }
+      SeqExample ex;
+      ex.tokens = vocab_.Encode(blk, lr.module, opts_.abstraction);
+      ex.target = static_cast<double>(nic.blocks[b].counts.compute);
+      dataset_.examples.push_back(std::move(ex));
+    }
+  }
+  vocab_.Freeze();
+  dataset_.vocab = vocab_.size();
+  lstm_ = LstmRegressor(opts_.lstm);
+  lstm_.Fit(dataset_);
+  trained_ = true;
+}
+
+BlockPrediction InstructionPredictor::PredictBlock(const Module& m,
+                                                   const BasicBlock& block) const {
+  BlockPrediction p;
+  // Memory accesses: counted directly from the IR (paper §3.2).
+  BlockCounts counts = CountBlock(block);
+  p.mem_state = counts.stateful_mem;
+  p.mem_stateless = counts.stateless_mem;
+  p.api_calls = counts.api_calls;
+  // Compute instructions: learned approximation of the opaque compiler.
+  Vocabulary& vocab = const_cast<Vocabulary&>(vocab_);  // frozen: Encode is read-only
+  std::vector<int> tokens = vocab.Encode(block, m, opts_.abstraction);
+  p.compute = lstm_.Predict(tokens);
+  return p;
+}
+
+NfPrediction InstructionPredictor::PredictNf(const Module& m) const {
+  NfPrediction out;
+  const Function& f = m.functions.at(0);
+  for (const auto& blk : f.blocks) {
+    BlockPrediction bp = PredictBlock(m, blk);
+    out.total_compute += bp.compute;
+    out.total_mem_state += bp.mem_state;
+    out.blocks.push_back(bp);
+  }
+  return out;
+}
+
+}  // namespace clara

@@ -1,0 +1,75 @@
+#include "src/core/scaleout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/lang/interp.h"
+#include "src/nic/backend.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+
+FeatureVec ScaleOutAdvisor::Features(const NfDemand& d) {
+  double state_accesses = d.TotalStateAccesses();
+  double cache_words = 0;
+  double dram_words = 0;
+  double sram_words = 0;
+  for (const auto& s : d.state) {
+    double words = s.accesses_per_pkt * s.words_per_access;
+    if (s.region == MemRegion::kEmem) {
+      cache_words += words * s.cache_hit_rate;
+      dram_words += words * (1 - s.cache_hit_rate);
+    } else {
+      sram_words += words;
+    }
+  }
+  return FeatureVec{
+      d.compute_cycles,
+      d.engine_cycles,
+      state_accesses,
+      d.pkt_accesses,
+      d.ArithmeticIntensity(),
+      cache_words,
+      dram_words,
+      sram_words,
+      d.wire_bytes,
+  };
+}
+
+void ScaleOutAdvisor::Train(const PerfModel& model, const std::vector<WorkloadSpec>& workloads) {
+  num_cores_ = model.config().num_cores;
+  std::vector<Program> programs =
+      SynthesizeCorpus(opts_.train_programs, opts_.synth, opts_.seed);
+  dataset_ = TabularDataset{};
+  for (auto& prog : programs) {
+    NfInstance nf(std::move(prog));
+    if (!nf.ok()) {
+      continue;
+    }
+    NicProgram nic = CompileToNic(nf.module());
+    for (const auto& w : workloads) {
+      nf.ResetState();
+      nf.ResetProfile();
+      Trace trace = GenerateTrace(w, 800);
+      for (auto& pkt : trace.packets) {
+        nf.Process(pkt);
+      }
+      NfDemand demand = BuildDemand(nf.module(), nic, nf.profile(), w, model.config());
+      // "Schedule" sweep: the training label is the measured-optimal core
+      // count on the NIC.
+      int optimal = model.OptimalCores(demand);
+      dataset_.x.push_back(Features(demand));
+      dataset_.y.push_back(optimal);
+    }
+  }
+  gbdt_ = GbdtRegressor(opts_.gbdt);
+  gbdt_.Fit(dataset_);
+  trained_ = true;
+}
+
+int ScaleOutAdvisor::SuggestCores(const NfDemand& demand) const {
+  double y = gbdt_.Predict(Features(demand));
+  return std::clamp(static_cast<int>(std::lround(y)), 1, num_cores_);
+}
+
+}  // namespace clara

@@ -1,0 +1,56 @@
+// Multicore scale-out factor analysis (paper §4.2).
+//
+// Clara synthesizes training programs spanning a range of arithmetic
+// intensities, profiles each under training workloads, measures optimal core
+// counts on the (opaque) NIC by sweeping schedules, and fits a GBDT cost
+// model mapping NF/workload features to the best core count — the TVM-style
+// "separate the algorithm from the schedule" search.
+#ifndef SRC_CORE_SCALEOUT_H_
+#define SRC_CORE_SCALEOUT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/ensemble.h"
+#include "src/nic/demand.h"
+#include "src/nic/perf_model.h"
+#include "src/synth/synth.h"
+
+namespace clara {
+
+struct ScaleOutOptions {
+  size_t train_programs = 160;
+  uint64_t seed = 777;
+  GbdtOptions gbdt;
+  SynthOptions synth;
+};
+
+class ScaleOutAdvisor {
+ public:
+  explicit ScaleOutAdvisor(ScaleOutOptions opts = ScaleOutOptions{}) : opts_(opts) {}
+
+  // Synthesizes programs, profiles them under the given workloads, sweeps
+  // core counts on `model`, and trains the regressor.
+  void Train(const PerfModel& model, const std::vector<WorkloadSpec>& workloads);
+
+  bool trained() const { return trained_; }
+
+  // Suggested core count for a demand (clamped to [1, num_cores]).
+  int SuggestCores(const NfDemand& demand) const;
+
+  // Feature vector shared with baseline models (Figure 11a).
+  static FeatureVec Features(const NfDemand& demand);
+
+  const TabularDataset& dataset() const { return dataset_; }
+
+ private:
+  ScaleOutOptions opts_;
+  int num_cores_ = 60;
+  TabularDataset dataset_;
+  GbdtRegressor gbdt_;
+  bool trained_ = false;
+};
+
+}  // namespace clara
+
+#endif  // SRC_CORE_SCALEOUT_H_

@@ -1,0 +1,61 @@
+// Internal helpers for element construction: variadic statement-list and
+// common state-declaration builders. Implementation detail of clara_elements.
+#ifndef SRC_ELEMENTS_BODY_UTIL_H_
+#define SRC_ELEMENTS_BODY_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace clara {
+
+template <typename... S>
+std::vector<StmtPtr> BodyOf(S... stmts) {
+  std::vector<StmtPtr> body;
+  (body.push_back(std::move(stmts)), ...);
+  return body;
+}
+
+template <typename... E>
+std::vector<ExprPtr> BodyArgs(E... exprs) {
+  std::vector<ExprPtr> args;
+  (args.push_back(std::move(exprs)), ...);
+  return args;
+}
+
+inline StateDecl ScalarState(const std::string& name, Type t = Type::kI32) {
+  StateDecl d;
+  d.name = name;
+  d.kind = StateKind::kScalar;
+  d.elem_type = t;
+  return d;
+}
+
+inline StateDecl ArrayState(const std::string& name, Type t, uint32_t length,
+                            std::vector<uint64_t> init = {}) {
+  StateDecl d;
+  d.name = name;
+  d.kind = StateKind::kArray;
+  d.elem_type = t;
+  d.length = length;
+  d.init = std::move(init);
+  return d;
+}
+
+inline StateDecl MapState(const std::string& name, std::vector<Type> keys,
+                          std::vector<ValueField> values, uint32_t capacity,
+                          MapImpl impl = MapImpl::kNicFixedBucket) {
+  StateDecl d;
+  d.name = name;
+  d.kind = StateKind::kMap;
+  d.key_fields = std::move(keys);
+  d.value_fields = std::move(values);
+  d.capacity = capacity;
+  d.impl = impl;
+  return d;
+}
+
+}  // namespace clara
+
+#endif  // SRC_ELEMENTS_BODY_UTIL_H_

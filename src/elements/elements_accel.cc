@@ -1,0 +1,309 @@
+// Accelerator-eligible elements: procedural software forms plus ported
+// variants that use the NIC engines (Figure 10), DPI, and heavy hitter.
+#include "src/elements/body_util.h"
+#include "src/elements/elements.h"
+#include "src/nf/lpm.h"
+#include "src/nf/packet.h"
+#include "src/util/rng.h"
+
+namespace clara {
+
+Program MakeCmSketch(bool use_crc_accel) {
+  Program p;
+  p.name = use_crc_accel ? "cmsketch_accel" : "cmsketch";
+  constexpr uint64_t kCols = 1024;
+  constexpr int kRows = 4;
+  p.state.push_back(ArrayState("sketch", Type::kI32, kRows * kCols));
+  p.state.push_back(ScalarState("updates", Type::kI64));
+
+  p.body = BodyOf(Api("ip_header"),
+                  Decl("key", Type::kI32,
+                       Bin(Opcode::kXor, PktField("ip.src"),
+                           Bin(Opcode::kMul, PktField("ip.dst"), Lit(0x01000193ULL)))));
+  for (int r = 0; r < kRows; ++r) {
+    std::string h = "h" + std::to_string(r);
+    if (use_crc_accel) {
+      // Ported form: the CRC engine hashes the flow key directly.
+      p.body.push_back(Decl(h, Type::kI32,
+                            CallExpr("crc_hash_hw",
+                                     BodyArgs(Bin(Opcode::kXor, Local("key"),
+                                                  Lit(0x9e3779b9ULL * (r + 1) &
+                                                      0xffffffffULL))),
+                                     Type::kI32)));
+    } else {
+      // Software row hash: a procedural bitwise CRC over the seeded flow key
+      // (the idiom the CRC engine replaces). Two unrolled bit-rounds per
+      // iteration over 16 nibble steps.
+      p.body.push_back(Decl(h, Type::kI32,
+                            Bin(Opcode::kXor, Local("key"),
+                                Lit(0x9e3779b9ULL * (r + 1) & 0xffffffffULL))));
+      std::vector<StmtPtr> crc_body;
+      for (int round = 0; round < 2; ++round) {
+        std::vector<StmtPtr> then_body = BodyOf(Assign(
+            h, Bin(Opcode::kXor, Bin(Opcode::kLShr, Local(h), Lit(1)), Lit(0xedb88320ULL))));
+        std::vector<StmtPtr> else_body =
+            BodyOf(Assign(h, Bin(Opcode::kLShr, Local(h), Lit(1))));
+        crc_body.push_back(If(
+            Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, Local(h), Lit(1)), Lit(0)),
+            std::move(then_body), std::move(else_body)));
+      }
+      p.body.push_back(
+          For("cb" + std::to_string(r), Lit(0), Lit(16), std::move(crc_body)));
+    }
+    ExprPtr idx = Bin(Opcode::kAdd, Lit(static_cast<uint64_t>(r) * kCols),
+                      Bin(Opcode::kAnd, Local(h), Lit(kCols - 1)));
+    ExprPtr idx2 = Bin(Opcode::kAdd, Lit(static_cast<uint64_t>(r) * kCols),
+                       Bin(Opcode::kAnd, Local(h), Lit(kCols - 1)));
+    p.body.push_back(AssignStateAt("sketch", std::move(idx),
+                                   Bin(Opcode::kAdd, StateAt("sketch", std::move(idx2)),
+                                       Lit(1))));
+  }
+  p.body.push_back(
+      AssignState("updates", Bin(Opcode::kAdd, StateRef("updates"), Lit(1))));
+  p.body.push_back(Send(Lit(0)));
+  return p;
+}
+
+Program MakeWepDecap(bool use_crc_accel) {
+  Program p;
+  p.name = use_crc_accel ? "wepdecap_accel" : "wepdecap";
+  p.state.push_back(ArrayState("rc4_s", Type::kI8, 256));
+  p.state.push_back(ScalarState("icv_fail", Type::kI64));
+  p.state.push_back(ScalarState("decapped", Type::kI64));
+
+  constexpr int kKsaIters = 32;  // abbreviated KSA (prefix-keyed schedule)
+  p.body = BodyOf(Api("ip_header"));
+  // KSA: initialize and swap-mix the RC4 state with a per-flow key.
+  p.body.push_back(For("i", Lit(0), Lit(kKsaIters),
+                       BodyOf(AssignStateAt("rc4_s", Local("i"), Local("i")))));
+  p.body.push_back(Decl("j", Type::kI32, Lit(0)));
+  p.body.push_back(Decl("keyb", Type::kI32, Lit(0)));
+  p.body.push_back(For(
+      "i2", Lit(0), Lit(kKsaIters),
+      BodyOf(Assign("keyb",
+                    Bin(Opcode::kLShr, PktField("ip.src"),
+                        Bin(Opcode::kAnd, Local("i2"), Lit(24)))),
+             Assign("j", Bin(Opcode::kAnd,
+                             Bin(Opcode::kAdd,
+                                 Bin(Opcode::kAdd, Local("j"), StateAt("rc4_s", Local("i2"))),
+                                 Local("keyb")),
+                             Lit(kKsaIters - 1))),
+             Decl("tmp", Type::kI8, StateAt("rc4_s", Local("i2"))),
+             AssignStateAt("rc4_s", Local("i2"), StateAt("rc4_s", Local("j"))),
+             AssignStateAt("rc4_s", Local("j"), Local("tmp")))));
+  // PRGA over the payload prefix: decrypt in place.
+  p.body.push_back(Decl("x", Type::kI32, Lit(0)));
+  p.body.push_back(Decl("y", Type::kI32, Lit(0)));
+  p.body.push_back(Decl("n", Type::kI32, PktField("pkt.payload_len")));
+  p.body.push_back(If(Cmp(Opcode::kIcmpUgt, Local("n"), Lit(48)),
+                      BodyOf(Assign("n", Lit(48)))));
+  p.body.push_back(For(
+      "k", Lit(0), Local("n"),
+      BodyOf(Assign("x", Bin(Opcode::kAnd, Bin(Opcode::kAdd, Local("x"), Lit(1)),
+                             Lit(kKsaIters - 1))),
+             Assign("y", Bin(Opcode::kAnd,
+                             Bin(Opcode::kAdd, Local("y"), StateAt("rc4_s", Local("x"))),
+                             Lit(kKsaIters - 1))),
+             Decl("ks", Type::kI8,
+                  StateAt("rc4_s", Bin(Opcode::kAnd,
+                                       Bin(Opcode::kAdd, StateAt("rc4_s", Local("x")),
+                                           StateAt("rc4_s", Local("y"))),
+                                       Lit(kKsaIters - 1)))),
+             AssignPayload(Local("k"), Bin(Opcode::kXor, PayloadAt(Local("k")), Local("ks"))))));
+  // ICV: CRC32 over the decrypted payload. The software loop walks the whole
+  // payload (the prefix buffer wraps); the ported form streams it through
+  // the CRC engine instead.
+  p.body.push_back(Decl("icv_len", Type::kI32, PktField("pkt.payload_len")));
+  p.body.push_back(If(Cmp(Opcode::kIcmpUgt, Local("icv_len"), Lit(256)),
+                      BodyOf(Assign("icv_len", Lit(256)))));
+  if (use_crc_accel) {
+    p.body.push_back(Decl("icv", Type::kI32, CallExpr("crc32_hw", BodyArgs(Local("icv_len")),
+                                                      Type::kI32)));
+  } else {
+    p.body.push_back(Decl("icv", Type::kI32, Lit(0xffffffffULL)));
+    std::vector<StmtPtr> bits;
+    for (int b = 0; b < 8; ++b) {
+      std::vector<StmtPtr> then_body = BodyOf(Assign(
+          "icv",
+          Bin(Opcode::kXor, Bin(Opcode::kLShr, Local("icv"), Lit(1)), Lit(0xedb88320ULL))));
+      std::vector<StmtPtr> else_body =
+          BodyOf(Assign("icv", Bin(Opcode::kLShr, Local("icv"), Lit(1))));
+      bits.push_back(If(
+          Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, Local("icv"), Lit(1)), Lit(0)),
+          std::move(then_body), std::move(else_body)));
+    }
+    std::vector<StmtPtr> crc_loop =
+        BodyOf(Assign("icv", Bin(Opcode::kXor, Local("icv"), PayloadAt(Local("c")))));
+    for (auto& b : bits) {
+      crc_loop.push_back(std::move(b));
+    }
+    p.body.push_back(For("c", Lit(0), Local("icv_len"), std::move(crc_loop)));
+    p.body.push_back(Assign("icv", Bin(Opcode::kXor, Local("icv"), Lit(0xffffffffULL))));
+  }
+  std::vector<StmtPtr> bad = BodyOf(
+      AssignState("icv_fail", Bin(Opcode::kAdd, StateRef("icv_fail"), Lit(1))), Drop());
+  p.body.push_back(
+      If(Cmp(Opcode::kIcmpEq, Bin(Opcode::kAnd, Local("icv"), Lit(0xff)), Lit(0xee)),
+         std::move(bad)));
+  p.body.push_back(
+      AssignState("decapped", Bin(Opcode::kAdd, StateRef("decapped"), Lit(1))));
+  p.body.push_back(Send(Lit(0)));
+  return p;
+}
+
+Program MakeIpLookup(int num_rules, bool use_lpm_accel, bool use_flow_cache, uint64_t seed) {
+  Program p;
+  p.name = use_lpm_accel ? "iplookup_accel" : "iplookup";
+  if (use_flow_cache) {
+    p.name += "_fc";
+  }
+
+  // Build a real trie over random prefixes and embed its flattened form.
+  LpmTable table;
+  Rng rng(seed);
+  table.Insert(0, 0, 15);  // default route, as any deployed FIB has
+  for (int r = 0; r < num_rules; ++r) {
+    int plen = static_cast<int>(rng.NextInt(8, 24));
+    uint32_t prefix = static_cast<uint32_t>(rng.NextU64()) &
+                      ~((1u << (32 - plen)) - 1);
+    table.Insert(prefix, plen, static_cast<uint32_t>(rng.NextBounded(16)));
+  }
+  std::vector<uint32_t> flat = table.Flatten();
+  std::vector<uint64_t> init(flat.begin(), flat.end());
+  const uint32_t trie_len = static_cast<uint32_t>(init.size());
+  p.state.push_back(ArrayState("trie", Type::kI32, trie_len, std::move(init)));
+  p.state.push_back(ScalarState("lookups", Type::kI64));
+  p.state.push_back(ScalarState("misses", Type::kI64));
+
+  p.body = BodyOf(Api("ip_header"),
+                  Decl("addr", Type::kI32, PktField("ip.dst")),
+                  AssignState("lookups", Bin(Opcode::kAdd, StateRef("lookups"), Lit(1))));
+  if (use_flow_cache) {
+    // Fast path: the flow-cache engine memoizes per-destination results.
+    p.body.push_back(Decl("cached", Type::kI32,
+                          CallExpr("flow_cache_get", BodyArgs(Local("addr")), Type::kI32)));
+    p.body.push_back(If(Cmp(Opcode::kIcmpNe, Local("cached"), Lit(0)),
+                        BodyOf(Send(Bin(Opcode::kSub, Local("cached"), Lit(1))))));
+  }
+  if (use_lpm_accel) {
+    p.body.push_back(
+        Decl("hop1", Type::kI32, CallExpr("lpm_hw", BodyArgs(Local("addr")), Type::kI32)));
+    std::vector<StmtPtr> miss = BodyOf(
+        AssignState("misses", Bin(Opcode::kAdd, StateRef("misses"), Lit(1))), Drop());
+    p.body.push_back(
+        If(Cmp(Opcode::kIcmpEq, Local("hop1"), Lit(0)), std::move(miss)));
+    if (use_flow_cache) {
+      p.body.push_back(Api("flow_cache_put", BodyArgs(Local("addr"), Local("hop1"))));
+    }
+    p.body.push_back(Send(Bin(Opcode::kSub, Local("hop1"), Lit(1))));
+    return p;
+  }
+  // Software walk: the unibit-trie pointer chase.
+  p.body.push_back(Decl("node", Type::kI32, Lit(0)));
+  p.body.push_back(Decl("best", Type::kI32, Lit(0)));
+  p.body.push_back(Decl("stop", Type::kI8, Lit(0)));
+  std::vector<StmtPtr> live = BodyOf(
+      Decl("rule", Type::kI32,
+           StateAt("trie", Bin(Opcode::kAdd, Bin(Opcode::kMul, Local("node"), Lit(3)),
+                               Lit(2)))),
+      If(Cmp(Opcode::kIcmpNe, Local("rule"), Lit(0)),
+         BodyOf(Assign("best", Local("rule")))),
+      Decl("bit", Type::kI32,
+           Bin(Opcode::kAnd,
+               Bin(Opcode::kLShr, Local("addr"), Bin(Opcode::kSub, Lit(31), Local("d"))),
+               Lit(1))),
+      Decl("next", Type::kI32,
+           StateAt("trie",
+                   Bin(Opcode::kAdd, Bin(Opcode::kMul, Local("node"), Lit(3)), Local("bit")))),
+      If(Cmp(Opcode::kIcmpEq, Local("next"), Lit(0)),
+         BodyOf(Assign("stop", Lit(1))),
+         BodyOf(Assign("node", Bin(Opcode::kSub, Local("next"), Lit(1))))));
+  p.body.push_back(For("d", Lit(0), Lit(25),
+                       BodyOf(If(Cmp(Opcode::kIcmpEq, Local("stop"), Lit(0)),
+                                 std::move(live)))));
+  std::vector<StmtPtr> miss = BodyOf(
+      AssignState("misses", Bin(Opcode::kAdd, StateRef("misses"), Lit(1))), Drop());
+  p.body.push_back(If(Cmp(Opcode::kIcmpEq, Local("best"), Lit(0)), std::move(miss)));
+  if (use_flow_cache) {
+    p.body.push_back(Api("flow_cache_put", BodyArgs(Local("addr"), Local("best"))));
+  }
+  p.body.push_back(Send(Bin(Opcode::kSub, Local("best"), Lit(1))));
+  return p;
+}
+
+Program MakeDpi(int scan_bytes) {
+  Program p;
+  p.name = "dpi";
+  // Pattern automaton over payload bytes ("GET " signature).
+  p.state.push_back(ArrayState("pattern", Type::kI8, 4, {0x47, 0x45, 0x54, 0x20}));
+  p.state.push_back(ScalarState("matched", Type::kI64));
+  p.state.push_back(ScalarState("scanned", Type::kI64));
+  if (scan_bytes > kMaxPayloadPrefix) {
+    scan_bytes = kMaxPayloadPrefix;
+  }
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      Decl("stage", Type::kI32, Lit(0)),
+      Decl("hit", Type::kI8, Lit(0)),
+      Decl("limit", Type::kI32, PktField("pkt.payload_len")),
+      If(Cmp(Opcode::kIcmpUgt, Local("limit"), Lit(static_cast<uint64_t>(scan_bytes))),
+         BodyOf(Assign("limit", Lit(static_cast<uint64_t>(scan_bytes))))));
+  std::vector<StmtPtr> advance = BodyOf(
+      Assign("stage", Bin(Opcode::kAdd, Local("stage"), Lit(1))),
+      If(Cmp(Opcode::kIcmpEq, Local("stage"), Lit(4)),
+         BodyOf(Assign("hit", Lit(1)), Assign("stage", Lit(0)))));
+  std::vector<StmtPtr> reset = BodyOf(Assign("stage", Lit(0)));
+  p.body.push_back(For(
+      "i", Lit(0), Local("limit"),
+      BodyOf(Decl("b", Type::kI8, PayloadAt(Local("i"))),
+             If(Cmp(Opcode::kIcmpEq, Local("b"), StateAt("pattern", Local("stage"))),
+                std::move(advance), std::move(reset)))));
+  p.body.push_back(
+      AssignState("scanned", Bin(Opcode::kAdd, StateRef("scanned"), Lit(1))));
+  std::vector<StmtPtr> on_hit = BodyOf(
+      AssignState("matched", Bin(Opcode::kAdd, StateRef("matched"), Lit(1))),
+      AssignPkt("ip.tos", Lit(1)));
+  p.body.push_back(If(Cmp(Opcode::kIcmpNe, Local("hit"), Lit(0)), std::move(on_hit)));
+  p.body.push_back(Send(Lit(0)));
+  return p;
+}
+
+Program MakeHeavyHitter(uint32_t threshold) {
+  Program p;
+  p.name = "heavyhitter";
+  constexpr uint64_t kCols = 2048;
+  p.state.push_back(ArrayState("hh_sketch", Type::kI32, 2 * kCols));
+  p.state.push_back(ScalarState("hh_count", Type::kI64));
+  p.state.push_back(ScalarState("total", Type::kI64));
+  p.body = BodyOf(
+      Api("ip_header"),
+      Decl("key", Type::kI32, Bin(Opcode::kXor, PktField("ip.src"),
+                                  Bin(Opcode::kShl, PktField("ip.dst"), Lit(1)))),
+      Decl("h1", Type::kI32, Bin(Opcode::kMul, Local("key"), Lit(0x9e3779b1ULL))),
+      Assign("h1", Bin(Opcode::kAnd, Bin(Opcode::kLShr, Local("h1"), Lit(16)),
+                       Lit(kCols - 1))),
+      Decl("h2", Type::kI32, Bin(Opcode::kMul, Local("key"), Lit(0x85ebca6bULL))),
+      Assign("h2", Bin(Opcode::kAnd, Bin(Opcode::kLShr, Local("h2"), Lit(16)),
+                       Lit(kCols - 1))),
+      AssignStateAt("hh_sketch", Local("h1"),
+                    Bin(Opcode::kAdd, StateAt("hh_sketch", Local("h1")), Lit(1))),
+      AssignStateAt("hh_sketch", Bin(Opcode::kAdd, Local("h2"), Lit(kCols)),
+                    Bin(Opcode::kAdd,
+                        StateAt("hh_sketch", Bin(Opcode::kAdd, Local("h2"), Lit(kCols))),
+                        Lit(1))),
+      Decl("est", Type::kI32, StateAt("hh_sketch", Local("h1"))),
+      Decl("est2", Type::kI32,
+           StateAt("hh_sketch", Bin(Opcode::kAdd, Local("h2"), Lit(kCols)))),
+      If(Cmp(Opcode::kIcmpUlt, Local("est2"), Local("est")),
+         BodyOf(Assign("est", Local("est2")))),
+      AssignState("total", Bin(Opcode::kAdd, StateRef("total"), Lit(1))));
+  std::vector<StmtPtr> heavy = BodyOf(
+      AssignState("hh_count", Bin(Opcode::kAdd, StateRef("hh_count"), Lit(1))),
+      AssignPkt("ip.tos", Lit(4)));
+  p.body.push_back(If(
+      Cmp(Opcode::kIcmpUgt, Local("est"), Lit(threshold)), std::move(heavy)));
+  p.body.push_back(Send(Lit(0)));
+  return p;
+}
+
+}  // namespace clara

@@ -1,0 +1,355 @@
+// Stateless header-manipulation elements and simple stateful elements.
+#include "src/elements/body_util.h"
+#include "src/elements/elements.h"
+
+namespace clara {
+
+Program MakeAnonIpAddr() {
+  Program p;
+  p.name = "anonipaddr";
+  p.body = BodyOf(
+      Api("ip_header"),
+      Decl("src", Type::kI32, PktField("ip.src")),
+      Decl("dst", Type::kI32, PktField("ip.dst")),
+      // Keyed avalanche mixing, two rounds per address (prefix-preserving
+      // anonymizers do comparable bit surgery).
+      Assign("src", Bin(Opcode::kXor, Local("src"), Bin(Opcode::kLShr, Local("src"), Lit(13)))),
+      Assign("src", Bin(Opcode::kMul, Local("src"), Lit(0x85ebca6bULL))),
+      Assign("src", Bin(Opcode::kXor, Local("src"), Bin(Opcode::kLShr, Local("src"), Lit(16)))),
+      Assign("dst", Bin(Opcode::kXor, Local("dst"), Bin(Opcode::kLShr, Local("dst"), Lit(13)))),
+      Assign("dst", Bin(Opcode::kMul, Local("dst"), Lit(0xc2b2ae35ULL))),
+      Assign("dst", Bin(Opcode::kXor, Local("dst"), Bin(Opcode::kLShr, Local("dst"), Lit(16)))),
+      // Keep the subnet class byte so routing stays plausible.
+      AssignPkt("ip.src", Bin(Opcode::kOr, Bin(Opcode::kAnd, Local("src"), Lit(0x00ffffffULL)),
+                              Bin(Opcode::kAnd, PktField("ip.src"), Lit(0xff000000ULL)))),
+      AssignPkt("ip.dst", Bin(Opcode::kOr, Bin(Opcode::kAnd, Local("dst"), Lit(0x00ffffffULL)),
+                              Bin(Opcode::kAnd, PktField("ip.dst"), Lit(0xff000000ULL)))),
+      Api("checksum_update"),
+      Send(Lit(0)));
+  return p;
+}
+
+Program MakeTcpAck() {
+  Program p;
+  p.name = "tcpack";
+  std::vector<StmtPtr> not_tcp = BodyOf(Drop());
+  std::vector<StmtPtr> syn_case = BodyOf(
+      AssignPkt("tcp.ack", Bin(Opcode::kAdd, PktField("tcp.seq"), Lit(1))),
+      AssignPkt("tcp.flags", Lit(0x12)));  // SYN|ACK
+  std::vector<StmtPtr> data_case = BodyOf(
+      Decl("datalen", Type::kI32,
+           Bin(Opcode::kSub, PktField("ip.len"),
+               Bin(Opcode::kShl,
+                   Bin(Opcode::kAdd, PktField("ip.ihl"), PktField("tcp.off")), Lit(2)))),
+      AssignPkt("tcp.ack", Bin(Opcode::kAdd, PktField("tcp.seq"), Local("datalen"))),
+      AssignPkt("tcp.flags", Lit(0x10)));  // ACK
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      If(Cmp(Opcode::kIcmpNe, PktField("ip.proto"), Lit(6)), std::move(not_tcp)),
+      If(Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x02)), Lit(0)),
+         std::move(syn_case), std::move(data_case)),
+      Send(Lit(0)));
+  return p;
+}
+
+Program MakeUdpIpEncap() {
+  Program p;
+  p.name = "udpipencap";
+  p.body = BodyOf(
+      Api("ip_header"),
+      Decl("paylen", Type::kI32, PktField("pkt.payload_len")),
+      AssignPkt("eth.type", Lit(0x0800)),
+      AssignPkt("ip.ihl", Lit(5)),
+      AssignPkt("ip.tos", Lit(0)),
+      AssignPkt("ip.ttl", Lit(64)),
+      AssignPkt("ip.proto", Lit(17)),
+      AssignPkt("ip.len", Bin(Opcode::kAdd, Local("paylen"), Lit(28))),
+      AssignPkt("tcp.sport", Lit(6767)),
+      AssignPkt("tcp.dport", Lit(6767)),
+      // UDP length shares the TCP seq field slot in our simplified layout.
+      AssignPkt("tcp.seq", Bin(Opcode::kAdd, Local("paylen"), Lit(8))),
+      Api("checksum_update"),
+      Send(Lit(0)));
+  return p;
+}
+
+Program MakeForceTcp() {
+  Program p;
+  p.name = "forcetcp";
+  std::vector<StmtPtr> fix_proto = BodyOf(
+      AssignPkt("ip.proto", Lit(6)),
+      AssignPkt("tcp.off", Lit(5)),
+      AssignPkt("tcp.flags", Lit(0x10)),
+      AssignPkt("ip.len",
+                Bin(Opcode::kAdd, PktField("pkt.payload_len"), Lit(40))));
+  std::vector<StmtPtr> fix_flags = BodyOf(
+      // Strip illegal SYN+FIN combinations.
+      AssignPkt("tcp.flags", Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0xfe))));
+  std::vector<StmtPtr> fix_off = BodyOf(AssignPkt("tcp.off", Lit(5)));
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      If(Cmp(Opcode::kIcmpNe, PktField("ip.proto"), Lit(6)), std::move(fix_proto)),
+      If(Cmp(Opcode::kIcmpEq, Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x03)), Lit(0x03)),
+         std::move(fix_flags)),
+      If(Cmp(Opcode::kIcmpUlt, PktField("tcp.off"), Lit(5)), std::move(fix_off)),
+      Api("checksum_update"),
+      Send(Lit(0)));
+  return p;
+}
+
+Program MakeTcpResp() {
+  Program p;
+  p.name = "tcpresp";
+  std::vector<StmtPtr> not_tcp = BodyOf(Drop());
+  std::vector<StmtPtr> rst_case = BodyOf(Drop());
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      If(Cmp(Opcode::kIcmpNe, PktField("ip.proto"), Lit(6)), std::move(not_tcp)),
+      If(Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x04)), Lit(0)),
+         std::move(rst_case)),
+      // Swap endpoints to turn the packet into its own response.
+      Decl("tmp_ip", Type::kI32, PktField("ip.src")),
+      AssignPkt("ip.src", PktField("ip.dst")),
+      AssignPkt("ip.dst", Local("tmp_ip")),
+      Decl("tmp_port", Type::kI16, PktField("tcp.sport")),
+      AssignPkt("tcp.sport", PktField("tcp.dport")),
+      AssignPkt("tcp.dport", Local("tmp_port")),
+      Decl("old_seq", Type::kI32, PktField("tcp.seq")),
+      AssignPkt("tcp.seq", PktField("tcp.ack")),
+      Decl("datalen", Type::kI32,
+           Bin(Opcode::kSub, PktField("ip.len"),
+               Bin(Opcode::kShl,
+                   Bin(Opcode::kAdd, PktField("ip.ihl"), PktField("tcp.off")), Lit(2)))),
+      Decl("acklen", Type::kI32, Local("datalen")),
+      If(Cmp(Opcode::kIcmpEq, Local("datalen"), Lit(0)),
+         BodyOf(Assign("acklen", Lit(1)))),
+      AssignPkt("tcp.ack", Bin(Opcode::kAdd, Local("old_seq"), Local("acklen"))),
+      AssignPkt("tcp.flags", Lit(0x10)),
+      AssignPkt("ip.ttl", Lit(64)),
+      Api("checksum_update"),
+      Send(Lit(0)));
+  return p;
+}
+
+Program MakeTcpGen() {
+  Program p;
+  p.name = "tcpgen";
+  // Correlated scalar groups (paper §5.6): (src_port, dst_port) are used
+  // when stamping headers; (tcp_state, send_next, recv_next) on the ACK
+  // path; good_pkt / bad_pkt are mutually exclusive outcome counters.
+  p.state.push_back(ScalarState("src_port"));
+  p.state.push_back(ScalarState("dst_port"));
+  p.state.push_back(ScalarState("tcp_state"));
+  p.state.push_back(ScalarState("send_next"));
+  p.state.push_back(ScalarState("recv_next"));
+  p.state.push_back(ScalarState("good_pkt", Type::kI64));
+  p.state.push_back(ScalarState("bad_pkt", Type::kI64));
+
+  std::vector<StmtPtr> ack_ok = BodyOf(
+      AssignState("tcp_state", Lit(2)),
+      AssignState("send_next",
+                  Bin(Opcode::kAdd, StateRef("send_next"), PktField("pkt.payload_len"))),
+      AssignState("recv_next", Bin(Opcode::kAdd, PktField("tcp.seq"), Lit(1))),
+      AssignState("good_pkt", Bin(Opcode::kAdd, StateRef("good_pkt"), Lit(1))));
+  std::vector<StmtPtr> ack_bad = BodyOf(
+      AssignState("bad_pkt", Bin(Opcode::kAdd, StateRef("bad_pkt"), Lit(1))));
+  std::vector<StmtPtr> on_ack = BodyOf(
+      If(Cmp(Opcode::kIcmpEq, PktField("tcp.ack"), StateRef("send_next")),
+         std::move(ack_ok), std::move(ack_bad)));
+
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      // Stamp the generated flow's ports.
+      AssignPkt("tcp.sport", Bin(Opcode::kAnd, StateRef("src_port"), Lit(0xffff))),
+      AssignPkt("tcp.dport", Bin(Opcode::kAnd, StateRef("dst_port"), Lit(0xffff))),
+      AssignState("src_port", Bin(Opcode::kAdd, StateRef("src_port"), Lit(1))),
+      AssignPkt("tcp.seq", StateRef("send_next")),
+      If(Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x10)), Lit(0)),
+         std::move(on_ack)),
+      Api("checksum_update"),
+      Send(Lit(0)));
+  return p;
+}
+
+Program MakeAggCounter() {
+  Program p;
+  p.name = "aggcounter";
+  p.state.push_back(ArrayState("counts", Type::kI32, 1024));
+  p.state.push_back(ScalarState("total_pkts", Type::kI64));
+  p.state.push_back(ScalarState("total_bytes", Type::kI64));
+  p.body = BodyOf(
+      Api("ip_header"),
+      Decl("h", Type::kI32, Bin(Opcode::kXor, PktField("ip.src"), PktField("ip.dst"))),
+      Assign("h", Bin(Opcode::kMul, Local("h"), Lit(0x9e3779b1ULL))),
+      Assign("h", Bin(Opcode::kLShr, Local("h"), Lit(22))),
+      AssignStateAt("counts", Bin(Opcode::kAnd, Local("h"), Lit(1023)),
+                    Bin(Opcode::kAdd,
+                        StateAt("counts", Bin(Opcode::kAnd, Local("h"), Lit(1023))), Lit(1))),
+      AssignState("total_pkts", Bin(Opcode::kAdd, StateRef("total_pkts"), Lit(1))),
+      AssignState("total_bytes",
+                  Bin(Opcode::kAdd, StateRef("total_bytes"), PktField("pkt.len"))),
+      Send(Lit(0)));
+  return p;
+}
+
+Program MakeTimeFilter() {
+  Program p;
+  p.name = "timefilter";
+  p.state.push_back(ScalarState("window_start", Type::kI64));
+  p.state.push_back(ScalarState("window_count"));
+  p.state.push_back(ScalarState("last_ts", Type::kI64));
+  p.state.push_back(ScalarState("dropped", Type::kI64));
+  p.state.push_back(ScalarState("admitted", Type::kI64));
+
+  std::vector<StmtPtr> new_window = BodyOf(
+      AssignState("window_start", Local("ts")),
+      AssignState("window_count", Lit(0)));
+  std::vector<StmtPtr> over_limit = BodyOf(
+      AssignState("dropped", Bin(Opcode::kAdd, StateRef("dropped"), Lit(1))),
+      Drop());
+  p.body = BodyOf(
+      Api("ip_header"),
+      Decl("ts", Type::kI64, PktField("pkt.ts")),
+      If(Cmp(Opcode::kIcmpUgt, Bin(Opcode::kSub, Local("ts"), StateRef("window_start")),
+             Lit(1000000000ULL)),
+         std::move(new_window)),
+      AssignState("window_count", Bin(Opcode::kAdd, StateRef("window_count"), Lit(1))),
+      AssignState("last_ts", Local("ts")),
+      If(Cmp(Opcode::kIcmpUgt, StateRef("window_count"), Lit(4096)), std::move(over_limit)),
+      AssignState("admitted", Bin(Opcode::kAdd, StateRef("admitted"), Lit(1))),
+      Send(Lit(0)));
+  return p;
+}
+
+Program MakeWebTcp() {
+  Program p;
+  p.name = "webtcp";
+  // Connection-machine scalars with two natural clusters:
+  // (conn_state, cur_seq, cur_ack) and (bytes_sent, bytes_acked).
+  p.state.push_back(ScalarState("conn_state"));
+  p.state.push_back(ScalarState("cur_seq"));
+  p.state.push_back(ScalarState("cur_ack"));
+  p.state.push_back(ScalarState("bytes_sent", Type::kI64));
+  p.state.push_back(ScalarState("bytes_acked", Type::kI64));
+  p.state.push_back(ScalarState("retx_count", Type::kI64));
+  p.state.push_back(ScalarState("fin_count", Type::kI64));
+
+  std::vector<StmtPtr> on_syn = BodyOf(
+      AssignState("conn_state", Lit(1)),
+      AssignState("cur_seq", PktField("tcp.seq")),
+      AssignState("cur_ack", Bin(Opcode::kAdd, PktField("tcp.seq"), Lit(1))));
+  std::vector<StmtPtr> in_order = BodyOf(
+      AssignState("conn_state", Lit(2)),
+      AssignState("cur_seq", PktField("tcp.seq")),
+      AssignState("cur_ack",
+                  Bin(Opcode::kAdd, PktField("tcp.seq"), PktField("pkt.payload_len"))),
+      AssignState("bytes_sent",
+                  Bin(Opcode::kAdd, StateRef("bytes_sent"), PktField("pkt.payload_len"))),
+      AssignState("bytes_acked",
+                  Bin(Opcode::kAdd, StateRef("bytes_acked"), PktField("pkt.payload_len"))));
+  std::vector<StmtPtr> retx = BodyOf(
+      AssignState("retx_count", Bin(Opcode::kAdd, StateRef("retx_count"), Lit(1))));
+  std::vector<StmtPtr> on_fin = BodyOf(
+      AssignState("fin_count", Bin(Opcode::kAdd, StateRef("fin_count"), Lit(1))),
+      AssignState("conn_state", Lit(0)));
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      If(Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x02)), Lit(0)),
+         std::move(on_syn),
+         BodyOf(If(Cmp(Opcode::kIcmpUge, PktField("tcp.seq"), StateRef("cur_seq")),
+                   std::move(in_order), std::move(retx)))),
+      If(Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x01)), Lit(0)),
+         std::move(on_fin)),
+      AssignPkt("tcp.ack", StateRef("cur_ack")),
+      Send(Lit(0)));
+  return p;
+}
+
+}  // namespace clara
+
+namespace clara {
+
+Program MakeTokenBucket(uint32_t rate_per_ms, uint32_t burst) {
+  Program p;
+  p.name = "tokenbucket";
+  // Refill state and counters form two access clusters: the refill pair
+  // (tokens, last_refill_ns) and the verdict counters.
+  p.state.push_back(ScalarState("tokens"));
+  p.state.push_back(ScalarState("last_refill_ns", Type::kI64));
+  p.state.push_back(ScalarState("conformed", Type::kI64));
+  p.state.push_back(ScalarState("policed", Type::kI64));
+
+  std::vector<StmtPtr> refill = BodyOf(
+      // tokens += elapsed_ms * rate, capped at the burst size.
+      AssignState("tokens",
+                  Bin(Opcode::kAdd, StateRef("tokens"),
+                      Bin(Opcode::kMul, Local("elapsed_ms"),
+                          Lit(static_cast<uint64_t>(rate_per_ms))))),
+      If(Cmp(Opcode::kIcmpUgt, StateRef("tokens"), Lit(static_cast<uint64_t>(burst))),
+         BodyOf(AssignState("tokens", Lit(static_cast<uint64_t>(burst))))),
+      AssignState("last_refill_ns", PktField("pkt.ts")));
+  std::vector<StmtPtr> conform = BodyOf(
+      AssignState("tokens", Bin(Opcode::kSub, StateRef("tokens"), Lit(1))),
+      AssignState("conformed", Bin(Opcode::kAdd, StateRef("conformed"), Lit(1))),
+      Send(Lit(0)));
+  std::vector<StmtPtr> police = BodyOf(
+      AssignState("policed", Bin(Opcode::kAdd, StateRef("policed"), Lit(1))),
+      Drop());
+  p.body = BodyOf(
+      Api("ip_header"),
+      Decl("elapsed_ms", Type::kI32,
+           CastTo(Type::kI32,
+                  Bin(Opcode::kUDiv,
+                      Bin(Opcode::kSub, PktField("pkt.ts"), StateRef("last_refill_ns")),
+                      Lit(1000000)))),
+      If(Cmp(Opcode::kIcmpUgt, Local("elapsed_ms"), Lit(0)), std::move(refill)),
+      If(Cmp(Opcode::kIcmpUgt, StateRef("tokens"), Lit(0)), std::move(conform),
+         std::move(police)));
+  return p;
+}
+
+Program MakeSynFlood(uint32_t threshold) {
+  Program p;
+  p.name = "synflood";
+  // Per-destination SYN counters in a sketch-like array plus a watchlist map.
+  p.state.push_back(ArrayState("syn_counts", Type::kI32, 4096));
+  p.state.push_back(MapState("watchlist", {Type::kI32},
+                             {{"first_seen", Type::kI32}, {"syns", Type::kI32}}, 4096));
+  p.state.push_back(ScalarState("alerts", Type::kI64));
+  p.state.push_back(ScalarState("total_syns", Type::kI64));
+
+  std::vector<StmtPtr> alerted = BodyOf(
+      MapInsert("watchlist", BodyArgs(PktField("ip.dst")),
+                BodyArgs(CastTo(Type::kI32, PktField("pkt.ts")),
+                         StateAt("syn_counts", Local("slot")))),
+      AssignState("alerts", Bin(Opcode::kAdd, StateRef("alerts"), Lit(1))),
+      AssignPkt("ip.tos", Lit(8)));
+  std::vector<StmtPtr> on_syn = BodyOf(
+      AssignState("total_syns", Bin(Opcode::kAdd, StateRef("total_syns"), Lit(1))),
+      Decl("slot", Type::kI32,
+           Bin(Opcode::kAnd,
+               Bin(Opcode::kMul, PktField("ip.dst"), Lit(0x9e3779b1ULL)), Lit(4095))),
+      AssignStateAt("syn_counts", Local("slot"),
+                    Bin(Opcode::kAdd, StateAt("syn_counts", Local("slot")), Lit(1))),
+      If(Cmp(Opcode::kIcmpUgt, StateAt("syn_counts", Local("slot")),
+             Lit(static_cast<uint64_t>(threshold))),
+         std::move(alerted)));
+  std::vector<StmtPtr> on_fin = BodyOf(
+      Decl("slot2", Type::kI32,
+           Bin(Opcode::kAnd,
+               Bin(Opcode::kMul, PktField("ip.dst"), Lit(0x9e3779b1ULL)), Lit(4095))),
+      If(Cmp(Opcode::kIcmpUgt, StateAt("syn_counts", Local("slot2")), Lit(0)),
+         BodyOf(AssignStateAt("syn_counts", Local("slot2"),
+                              Bin(Opcode::kSub, StateAt("syn_counts", Local("slot2")),
+                                  Lit(1))))));
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      If(Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x02)), Lit(0)),
+         std::move(on_syn)),
+      If(Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x01)), Lit(0)),
+         std::move(on_fin)),
+      Send(Lit(0)));
+  return p;
+}
+
+}  // namespace clara

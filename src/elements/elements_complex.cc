@@ -1,0 +1,361 @@
+// Flow-stateful elements and the complex applications of Table 2.
+#include "src/elements/body_util.h"
+#include "src/elements/elements.h"
+
+namespace clara {
+
+Program MakeFirewall(MapImpl impl) {
+  Program p;
+  p.name = "firewall";
+  p.state.push_back(MapState("conn_table", {Type::kI32, Type::kI32},
+                             {{"action", Type::kI32}, {"hits", Type::kI32}}, 4096, impl));
+  p.state.push_back(ScalarState("allowed", Type::kI64));
+  p.state.push_back(ScalarState("denied", Type::kI64));
+
+  std::vector<StmtPtr> learn = BodyOf(
+      // SYN from the inside opens a pinhole.
+      MapInsert("conn_table", BodyArgs(PktField("ip.src"), PktField("ip.dst")),
+                BodyArgs(Lit(1), Lit(0))),
+      AssignState("allowed", Bin(Opcode::kAdd, StateRef("allowed"), Lit(1))),
+      Send(Lit(0)));
+  std::vector<StmtPtr> pass = BodyOf(
+      AssignState("allowed", Bin(Opcode::kAdd, StateRef("allowed"), Lit(1))),
+      Send(Lit(0)));
+  std::vector<StmtPtr> block = BodyOf(
+      AssignState("denied", Bin(Opcode::kAdd, StateRef("denied"), Lit(1))),
+      Drop());
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      If(Bin(Opcode::kAnd,
+             CastTo(Type::kI8,
+                    Cmp(Opcode::kIcmpEq, PktField("pkt.in_port"), Lit(0))),
+             CastTo(Type::kI8, Cmp(Opcode::kIcmpNe,
+                                   Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x02)),
+                                   Lit(0)))),
+         std::move(learn)),
+      MapFind("conn_table", BodyArgs(PktField("ip.src"), PktField("ip.dst")), "found",
+              {"action", "hits"}),
+      If(Bin(Opcode::kAnd, Local("found"),
+             CastTo(Type::kI8, Cmp(Opcode::kIcmpEq, Local("action"), Lit(1)))),
+         std::move(pass), std::move(block)));
+  return p;
+}
+
+Program MakeIpRewriter() {
+  Program p;
+  p.name = "iprewriter";
+  p.state.push_back(MapState("fwd_map", {Type::kI32, Type::kI16},
+                             {{"new_ip", Type::kI32}, {"new_port", Type::kI16}}, 4096));
+  p.state.push_back(MapState("rev_map", {Type::kI32, Type::kI16},
+                             {{"orig_ip", Type::kI32}, {"orig_port", Type::kI16}}, 4096));
+  p.state.push_back(ScalarState("port_alloc"));
+  p.state.push_back(ScalarState("rewrites", Type::kI64));
+
+  std::vector<StmtPtr> apply_fwd = BodyOf(
+      AssignPkt("ip.src", Local("new_ip")),
+      AssignPkt("tcp.sport", Local("new_port")),
+      AssignState("rewrites", Bin(Opcode::kAdd, StateRef("rewrites"), Lit(1))),
+      Api("checksum_update"),
+      Send(Lit(1)));
+  std::vector<StmtPtr> create = BodyOf(
+      AssignState("port_alloc", Bin(Opcode::kAdd, StateRef("port_alloc"), Lit(1))),
+      Decl("eport", Type::kI16,
+           Bin(Opcode::kAdd, Lit(1024), Bin(Opcode::kAnd, StateRef("port_alloc"), Lit(0x7fff)))),
+      MapInsert("fwd_map", BodyArgs(PktField("ip.src"), PktField("tcp.sport")),
+                BodyArgs(Lit(0x0a000001), Local("eport"))),
+      MapInsert("rev_map", BodyArgs(Lit(0x0a000001), Local("eport")),
+                BodyArgs(PktField("ip.src"), PktField("tcp.sport"))),
+      AssignPkt("ip.src", Lit(0x0a000001)),
+      AssignPkt("tcp.sport", Local("eport")),
+      Api("checksum_update"),
+      Send(Lit(1)));
+  std::vector<StmtPtr> outbound = BodyOf(
+      MapFind("fwd_map", BodyArgs(PktField("ip.src"), PktField("tcp.sport")), "f_found",
+              {"new_ip", "new_port"}),
+      If(Local("f_found"), std::move(apply_fwd), std::move(create)));
+
+  std::vector<StmtPtr> apply_rev = BodyOf(
+      AssignPkt("ip.dst", Local("orig_ip")),
+      AssignPkt("tcp.dport", Local("orig_port")),
+      Api("checksum_update"),
+      Send(Lit(0)));
+  std::vector<StmtPtr> inbound = BodyOf(
+      MapFind("rev_map", BodyArgs(PktField("ip.dst"), PktField("tcp.dport")), "r_found",
+              {"orig_ip", "orig_port"}),
+      If(Local("r_found"), std::move(apply_rev), BodyOf(Drop())));
+
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      If(Cmp(Opcode::kIcmpEq, PktField("pkt.in_port"), Lit(0)), std::move(outbound),
+         std::move(inbound)));
+  return p;
+}
+
+Program MakeIpClassifier() {
+  Program p;
+  p.name = "ipclassifier";
+  // Rule table: {field_selector, masked_value, mask, action} per rule.
+  // Selector: 0 = src ip, 1 = dst ip, 2 = dport, 3 = proto.
+  constexpr int kRules = 32;
+  std::vector<uint64_t> rules;
+  for (int r = 0; r < kRules; ++r) {
+    rules.push_back(static_cast<uint64_t>(r % 4));        // selector
+    rules.push_back(static_cast<uint64_t>((r * 7) % 3) == 0 ? 443 : 80);  // value
+    rules.push_back(r % 4 == 2 ? 0xffffULL : 0xffffffffULL);  // mask
+    rules.push_back(static_cast<uint64_t>(r % 3));        // action
+  }
+  // Make some rules actually match common traffic.
+  rules[4 * 3 + 0] = 2;     // rule 3 selects dport
+  rules[4 * 3 + 1] = 443;
+  rules[4 * 3 + 2] = 0xffff;
+  rules[4 * 3 + 3] = 1;
+  p.state.push_back(ArrayState("rules", Type::kI32, 4 * kRules, std::move(rules)));
+  p.state.push_back(ArrayState("class_counts", Type::kI32, 4));
+  p.state.push_back(ScalarState("fallthrough", Type::kI64));
+
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      Decl("matched", Type::kI8, Lit(0)),
+      Decl("action", Type::kI32, Lit(0)));
+  std::vector<StmtPtr> eval = BodyOf(
+      Decl("sel", Type::kI32, StateAt("rules", Bin(Opcode::kMul, Local("r"), Lit(4)))),
+      Decl("val", Type::kI32,
+           StateAt("rules", Bin(Opcode::kAdd, Bin(Opcode::kMul, Local("r"), Lit(4)), Lit(1)))),
+      Decl("mask", Type::kI32,
+           StateAt("rules", Bin(Opcode::kAdd, Bin(Opcode::kMul, Local("r"), Lit(4)), Lit(2)))),
+      Decl("field", Type::kI32, PktField("ip.src")),
+      If(Cmp(Opcode::kIcmpEq, Local("sel"), Lit(1)),
+         BodyOf(Assign("field", PktField("ip.dst")))),
+      If(Cmp(Opcode::kIcmpEq, Local("sel"), Lit(2)),
+         BodyOf(Assign("field", PktField("tcp.dport")))),
+      If(Cmp(Opcode::kIcmpEq, Local("sel"), Lit(3)),
+         BodyOf(Assign("field", PktField("ip.proto")))),
+      If(Cmp(Opcode::kIcmpEq, Bin(Opcode::kAnd, Local("field"), Local("mask")), Local("val")),
+         BodyOf(Assign("matched", Lit(1)),
+                Assign("action",
+                       StateAt("rules", Bin(Opcode::kAdd, Bin(Opcode::kMul, Local("r"), Lit(4)),
+                                            Lit(3)))))));
+  p.body.push_back(For("r", Lit(0), Lit(kRules),
+                       BodyOf(If(Cmp(Opcode::kIcmpEq, Local("matched"), Lit(0)),
+                                 std::move(eval)))));
+  std::vector<StmtPtr> hit = BodyOf(
+      AssignStateAt("class_counts", Bin(Opcode::kAnd, Local("action"), Lit(3)),
+                    Bin(Opcode::kAdd,
+                        StateAt("class_counts", Bin(Opcode::kAnd, Local("action"), Lit(3))),
+                        Lit(1))),
+      Send(Local("action")));
+  std::vector<StmtPtr> fall = BodyOf(
+      AssignState("fallthrough", Bin(Opcode::kAdd, StateRef("fallthrough"), Lit(1))),
+      Send(Lit(0)));
+  p.body.push_back(If(Cmp(Opcode::kIcmpNe, Local("matched"), Lit(0)), std::move(hit),
+                      std::move(fall)));
+  return p;
+}
+
+Program MakeDnsProxy() {
+  Program p;
+  p.name = "dnsproxy";
+  p.state.push_back(MapState("dns_cache", {Type::kI32},
+                             {{"answer_ip", Type::kI32}, {"cached_ts", Type::kI32}}, 32768));
+  p.state.push_back(ScalarState("cache_hits", Type::kI64));
+  p.state.push_back(ScalarState("cache_misses", Type::kI64));
+  p.state.push_back(ScalarState("non_dns", Type::kI64));
+
+  std::vector<StmtPtr> not_dns = BodyOf(
+      AssignState("non_dns", Bin(Opcode::kAdd, StateRef("non_dns"), Lit(1))),
+      Send(Lit(0)));
+
+  std::vector<StmtPtr> hit = BodyOf(
+      AssignState("cache_hits", Bin(Opcode::kAdd, StateRef("cache_hits"), Lit(1))),
+      // Serve from cache: answer back to the client.
+      Decl("tmp", Type::kI32, PktField("ip.src")),
+      AssignPkt("ip.src", PktField("ip.dst")),
+      AssignPkt("ip.dst", Local("tmp")),
+      Decl("tp", Type::kI16, PktField("tcp.sport")),
+      AssignPkt("tcp.sport", PktField("tcp.dport")),
+      AssignPkt("tcp.dport", Local("tp")),
+      AssignPayload(Lit(2), Bin(Opcode::kOr, PayloadAt(Lit(2)), Lit(0x80))),  // QR bit
+      AssignPayload(Lit(12), Bin(Opcode::kAnd, Local("answer_ip"), Lit(0xff))),
+      Api("checksum_update"),
+      Send(Lit(0)));
+  std::vector<StmtPtr> miss = BodyOf(
+      AssignState("cache_misses", Bin(Opcode::kAdd, StateRef("cache_misses"), Lit(1))),
+      MapInsert("dns_cache", BodyArgs(Local("qhash")),
+                BodyArgs(Bin(Opcode::kXor, Local("qhash"), Lit(0x0a000000ULL)),
+                         CastTo(Type::kI32, PktField("pkt.ts")))),
+      Send(Lit(1)));  // forward upstream
+
+  p.body = BodyOf(
+      Api("ip_header"), Api("udp_header"),
+      If(Cmp(Opcode::kIcmpNe, PktField("ip.proto"), Lit(17)), std::move(not_dns)));
+  std::vector<StmtPtr> not_53 = BodyOf(Send(Lit(0)));
+  p.body.push_back(
+      If(Cmp(Opcode::kIcmpNe, PktField("tcp.dport"), Lit(53)), std::move(not_53)));
+  // Hash the query name bytes (QNAME starts at payload offset 12).
+  p.body.push_back(Decl("qhash", Type::kI32, Lit(0x811c9dc5ULL)));
+  p.body.push_back(Decl("qlen", Type::kI32, PktField("pkt.payload_len")));
+  p.body.push_back(If(Cmp(Opcode::kIcmpUgt, Local("qlen"), Lit(28)),
+                      BodyOf(Assign("qlen", Lit(28)))));
+  p.body.push_back(For(
+      "i", Lit(12), Local("qlen"),
+      BodyOf(Assign("qhash", Bin(Opcode::kXor, Local("qhash"), PayloadAt(Local("i")))),
+             Assign("qhash", Bin(Opcode::kMul, Local("qhash"), Lit(0x01000193ULL))))));
+  p.body.push_back(If(Cmp(Opcode::kIcmpEq, Local("qhash"), Lit(0)),
+                      BodyOf(Assign("qhash", Lit(1)))));
+  p.body.push_back(MapFind("dns_cache", BodyArgs(Local("qhash")), "found",
+                           {"answer_ip", "cached_ts"}));
+  p.body.push_back(If(Local("found"), std::move(hit), std::move(miss)));
+  return p;
+}
+
+Program MakeMazuNat(bool use_checksum_accel) {
+  Program p;
+  p.name = use_checksum_accel ? "mazunat_accel" : "mazunat";
+  const char* csum = use_checksum_accel ? "csum_hw" : "checksum_update";
+  p.state.push_back(MapState("int_map", {Type::kI32, Type::kI16},
+                             {{"ext_ip", Type::kI32}, {"ext_port", Type::kI16}}, 32768));
+  p.state.push_back(MapState("ext_map", {Type::kI32, Type::kI16},
+                             {{"int_ip", Type::kI32}, {"int_port", Type::kI16}}, 32768));
+  p.state.push_back(ScalarState("next_port"));
+  p.state.push_back(ScalarState("active_flows"));
+  p.state.push_back(ScalarState("translated", Type::kI64));
+  p.state.push_back(ScalarState("untranslatable", Type::kI64));
+
+  std::vector<StmtPtr> rewrite_out = BodyOf(
+      AssignPkt("ip.src", Local("ext_ip")),
+      AssignPkt("tcp.sport", Local("ext_port")),
+      AssignState("translated", Bin(Opcode::kAdd, StateRef("translated"), Lit(1))),
+      Api(csum),
+      Send(Lit(1)));
+  std::vector<StmtPtr> alloc = BodyOf(
+      AssignState("next_port", Bin(Opcode::kAdd, StateRef("next_port"), Lit(1))),
+      AssignState("active_flows", Bin(Opcode::kAdd, StateRef("active_flows"), Lit(1))),
+      Decl("np", Type::kI16,
+           Bin(Opcode::kAdd, Lit(10000), Bin(Opcode::kAnd, StateRef("next_port"), Lit(0x3fff)))),
+      MapInsert("int_map", BodyArgs(PktField("ip.src"), PktField("tcp.sport")),
+                BodyArgs(Lit(0xc0a80101), Local("np"))),
+      MapInsert("ext_map", BodyArgs(Lit(0xc0a80101), Local("np")),
+                BodyArgs(PktField("ip.src"), PktField("tcp.sport"))),
+      AssignPkt("ip.src", Lit(0xc0a80101)),
+      AssignPkt("tcp.sport", Local("np")),
+      AssignState("translated", Bin(Opcode::kAdd, StateRef("translated"), Lit(1))),
+      Api(csum),
+      Send(Lit(1)));
+  std::vector<StmtPtr> no_syn_drop = BodyOf(
+      AssignState("untranslatable", Bin(Opcode::kAdd, StateRef("untranslatable"), Lit(1))),
+      Drop());
+  std::vector<StmtPtr> maybe_alloc = BodyOf(
+      If(Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, PktField("tcp.flags"), Lit(0x02)), Lit(0)),
+         std::move(alloc), std::move(no_syn_drop)));
+  std::vector<StmtPtr> outbound = BodyOf(
+      Decl("hdr_size", Type::kI16,
+           Bin(Opcode::kShl, Bin(Opcode::kAdd, PktField("ip.ihl"), PktField("tcp.off")),
+               Lit(2))),
+      If(Cmp(Opcode::kIcmpUge, Local("hdr_size"), PktField("ip.len")),
+         BodyOf(Drop())),
+      MapFind("int_map", BodyArgs(PktField("ip.src"), PktField("tcp.sport")), "out_found",
+              {"ext_ip", "ext_port"}),
+      If(Local("out_found"), std::move(rewrite_out), std::move(maybe_alloc)));
+
+  std::vector<StmtPtr> rewrite_in = BodyOf(
+      AssignPkt("ip.dst", Local("int_ip")),
+      AssignPkt("tcp.dport", Local("int_port")),
+      AssignState("translated", Bin(Opcode::kAdd, StateRef("translated"), Lit(1))),
+      Api(csum),
+      Send(Lit(0)));
+  std::vector<StmtPtr> inbound = BodyOf(
+      MapFind("ext_map", BodyArgs(PktField("ip.dst"), PktField("tcp.dport")), "in_found",
+              {"int_ip", "int_port"}),
+      If(Local("in_found"), std::move(rewrite_in),
+         BodyOf(AssignState("untranslatable",
+                            Bin(Opcode::kAdd, StateRef("untranslatable"), Lit(1))),
+                Drop())));
+
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      If(Cmp(Opcode::kIcmpNe, PktField("ip.proto"), Lit(6)), BodyOf(Send(Lit(0)))),
+      If(Cmp(Opcode::kIcmpEq, PktField("pkt.in_port"), Lit(0)), std::move(outbound),
+         std::move(inbound)));
+  return p;
+}
+
+Program MakeUdpCount() {
+  Program p;
+  p.name = "udpcount";
+  p.state.push_back(MapState("udp_flows", {Type::kI32, Type::kI32},
+                             {{"pkt_count", Type::kI32}, {"byte_count", Type::kI32}}, 32768));
+  p.state.push_back(ArrayState("port_counts", Type::kI32, 1024));
+  p.state.push_back(ScalarState("udp_pkts", Type::kI64));
+  p.state.push_back(ScalarState("udp_bytes", Type::kI64));
+  p.state.push_back(ScalarState("other_pkts", Type::kI64));
+
+  std::vector<StmtPtr> not_udp = BodyOf(
+      AssignState("other_pkts", Bin(Opcode::kAdd, StateRef("other_pkts"), Lit(1))),
+      Send(Lit(0)));
+  p.body = BodyOf(
+      Api("ip_header"), Api("udp_header"),
+      If(Cmp(Opcode::kIcmpNe, PktField("ip.proto"), Lit(17)), std::move(not_udp)),
+      AssignState("udp_pkts", Bin(Opcode::kAdd, StateRef("udp_pkts"), Lit(1))),
+      AssignState("udp_bytes", Bin(Opcode::kAdd, StateRef("udp_bytes"), PktField("pkt.len"))),
+      AssignStateAt("port_counts", Bin(Opcode::kAnd, PktField("tcp.dport"), Lit(1023)),
+                    Bin(Opcode::kAdd,
+                        StateAt("port_counts",
+                                Bin(Opcode::kAnd, PktField("tcp.dport"), Lit(1023))),
+                        Lit(1))),
+      MapFind("udp_flows", BodyArgs(PktField("ip.src"), PktField("ip.dst")), "found",
+              {"pkt_count", "byte_count"}),
+      If(Local("found"),
+         BodyOf(MapInsert("udp_flows", BodyArgs(PktField("ip.src"), PktField("ip.dst")),
+                          BodyArgs(Bin(Opcode::kAdd, Local("pkt_count"), Lit(1)),
+                                   Bin(Opcode::kAdd, Local("byte_count"),
+                                       PktField("pkt.len"))))),
+         BodyOf(MapInsert("udp_flows", BodyArgs(PktField("ip.src"), PktField("ip.dst")),
+                          BodyArgs(Lit(1), CastTo(Type::kI32, PktField("pkt.len")))))),
+      Send(Lit(0)));
+  return p;
+}
+
+Program MakeWebGen() {
+  Program p;
+  p.name = "webgen";
+  p.state.push_back(MapState("conn_map", {Type::kI32, Type::kI16},
+                             {{"state", Type::kI32}, {"next_seq", Type::kI32}}, 32768));
+  p.state.push_back(ArrayState("req_template", Type::kI8, 32,
+                               {0x47, 0x45, 0x54, 0x20, 0x2f, 0x69, 0x6e, 0x64, 0x65, 0x78,
+                                0x2e, 0x68, 0x74, 0x6d, 0x6c, 0x20, 0x48, 0x54, 0x54, 0x50,
+                                0x2f, 0x31, 0x2e, 0x31, 0x0d, 0x0a, 0x0d, 0x0a}));
+  p.state.push_back(ScalarState("req_counter"));
+  p.state.push_back(ScalarState("bytes_out", Type::kI64));
+
+  std::vector<StmtPtr> start_conn = BodyOf(
+      MapInsert("conn_map", BodyArgs(PktField("ip.dst"), PktField("tcp.dport")),
+                BodyArgs(Lit(1), Bin(Opcode::kAdd, PktField("tcp.seq"), Lit(1)))),
+      AssignPkt("tcp.flags", Lit(0x02)),  // emit SYN
+      Send(Lit(0)));
+  std::vector<StmtPtr> write_request = BodyOf(
+      // Stamp the HTTP request from the template.
+      For("i", Lit(0), Lit(28),
+          BodyOf(AssignPayload(Local("i"), StateAt("req_template", Local("i"))))),
+      AssignState("req_counter", Bin(Opcode::kAdd, StateRef("req_counter"), Lit(1))),
+      AssignState("bytes_out", Bin(Opcode::kAdd, StateRef("bytes_out"), Lit(28))),
+      AssignPkt("tcp.seq", Local("next_seq")),
+      MapInsert("conn_map", BodyArgs(PktField("ip.dst"), PktField("tcp.dport")),
+                BodyArgs(Lit(2), Bin(Opcode::kAdd, Local("next_seq"), Lit(28)))),
+      AssignPkt("tcp.flags", Lit(0x18)),  // PSH|ACK
+      Api("checksum_update"),
+      Send(Lit(0)));
+  p.body = BodyOf(
+      Api("ip_header"), Api("tcp_header"),
+      MapFind("conn_map", BodyArgs(PktField("ip.dst"), PktField("tcp.dport")), "found",
+              {"state", "next_seq"}),
+      If(Local("found"),
+         BodyOf(If(Cmp(Opcode::kIcmpEq, Local("state"), Lit(1)), std::move(write_request),
+                   BodyOf(AssignPkt("tcp.ack",
+                                    Bin(Opcode::kAdd, PktField("tcp.seq"), Lit(1))),
+                          AssignPkt("tcp.flags", Lit(0x10)),
+                          Send(Lit(0))))),
+         std::move(start_conn)));
+  return p;
+}
+
+}  // namespace clara

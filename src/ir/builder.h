@@ -1,0 +1,67 @@
+// Convenience builder for constructing IR functions instruction by
+// instruction. Used by the AST lowering (src/lang) and by tests.
+#ifndef SRC_IR_BUILDER_H_
+#define SRC_IR_BUILDER_H_
+
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace clara {
+
+class IrBuilder {
+ public:
+  IrBuilder(Module& module, Function& func) : module_(module), func_(func) {}
+
+  // Creates a block and returns its index. Does not change the insert point.
+  uint32_t NewBlock(const std::string& label, int ast_region = -1);
+
+  void SetInsertPoint(uint32_t block) { insert_ = block; }
+  uint32_t insert_point() const { return insert_; }
+
+  // Adds a named stack slot (a function local) and returns its index.
+  uint32_t AddSlot(const std::string& name, Type type);
+  int FindSlot(const std::string& name) const;
+
+  Value Binary(Opcode op, Type type, Value a, Value b);
+  Value Compare(Opcode op, Value a, Value b);
+  Value Cast(Opcode op, Type to, Value v);
+  Value Select(Type type, Value cond, Value if_true, Value if_false);
+
+  Value LoadStack(uint32_t slot);
+  void StoreStack(uint32_t slot, Value v);
+
+  Value LoadPacket(uint32_t field, Value dyn_index = Value{});
+  void StorePacket(uint32_t field, Value v, Value dyn_index = Value{});
+
+  // State access: `sym` is a Module state index. For arrays/map backing
+  // stores, `dyn_index` selects the element and `offset` addresses bytes
+  // within it.
+  Value LoadState(uint32_t sym, Type type, Value dyn_index = Value{}, int32_t offset = 0);
+  void StoreState(uint32_t sym, Type type, Value v, Value dyn_index = Value{},
+                  int32_t offset = 0);
+
+  Value Call(const std::string& api, std::vector<Value> args, Type result);
+
+  void Br(uint32_t target);
+  void CondBr(Value cond, uint32_t if_true, uint32_t if_false);
+  void Ret();
+
+  // True if the current insert block already ends in a terminator.
+  bool BlockTerminated() const;
+
+  Module& module() { return module_; }
+  Function& func() { return func_; }
+
+ private:
+  Instruction& Append(Instruction instr);
+  uint32_t NextReg() { return func_.next_reg++; }
+
+  Module& module_;
+  Function& func_;
+  uint32_t insert_ = 0;
+};
+
+}  // namespace clara
+
+#endif  // SRC_IR_BUILDER_H_

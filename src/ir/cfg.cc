@@ -1,0 +1,98 @@
+#include "src/ir/cfg.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace clara {
+
+Cfg BuildCfg(const Function& f) {
+  Cfg cfg;
+  size_t n = f.blocks.size();
+  cfg.succ.resize(n);
+  cfg.pred.resize(n);
+  cfg.reachable.assign(n, false);
+  cfg.loop_depth.assign(n, 0);
+  for (size_t b = 0; b < n; ++b) {
+    const auto& instrs = f.blocks[b].instrs;
+    if (instrs.empty()) {
+      continue;
+    }
+    const Instruction& t = instrs.back();
+    if (t.op == Opcode::kBr) {
+      cfg.succ[b] = {t.target0};
+    } else if (t.op == Opcode::kCondBr) {
+      cfg.succ[b] = {t.target0, t.target1};
+    }
+    for (uint32_t s : cfg.succ[b]) {
+      cfg.pred[s].push_back(static_cast<uint32_t>(b));
+    }
+  }
+
+  // Iterative DFS from block 0 for reachability, postorder, and back edges.
+  if (n == 0) {
+    return cfg;
+  }
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<uint32_t> postorder;
+  struct Frame {
+    uint32_t block;
+    size_t next_succ;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, 0});
+  color[0] = 1;
+  cfg.reachable[0] = true;
+  while (!stack.empty()) {
+    Frame& fr = stack.back();
+    if (fr.next_succ < cfg.succ[fr.block].size()) {
+      uint32_t s = cfg.succ[fr.block][fr.next_succ++];
+      if (color[s] == 0) {
+        color[s] = 1;
+        cfg.reachable[s] = true;
+        stack.push_back({s, 0});
+      } else if (color[s] == 1) {
+        cfg.back_edges.emplace_back(fr.block, s);
+      }
+    } else {
+      color[fr.block] = 2;
+      postorder.push_back(fr.block);
+      stack.pop_back();
+    }
+  }
+  cfg.reverse_postorder.assign(postorder.rbegin(), postorder.rend());
+
+  // Loop depth: increment for every natural loop containing the block.
+  for (const auto& [tail, head] : cfg.back_edges) {
+    for (uint32_t b : NaturalLoop(cfg, tail, head)) {
+      ++cfg.loop_depth[b];
+    }
+  }
+  return cfg;
+}
+
+std::vector<uint32_t> NaturalLoop(const Cfg& cfg, uint32_t tail, uint32_t head) {
+  std::vector<uint32_t> loop = {head};
+  std::vector<bool> in_loop(cfg.succ.size(), false);
+  in_loop[head] = true;
+  std::vector<uint32_t> work;
+  if (!in_loop[tail]) {
+    in_loop[tail] = true;
+    loop.push_back(tail);
+    work.push_back(tail);
+  }
+  while (!work.empty()) {
+    uint32_t b = work.back();
+    work.pop_back();
+    for (uint32_t p : cfg.pred[b]) {
+      if (!in_loop[p]) {
+        in_loop[p] = true;
+        loop.push_back(p);
+        work.push_back(p);
+      }
+    }
+  }
+  std::sort(loop.begin(), loop.end());
+  return loop;
+}
+
+}  // namespace clara

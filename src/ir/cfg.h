@@ -1,0 +1,32 @@
+// Control-flow-graph utilities over IR functions: successor/predecessor
+// maps, reverse postorder, back-edge (loop) detection, and simple reachability
+// — the "GetCFG" step of the paper's Figure 3 algorithm.
+#ifndef SRC_IR_CFG_H_
+#define SRC_IR_CFG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace clara {
+
+struct Cfg {
+  std::vector<std::vector<uint32_t>> succ;
+  std::vector<std::vector<uint32_t>> pred;
+  std::vector<uint32_t> reverse_postorder;  // block indices, entry first
+  std::vector<bool> reachable;
+  // Back edges (tail -> head) found by DFS; each marks a natural loop.
+  std::vector<std::pair<uint32_t, uint32_t>> back_edges;
+  // Per block: loop nesting depth (0 = not in a loop).
+  std::vector<int> loop_depth;
+};
+
+Cfg BuildCfg(const Function& f);
+
+// Blocks belonging to the natural loop of back edge (tail, head).
+std::vector<uint32_t> NaturalLoop(const Cfg& cfg, uint32_t tail, uint32_t head);
+
+}  // namespace clara
+
+#endif  // SRC_IR_CFG_H_

@@ -1,0 +1,61 @@
+#include "src/ir/classify.h"
+
+namespace clara {
+
+InstrClass Classify(const Instruction& instr) {
+  switch (instr.op) {
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      return instr.space == AddressSpace::kState ? InstrClass::kStatefulMem
+                                                 : InstrClass::kStatelessMem;
+    case Opcode::kCall:
+      return InstrClass::kApiCall;
+    case Opcode::kBr:
+    case Opcode::kCondBr:
+    case Opcode::kRet:
+      return InstrClass::kControl;
+    default:
+      return InstrClass::kCompute;
+  }
+}
+
+BlockCounts& BlockCounts::operator+=(const BlockCounts& o) {
+  compute += o.compute;
+  stateless_mem += o.stateless_mem;
+  stateful_mem += o.stateful_mem;
+  api_calls += o.api_calls;
+  control += o.control;
+  return *this;
+}
+
+BlockCounts CountBlock(const BasicBlock& block) {
+  BlockCounts c;
+  for (const auto& i : block.instrs) {
+    switch (Classify(i)) {
+      case InstrClass::kCompute: ++c.compute; break;
+      case InstrClass::kStatelessMem: ++c.stateless_mem; break;
+      case InstrClass::kStatefulMem: ++c.stateful_mem; break;
+      case InstrClass::kApiCall: ++c.api_calls; break;
+      case InstrClass::kControl: ++c.control; break;
+    }
+  }
+  return c;
+}
+
+BlockCounts CountFunction(const Function& func) {
+  BlockCounts c;
+  for (const auto& b : func.blocks) {
+    c += CountBlock(b);
+  }
+  return c;
+}
+
+double ArithmeticIntensity(const BlockCounts& c) {
+  uint32_t mem = c.Mem();
+  if (mem == 0) {
+    return static_cast<double>(c.compute);
+  }
+  return static_cast<double>(c.compute) / static_cast<double>(mem);
+}
+
+}  // namespace clara

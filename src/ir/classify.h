@@ -1,0 +1,46 @@
+// Static instruction classification (paper Figure 5): every IR instruction is
+// a compute instruction, a memory access (stateless stack/packet vs stateful
+// state), an NF-framework API call, or control flow. Per-block and per-
+// function tallies feed both the performance predictor and Table 2.
+#ifndef SRC_IR_CLASSIFY_H_
+#define SRC_IR_CLASSIFY_H_
+
+#include <cstdint>
+
+#include "src/ir/ir.h"
+
+namespace clara {
+
+enum class InstrClass : uint8_t {
+  kCompute,
+  kStatelessMem,  // stack slots and packet bytes
+  kStatefulMem,   // global NF state
+  kApiCall,
+  kControl,
+};
+
+InstrClass Classify(const Instruction& instr);
+
+struct BlockCounts {
+  uint32_t compute = 0;
+  uint32_t stateless_mem = 0;
+  uint32_t stateful_mem = 0;
+  uint32_t api_calls = 0;
+  uint32_t control = 0;
+
+  uint32_t Total() const { return compute + stateless_mem + stateful_mem + api_calls + control; }
+  uint32_t Mem() const { return stateless_mem + stateful_mem; }
+
+  BlockCounts& operator+=(const BlockCounts& o);
+};
+
+BlockCounts CountBlock(const BasicBlock& block);
+BlockCounts CountFunction(const Function& func);
+
+// Arithmetic intensity: compute instructions per memory access (paper §4.5
+// colocation feature). Returns compute count when there are no accesses.
+double ArithmeticIntensity(const BlockCounts& c);
+
+}  // namespace clara
+
+#endif  // SRC_IR_CLASSIFY_H_

@@ -1,0 +1,185 @@
+#include "src/ir/opt.h"
+
+#include <map>
+#include <set>
+
+namespace clara {
+namespace {
+
+uint64_t MaskTo(uint64_t v, Type t) {
+  switch (t) {
+    case Type::kVoid: return 0;
+    case Type::kI1: return v & 1;
+    case Type::kI8: return v & 0xff;
+    case Type::kI16: return v & 0xffff;
+    case Type::kI32: return v & 0xffffffffULL;
+    case Type::kI64: return v;
+  }
+  return v;
+}
+
+bool EvalCompute(const Instruction& i, uint64_t a, uint64_t b, uint64_t* out) {
+  int w = BitWidth(i.type);
+  uint64_t r = 0;
+  switch (i.op) {
+    case Opcode::kAdd: r = a + b; break;
+    case Opcode::kSub: r = a - b; break;
+    case Opcode::kMul: r = a * b; break;
+    case Opcode::kUDiv: r = b == 0 ? 0 : a / b; break;
+    case Opcode::kURem: r = b == 0 ? 0 : a % b; break;
+    case Opcode::kAnd: r = a & b; break;
+    case Opcode::kOr: r = a | b; break;
+    case Opcode::kXor: r = a ^ b; break;
+    case Opcode::kShl: r = a << (b & (w - 1)); break;
+    case Opcode::kLShr: r = a >> (b & (w - 1)); break;
+    case Opcode::kIcmpEq: r = a == b; break;
+    case Opcode::kIcmpNe: r = a != b; break;
+    case Opcode::kIcmpUlt: r = a < b; break;
+    case Opcode::kIcmpUle: r = a <= b; break;
+    case Opcode::kIcmpUgt: r = a > b; break;
+    case Opcode::kIcmpUge: r = a >= b; break;
+    case Opcode::kZext:
+    case Opcode::kTrunc: r = a; break;
+    default:
+      return false;  // ashr/select and non-compute ops: not folded
+  }
+  *out = MaskTo(r, i.type);
+  return true;
+}
+
+bool HasSideEffects(const Instruction& i) {
+  switch (i.op) {
+    case Opcode::kStore:
+    case Opcode::kCall:
+    case Opcode::kBr:
+    case Opcode::kCondBr:
+    case Opcode::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Replaces register operands according to `subst` (reg -> replacement).
+void ApplySubst(Instruction& i, const std::map<uint32_t, Value>& subst) {
+  for (auto& v : i.operands) {
+    if (v.is_reg()) {
+      auto it = subst.find(v.reg);
+      if (it != subst.end()) {
+        v = it->second;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+OptStats ConstantFold(Function& f) {
+  OptStats stats;
+  std::map<uint32_t, Value> subst;
+  for (auto& blk : f.blocks) {
+    for (auto& i : blk.instrs) {
+      ApplySubst(i, subst);
+      if (i.result == 0 || HasSideEffects(i) || i.op == Opcode::kLoad) {
+        continue;
+      }
+      // Unary casts fold with one constant operand; binaries need both.
+      uint64_t a = 0;
+      uint64_t b = 0;
+      bool all_const = !i.operands.empty();
+      for (size_t k = 0; k < i.operands.size() && all_const; ++k) {
+        if (!i.operands[k].is_const()) {
+          all_const = false;
+          break;
+        }
+        (k == 0 ? a : b) = static_cast<uint64_t>(i.operands[k].imm);
+      }
+      if (!all_const || i.operands.size() > 2) {
+        continue;
+      }
+      uint64_t folded = 0;
+      if (EvalCompute(i, a, b, &folded)) {
+        subst[i.result] = Value::Const(static_cast<int64_t>(folded));
+        ++stats.folded;
+      }
+    }
+  }
+  return stats;
+}
+
+OptStats StoreForward(Function& f) {
+  OptStats stats;
+  std::map<uint32_t, Value> subst;
+  for (auto& blk : f.blocks) {
+    std::map<uint32_t, Value> slot_value;  // per-block: slot -> stored value
+    for (auto& i : blk.instrs) {
+      ApplySubst(i, subst);
+      if (i.op == Opcode::kStore && i.space == AddressSpace::kStack) {
+        slot_value[i.sym] = i.operands[0];
+        continue;
+      }
+      if (i.op == Opcode::kLoad && i.space == AddressSpace::kStack) {
+        auto it = slot_value.find(i.sym);
+        if (it != slot_value.end() && i.result != 0) {
+          subst[i.result] = it->second;
+          ++stats.forwarded;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+OptStats DeadCodeElim(Function& f) {
+  OptStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<uint32_t> used;
+    for (const auto& blk : f.blocks) {
+      for (const auto& i : blk.instrs) {
+        for (const auto& v : i.operands) {
+          if (v.is_reg()) {
+            used.insert(v.reg);
+          }
+        }
+      }
+    }
+    for (auto& blk : f.blocks) {
+      std::vector<Instruction> kept;
+      kept.reserve(blk.instrs.size());
+      for (auto& i : blk.instrs) {
+        bool removable =
+            !HasSideEffects(i) && (i.result == 0 || used.count(i.result) == 0);
+        if (removable) {
+          ++stats.removed;
+          changed = true;
+        } else {
+          kept.push_back(std::move(i));
+        }
+      }
+      blk.instrs = std::move(kept);
+    }
+  }
+  return stats;
+}
+
+OptStats OptimizeModule(Module& m) {
+  OptStats total;
+  for (auto& f : m.functions) {
+    for (int round = 0; round < 4; ++round) {
+      OptStats s1 = ConstantFold(f);
+      OptStats s2 = StoreForward(f);
+      OptStats s3 = DeadCodeElim(f);
+      total.folded += s1.folded;
+      total.forwarded += s2.forwarded;
+      total.removed += s3.removed;
+      if (s1.folded + s2.forwarded + s3.removed == 0) {
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace clara

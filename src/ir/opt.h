@@ -1,0 +1,40 @@
+// Optional IR optimization passes.
+//
+// Clara's pipeline deliberately lowers with these DISABLED (paper §3.1: "To
+// ensure that the IR stays as close to the original NF logic as possible,
+// Clara disables most LLVM optimizations"). They exist to make that choice a
+// real, testable knob: the `abl_ir_opt` bench shows how running them first
+// perturbs the instruction distributions the learned compiler model was
+// trained on.
+//
+// Passes (function-local, conservative):
+//   ConstantFold   — evaluates compute instructions whose operands are all
+//                    constants and propagates the results to uses
+//   StoreForward   — forwards stack stores to subsequent loads of the same
+//                    slot within a block (mem2reg-lite)
+//   DeadCodeElim   — removes side-effect-free instructions with unused
+//                    results (iterates to a fixed point)
+#ifndef SRC_IR_OPT_H_
+#define SRC_IR_OPT_H_
+
+#include "src/ir/ir.h"
+
+namespace clara {
+
+struct OptStats {
+  int folded = 0;
+  int forwarded = 0;
+  int removed = 0;
+};
+
+OptStats ConstantFold(Function& f);
+OptStats StoreForward(Function& f);
+OptStats DeadCodeElim(Function& f);
+
+// Runs all passes to a fixed point (bounded iterations). Returns aggregate
+// statistics.
+OptStats OptimizeModule(Module& m);
+
+}  // namespace clara
+
+#endif  // SRC_IR_OPT_H_

@@ -1,0 +1,27 @@
+// Parser for the textual IR format emitted by src/ir/printer.h.
+//
+// Primarily used by tests (round-trip checks, hand-written fixtures) and for
+// loading IR corpora from disk.
+#ifndef SRC_IR_PARSER_H_
+#define SRC_IR_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace clara {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;  // human-readable, includes line number
+  Module module;
+};
+
+// Parses a full module. Packet fields are installed from the standard table
+// (the printer does not emit them).
+ParseResult ParseModule(const std::string& text);
+
+}  // namespace clara
+
+#endif  // SRC_IR_PARSER_H_

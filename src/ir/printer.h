@@ -1,0 +1,19 @@
+// Textual rendering of IR modules, functions, and instructions. The format is
+// round-trippable through src/ir/parser.h.
+#ifndef SRC_IR_PRINTER_H_
+#define SRC_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace clara {
+
+std::string ToString(const Value& v);
+std::string ToString(const Instruction& instr, const Module& m, const Function& f);
+std::string ToString(const Function& f, const Module& m);
+std::string ToString(const Module& m);
+
+}  // namespace clara
+
+#endif  // SRC_IR_PRINTER_H_

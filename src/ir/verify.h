@@ -1,0 +1,31 @@
+// IR well-formedness verifier: structural invariants that every lowered or
+// synthesized module must satisfy. Run in tests and after optimization
+// passes to catch malformed IR early.
+#ifndef SRC_IR_VERIFY_H_
+#define SRC_IR_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace clara {
+
+struct VerifyResult {
+  bool ok = false;
+  std::vector<std::string> errors;
+};
+
+// Checks, per function:
+//  * every block is non-empty and ends with exactly one terminator,
+//    with no terminator mid-block
+//  * branch targets are valid block indices
+//  * every result register is defined exactly once and is < next_reg
+//  * every register operand refers to a defined register
+//  * memory instructions carry a valid address space and symbol index
+//  * call instructions reference a registered API
+VerifyResult VerifyModule(const Module& m);
+
+}  // namespace clara
+
+#endif  // SRC_IR_VERIFY_H_

@@ -1,0 +1,66 @@
+// Vocabulary compaction and instruction encoding (paper §3.2).
+//
+// Each IR instruction is abstracted into a "word": concrete operand names are
+// replaced by their kind (VAR) and constants are bucketized by magnitude,
+// with the exception of well-known packet header field names, which are kept
+// verbatim. This shrinks the vocabulary to a few hundred distinct words so a
+// basic one-hot encoding suffices (no word embeddings needed).
+//
+// AbstractionMode::kRaw disables compaction (constants and register numbers
+// kept verbatim) and exists for the vocabulary-compaction ablation.
+#ifndef SRC_IR_VOCAB_H_
+#define SRC_IR_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace clara {
+
+enum class AbstractionMode { kCompacted, kRaw };
+
+// Renders one instruction as an abstract word.
+std::string AbstractInstruction(const Instruction& instr, const Module& m,
+                                AbstractionMode mode = AbstractionMode::kCompacted);
+
+// Renders a basic block as a word sequence (terminator included: branch
+// structure is part of what the downstream compiler sees).
+std::vector<std::string> AbstractBlock(const BasicBlock& block, const Module& m,
+                                       AbstractionMode mode = AbstractionMode::kCompacted);
+
+// A frozen token dictionary. Id 0 is reserved for unknown words.
+class Vocabulary {
+ public:
+  Vocabulary() { id_by_word_["<unk>"] = 0; words_.push_back("<unk>"); }
+
+  // Adds `word` if absent; returns its id. Only valid before Freeze().
+  int Intern(const std::string& word);
+
+  // Id for `word`, or 0 (unknown).
+  int Lookup(const std::string& word) const;
+
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+  int size() const { return static_cast<int>(words_.size()); }
+  const std::string& word(int id) const { return words_[id]; }
+
+  // Encodes a block: abstraction + interning (growing the vocab) or lookup
+  // (frozen vocab).
+  std::vector<int> Encode(const BasicBlock& block, const Module& m,
+                          AbstractionMode mode = AbstractionMode::kCompacted);
+
+  // Word-count histogram over a token sequence, normalized to sum 1 when
+  // non-empty. Bag-of-words features for the DNN baseline.
+  std::vector<double> Histogram(const std::vector<int>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, int> id_by_word_;
+  std::vector<std::string> words_;
+  bool frozen_ = false;
+};
+
+}  // namespace clara
+
+#endif  // SRC_IR_VOCAB_H_

@@ -1,0 +1,288 @@
+#include "src/lang/ast.h"
+
+namespace clara {
+
+uint32_t StateDecl::KeyBytes() const {
+  uint32_t b = 0;
+  for (Type t : key_fields) {
+    b += static_cast<uint32_t>(BitWidth(t)) / 8;
+  }
+  return b;
+}
+
+uint32_t StateDecl::ValueBytes() const {
+  uint32_t b = 0;
+  for (const auto& f : value_fields) {
+    b += static_cast<uint32_t>(BitWidth(f.type)) / 8;
+  }
+  return b;
+}
+
+uint64_t StateDecl::SizeBytes() const {
+  switch (kind) {
+    case StateKind::kScalar:
+      return static_cast<uint64_t>(BitWidth(elem_type)) / 8;
+    case StateKind::kArray:
+      return static_cast<uint64_t>(BitWidth(elem_type)) / 8 * length;
+    case StateKind::kMap:
+      return static_cast<uint64_t>(capacity) * (KeyBytes() + ValueBytes());
+  }
+  return 0;
+}
+
+const StateDecl* Program::FindState(const std::string& n) const {
+  for (const auto& s : state) {
+    if (s.name == n) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+ExprPtr Lit(uint64_t v, Type t) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntLit;
+  e->value = v;
+  e->type = t;
+  return e;
+}
+
+ExprPtr Local(const std::string& name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLocal;
+  e->name = name;
+  return e;
+}
+
+ExprPtr StateRef(const std::string& name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStateScalar;
+  e->name = name;
+  return e;
+}
+
+ExprPtr StateAt(const std::string& name, ExprPtr index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStateArray;
+  e->name = name;
+  e->args.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr PktField(const std::string& field) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kPacketField;
+  e->name = field;
+  return e;
+}
+
+ExprPtr PayloadAt(ExprPtr index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kPayloadByte;
+  e->type = Type::kI8;
+  e->args.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr Bin(Opcode op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr Cmp(Opcode op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCompare;
+  e->op = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+ExprPtr CastTo(Type t, ExprPtr v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCast;
+  e->type = t;
+  e->args.push_back(std::move(v));
+  return e;
+}
+
+ExprPtr CallExpr(const std::string& api, std::vector<ExprPtr> args, Type result) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->callee = api;
+  e->type = result;
+  e->args = std::move(args);
+  return e;
+}
+
+namespace {
+
+StmtPtr MakeStmt(StmtKind k) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = k;
+  return s;
+}
+
+}  // namespace
+
+StmtPtr Decl(const std::string& name, Type t, ExprPtr init) {
+  auto s = MakeStmt(StmtKind::kDecl);
+  s->name = name;
+  s->type = t;
+  s->e0 = std::move(init);
+  return s;
+}
+
+StmtPtr Assign(const std::string& local, ExprPtr v) {
+  auto s = MakeStmt(StmtKind::kAssignLocal);
+  s->name = local;
+  s->e0 = std::move(v);
+  return s;
+}
+
+StmtPtr AssignState(const std::string& state, ExprPtr v) {
+  auto s = MakeStmt(StmtKind::kAssignState);
+  s->name = state;
+  s->e0 = std::move(v);
+  return s;
+}
+
+StmtPtr AssignStateAt(const std::string& state, ExprPtr index, ExprPtr v) {
+  auto s = MakeStmt(StmtKind::kAssignStateArr);
+  s->name = state;
+  s->e0 = std::move(v);
+  s->e1 = std::move(index);
+  return s;
+}
+
+StmtPtr AssignPkt(const std::string& field, ExprPtr v) {
+  auto s = MakeStmt(StmtKind::kAssignPacket);
+  s->name = field;
+  s->e0 = std::move(v);
+  return s;
+}
+
+StmtPtr AssignPayload(ExprPtr index, ExprPtr v) {
+  auto s = MakeStmt(StmtKind::kAssignPayload);
+  s->e0 = std::move(v);
+  s->e1 = std::move(index);
+  return s;
+}
+
+StmtPtr If(ExprPtr cond, std::vector<StmtPtr> then_body, std::vector<StmtPtr> else_body) {
+  auto s = MakeStmt(StmtKind::kIf);
+  s->e0 = std::move(cond);
+  s->body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr For(const std::string& var, ExprPtr lo, ExprPtr hi, std::vector<StmtPtr> body) {
+  auto s = MakeStmt(StmtKind::kFor);
+  s->name = var;
+  s->e0 = std::move(lo);
+  s->e1 = std::move(hi);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr MapFind(const std::string& map, std::vector<ExprPtr> keys, const std::string& found,
+                std::vector<std::string> outs) {
+  auto s = MakeStmt(StmtKind::kMapFind);
+  s->name = map;
+  s->args = std::move(keys);
+  s->found_local = found;
+  s->outs = std::move(outs);
+  return s;
+}
+
+StmtPtr MapInsert(const std::string& map, std::vector<ExprPtr> keys,
+                  std::vector<ExprPtr> values) {
+  auto s = MakeStmt(StmtKind::kMapInsert);
+  s->name = map;
+  s->args = std::move(keys);
+  for (auto& v : values) {
+    s->args.push_back(std::move(v));
+  }
+  return s;
+}
+
+StmtPtr MapErase(const std::string& map, std::vector<ExprPtr> keys) {
+  auto s = MakeStmt(StmtKind::kMapErase);
+  s->name = map;
+  s->args = std::move(keys);
+  return s;
+}
+
+StmtPtr Api(const std::string& api, std::vector<ExprPtr> args) {
+  auto s = MakeStmt(StmtKind::kApiCall);
+  s->callee = api;
+  s->args = std::move(args);
+  return s;
+}
+
+StmtPtr Send(ExprPtr port) {
+  auto s = MakeStmt(StmtKind::kSend);
+  s->e0 = std::move(port);
+  return s;
+}
+
+StmtPtr Drop() { return MakeStmt(StmtKind::kDrop); }
+
+StmtPtr Return() { return MakeStmt(StmtKind::kReturn); }
+
+ExprPtr CloneExpr(const Expr& e) {
+  auto c = std::make_unique<Expr>();
+  c->kind = e.kind;
+  c->type = e.type;
+  c->value = e.value;
+  c->name = e.name;
+  c->op = e.op;
+  c->callee = e.callee;
+  for (const auto& a : e.args) {
+    c->args.push_back(CloneExpr(*a));
+  }
+  return c;
+}
+
+StmtPtr CloneStmt(const Stmt& s) {
+  auto c = std::make_unique<Stmt>();
+  c->kind = s.kind;
+  c->name = s.name;
+  c->type = s.type;
+  if (s.e0) {
+    c->e0 = CloneExpr(*s.e0);
+  }
+  if (s.e1) {
+    c->e1 = CloneExpr(*s.e1);
+  }
+  for (const auto& a : s.args) {
+    c->args.push_back(CloneExpr(*a));
+  }
+  c->outs = s.outs;
+  c->found_local = s.found_local;
+  c->callee = s.callee;
+  for (const auto& b : s.body) {
+    c->body.push_back(CloneStmt(*b));
+  }
+  for (const auto& b : s.else_body) {
+    c->else_body.push_back(CloneStmt(*b));
+  }
+  return c;
+}
+
+Program CloneProgram(const Program& p) {
+  Program c;
+  c.name = p.name;
+  c.state = p.state;
+  for (const auto& s : p.body) {
+    c.body.push_back(CloneStmt(*s));
+  }
+  return c;
+}
+
+}  // namespace clara

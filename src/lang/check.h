@@ -1,0 +1,31 @@
+// Type checking and name resolution for NF programs. Fills in Expr::type for
+// every expression and produces the function-scoped local-variable table that
+// lowering turns into IR stack slots.
+#ifndef SRC_LANG_CHECK_H_
+#define SRC_LANG_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace clara {
+
+struct LocalInfo {
+  std::string name;
+  Type type;
+};
+
+struct CheckResult {
+  bool ok = false;
+  std::vector<std::string> errors;
+  std::vector<LocalInfo> locals;  // in first-declaration order
+};
+
+// Checks `p` in place (assigns expression types). Loop variables and map-find
+// destinations are implicitly declared if absent.
+CheckResult CheckProgram(Program& p);
+
+}  // namespace clara
+
+#endif  // SRC_LANG_CHECK_H_

@@ -1,0 +1,649 @@
+#include "src/lang/interp.h"
+
+#include <cassert>
+
+#include "src/nf/checksum.h"
+
+namespace clara {
+namespace {
+
+uint64_t Mask(uint64_t v, Type t) {
+  switch (t) {
+    case Type::kVoid: return 0;
+    case Type::kI1: return v & 1;
+    case Type::kI8: return v & 0xff;
+    case Type::kI16: return v & 0xffff;
+    case Type::kI32: return v & 0xffffffffULL;
+    case Type::kI64: return v;
+  }
+  return v;
+}
+
+}  // namespace
+
+SimMap::SimMap(const StateDecl& decl)
+    : nkeys_(decl.key_fields.size()),
+      nvals_(decl.value_fields.size()),
+      nic_(decl.impl == MapImpl::kNicFixedBucket),
+      spb_(decl.slots_per_bucket == 0 ? 1 : decl.slots_per_bucket) {
+  if (nic_) {
+    buckets_ = (decl.capacity + spb_ - 1) / spb_;
+    if (buckets_ == 0) {
+      buckets_ = 1;
+    }
+    slot_count_ = static_cast<size_t>(buckets_) * spb_;
+  } else {
+    buckets_ = 0;
+    slot_count_ = decl.capacity == 0 ? 1 : decl.capacity;
+  }
+  keys_.assign(slot_count_ * nkeys_, 0);
+  values_.assign(slot_count_ * nvals_, 0);
+}
+
+SimMap::Probe SimMap::StartProbe(const std::vector<uint64_t>& keys) const {
+  uint32_t h = MapFieldHash(keys.data(), keys.size());
+  if (nic_) {
+    return Probe{static_cast<uint64_t>(h % buckets_) * spb_, spb_};
+  }
+  return Probe{h % slot_count_, static_cast<uint32_t>(slot_count_)};
+}
+
+uint64_t SimMap::Advance(uint64_t idx) const {
+  return nic_ ? idx + 1 : (idx + 1) % slot_count_;
+}
+
+bool SimMap::KeyMatches(uint64_t idx, const std::vector<uint64_t>& keys) const {
+  for (size_t i = 0; i < nkeys_; ++i) {
+    if (keys_[idx * nkeys_ + i] != keys[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SimMap::OpResult SimMap::Find(const std::vector<uint64_t>& keys,
+                              std::vector<uint64_t>* values_out) {
+  OpResult r;
+  Probe p = StartProbe(keys);
+  uint64_t idx = p.start;
+  for (uint32_t n = 0; n < p.bound; ++n) {
+    ++r.probes;
+    if (KeyMatches(idx, keys)) {
+      r.found = true;
+      r.index = idx;
+      if (values_out != nullptr) {
+        values_out->assign(values_.begin() + idx * nvals_,
+                           values_.begin() + (idx + 1) * nvals_);
+      }
+      return r;
+    }
+    if (keys_[idx * nkeys_] == 0) {
+      r.stopped_empty = true;
+      return r;
+    }
+    ++r.continues;
+    idx = Advance(idx);
+  }
+  r.exhausted = true;
+  return r;
+}
+
+SimMap::OpResult SimMap::Insert(const std::vector<uint64_t>& keys,
+                                const std::vector<uint64_t>& values) {
+  OpResult r;
+  Probe p = StartProbe(keys);
+  uint64_t idx = p.start;
+  for (uint32_t n = 0; n < p.bound; ++n) {
+    ++r.probes;
+    bool match = KeyMatches(idx, keys);
+    bool empty = keys_[idx * nkeys_] == 0;
+    if (match || empty) {
+      if (empty && !match) {
+        r.stopped_empty = true;
+        ++entries_;
+      }
+      for (size_t i = 0; i < nkeys_; ++i) {
+        keys_[idx * nkeys_ + i] = keys[i];
+      }
+      for (size_t i = 0; i < nvals_ && i < values.size(); ++i) {
+        values_[idx * nvals_ + i] = values[i];
+      }
+      r.found = true;
+      r.index = idx;
+      return r;
+    }
+    ++r.continues;
+    idx = Advance(idx);
+  }
+  r.exhausted = true;  // structure full: baremetal insert fails
+  return r;
+}
+
+SimMap::OpResult SimMap::Erase(const std::vector<uint64_t>& keys) {
+  OpResult r;
+  Probe p = StartProbe(keys);
+  uint64_t idx = p.start;
+  for (uint32_t n = 0; n < p.bound; ++n) {
+    ++r.probes;
+    if (KeyMatches(idx, keys)) {
+      keys_[idx * nkeys_] = 0;  // mark invalid only (paper §3.3)
+      r.found = true;
+      r.index = idx;
+      if (entries_ > 0) {
+        --entries_;
+      }
+      return r;
+    }
+    if (keys_[idx * nkeys_] == 0) {
+      r.stopped_empty = true;
+      return r;
+    }
+    ++r.continues;
+    idx = Advance(idx);
+  }
+  r.exhausted = true;
+  return r;
+}
+
+void SimMap::Clear() {
+  std::fill(keys_.begin(), keys_.end(), 0);
+  std::fill(values_.begin(), values_.end(), 0);
+  entries_ = 0;
+}
+
+NfInstance::NfInstance(Program program, uint64_t seed)
+    : program_(std::move(program)), rng_(seed) {
+  LowerResult lr = LowerProgram(program_);
+  if (!lr.ok) {
+    error_ = lr.error;
+    return;
+  }
+  module_ = std::move(lr.module);
+  ok_ = true;
+  locals_.assign(module_.functions[0].slots.size(), 0);
+  arrays_.resize(program_.state.size());
+  maps_.resize(program_.state.size());
+  ResetState();
+  ResetProfile();
+}
+
+void NfInstance::ResetState() {
+  for (size_t i = 0; i < program_.state.size(); ++i) {
+    const StateDecl& d = program_.state[i];
+    switch (d.kind) {
+      case StateKind::kScalar:
+        arrays_[i].assign(1, d.init.empty() ? 0 : d.init[0]);
+        break;
+      case StateKind::kArray:
+        arrays_[i].assign(d.length, 0);
+        for (size_t k = 0; k < d.init.size() && k < d.length; ++k) {
+          arrays_[i][k] = d.init[k];
+        }
+        break;
+      case StateKind::kMap:
+        maps_[i] = std::make_unique<SimMap>(d);
+        break;
+    }
+  }
+  flow_cache_.clear();
+}
+
+void NfInstance::ResetProfile() {
+  profile_ = NfProfile{};
+  size_t nblocks = module_.functions[0].blocks.size();
+  size_t nvars = module_.state.size();
+  profile_.block_exec.assign(nblocks, 0);
+  profile_.state_reads.assign(nvars, 0);
+  profile_.state_writes.assign(nvars, 0);
+  profile_.block_var_access.assign(nblocks, std::vector<uint64_t>(nvars, 0));
+}
+
+void NfInstance::RecordStateRead(int sym, int block, uint64_t n) {
+  profile_.state_reads[sym] += n;
+  if (block >= 0) {
+    profile_.block_var_access[block][sym] += n;
+  }
+}
+
+void NfInstance::RecordStateWrite(int sym, int block, uint64_t n) {
+  profile_.state_writes[sym] += n;
+  if (block >= 0) {
+    profile_.block_var_access[block][sym] += n;
+  }
+}
+
+uint64_t NfInstance::ReadPacketField(const std::string& name) const {
+  const Packet& p = *pkt_;
+  if (name == "eth.type") return p.eth_type;
+  if (name == "ip.ihl") return p.ip_ihl;
+  if (name == "ip.tos") return p.ip_tos;
+  if (name == "ip.len") return p.ip_len;
+  if (name == "ip.ttl") return p.ip_ttl;
+  if (name == "ip.proto") return p.ip_proto;
+  if (name == "ip.csum") return p.ip_checksum;
+  if (name == "ip.src") return p.src_ip;
+  if (name == "ip.dst") return p.dst_ip;
+  if (name == "tcp.sport") return p.sport;
+  if (name == "tcp.dport") return p.dport;
+  if (name == "tcp.seq") return p.tcp_seq;
+  if (name == "tcp.ack") return p.tcp_ack;
+  if (name == "tcp.off") return p.tcp_off;
+  if (name == "tcp.flags") return p.tcp_flags;
+  if (name == "tcp.csum") return p.l4_checksum;
+  if (name == "pkt.len") return p.wire_len;
+  if (name == "pkt.payload_len") return p.payload_len;
+  if (name == "pkt.in_port") return p.in_port;
+  if (name == "pkt.ts") return p.ts_ns;
+  return 0;
+}
+
+void NfInstance::WritePacketField(const std::string& name, uint64_t v) {
+  Packet& p = *pkt_;
+  if (name == "eth.type") { p.eth_type = static_cast<uint16_t>(v); return; }
+  if (name == "ip.ihl") { p.ip_ihl = static_cast<uint8_t>(v); return; }
+  if (name == "ip.tos") { p.ip_tos = static_cast<uint8_t>(v); return; }
+  if (name == "ip.len") { p.ip_len = static_cast<uint16_t>(v); return; }
+  if (name == "ip.ttl") { p.ip_ttl = static_cast<uint8_t>(v); return; }
+  if (name == "ip.proto") { p.ip_proto = static_cast<uint8_t>(v); return; }
+  if (name == "ip.csum") { p.ip_checksum = static_cast<uint16_t>(v); return; }
+  if (name == "ip.src") { p.src_ip = static_cast<uint32_t>(v); return; }
+  if (name == "ip.dst") { p.dst_ip = static_cast<uint32_t>(v); return; }
+  if (name == "tcp.sport") { p.sport = static_cast<uint16_t>(v); return; }
+  if (name == "tcp.dport") { p.dport = static_cast<uint16_t>(v); return; }
+  if (name == "tcp.seq") { p.tcp_seq = static_cast<uint32_t>(v); return; }
+  if (name == "tcp.ack") { p.tcp_ack = static_cast<uint32_t>(v); return; }
+  if (name == "tcp.off") { p.tcp_off = static_cast<uint8_t>(v); return; }
+  if (name == "tcp.flags") { p.tcp_flags = static_cast<uint8_t>(v); return; }
+  if (name == "tcp.csum") { p.l4_checksum = static_cast<uint16_t>(v); return; }
+  if (name == "pkt.in_port") { p.in_port = static_cast<uint16_t>(v); return; }
+}
+
+uint64_t NfInstance::CallApi(const std::string& name, const std::vector<uint64_t>& args,
+                             int block) {
+  ++profile_.api_calls[name];
+  Packet& p = *pkt_;
+  if (name == "ip_header" || name == "tcp_header" || name == "udp_header" ||
+      name == "payload") {
+    return 0;
+  }
+  if (name == "checksum_update" || name == "csum_hw") {
+    p.ip_checksum = Ipv4HeaderChecksum(p);
+    return p.ip_checksum;
+  }
+  if (name == "send") {
+    p.verdict = Packet::Verdict::kSent;
+    p.out_port = args.empty() ? 0 : static_cast<uint16_t>(args[0]);
+    ++profile_.sends;
+    return 0;
+  }
+  if (name == "drop") {
+    p.verdict = Packet::Verdict::kDropped;
+    ++profile_.drops;
+    return 0;
+  }
+  if (name == "crc_hash_hw") {
+    uint64_t key = args.empty() ? 0 : args[0];
+    uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<uint8_t>(key >> (8 * i));
+    }
+    return Crc32Bitwise(bytes, 8);
+  }
+  if (name == "crc32_hw") {
+    int len = p.PayloadPrefixLen();
+    if (!args.empty() && args[0] < static_cast<uint64_t>(len)) {
+      len = static_cast<int>(args[0]);
+    }
+    return Crc32Bitwise(p.payload.data(), static_cast<size_t>(len));
+  }
+  if (name == "lpm_hw") {
+    if (lpm_accel_ != nullptr && !args.empty()) {
+      auto hop = lpm_accel_->Lookup(static_cast<uint32_t>(args[0]));
+      return hop.has_value() ? *hop + 1 : 0;
+    }
+    return 0;
+  }
+  if (name == "flow_cache_get") {
+    auto it = flow_cache_.find(args.empty() ? 0 : args[0]);
+    return it == flow_cache_.end() ? 0 : it->second + 1;
+  }
+  if (name == "flow_cache_put") {
+    if (args.size() >= 2) {
+      flow_cache_[args[0]] = args[1];
+    }
+    return 0;
+  }
+  if (name == "rand") {
+    return rng_.NextU64() & 0xffffffffULL;
+  }
+  return 0;
+}
+
+uint64_t NfInstance::EvalExpr(const Expr& e, int block) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      return Mask(e.value, e.type);
+    case ExprKind::kLocal: {
+      int slot = -1;
+      const auto& slots = module_.functions[0].slots;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].name == e.name) {
+          slot = static_cast<int>(i);
+          break;
+        }
+      }
+      return slot >= 0 ? locals_[slot] : 0;
+    }
+    case ExprKind::kStateScalar: {
+      int sym = module_.FindState(e.name);
+      RecordStateRead(sym, block);
+      return Mask(arrays_[sym][0], e.type);
+    }
+    case ExprKind::kStateArray: {
+      int sym = module_.FindState(e.name);
+      uint64_t idx = EvalExpr(*e.args[0], block);
+      RecordStateRead(sym, block);
+      const auto& arr = arrays_[sym];
+      return arr.empty() ? 0 : Mask(arr[idx % arr.size()], e.type);
+    }
+    case ExprKind::kPacketField:
+      return Mask(ReadPacketField(e.name), e.type);
+    case ExprKind::kPayloadByte: {
+      uint64_t idx = EvalExpr(*e.args[0], block);
+      return pkt_->payload[idx % kMaxPayloadPrefix];
+    }
+    case ExprKind::kBinary: {
+      uint64_t a = EvalExpr(*e.args[0], block);
+      uint64_t b = EvalExpr(*e.args[1], block);
+      uint64_t r = 0;
+      int w = BitWidth(e.type);
+      switch (e.op) {
+        case Opcode::kAdd: r = a + b; break;
+        case Opcode::kSub: r = a - b; break;
+        case Opcode::kMul: r = a * b; break;
+        case Opcode::kUDiv: r = b == 0 ? 0 : a / b; break;
+        case Opcode::kURem: r = b == 0 ? 0 : a % b; break;
+        case Opcode::kAnd: r = a & b; break;
+        case Opcode::kOr: r = a | b; break;
+        case Opcode::kXor: r = a ^ b; break;
+        case Opcode::kShl: r = a << (b & (w - 1)); break;
+        case Opcode::kLShr: r = a >> (b & (w - 1)); break;
+        case Opcode::kAShr: {
+          // Arithmetic shift within the type width.
+          uint64_t sign_bit = 1ULL << (w - 1);
+          uint64_t sa = b & (w - 1);
+          r = a >> sa;
+          if (a & sign_bit) {
+            r |= ~((1ULL << (w - static_cast<int>(sa))) - 1);
+          }
+          break;
+        }
+        default: r = 0; break;
+      }
+      return Mask(r, e.type);
+    }
+    case ExprKind::kCompare: {
+      uint64_t a = EvalExpr(*e.args[0], block);
+      uint64_t b = EvalExpr(*e.args[1], block);
+      switch (e.op) {
+        case Opcode::kIcmpEq: return a == b;
+        case Opcode::kIcmpNe: return a != b;
+        case Opcode::kIcmpUlt: return a < b;
+        case Opcode::kIcmpUle: return a <= b;
+        case Opcode::kIcmpUgt: return a > b;
+        case Opcode::kIcmpUge: return a >= b;
+        default: return 0;
+      }
+    }
+    case ExprKind::kCast:
+      return Mask(EvalExpr(*e.args[0], block), e.type);
+    case ExprKind::kCall: {
+      std::vector<uint64_t> args;
+      for (const auto& a : e.args) {
+        args.push_back(EvalExpr(*a, block));
+      }
+      return Mask(CallApi(e.callee, args, block), e.type);
+    }
+  }
+  return 0;
+}
+
+void NfInstance::AttributeMapOp(const Stmt& s, const SimMap::OpResult& r, size_t nkeys,
+                                size_t value_reads, size_t value_writes, int sym) {
+  auto bump = [this](int block, uint64_t n) {
+    if (block >= 0 && n > 0) {
+      profile_.block_exec[block] += n;
+    }
+  };
+  bump(s.block_cond, r.probes + (r.exhausted ? 1 : 0));
+  bump(s.block_body, r.probes);
+  // echk runs on every probe that did not match (a hit skips it once).
+  uint64_t early_hit = (r.found && !r.exhausted) ? 1 : 0;
+  bump(s.block_echk, r.probes >= early_hit ? r.probes - early_hit : 0);
+  bump(s.block_latch, r.continues);
+  bump(s.block_hit, r.found ? 1 : 0);
+  bump(s.block_miss, r.found ? 0 : 1);
+
+  // Probe-loop key loads.
+  if (s.block_body >= 0) {
+    RecordStateRead(sym, s.block_body, static_cast<uint64_t>(r.probes) * nkeys);
+  }
+  if (r.found) {
+    if (value_reads > 0) {
+      RecordStateRead(sym, s.block_hit, value_reads);
+    }
+    if (value_writes > 0) {
+      RecordStateWrite(sym, s.block_hit, value_writes);
+    }
+  }
+}
+
+NfInstance::Flow NfInstance::ExecBody(std::vector<StmtPtr>& body) {
+  for (auto& s : body) {
+    if (ExecStmt(*s) == Flow::kReturned) {
+      return Flow::kReturned;
+    }
+  }
+  return Flow::kNormal;
+}
+
+NfInstance::Flow NfInstance::ExecStmt(Stmt& s) {
+  if (s.block_entry && s.block >= 0) {
+    ++profile_.block_exec[s.block];
+  }
+  switch (s.kind) {
+    case StmtKind::kDecl:
+    case StmtKind::kAssignLocal: {
+      uint64_t v = EvalExpr(*s.e0, s.block);
+      const auto& slots = module_.functions[0].slots;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].name == s.name) {
+          locals_[i] = Mask(v, slots[i].type);
+          break;
+        }
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kAssignState: {
+      int sym = module_.FindState(s.name);
+      uint64_t v = EvalExpr(*s.e0, s.block);
+      arrays_[sym][0] = Mask(v, module_.state[sym].elem_type);
+      RecordStateWrite(sym, s.block);
+      return Flow::kNormal;
+    }
+    case StmtKind::kAssignStateArr: {
+      int sym = module_.FindState(s.name);
+      uint64_t idx = EvalExpr(*s.e1, s.block);
+      uint64_t v = EvalExpr(*s.e0, s.block);
+      auto& arr = arrays_[sym];
+      if (!arr.empty()) {
+        arr[idx % arr.size()] = Mask(v, module_.state[sym].elem_type);
+      }
+      RecordStateWrite(sym, s.block);
+      return Flow::kNormal;
+    }
+    case StmtKind::kAssignPacket: {
+      uint64_t v = EvalExpr(*s.e0, s.block);
+      WritePacketField(s.name, v);
+      return Flow::kNormal;
+    }
+    case StmtKind::kAssignPayload: {
+      uint64_t idx = EvalExpr(*s.e1, s.block);
+      uint64_t v = EvalExpr(*s.e0, s.block);
+      pkt_->payload[idx % kMaxPayloadPrefix] = static_cast<uint8_t>(v);
+      return Flow::kNormal;
+    }
+    case StmtKind::kIf: {
+      uint64_t c = EvalExpr(*s.e0, s.block);
+      return c != 0 ? ExecBody(s.body) : ExecBody(s.else_body);
+    }
+    case StmtKind::kFor: {
+      const auto& slots = module_.functions[0].slots;
+      int var = -1;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].name == s.name) {
+          var = static_cast<int>(i);
+          break;
+        }
+      }
+      uint64_t lo = EvalExpr(*s.e0, s.block);
+      uint64_t iters = 0;
+      locals_[var] = Mask(lo, Type::kI32);
+      while (true) {
+        if (s.block_cond >= 0) {
+          ++profile_.block_exec[s.block_cond];
+        }
+        uint64_t hi = EvalExpr(*s.e1, s.block_cond);
+        if (locals_[var] >= hi) {
+          break;
+        }
+        Flow f = ExecBody(s.body);
+        if (f == Flow::kReturned) {
+          return f;
+        }
+        if (s.block_latch >= 0) {
+          ++profile_.block_exec[s.block_latch];
+        }
+        locals_[var] = Mask(locals_[var] + 1, Type::kI32);
+        ++iters;
+        if (iters > 1u << 16) {
+          break;  // runaway-loop backstop (NF loops are small by construction)
+        }
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kMapFind: {
+      int sym = module_.FindState(s.name);
+      SimMap& m = *maps_[sym];
+      const StateDecl& d = *program_.FindState(s.name);
+      std::vector<uint64_t> keys;
+      for (size_t i = 0; i < d.key_fields.size(); ++i) {
+        keys.push_back(Mask(EvalExpr(*s.args[i], s.block), d.key_fields[i]));
+      }
+      std::vector<uint64_t> values;
+      auto r = m.Find(keys, &values);
+      AttributeMapOp(s, r, keys.size(), s.outs.size(), 0, sym);
+      const auto& slots = module_.functions[0].slots;
+      auto set_local = [&](const std::string& name, uint64_t v) {
+        for (size_t i = 0; i < slots.size(); ++i) {
+          if (slots[i].name == name) {
+            locals_[i] = Mask(v, slots[i].type);
+            return;
+          }
+        }
+      };
+      if (r.found) {
+        for (size_t j = 0; j < s.outs.size(); ++j) {
+          set_local(s.outs[j], values[j]);
+        }
+      }
+      if (!s.found_local.empty()) {
+        set_local(s.found_local, r.found ? 1 : 0);
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kMapInsert: {
+      int sym = module_.FindState(s.name);
+      SimMap& m = *maps_[sym];
+      const StateDecl& d = *program_.FindState(s.name);
+      size_t nkeys = d.key_fields.size();
+      std::vector<uint64_t> keys;
+      std::vector<uint64_t> values;
+      for (size_t i = 0; i < nkeys; ++i) {
+        keys.push_back(Mask(EvalExpr(*s.args[i], s.block), d.key_fields[i]));
+      }
+      for (size_t j = 0; j < d.value_fields.size(); ++j) {
+        values.push_back(Mask(EvalExpr(*s.args[nkeys + j], s.block), d.value_fields[j].type));
+      }
+      auto r = m.Insert(keys, values);
+      AttributeMapOp(s, r, nkeys, 0, nkeys + values.size(), sym);
+      return Flow::kNormal;
+    }
+    case StmtKind::kMapErase: {
+      int sym = module_.FindState(s.name);
+      SimMap& m = *maps_[sym];
+      const StateDecl& d = *program_.FindState(s.name);
+      std::vector<uint64_t> keys;
+      for (size_t i = 0; i < d.key_fields.size(); ++i) {
+        keys.push_back(Mask(EvalExpr(*s.args[i], s.block), d.key_fields[i]));
+      }
+      auto r = m.Erase(keys);
+      AttributeMapOp(s, r, keys.size(), 0, r.found ? 1 : 0, sym);
+      return Flow::kNormal;
+    }
+    case StmtKind::kApiCall: {
+      std::vector<uint64_t> args;
+      for (const auto& a : s.args) {
+        args.push_back(EvalExpr(*a, s.block));
+      }
+      CallApi(s.callee, args, s.block);
+      return Flow::kNormal;
+    }
+    case StmtKind::kSend: {
+      std::vector<uint64_t> args;
+      if (s.e0) {
+        args.push_back(EvalExpr(*s.e0, s.block));
+      }
+      CallApi("send", args, s.block);
+      return Flow::kReturned;
+    }
+    case StmtKind::kDrop:
+      CallApi("drop", {}, s.block);
+      return Flow::kReturned;
+    case StmtKind::kReturn:
+      return Flow::kReturned;
+  }
+  return Flow::kNormal;
+}
+
+void NfInstance::Process(Packet& pkt) {
+  assert(ok_);
+  pkt_ = &pkt;
+  ++profile_.packets;
+  std::fill(locals_.begin(), locals_.end(), 0);
+  ExecBody(program_.body);
+  if (pkt.verdict == Packet::Verdict::kPending) {
+    pkt.verdict = Packet::Verdict::kSent;  // default: pass through
+  }
+  pkt_ = nullptr;
+}
+
+uint64_t NfInstance::ReadScalar(const std::string& name) const {
+  int sym = module_.FindState(name);
+  return sym >= 0 ? arrays_[sym][0] : 0;
+}
+
+uint64_t NfInstance::ReadArray(const std::string& name, size_t index) const {
+  int sym = module_.FindState(name);
+  if (sym < 0 || arrays_[sym].empty()) {
+    return 0;
+  }
+  return arrays_[sym][index % arrays_[sym].size()];
+}
+
+SimMap* NfInstance::FindMap(const std::string& name) {
+  int sym = module_.FindState(name);
+  return sym >= 0 ? maps_[sym].get() : nullptr;
+}
+
+}  // namespace clara

@@ -1,0 +1,150 @@
+// Trace-driven NF interpreter.
+//
+// Executes an NF program AST against packets, maintaining real NF state
+// (scalars, arrays, and probe-accurate hash maps) and recording the
+// workload-specific profile that Clara's porting-strategy analyses consume:
+// per-IR-block execution counts, per-state-variable access frequencies, and
+// the (block x variable) access matrix used for coalescing (§4.4).
+//
+// The interpreter's map semantics (SimMap) implement exactly the probe loops
+// the lowering expands (src/lang/lower.cc), so execution counts attach to IR
+// blocks with symmetric control flow — the reverse-porting fidelity property
+// of paper §3.3.
+#ifndef SRC_LANG_INTERP_H_
+#define SRC_LANG_INTERP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/lower.h"
+#include "src/nf/lpm.h"
+#include "src/nf/packet.h"
+#include "src/util/rng.h"
+
+namespace clara {
+
+// A hash map with the probe behaviour of the lowered IR: bounded scan,
+// key0 == 0 means empty, NIC variant probes within a fixed bucket, host
+// variant probes linearly with wraparound.
+class SimMap {
+ public:
+  explicit SimMap(const StateDecl& decl);
+
+  struct OpResult {
+    bool found = false;      // find: hit; insert: slot written; erase: entry removed
+    uint32_t probes = 0;     // probe-body executions
+    uint32_t continues = 0;  // latch executions
+    bool exhausted = false;  // probe bound reached without stopping
+    bool stopped_empty = false;
+    uint64_t index = 0;      // slot index on found
+  };
+
+  OpResult Find(const std::vector<uint64_t>& keys, std::vector<uint64_t>* values_out);
+  OpResult Insert(const std::vector<uint64_t>& keys, const std::vector<uint64_t>& values);
+  OpResult Erase(const std::vector<uint64_t>& keys);
+
+  size_t entries() const { return entries_; }
+  size_t slot_count() const { return slot_count_; }
+  void Clear();
+
+ private:
+  struct Probe {
+    uint64_t start;
+    uint32_t bound;
+  };
+  Probe StartProbe(const std::vector<uint64_t>& keys) const;
+  uint64_t Advance(uint64_t idx) const;
+  bool KeyMatches(uint64_t idx, const std::vector<uint64_t>& keys) const;
+
+  size_t nkeys_;
+  size_t nvals_;
+  bool nic_;
+  uint32_t spb_;
+  uint32_t buckets_;
+  size_t slot_count_;
+  size_t entries_ = 0;
+  std::vector<uint64_t> keys_;    // slot-major
+  std::vector<uint64_t> values_;  // slot-major
+};
+
+// Workload-specific execution profile.
+struct NfProfile {
+  uint64_t packets = 0;
+  uint64_t sends = 0;
+  uint64_t drops = 0;
+  std::vector<uint64_t> block_exec;                    // [ir block]
+  std::vector<uint64_t> state_reads;                   // [state var]
+  std::vector<uint64_t> state_writes;                  // [state var]
+  std::vector<std::vector<uint64_t>> block_var_access; // [ir block][state var]
+  std::map<std::string, uint64_t> api_calls;
+
+  uint64_t StateAccesses(size_t var) const { return state_reads[var] + state_writes[var]; }
+};
+
+// An executable NF: owns the program, its lowered IR module, and its state.
+class NfInstance {
+ public:
+  // Takes ownership of `program`; lowers it immediately.
+  explicit NfInstance(Program program, uint64_t seed = 1);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  const Program& program() const { return program_; }
+  const Module& module() const { return module_; }
+
+  // Runs the handler on one packet, mutating it (header writes, verdict).
+  void Process(Packet& pkt);
+
+  const NfProfile& profile() const { return profile_; }
+  void ResetProfile();
+
+  // Resets all NF state (maps, scalars, arrays) to initial values.
+  void ResetState();
+
+  // Test/inspection hooks.
+  uint64_t ReadScalar(const std::string& name) const;
+  uint64_t ReadArray(const std::string& name, size_t index) const;
+  SimMap* FindMap(const std::string& name);
+
+  // Table backing the lpm_hw accelerator API (iplookup's ported form).
+  void SetLpmAccelTable(const LpmTable* table) { lpm_accel_ = table; }
+
+ private:
+  enum class Flow { kNormal, kReturned };
+
+  uint64_t EvalExpr(const Expr& e, int block);
+  Flow ExecStmt(Stmt& s);
+  Flow ExecBody(std::vector<StmtPtr>& body);
+  uint64_t CallApi(const std::string& name, const std::vector<uint64_t>& args, int block);
+
+  void RecordStateRead(int sym, int block, uint64_t n = 1);
+  void RecordStateWrite(int sym, int block, uint64_t n = 1);
+  void AttributeMapOp(const Stmt& s, const SimMap::OpResult& r, size_t nkeys,
+                      size_t value_reads, size_t value_writes, int sym);
+
+  uint64_t ReadPacketField(const std::string& name) const;
+  void WritePacketField(const std::string& name, uint64_t v);
+
+  Program program_;
+  Module module_;
+  bool ok_ = false;
+  std::string error_;
+
+  std::vector<uint64_t> locals_;               // by stack-slot index
+  std::vector<std::vector<uint64_t>> arrays_;  // per state var (scalars: size 1)
+  std::vector<std::unique_ptr<SimMap>> maps_;  // per state var (null if not map)
+
+  NfProfile profile_;
+  Packet* pkt_ = nullptr;
+  Rng rng_;
+  const LpmTable* lpm_accel_ = nullptr;
+  std::map<uint64_t, uint64_t> flow_cache_;  // accelerator-backed flow cache
+};
+
+}  // namespace clara
+
+#endif  // SRC_LANG_INTERP_H_

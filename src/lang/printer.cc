@@ -1,0 +1,234 @@
+#include "src/lang/printer.h"
+
+#include <sstream>
+
+namespace clara {
+namespace {
+
+const char* TypeWord(Type t) {
+  switch (t) {
+    case Type::kI1: return "bool";
+    case Type::kI8: return "u8";
+    case Type::kI16: return "u16";
+    case Type::kI32: return "u32";
+    case Type::kI64: return "u64";
+    default: return "void";
+  }
+}
+
+const char* OpSym(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "+";
+    case Opcode::kSub: return "-";
+    case Opcode::kMul: return "*";
+    case Opcode::kUDiv: return "/";
+    case Opcode::kURem: return "%";
+    case Opcode::kAnd: return "&";
+    case Opcode::kOr: return "|";
+    case Opcode::kXor: return "^";
+    case Opcode::kShl: return "<<";
+    case Opcode::kLShr: return ">>";
+    case Opcode::kAShr: return ">>";
+    case Opcode::kIcmpEq: return "==";
+    case Opcode::kIcmpNe: return "!=";
+    case Opcode::kIcmpUlt: return "<";
+    case Opcode::kIcmpUle: return "<=";
+    case Opcode::kIcmpUgt: return ">";
+    case Opcode::kIcmpUge: return ">=";
+    default: return "?";
+  }
+}
+
+class Printer {
+ public:
+  explicit Printer(const Program& p) : p_(p) {}
+
+  std::string Run() {
+    os_ << "class " << p_.name << " : public Element {\n";
+    for (const auto& s : p_.state) {
+      Indent(1);
+      switch (s.kind) {
+        case StateKind::kScalar:
+          os_ << TypeWord(s.elem_type) << " " << s.name << ";\n";
+          break;
+        case StateKind::kArray:
+          os_ << TypeWord(s.elem_type) << " " << s.name << "[" << s.length << "];\n";
+          break;
+        case StateKind::kMap:
+          os_ << (s.impl == MapImpl::kHostLinearProbe ? "HashMap" : "NicHashMap") << "<key"
+              << s.KeyBytes() << ", value" << s.ValueBytes() << "> " << s.name << "; // cap "
+              << s.capacity << "\n";
+          break;
+      }
+    }
+    Indent(1);
+    os_ << "void simple_action(Packet* pkt) {\n";
+    PrintBody(p_.body, 2);
+    Indent(1);
+    os_ << "}\n};\n";
+    return os_.str();
+  }
+
+ private:
+  void Indent(int n) {
+    for (int i = 0; i < n; ++i) {
+      os_ << "  ";
+    }
+  }
+
+  std::string ExprStr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return std::to_string(e.value);
+      case ExprKind::kLocal:
+        return e.name;
+      case ExprKind::kStateScalar:
+        return e.name;
+      case ExprKind::kStateArray:
+        return e.name + "[" + ExprStr(*e.args[0]) + "]";
+      case ExprKind::kPacketField:
+        return "pkt->" + e.name;
+      case ExprKind::kPayloadByte:
+        return "pkt->payload[" + ExprStr(*e.args[0]) + "]";
+      case ExprKind::kBinary:
+      case ExprKind::kCompare:
+        return "(" + ExprStr(*e.args[0]) + " " + OpSym(e.op) + " " + ExprStr(*e.args[1]) + ")";
+      case ExprKind::kCast:
+        return std::string("(") + TypeWord(e.type) + ")" + ExprStr(*e.args[0]);
+      case ExprKind::kCall: {
+        std::string s = e.callee + "(";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+          if (i > 0) {
+            s += ", ";
+          }
+          s += ExprStr(*e.args[i]);
+        }
+        return s + ")";
+      }
+    }
+    return "?";
+  }
+
+  void PrintBody(const std::vector<StmtPtr>& body, int depth) {
+    for (const auto& s : body) {
+      PrintStmt(*s, depth);
+    }
+  }
+
+  void PrintStmt(const Stmt& s, int d) {
+    Indent(d);
+    switch (s.kind) {
+      case StmtKind::kDecl:
+        os_ << TypeWord(s.type) << " " << s.name << " = " << ExprStr(*s.e0) << ";\n";
+        break;
+      case StmtKind::kAssignLocal:
+        os_ << s.name << " = " << ExprStr(*s.e0) << ";\n";
+        break;
+      case StmtKind::kAssignState:
+        os_ << s.name << " = " << ExprStr(*s.e0) << ";\n";
+        break;
+      case StmtKind::kAssignStateArr:
+        os_ << s.name << "[" << ExprStr(*s.e1) << "] = " << ExprStr(*s.e0) << ";\n";
+        break;
+      case StmtKind::kAssignPacket:
+        os_ << "pkt->" << s.name << " = " << ExprStr(*s.e0) << ";\n";
+        break;
+      case StmtKind::kAssignPayload:
+        os_ << "pkt->payload[" << ExprStr(*s.e1) << "] = " << ExprStr(*s.e0) << ";\n";
+        break;
+      case StmtKind::kIf:
+        os_ << "if " << ExprStr(*s.e0) << " {\n";
+        PrintBody(s.body, d + 1);
+        if (!s.else_body.empty()) {
+          Indent(d);
+          os_ << "} else {\n";
+          PrintBody(s.else_body, d + 1);
+        }
+        Indent(d);
+        os_ << "}\n";
+        break;
+      case StmtKind::kFor:
+        os_ << "for (" << s.name << " = " << ExprStr(*s.e0) << "; " << s.name << " < "
+            << ExprStr(*s.e1) << "; ++" << s.name << ") {\n";
+        PrintBody(s.body, d + 1);
+        Indent(d);
+        os_ << "}\n";
+        break;
+      case StmtKind::kMapFind: {
+        os_ << s.found_local << " = " << s.name << ".find(";
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          os_ << (i > 0 ? ", " : "") << ExprStr(*s.args[i]);
+        }
+        os_ << ")";
+        if (!s.outs.empty()) {
+          os_ << " -> {";
+          for (size_t i = 0; i < s.outs.size(); ++i) {
+            os_ << (i > 0 ? ", " : "") << s.outs[i];
+          }
+          os_ << "}";
+        }
+        os_ << ";\n";
+        break;
+      }
+      case StmtKind::kMapInsert: {
+        os_ << s.name << ".insert(";
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          os_ << (i > 0 ? ", " : "") << ExprStr(*s.args[i]);
+        }
+        os_ << ");\n";
+        break;
+      }
+      case StmtKind::kMapErase: {
+        os_ << s.name << ".erase(";
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          os_ << (i > 0 ? ", " : "") << ExprStr(*s.args[i]);
+        }
+        os_ << ");\n";
+        break;
+      }
+      case StmtKind::kApiCall: {
+        os_ << s.callee << "(";
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          os_ << (i > 0 ? ", " : "") << ExprStr(*s.args[i]);
+        }
+        os_ << ");\n";
+        break;
+      }
+      case StmtKind::kSend:
+        os_ << "pkt->send(" << (s.e0 ? ExprStr(*s.e0) : "") << ");\n";
+        break;
+      case StmtKind::kDrop:
+        os_ << "pkt->kill();\n";
+        break;
+      case StmtKind::kReturn:
+        os_ << "return;\n";
+        break;
+    }
+  }
+
+  const Program& p_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string ToSource(const Program& p) { return Printer(p).Run(); }
+
+int SourceLineCount(const Program& p) {
+  std::string src = ToSource(p);
+  int lines = 0;
+  bool nonempty = false;
+  for (char c : src) {
+    if (c == '\n') {
+      if (nonempty) {
+        ++lines;
+      }
+      nonempty = false;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      nonempty = true;
+    }
+  }
+  return lines;
+}
+
+}  // namespace clara

@@ -1,0 +1,19 @@
+// Pretty-printer: renders an NF program as pseudo-Click C++ source. Used for
+// documentation/examples and to estimate source LoC for the Table 2 summary.
+#ifndef SRC_LANG_PRINTER_H_
+#define SRC_LANG_PRINTER_H_
+
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace clara {
+
+std::string ToSource(const Program& p);
+
+// Number of non-empty lines ToSource would produce.
+int SourceLineCount(const Program& p);
+
+}  // namespace clara
+
+#endif  // SRC_LANG_PRINTER_H_

@@ -1,0 +1,153 @@
+#include "src/ml/automl.h"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/ml/ensemble.h"
+#include "src/ml/knn.h"
+#include "src/ml/mlp.h"
+#include "src/ml/tree.h"
+
+namespace clara {
+namespace {
+
+// Splits [0, n) into `folds` contiguous validation ranges.
+std::pair<TabularDataset, TabularDataset> Split(const TabularDataset& data, int fold,
+                                                int folds) {
+  TabularDataset train;
+  TabularDataset valid;
+  size_t n = data.size();
+  size_t lo = n * fold / folds;
+  size_t hi = n * (fold + 1) / folds;
+  for (size_t i = 0; i < n; ++i) {
+    if (i >= lo && i < hi) {
+      valid.x.push_back(data.x[i]);
+      valid.y.push_back(data.y[i]);
+    } else {
+      train.x.push_back(data.x[i]);
+      train.y.push_back(data.y[i]);
+    }
+  }
+  return {std::move(train), std::move(valid)};
+}
+
+}  // namespace
+
+std::unique_ptr<Regressor> AutoMlRegression(const TabularDataset& data, AutoMlReport* report,
+                                            int folds) {
+  using Factory = std::function<std::unique_ptr<Regressor>()>;
+  std::vector<std::pair<std::string, Factory>> candidates;
+  for (int k : {3, 5, 9}) {
+    candidates.emplace_back("knn(k=" + std::to_string(k) + ")",
+                            [k] { return std::make_unique<KnnRegressor>(KnnOptions{k}); });
+  }
+  for (int depth : {4, 6, 8}) {
+    candidates.emplace_back("dt(depth=" + std::to_string(depth) + ")", [depth] {
+      return std::make_unique<RegressionTree>(TreeOptions{depth, 2, 0});
+    });
+  }
+  for (int rounds : {60, 120}) {
+    candidates.emplace_back("gbdt(rounds=" + std::to_string(rounds) + ")", [rounds] {
+      GbdtOptions o;
+      o.rounds = rounds;
+      return std::make_unique<GbdtRegressor>(o);
+    });
+  }
+  for (int trees : {40, 80}) {
+    candidates.emplace_back("rf(trees=" + std::to_string(trees) + ")", [trees] {
+      ForestOptions o;
+      o.trees = trees;
+      return std::make_unique<RandomForestRegressor>(o);
+    });
+  }
+
+  std::string best_desc;
+  Factory best_factory;
+  double best_err = 1e300;
+  for (const auto& [desc, factory] : candidates) {
+    double err = 0;
+    int count = 0;
+    for (int f = 0; f < folds; ++f) {
+      auto [train, valid] = Split(data, f, folds);
+      if (train.size() == 0 || valid.size() == 0) {
+        continue;
+      }
+      auto model = factory();
+      model->Fit(train);
+      for (size_t i = 0; i < valid.size(); ++i) {
+        err += std::abs(model->Predict(valid.x[i]) - valid.y[i]);
+        ++count;
+      }
+    }
+    double mae = count > 0 ? err / count : 1e300;
+    if (mae < best_err) {
+      best_err = mae;
+      best_desc = desc;
+      best_factory = factory;
+    }
+  }
+  if (report != nullptr) {
+    report->chosen = best_desc;
+    report->cv_error = best_err;
+  }
+  auto model = best_factory ? best_factory() : std::make_unique<RegressionTree>();
+  model->Fit(data);
+  return model;
+}
+
+std::unique_ptr<Classifier> AutoMlClassification(const TabularDataset& data, int num_classes,
+                                                 AutoMlReport* report, int folds) {
+  using Factory = std::function<std::unique_ptr<Classifier>()>;
+  std::vector<std::pair<std::string, Factory>> candidates;
+  for (int k : {1, 3, 7}) {
+    candidates.emplace_back("knn(k=" + std::to_string(k) + ")",
+                            [k] { return std::make_unique<KnnClassifier>(KnnOptions{k}); });
+  }
+  for (int depth : {4, 8}) {
+    candidates.emplace_back("dt(depth=" + std::to_string(depth) + ")", [depth] {
+      return std::make_unique<TreeClassifier>(TreeOptions{depth, 2, 0});
+    });
+  }
+  candidates.emplace_back("gbdt-ovr", [] {
+    GbdtOptions o;
+    o.rounds = 60;
+    return std::make_unique<GbdtClassifier>(o);
+  });
+  candidates.emplace_back("mlp", [] { return std::make_unique<MlpClassifier>(); });
+
+  std::string best_desc;
+  Factory best_factory;
+  double best_err = 1e300;
+  for (const auto& [desc, factory] : candidates) {
+    int errors = 0;
+    int count = 0;
+    for (int f = 0; f < folds; ++f) {
+      auto [train, valid] = Split(data, f, folds);
+      if (train.size() == 0 || valid.size() == 0) {
+        continue;
+      }
+      auto model = factory();
+      model->Fit(train, num_classes);
+      for (size_t i = 0; i < valid.size(); ++i) {
+        errors += model->Predict(valid.x[i]) != static_cast<int>(valid.y[i]) ? 1 : 0;
+        ++count;
+      }
+    }
+    double rate = count > 0 ? static_cast<double>(errors) / count : 1e300;
+    if (rate < best_err) {
+      best_err = rate;
+      best_desc = desc;
+      best_factory = factory;
+    }
+  }
+  if (report != nullptr) {
+    report->chosen = best_desc;
+    report->cv_error = best_err;
+  }
+  auto model = best_factory ? best_factory() : std::make_unique<TreeClassifier>();
+  model->Fit(data, num_classes);
+  return model;
+}
+
+}  // namespace clara

@@ -1,0 +1,32 @@
+// AutoML-style model search (the TPOT stand-in of §5): cross-validated grid
+// search over model families and hyperparameters, returning the best
+// pipeline refit on the full training set. Like TPOT, it supports regression
+// and classification but not ranking (§5.7).
+#ifndef SRC_ML_AUTOML_H_
+#define SRC_ML_AUTOML_H_
+
+#include <memory>
+#include <string>
+
+#include "src/ml/common.h"
+
+namespace clara {
+
+struct AutoMlReport {
+  std::string chosen;   // description of the winning pipeline
+  double cv_error = 0;  // CV MAE (regression) / error rate (classification)
+};
+
+// Searches {kNN, decision tree, GBDT, random forest} x hyperparameters with
+// k-fold CV. The returned regressor is refit on all data.
+std::unique_ptr<Regressor> AutoMlRegression(const TabularDataset& data,
+                                            AutoMlReport* report = nullptr, int folds = 4);
+
+// Searches {kNN, decision tree, GBDT one-vs-rest, MLP} for classification.
+std::unique_ptr<Classifier> AutoMlClassification(const TabularDataset& data, int num_classes,
+                                                 AutoMlReport* report = nullptr,
+                                                 int folds = 4);
+
+}  // namespace clara
+
+#endif  // SRC_ML_AUTOML_H_

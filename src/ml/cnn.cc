@@ -1,0 +1,102 @@
+#include "src/ml/cnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clara {
+
+CnnRegressor::Pooled CnnRegressor::ForwardPool(const std::vector<int>& tokens) const {
+  int nf = opts_.filters;
+  int kw = opts_.kernel;
+  Pooled p;
+  p.value.assign(nf, 0.0);
+  p.argmax.assign(nf, -1);
+  int len = static_cast<int>(std::min<size_t>(tokens.size(), opts_.max_seq_len));
+  for (int f = 0; f < nf; ++f) {
+    double best = 0.0;  // relu floor: empty/negative activations pool to 0
+    int best_pos = -1;
+    for (int t = 0; t + kw <= len; ++t) {
+      double s = b_[f];
+      for (int d = 0; d < kw; ++d) {
+        int x = tokens[t + d];
+        if (x < 0 || x >= vocab_) {
+          x = 0;
+        }
+        s += w_[(static_cast<size_t>(f) * kw + d) * vocab_ + x];
+      }
+      if (s > best) {
+        best = s;
+        best_pos = t;
+      }
+    }
+    p.value[f] = best;
+    p.argmax[f] = best_pos;
+  }
+  return p;
+}
+
+void CnnRegressor::Fit(const SeqDataset& data) {
+  vocab_ = std::max(1, data.vocab);
+  int nf = opts_.filters;
+  int kw = opts_.kernel;
+  Rng rng(opts_.seed);
+  w_.resize(static_cast<size_t>(nf) * kw * vocab_);
+  for (auto& w : w_) {
+    w = rng.NextGaussian(0.2);
+  }
+  b_.assign(nf, 0.0);
+  w_out_.resize(nf);
+  for (auto& w : w_out_) {
+    w = rng.NextGaussian(0.2);
+  }
+  b_out_ = 0;
+
+  y_scale_ = 1e-9;
+  for (const auto& ex : data.examples) {
+    y_scale_ = std::max(y_scale_, std::abs(ex.target));
+  }
+
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    double lr = opts_.learning_rate / (1.0 + 0.05 * epoch);
+    for (size_t si : rng.Permutation(data.examples.size())) {
+      const SeqExample& ex = data.examples[si];
+      Pooled p = ForwardPool(ex.tokens);
+      double y = b_out_;
+      for (int f = 0; f < nf; ++f) {
+        y += w_out_[f] * p.value[f];
+      }
+      double dy = y - ex.target / y_scale_;
+      b_out_ -= lr * dy;
+      for (int f = 0; f < nf; ++f) {
+        double dval = dy * w_out_[f];
+        w_out_[f] -= lr * dy * p.value[f];
+        if (p.argmax[f] < 0) {
+          continue;  // pooled to the relu floor; no gradient into conv
+        }
+        b_[f] -= lr * dval;
+        int t = p.argmax[f];
+        for (int d = 0; d < kw; ++d) {
+          int x = ex.tokens[t + d];
+          if (x < 0 || x >= vocab_) {
+            x = 0;
+          }
+          w_[(static_cast<size_t>(f) * kw + d) * vocab_ + x] -= lr * dval;
+        }
+      }
+    }
+  }
+}
+
+double CnnRegressor::Predict(const std::vector<int>& tokens) const {
+  if (vocab_ == 0) {
+    return 0;
+  }
+  Pooled p = ForwardPool(tokens);
+  double y = b_out_;
+  for (int f = 0; f < opts_.filters; ++f) {
+    y += w_out_[f] * p.value[f];
+  }
+  return std::max(0.0, y * y_scale_);
+}
+
+}  // namespace clara

@@ -1,0 +1,52 @@
+// 1-D convolutional network over one-hot token sequences — the "CNN"
+// baseline of Figure 8 (sentence-classification-style architecture: conv,
+// relu, global max pool, FC).
+#ifndef SRC_ML_CNN_H_
+#define SRC_ML_CNN_H_
+
+#include <vector>
+
+#include "src/ml/common.h"
+#include "src/util/rng.h"
+
+namespace clara {
+
+struct CnnOptions {
+  int filters = 24;
+  int kernel = 3;
+  int epochs = 40;
+  int max_seq_len = 96;
+  double learning_rate = 0.005;
+  uint64_t seed = 41;
+};
+
+class CnnRegressor : public SeqRegressor {
+ public:
+  explicit CnnRegressor(CnnOptions opts = CnnOptions{}) : opts_(opts) {}
+
+  void Fit(const SeqDataset& data) override;
+  double Predict(const std::vector<int>& tokens) const override;
+  std::string Describe() const override { return "cnn-1d"; }
+
+ private:
+  struct Pooled {
+    std::vector<double> value;   // per filter, post-relu max
+    std::vector<int> argmax;     // winning position per filter (-1 if none)
+  };
+
+  Pooled ForwardPool(const std::vector<int>& tokens) const;
+
+  CnnOptions opts_;
+  int vocab_ = 0;
+  double y_scale_ = 1;
+  // conv weights: [filter][tap][vocab] flattened; one-hot input makes each
+  // tap a simple lookup.
+  std::vector<double> w_;
+  std::vector<double> b_;      // per filter
+  std::vector<double> w_out_;  // per filter
+  double b_out_ = 0;
+};
+
+}  // namespace clara
+
+#endif  // SRC_ML_CNN_H_

@@ -1,0 +1,55 @@
+#include "src/ml/common.h"
+
+#include <cmath>
+
+namespace clara {
+
+void Standardizer::Fit(const std::vector<FeatureVec>& x) {
+  if (x.empty()) {
+    return;
+  }
+  size_t d = x[0].size();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) {
+      mean_[j] += row[j];
+    }
+  }
+  for (auto& m : mean_) {
+    m /= static_cast<double>(x.size());
+  }
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) {
+      double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    double sd = std::sqrt(var[j] / static_cast<double>(x.size()));
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+FeatureVec Standardizer::Apply(const FeatureVec& x) const {
+  if (mean_.empty()) {
+    return x;
+  }
+  FeatureVec out(x.size());
+  for (size_t j = 0; j < x.size() && j < mean_.size(); ++j) {
+    out[j] = (x[j] - mean_[j]) * inv_std_[j];
+  }
+  return out;
+}
+
+std::vector<FeatureVec> Standardizer::ApplyAll(const std::vector<FeatureVec>& x) const {
+  std::vector<FeatureVec> out;
+  out.reserve(x.size());
+  for (const auto& row : x) {
+    out.push_back(Apply(row));
+  }
+  return out;
+}
+
+}  // namespace clara

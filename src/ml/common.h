@@ -1,0 +1,77 @@
+// Shared dataset types and model interfaces for Clara's ML engine.
+//
+// All learning components are implemented from scratch (the paper used
+// TensorFlow/Scikit-learn/XGBoost; see DESIGN.md substitutions) on top of
+// plain double vectors: feature-vector models implement Regressor/Classifier,
+// sequence models implement SeqRegressor over token-id sequences.
+#ifndef SRC_ML_COMMON_H_
+#define SRC_ML_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clara {
+
+using FeatureVec = std::vector<double>;
+
+struct TabularDataset {
+  std::vector<FeatureVec> x;
+  std::vector<double> y;  // regression target or class label (as double)
+
+  size_t size() const { return x.size(); }
+  size_t dim() const { return x.empty() ? 0 : x[0].size(); }
+};
+
+struct SeqExample {
+  std::vector<int> tokens;  // token ids in [0, vocab)
+  double target = 0;
+};
+
+struct SeqDataset {
+  int vocab = 0;
+  std::vector<SeqExample> examples;
+};
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void Fit(const TabularDataset& data) = 0;
+  virtual double Predict(const FeatureVec& x) const = 0;
+  virtual std::string Describe() const = 0;
+};
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  // Labels must be integers 0..num_classes-1 stored in y.
+  virtual void Fit(const TabularDataset& data, int num_classes) = 0;
+  virtual int Predict(const FeatureVec& x) const = 0;
+  virtual std::string Describe() const = 0;
+};
+
+class SeqRegressor {
+ public:
+  virtual ~SeqRegressor() = default;
+  virtual void Fit(const SeqDataset& data) = 0;
+  virtual double Predict(const std::vector<int>& tokens) const = 0;
+  virtual std::string Describe() const = 0;
+};
+
+// Feature standardization (z-score). Degenerate features get stddev 1.
+class Standardizer {
+ public:
+  void Fit(const std::vector<FeatureVec>& x);
+  FeatureVec Apply(const FeatureVec& x) const;
+  std::vector<FeatureVec> ApplyAll(const std::vector<FeatureVec>& x) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  FeatureVec mean_;
+  FeatureVec inv_std_;
+};
+
+}  // namespace clara
+
+#endif  // SRC_ML_COMMON_H_

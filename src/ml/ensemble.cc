@@ -1,0 +1,155 @@
+#include "src/ml/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace clara {
+
+void GbdtRegressor::Fit(const TabularDataset& data) {
+  trees_.clear();
+  if (data.size() == 0) {
+    base_ = 0;
+    return;
+  }
+  base_ = std::accumulate(data.y.begin(), data.y.end(), 0.0) / data.size();
+  std::vector<double> pred(data.size(), base_);
+  std::vector<double> residual(data.size());
+  std::vector<size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int round = 0; round < opts_.rounds; ++round) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      residual[i] = data.y[i] - pred[i];
+    }
+    RegressionTree tree(opts_.tree);
+    tree.FitSubset(data.x, residual, idx);
+    for (size_t i = 0; i < data.size(); ++i) {
+      pred[i] += opts_.learning_rate * tree.Predict(data.x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtRegressor::Predict(const FeatureVec& x) const {
+  double y = base_;
+  for (const auto& t : trees_) {
+    y += opts_.learning_rate * t.Predict(x);
+  }
+  return y;
+}
+
+void RandomForestRegressor::Fit(const TabularDataset& data) {
+  trees_.clear();
+  if (data.size() == 0) {
+    return;
+  }
+  Rng rng(opts_.seed);
+  size_t sample = std::max<size_t>(1, static_cast<size_t>(data.size() * opts_.sample_fraction));
+  TreeOptions topts = opts_.tree;
+  if (topts.feature_subsample == 0) {
+    topts.feature_subsample =
+        std::max(1, static_cast<int>(std::sqrt(static_cast<double>(data.dim()))));
+  }
+  for (int t = 0; t < opts_.trees; ++t) {
+    std::vector<size_t> idx(sample);
+    for (auto& i : idx) {
+      i = rng.NextBounded(data.size());
+    }
+    RegressionTree tree(topts);
+    tree.FitSubset(data.x, data.y, idx, &rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::Predict(const FeatureVec& x) const {
+  if (trees_.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (const auto& t : trees_) {
+    sum += t.Predict(x);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+void GbdtClassifier::Fit(const TabularDataset& data, int num_classes) {
+  per_class_.clear();
+  for (int c = 0; c < num_classes; ++c) {
+    TabularDataset binary;
+    binary.x = data.x;
+    binary.y.resize(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+      binary.y[i] = static_cast<int>(data.y[i]) == c ? 1.0 : 0.0;
+    }
+    GbdtRegressor reg(opts_);
+    reg.Fit(binary);
+    per_class_.push_back(std::move(reg));
+  }
+}
+
+int GbdtClassifier::Predict(const FeatureVec& x) const {
+  int best = 0;
+  double best_score = -1e300;
+  for (size_t c = 0; c < per_class_.size(); ++c) {
+    double s = per_class_[c].Predict(x);
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+void GbdtRanker::Fit(const std::vector<RankGroup>& groups) {
+  trees_.clear();
+  std::vector<FeatureVec> x;
+  std::vector<std::pair<size_t, size_t>> group_range;  // [begin, end)
+  std::vector<double> relevance;
+  for (const auto& g : groups) {
+    size_t begin = x.size();
+    for (size_t i = 0; i < g.items.size(); ++i) {
+      x.push_back(g.items[i]);
+      relevance.push_back(g.relevance[i]);
+    }
+    group_range.emplace_back(begin, x.size());
+  }
+  if (x.empty()) {
+    return;
+  }
+  std::vector<double> score(x.size(), 0.0);
+  std::vector<double> lambda(x.size());
+  std::vector<size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  const double sigma = 1.0;
+  for (int round = 0; round < opts_.rounds; ++round) {
+    std::fill(lambda.begin(), lambda.end(), 0.0);
+    for (const auto& [begin, end] : group_range) {
+      for (size_t i = begin; i < end; ++i) {
+        for (size_t j = begin; j < end; ++j) {
+          if (relevance[i] <= relevance[j]) {
+            continue;  // only pairs where i should outrank j
+          }
+          double rho = 1.0 / (1.0 + std::exp(sigma * (score[i] - score[j])));
+          lambda[i] += sigma * rho;
+          lambda[j] -= sigma * rho;
+        }
+      }
+    }
+    RegressionTree tree(opts_.tree);
+    tree.FitSubset(x, lambda, idx);
+    for (size_t i = 0; i < x.size(); ++i) {
+      score[i] += opts_.learning_rate * tree.Predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtRanker::Score(const FeatureVec& x) const {
+  double s = 0;
+  for (const auto& t : trees_) {
+    s += opts_.learning_rate * t.Predict(x);
+  }
+  return s;
+}
+
+}  // namespace clara

@@ -1,0 +1,94 @@
+// Tree ensembles: gradient-boosted regression (the paper's GBDT cost model,
+// §4.2), random forests (TPOT/AutoML's pick for instruction prediction),
+// one-vs-rest GBDT classification, and a pairwise GBDT ranker
+// (LambdaMART-style, §4.5 colocation).
+#ifndef SRC_ML_ENSEMBLE_H_
+#define SRC_ML_ENSEMBLE_H_
+
+#include <vector>
+
+#include "src/ml/common.h"
+#include "src/ml/tree.h"
+#include "src/util/rng.h"
+
+namespace clara {
+
+struct GbdtOptions {
+  int rounds = 120;
+  double learning_rate = 0.1;
+  TreeOptions tree;
+};
+
+class GbdtRegressor : public Regressor {
+ public:
+  explicit GbdtRegressor(GbdtOptions opts = GbdtOptions{}) : opts_(opts) {}
+
+  void Fit(const TabularDataset& data) override;
+  double Predict(const FeatureVec& x) const override;
+  std::string Describe() const override { return "gbdt"; }
+
+ private:
+  GbdtOptions opts_;
+  double base_ = 0;
+  std::vector<RegressionTree> trees_;
+};
+
+struct ForestOptions {
+  int trees = 60;
+  double sample_fraction = 0.8;
+  TreeOptions tree = {8, 2, 0};
+  uint64_t seed = 7;
+};
+
+class RandomForestRegressor : public Regressor {
+ public:
+  explicit RandomForestRegressor(ForestOptions opts = ForestOptions{}) : opts_(opts) {}
+
+  void Fit(const TabularDataset& data) override;
+  double Predict(const FeatureVec& x) const override;
+  std::string Describe() const override { return "random-forest"; }
+
+ private:
+  ForestOptions opts_;
+  std::vector<RegressionTree> trees_;
+};
+
+// One-vs-rest classification on top of GBDT regression scores.
+class GbdtClassifier : public Classifier {
+ public:
+  explicit GbdtClassifier(GbdtOptions opts = GbdtOptions{}) : opts_(opts) {}
+
+  void Fit(const TabularDataset& data, int num_classes) override;
+  int Predict(const FeatureVec& x) const override;
+  std::string Describe() const override { return "gbdt-ovr"; }
+
+ private:
+  GbdtOptions opts_;
+  std::vector<GbdtRegressor> per_class_;
+};
+
+// Pairwise learning-to-rank with gradient-boosted trees. Training data is a
+// set of groups; within a group, items with higher relevance should score
+// higher. Gradients are RankNet-style pairwise logistic lambdas fit by
+// regression trees (the core of LambdaMART).
+struct RankGroup {
+  std::vector<FeatureVec> items;
+  std::vector<double> relevance;  // higher = better
+};
+
+class GbdtRanker {
+ public:
+  explicit GbdtRanker(GbdtOptions opts = GbdtOptions{}) : opts_(opts) {}
+
+  void Fit(const std::vector<RankGroup>& groups);
+  double Score(const FeatureVec& x) const;
+  std::string Describe() const { return "gbdt-pairwise-ranker"; }
+
+ private:
+  GbdtOptions opts_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace clara
+
+#endif  // SRC_ML_ENSEMBLE_H_

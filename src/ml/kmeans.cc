@@ -1,0 +1,115 @@
+#include "src/ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/rng.h"
+
+namespace clara {
+namespace {
+
+double Sq(const FeatureVec& a, const FeatureVec& b) {
+  double d = 0;
+  for (size_t j = 0; j < a.size() && j < b.size(); ++j) {
+    double delta = a[j] - b[j];
+    d += delta * delta;
+  }
+  return d;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<FeatureVec>& x, int k, int iters, uint64_t seed) {
+  KMeansResult r;
+  if (x.empty() || k <= 0) {
+    return r;
+  }
+  k = std::min<int>(k, static_cast<int>(x.size()));
+  Rng rng(seed);
+
+  // k-means++ seeding.
+  r.centroids.push_back(x[rng.NextBounded(x.size())]);
+  std::vector<double> d2(x.size(), 0.0);
+  while (static_cast<int>(r.centroids.size()) < k) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : r.centroids) {
+        best = std::min(best, Sq(x[i], c));
+      }
+      d2[i] = best;
+    }
+    r.centroids.push_back(x[rng.NextWeighted(d2)]);
+  }
+
+  r.assignment.assign(x.size(), 0);
+  for (int it = 0; it < iters; ++it) {
+    bool changed = false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        double d = Sq(x[i], r.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (r.assignment[i] != best) {
+        r.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    size_t dim = x[0].size();
+    std::vector<FeatureVec> sums(k, FeatureVec(dim, 0.0));
+    std::vector<int> counts(k, 0);
+    for (size_t i = 0; i < x.size(); ++i) {
+      ++counts[r.assignment[i]];
+      for (size_t j = 0; j < dim; ++j) {
+        sums[r.assignment[i]][j] += x[i][j];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        for (size_t j = 0; j < dim; ++j) {
+          r.centroids[c][j] = sums[c][j] / counts[c];
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  r.inertia = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    r.inertia += Sq(x[i], r.centroids[r.assignment[i]]);
+  }
+  return r;
+}
+
+int ChooseKByElbow(const std::vector<FeatureVec>& x, int max_k, double min_gain,
+                   uint64_t seed) {
+  if (x.size() <= 1) {
+    return static_cast<int>(x.size());
+  }
+  max_k = std::min<int>(max_k, static_cast<int>(x.size()));
+  double prev = KMeans(x, 1, 50, seed).inertia;
+  if (prev <= 1e-12) {
+    return 1;
+  }
+  for (int k = 2; k <= max_k; ++k) {
+    double cur = KMeans(x, k, 50, seed).inertia;
+    double gain = (prev - cur) / prev;
+    if (gain < min_gain) {
+      return k - 1;
+    }
+    prev = cur;
+    if (prev <= 1e-12) {
+      return k;
+    }
+  }
+  return max_k;
+}
+
+}  // namespace clara

@@ -1,0 +1,28 @@
+// K-means clustering (k-means++ init, Lloyd iterations) — the variable-
+// packing clusterer of paper §4.4.
+#ifndef SRC_ML_KMEANS_H_
+#define SRC_ML_KMEANS_H_
+
+#include <vector>
+
+#include "src/ml/common.h"
+
+namespace clara {
+
+struct KMeansResult {
+  std::vector<FeatureVec> centroids;
+  std::vector<int> assignment;  // per input row
+  double inertia = 0;           // sum of squared distances to centroids
+};
+
+KMeansResult KMeans(const std::vector<FeatureVec>& x, int k, int iters = 50,
+                    uint64_t seed = 17);
+
+// Chooses k in [1, max_k] by the elbow rule: the smallest k whose relative
+// inertia improvement over k-1 falls below `min_gain`.
+int ChooseKByElbow(const std::vector<FeatureVec>& x, int max_k, double min_gain = 0.15,
+                   uint64_t seed = 17);
+
+}  // namespace clara
+
+#endif  // SRC_ML_KMEANS_H_

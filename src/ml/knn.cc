@@ -1,0 +1,69 @@
+#include "src/ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace clara {
+
+std::vector<size_t> NearestNeighbors(const std::vector<FeatureVec>& data, const FeatureVec& q,
+                                     int k) {
+  std::vector<std::pair<double, size_t>> dist(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    double d = 0;
+    for (size_t j = 0; j < q.size() && j < data[i].size(); ++j) {
+      double delta = data[i][j] - q[j];
+      d += delta * delta;
+    }
+    dist[i] = {d, i};
+  }
+  size_t kk = std::min<size_t>(k, data.size());
+  std::partial_sort(dist.begin(), dist.begin() + kk, dist.end());
+  std::vector<size_t> out(kk);
+  for (size_t i = 0; i < kk; ++i) {
+    out[i] = dist[i].second;
+  }
+  return out;
+}
+
+void KnnClassifier::Fit(const TabularDataset& data, int num_classes) {
+  num_classes_ = num_classes;
+  std_.Fit(data.x);
+  x_ = std_.ApplyAll(data.x);
+  y_.resize(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    y_[i] = static_cast<int>(data.y[i]);
+  }
+}
+
+int KnnClassifier::Predict(const FeatureVec& x) const {
+  if (x_.empty()) {
+    return 0;
+  }
+  std::vector<int> votes(num_classes_, 0);
+  for (size_t i : NearestNeighbors(x_, std_.Apply(x), opts_.k)) {
+    ++votes[y_[i]];
+  }
+  return static_cast<int>(
+      std::distance(votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+void KnnRegressor::Fit(const TabularDataset& data) {
+  std_.Fit(data.x);
+  x_ = std_.ApplyAll(data.x);
+  y_ = data.y;
+}
+
+double KnnRegressor::Predict(const FeatureVec& x) const {
+  if (x_.empty()) {
+    return 0;
+  }
+  auto nn = NearestNeighbors(x_, std_.Apply(x), opts_.k);
+  double sum = 0;
+  for (size_t i : nn) {
+    sum += y_[i];
+  }
+  return sum / static_cast<double>(nn.size());
+}
+
+}  // namespace clara

@@ -1,0 +1,51 @@
+// k-nearest-neighbour classification and regression (baseline models in
+// Figures 9 and 11a).
+#ifndef SRC_ML_KNN_H_
+#define SRC_ML_KNN_H_
+
+#include <vector>
+
+#include "src/ml/common.h"
+
+namespace clara {
+
+struct KnnOptions {
+  int k = 5;
+};
+
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(KnnOptions opts = KnnOptions{}) : opts_(opts) {}
+  void Fit(const TabularDataset& data, int num_classes) override;
+  int Predict(const FeatureVec& x) const override;
+  std::string Describe() const override { return "knn-classifier"; }
+
+ private:
+  KnnOptions opts_;
+  int num_classes_ = 2;
+  Standardizer std_;
+  std::vector<FeatureVec> x_;
+  std::vector<int> y_;
+};
+
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(KnnOptions opts = KnnOptions{}) : opts_(opts) {}
+  void Fit(const TabularDataset& data) override;
+  double Predict(const FeatureVec& x) const override;
+  std::string Describe() const override { return "knn-regressor"; }
+
+ private:
+  KnnOptions opts_;
+  Standardizer std_;
+  std::vector<FeatureVec> x_;
+  std::vector<double> y_;
+};
+
+// Indices of the k nearest rows of `data` to `q` (Euclidean).
+std::vector<size_t> NearestNeighbors(const std::vector<FeatureVec>& data, const FeatureVec& q,
+                                     int k);
+
+}  // namespace clara
+
+#endif  // SRC_ML_KNN_H_

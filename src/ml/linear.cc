@@ -1,0 +1,72 @@
+#include "src/ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace clara {
+
+void LinearSvm::Fit(const TabularDataset& data, int num_classes) {
+  w_.assign(num_classes, std::vector<double>(data.dim() + 1, 0.0));
+  if (data.size() == 0) {
+    return;
+  }
+  std_.Fit(data.x);
+  std::vector<FeatureVec> x = std_.ApplyAll(data.x);
+  Rng rng(opts_.seed);
+  size_t d = data.dim();
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    double lr = opts_.learning_rate / (1.0 + 0.02 * epoch);
+    std::vector<size_t> order = rng.Permutation(data.size());
+    for (size_t i : order) {
+      int label = static_cast<int>(data.y[i]);
+      for (int c = 0; c < num_classes; ++c) {
+        double target = c == label ? 1.0 : -1.0;
+        double margin = w_[c][d];
+        for (size_t j = 0; j < d; ++j) {
+          margin += w_[c][j] * x[i][j];
+        }
+        // Subgradient of hinge loss + L2.
+        for (size_t j = 0; j < d; ++j) {
+          double grad = opts_.l2 * w_[c][j];
+          if (target * margin < 1.0) {
+            grad -= target * x[i][j];
+          }
+          w_[c][j] -= lr * grad;
+        }
+        if (target * margin < 1.0) {
+          w_[c][d] += lr * target;
+        }
+      }
+    }
+  }
+}
+
+double LinearSvm::Margin(const FeatureVec& x_raw, int c) const {
+  if (c < 0 || c >= static_cast<int>(w_.size())) {
+    return -1e300;
+  }
+  FeatureVec x = std_.Apply(x_raw);
+  size_t d = w_[c].size() - 1;
+  double m = w_[c][d];
+  for (size_t j = 0; j < d && j < x.size(); ++j) {
+    m += w_[c][j] * x[j];
+  }
+  return m;
+}
+
+int LinearSvm::Predict(const FeatureVec& x) const {
+  int best = 0;
+  double best_margin = -1e300;
+  for (size_t c = 0; c < w_.size(); ++c) {
+    double m = Margin(x, static_cast<int>(c));
+    if (m > best_margin) {
+      best_margin = m;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace clara

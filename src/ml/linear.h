@@ -1,0 +1,40 @@
+// Linear models: multiclass (one-vs-rest) soft-margin SVM trained with
+// subgradient descent — Clara's algorithm-identification classifier (§4.1).
+#ifndef SRC_ML_LINEAR_H_
+#define SRC_ML_LINEAR_H_
+
+#include <vector>
+
+#include "src/ml/common.h"
+
+namespace clara {
+
+struct SvmOptions {
+  int epochs = 200;
+  double learning_rate = 0.05;
+  double l2 = 1e-3;
+  uint64_t seed = 13;
+};
+
+class LinearSvm : public Classifier {
+ public:
+  explicit LinearSvm(SvmOptions opts = SvmOptions{}) : opts_(opts) {}
+
+  void Fit(const TabularDataset& data, int num_classes) override;
+  int Predict(const FeatureVec& x) const override;
+  // Raw margin of class c on x (post-standardization).
+  double Margin(const FeatureVec& x, int c) const;
+  std::string Describe() const override { return "linear-svm-ovr"; }
+
+  // Learned weights for inspection (one row per class; last entry is bias).
+  const std::vector<std::vector<double>>& weights() const { return w_; }
+
+ private:
+  SvmOptions opts_;
+  Standardizer std_;
+  std::vector<std::vector<double>> w_;  // [class][dim+1]
+};
+
+}  // namespace clara
+
+#endif  // SRC_ML_LINEAR_H_

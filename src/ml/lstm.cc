@@ -1,0 +1,278 @@
+#include "src/ml/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/ml/metrics.h"
+
+namespace clara {
+namespace {
+
+double Sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+// Adam state for one parameter vector.
+struct AdamVec {
+  std::vector<double> m;
+  std::vector<double> v;
+
+  void Init(size_t n) {
+    m.assign(n, 0.0);
+    v.assign(n, 0.0);
+  }
+
+  void Step(std::vector<double>& w, const std::vector<double>& g, double alpha, double t) {
+    constexpr double kB1 = 0.9;
+    constexpr double kB2 = 0.999;
+    constexpr double kEps = 1e-8;
+    double c1 = 1.0 - std::pow(kB1, t);
+    double c2 = 1.0 - std::pow(kB2, t);
+    for (size_t i = 0; i < w.size(); ++i) {
+      m[i] = kB1 * m[i] + (1 - kB1) * g[i];
+      v[i] = kB2 * v[i] + (1 - kB2) * g[i] * g[i];
+      w[i] -= alpha * (m[i] / c1) / (std::sqrt(v[i] / c2) + kEps);
+    }
+  }
+};
+
+}  // namespace
+
+struct LstmRegressor::Trace {
+  std::vector<int> x;                       // token per step
+  std::vector<std::vector<double>> gates;   // per step: i,f,g,o (4H)
+  std::vector<std::vector<double>> c;       // per step cell state (H)
+  std::vector<std::vector<double>> h;       // per step hidden (H)
+  std::vector<double> fc_hidden;            // post-relu FC activations (F)
+  std::vector<double> fc_pre;               // pre-relu FC activations (F)
+  double y = 0;
+};
+
+double LstmRegressor::Forward(const std::vector<int>& tokens, Trace* trace) const {
+  int h_dim = opts_.hidden;
+  int f_dim = opts_.fc_hidden;
+  std::vector<double> h(h_dim, 0.0);
+  std::vector<double> c(h_dim, 0.0);
+  size_t len = std::min<size_t>(tokens.size(), opts_.max_seq_len);
+  for (size_t t = 0; t < len; ++t) {
+    int x = tokens[t];
+    if (x < 0 || x >= vocab_) {
+      x = 0;
+    }
+    std::vector<double> pre(4 * h_dim);
+    for (int k = 0; k < 4 * h_dim; ++k) {
+      double s = p_.wx[static_cast<size_t>(k) * vocab_ + x] + p_.b[k];
+      const double* wh_row = &p_.wh[static_cast<size_t>(k) * h_dim];
+      for (int j = 0; j < h_dim; ++j) {
+        s += wh_row[j] * h[j];
+      }
+      pre[k] = s;
+    }
+    std::vector<double> gates(4 * h_dim);
+    for (int j = 0; j < h_dim; ++j) {
+      gates[j] = Sigmoid(pre[j]);                       // input gate
+      gates[h_dim + j] = Sigmoid(pre[h_dim + j]);       // forget gate
+      gates[2 * h_dim + j] = std::tanh(pre[2 * h_dim + j]);  // candidate
+      gates[3 * h_dim + j] = Sigmoid(pre[3 * h_dim + j]);    // output gate
+    }
+    for (int j = 0; j < h_dim; ++j) {
+      c[j] = gates[h_dim + j] * c[j] + gates[j] * gates[2 * h_dim + j];
+      h[j] = gates[3 * h_dim + j] * std::tanh(c[j]);
+    }
+    if (trace != nullptr) {
+      trace->x.push_back(x);
+      trace->gates.push_back(gates);
+      trace->c.push_back(c);
+      trace->h.push_back(h);
+    }
+  }
+  // FC head: relu(W1 h + b1) -> linear.
+  std::vector<double> fc_pre(f_dim);
+  std::vector<double> fc(f_dim);
+  for (int f = 0; f < f_dim; ++f) {
+    double s = p_.b1[f];
+    for (int j = 0; j < h_dim; ++j) {
+      s += p_.w1[static_cast<size_t>(f) * h_dim + j] * h[j];
+    }
+    fc_pre[f] = s;
+    fc[f] = s > 0 ? s : 0;
+  }
+  double y = p_.b2;
+  for (int f = 0; f < f_dim; ++f) {
+    y += p_.w2[f] * fc[f];
+  }
+  if (trace != nullptr) {
+    trace->fc_pre = fc_pre;
+    trace->fc_hidden = fc;
+    trace->y = y;
+  }
+  return y;
+}
+
+void LstmRegressor::Fit(const SeqDataset& data) {
+  vocab_ = std::max(1, data.vocab);
+  int h_dim = opts_.hidden;
+  int f_dim = opts_.fc_hidden;
+  Rng rng(opts_.seed);
+
+  p_.wx.resize(static_cast<size_t>(4 * h_dim) * vocab_);
+  p_.wh.resize(static_cast<size_t>(4 * h_dim) * h_dim);
+  p_.b.assign(4 * h_dim, 0.0);
+  p_.w1.resize(static_cast<size_t>(f_dim) * h_dim);
+  p_.b1.assign(f_dim, 0.0);
+  p_.w2.resize(f_dim);
+  for (auto& w : p_.wx) {
+    w = rng.NextGaussian(0.15);
+  }
+  for (auto& w : p_.wh) {
+    w = rng.NextGaussian(0.15);
+  }
+  for (auto& w : p_.w1) {
+    w = rng.NextGaussian(0.2);
+  }
+  for (auto& w : p_.w2) {
+    w = rng.NextGaussian(0.2);
+  }
+  // Forget-gate bias init to 1: standard for gradient flow.
+  for (int j = 0; j < h_dim; ++j) {
+    p_.b[h_dim + j] = 1.0;
+  }
+  p_.b2 = 0;
+
+  y_scale_ = 1e-9;
+  for (const auto& ex : data.examples) {
+    y_scale_ = std::max(y_scale_, std::abs(ex.target));
+  }
+
+  AdamVec a_wx;
+  AdamVec a_wh;
+  AdamVec a_b;
+  AdamVec a_w1;
+  AdamVec a_b1;
+  AdamVec a_w2;
+  AdamVec a_b2;
+  a_wx.Init(p_.wx.size());
+  a_wh.Init(p_.wh.size());
+  a_b.Init(p_.b.size());
+  a_w1.Init(p_.w1.size());
+  a_b1.Init(p_.b1.size());
+  a_w2.Init(p_.w2.size());
+  a_b2.Init(1);
+
+  std::vector<double> g_wx(p_.wx.size());
+  std::vector<double> g_wh(p_.wh.size());
+  std::vector<double> g_b(p_.b.size());
+  std::vector<double> g_w1(p_.w1.size());
+  std::vector<double> g_b1(p_.b1.size());
+  std::vector<double> g_w2(p_.w2.size());
+  std::vector<double> g_b2(1);
+
+  double adam_t = 0;
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    for (size_t si : rng.Permutation(data.examples.size())) {
+      const SeqExample& ex = data.examples[si];
+      Trace tr;
+      double y = Forward(ex.tokens, &tr);
+      double target = ex.target / y_scale_;
+      double dy = y - target;  // dLoss/dy for 0.5*(y-t)^2
+
+      std::fill(g_wx.begin(), g_wx.end(), 0.0);
+      std::fill(g_wh.begin(), g_wh.end(), 0.0);
+      std::fill(g_b.begin(), g_b.end(), 0.0);
+      std::fill(g_w1.begin(), g_w1.end(), 0.0);
+      std::fill(g_b1.begin(), g_b1.end(), 0.0);
+      std::fill(g_w2.begin(), g_w2.end(), 0.0);
+      g_b2[0] = dy;
+
+      size_t len = tr.x.size();
+      std::vector<double> dh(h_dim, 0.0);
+      std::vector<double> dc(h_dim, 0.0);
+      std::vector<double> h_last =
+          len > 0 ? tr.h.back() : std::vector<double>(h_dim, 0.0);
+      // FC head gradients.
+      for (int f = 0; f < f_dim; ++f) {
+        g_w2[f] = dy * tr.fc_hidden[f];
+        double dfc = dy * p_.w2[f];
+        if (tr.fc_pre[f] <= 0) {
+          dfc = 0;
+        }
+        g_b1[f] = dfc;
+        for (int j = 0; j < h_dim; ++j) {
+          g_w1[static_cast<size_t>(f) * h_dim + j] = dfc * h_last[j];
+          dh[j] += dfc * p_.w1[static_cast<size_t>(f) * h_dim + j];
+        }
+      }
+      // BPTT.
+      for (int t = static_cast<int>(len) - 1; t >= 0; --t) {
+        const auto& gates = tr.gates[t];
+        const auto& c_t = tr.c[t];
+        const std::vector<double>* c_prev = t > 0 ? &tr.c[t - 1] : nullptr;
+        const std::vector<double>* h_prev = t > 0 ? &tr.h[t - 1] : nullptr;
+        std::vector<double> dpre(4 * h_dim);
+        for (int j = 0; j < h_dim; ++j) {
+          double i_g = gates[j];
+          double f_g = gates[h_dim + j];
+          double g_g = gates[2 * h_dim + j];
+          double o_g = gates[3 * h_dim + j];
+          double tc = std::tanh(c_t[j]);
+          double dc_total = dc[j] + dh[j] * o_g * (1 - tc * tc);
+          double do_g = dh[j] * tc;
+          double di = dc_total * g_g;
+          double df = dc_total * (c_prev != nullptr ? (*c_prev)[j] : 0.0);
+          double dg = dc_total * i_g;
+          dpre[j] = di * i_g * (1 - i_g);
+          dpre[h_dim + j] = df * f_g * (1 - f_g);
+          dpre[2 * h_dim + j] = dg * (1 - g_g * g_g);
+          dpre[3 * h_dim + j] = do_g * o_g * (1 - o_g);
+          dc[j] = dc_total * f_g;  // propagate to t-1
+        }
+        std::fill(dh.begin(), dh.end(), 0.0);
+        int x = tr.x[t];
+        for (int k = 0; k < 4 * h_dim; ++k) {
+          double d = dpre[k];
+          g_b[k] += d;
+          g_wx[static_cast<size_t>(k) * vocab_ + x] += d;
+          double* g_wh_row = &g_wh[static_cast<size_t>(k) * h_dim];
+          const double* wh_row = &p_.wh[static_cast<size_t>(k) * h_dim];
+          if (h_prev != nullptr) {
+            for (int j = 0; j < h_dim; ++j) {
+              g_wh_row[j] += d * (*h_prev)[j];
+              dh[j] += wh_row[j] * d;
+            }
+          } else {
+            for (int j = 0; j < h_dim; ++j) {
+              dh[j] += wh_row[j] * d;
+            }
+          }
+        }
+      }
+
+      ++adam_t;
+      a_wx.Step(p_.wx, g_wx, opts_.learning_rate, adam_t);
+      a_wh.Step(p_.wh, g_wh, opts_.learning_rate, adam_t);
+      a_b.Step(p_.b, g_b, opts_.learning_rate, adam_t);
+      a_w1.Step(p_.w1, g_w1, opts_.learning_rate, adam_t);
+      a_b1.Step(p_.b1, g_b1, opts_.learning_rate, adam_t);
+      a_w2.Step(p_.w2, g_w2, opts_.learning_rate, adam_t);
+      std::vector<double> b2v = {p_.b2};
+      a_b2.Step(b2v, g_b2, opts_.learning_rate, adam_t);
+      p_.b2 = b2v[0];
+    }
+  }
+
+  std::vector<double> truth;
+  std::vector<double> pred;
+  for (const auto& ex : data.examples) {
+    truth.push_back(ex.target);
+    pred.push_back(Predict(ex.tokens));
+  }
+  train_wmape_ = Wmape(truth, pred);
+}
+
+double LstmRegressor::Predict(const std::vector<int>& tokens) const {
+  if (vocab_ == 0) {
+    return 0;
+  }
+  double y = Forward(tokens, nullptr) * y_scale_;
+  return std::max(0.0, y);
+}
+
+}  // namespace clara

@@ -1,0 +1,62 @@
+// LSTM + fully-connected regression head over one-hot token sequences — the
+// core of Clara's instruction-count predictor (paper §3.2, Figure 6).
+//
+// The one-hot input (enabled by vocabulary compaction) is exploited directly:
+// the input transform is a column gather from the input weight matrix, so
+// cost is independent of vocabulary size. Training is per-sequence Adam with
+// full backpropagation through time.
+#ifndef SRC_ML_LSTM_H_
+#define SRC_ML_LSTM_H_
+
+#include <vector>
+
+#include "src/ml/common.h"
+#include "src/util/rng.h"
+
+namespace clara {
+
+struct LstmOptions {
+  int hidden = 32;
+  int fc_hidden = 16;
+  int epochs = 30;
+  int max_seq_len = 96;
+  double learning_rate = 0.004;  // Adam alpha
+  uint64_t seed = 31;
+};
+
+class LstmRegressor : public SeqRegressor {
+ public:
+  explicit LstmRegressor(LstmOptions opts = LstmOptions{}) : opts_(opts) {}
+
+  void Fit(const SeqDataset& data) override;
+  double Predict(const std::vector<int>& tokens) const override;
+  std::string Describe() const override { return "lstm-fc"; }
+
+  // Training-set WMAPE after the last Fit (convergence diagnostic).
+  double train_wmape() const { return train_wmape_; }
+
+ private:
+  struct Params {
+    std::vector<double> wx;  // 4H x V (row-major)
+    std::vector<double> wh;  // 4H x H
+    std::vector<double> b;   // 4H
+    std::vector<double> w1;  // F x H
+    std::vector<double> b1;  // F
+    std::vector<double> w2;  // F
+    double b2 = 0;
+  };
+
+  struct Trace;  // per-sequence forward activations (defined in .cc)
+
+  double Forward(const std::vector<int>& tokens, Trace* trace) const;
+
+  LstmOptions opts_;
+  int vocab_ = 0;
+  double y_scale_ = 1;
+  Params p_;
+  double train_wmape_ = 0;
+};
+
+}  // namespace clara
+
+#endif  // SRC_ML_LSTM_H_

@@ -1,0 +1,176 @@
+#include "src/ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace clara {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Normalizes two histograms over a common support with smoothing.
+void NormalizePair(const std::vector<double>& p_in, const std::vector<double>& q_in,
+                   std::vector<double>& p, std::vector<double>& q) {
+  size_t n = std::max(p_in.size(), q_in.size());
+  p.assign(n, 0.0);
+  q.assign(n, 0.0);
+  for (size_t i = 0; i < p_in.size(); ++i) {
+    p[i] = std::max(0.0, p_in[i]);
+  }
+  for (size_t i = 0; i < q_in.size(); ++i) {
+    q[i] = std::max(0.0, q_in[i]);
+  }
+  double sp = std::accumulate(p.begin(), p.end(), 0.0);
+  double sq = std::accumulate(q.begin(), q.end(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    p[i] = (p[i] + kEps) / (sp + n * kEps);
+    q[i] = (q[i] + kEps) / (sq + n * kEps);
+  }
+}
+
+}  // namespace
+
+double Wmape(const std::vector<double>& truth, const std::vector<double>& pred) {
+  double err = 0;
+  double denom = 0;
+  for (size_t i = 0; i < truth.size() && i < pred.size(); ++i) {
+    err += std::abs(truth[i] - pred[i]);
+    denom += std::abs(truth[i]);
+  }
+  return denom > 0 ? err / denom : 0.0;
+}
+
+double MeanAbsoluteError(const std::vector<double>& truth, const std::vector<double>& pred) {
+  if (truth.empty()) {
+    return 0.0;
+  }
+  double err = 0;
+  for (size_t i = 0; i < truth.size() && i < pred.size(); ++i) {
+    err += std::abs(truth[i] - pred[i]);
+  }
+  return err / static_cast<double>(truth.size());
+}
+
+PrecisionRecall MultiClassPrecisionRecall(const std::vector<int>& truth,
+                                          const std::vector<int>& pred, int negative_class) {
+  PrecisionRecall pr;
+  for (size_t i = 0; i < truth.size() && i < pred.size(); ++i) {
+    bool true_pos_class = truth[i] != negative_class;
+    bool pred_pos_class = pred[i] != negative_class;
+    if (pred_pos_class && pred[i] == truth[i]) {
+      ++pr.tp;
+    } else if (pred_pos_class) {
+      ++pr.fp;  // wrong detection (wrong class or spurious)
+      if (true_pos_class) {
+        ++pr.fn;  // the true accelerator was missed as well
+      }
+    } else if (true_pos_class) {
+      ++pr.fn;
+    }
+  }
+  pr.precision = pr.tp + pr.fp > 0 ? static_cast<double>(pr.tp) / (pr.tp + pr.fp) : 0.0;
+  pr.recall = pr.tp + pr.fn > 0 ? static_cast<double>(pr.tp) / (pr.tp + pr.fn) : 0.0;
+  return pr;
+}
+
+double TopKAccuracy(const std::vector<std::vector<double>>& true_scores,
+                    const std::vector<std::vector<double>>& pred_scores, int k) {
+  if (true_scores.empty()) {
+    return 0.0;
+  }
+  int hits = 0;
+  for (size_t g = 0; g < true_scores.size(); ++g) {
+    const auto& ts = true_scores[g];
+    const auto& ps = pred_scores[g];
+    size_t best_true =
+        std::distance(ts.begin(), std::max_element(ts.begin(), ts.end()));
+    // Indices of the predicted top-k.
+    std::vector<size_t> order(ps.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return ps[a] > ps[b]; });
+    for (int i = 0; i < k && i < static_cast<int>(order.size()); ++i) {
+      if (order[i] == best_true) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(true_scores.size());
+}
+
+double JensenShannonDivergence(const std::vector<double>& p_in,
+                               const std::vector<double>& q_in) {
+  std::vector<double> p;
+  std::vector<double> q;
+  NormalizePair(p_in, q_in, p, q);
+  double js = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double m = 0.5 * (p[i] + q[i]);
+    js += 0.5 * p[i] * std::log(p[i] / m) + 0.5 * q[i] * std::log(q[i] / m);
+  }
+  return js;
+}
+
+double RenyiDivergence(const std::vector<double>& p_in, const std::vector<double>& q_in,
+                       double alpha) {
+  std::vector<double> p;
+  std::vector<double> q;
+  NormalizePair(p_in, q_in, p, q);
+  double sum = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    sum += std::pow(p[i], alpha) * std::pow(q[i], 1.0 - alpha);
+  }
+  return std::log(sum) / (alpha - 1.0);
+}
+
+double BhattacharyyaDistance(const std::vector<double>& p_in,
+                             const std::vector<double>& q_in) {
+  std::vector<double> p;
+  std::vector<double> q;
+  NormalizePair(p_in, q_in, p, q);
+  double bc = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    bc += std::sqrt(p[i] * q[i]);
+  }
+  return -std::log(std::min(1.0, bc));
+}
+
+double CosineDistance(const std::vector<double>& p_in, const std::vector<double>& q_in) {
+  std::vector<double> p;
+  std::vector<double> q;
+  NormalizePair(p_in, q_in, p, q);
+  double dot = 0;
+  double np = 0;
+  double nq = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    dot += p[i] * q[i];
+    np += p[i] * p[i];
+    nq += q[i] * q[i];
+  }
+  return 1.0 - dot / (std::sqrt(np) * std::sqrt(nq) + kEps);
+}
+
+double EuclideanDistance(const std::vector<double>& p_in, const std::vector<double>& q_in) {
+  std::vector<double> p;
+  std::vector<double> q;
+  NormalizePair(p_in, q_in, p, q);
+  double s = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    s += (p[i] - q[i]) * (p[i] - q[i]);
+  }
+  return std::sqrt(s);
+}
+
+double VariationalDistance(const std::vector<double>& p_in, const std::vector<double>& q_in) {
+  std::vector<double> p;
+  std::vector<double> q;
+  NormalizePair(p_in, q_in, p, q);
+  double s = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    s += std::abs(p[i] - q[i]);
+  }
+  return s;
+}
+
+}  // namespace clara

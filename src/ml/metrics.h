@@ -1,0 +1,47 @@
+// Evaluation metrics used across the paper's experiments: WMAPE (Fig 8),
+// precision/recall (Fig 9), MAE in cores (Fig 11a), top-k ranking accuracy
+// (Fig 14a), and the distribution distances of Table 1.
+#ifndef SRC_ML_METRICS_H_
+#define SRC_ML_METRICS_H_
+
+#include <vector>
+
+namespace clara {
+
+// Weighted mean absolute percentage error: sum|err| / sum|truth|.
+double Wmape(const std::vector<double>& truth, const std::vector<double>& pred);
+
+double MeanAbsoluteError(const std::vector<double>& truth, const std::vector<double>& pred);
+
+struct PrecisionRecall {
+  double precision = 0;
+  double recall = 0;
+  int tp = 0;
+  int fp = 0;
+  int fn = 0;
+};
+
+// Micro-averaged precision/recall over the positive classes. `negative_class`
+// is the "none" label that does not count as a detection.
+PrecisionRecall MultiClassPrecisionRecall(const std::vector<int>& truth,
+                                          const std::vector<int>& pred, int negative_class);
+
+// Fraction of groups where the true-best item appears in the predicted top-k.
+// Each group supplies true scores (higher = better) and predicted scores.
+double TopKAccuracy(const std::vector<std::vector<double>>& true_scores,
+                    const std::vector<std::vector<double>>& pred_scores, int k);
+
+// ---- Distribution distances (Table 1). Inputs are non-negative histograms;
+// they are normalized internally and smoothed with a small epsilon. ----
+
+double JensenShannonDivergence(const std::vector<double>& p, const std::vector<double>& q);
+double RenyiDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                       double alpha = 2.0);
+double BhattacharyyaDistance(const std::vector<double>& p, const std::vector<double>& q);
+double CosineDistance(const std::vector<double>& p, const std::vector<double>& q);
+double EuclideanDistance(const std::vector<double>& p, const std::vector<double>& q);
+double VariationalDistance(const std::vector<double>& p, const std::vector<double>& q);
+
+}  // namespace clara
+
+#endif  // SRC_ML_METRICS_H_

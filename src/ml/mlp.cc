@@ -1,0 +1,198 @@
+#include "src/ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clara {
+namespace {
+
+double Relu(double v) { return v > 0 ? v : 0; }
+
+template <typename LayerT>
+void InitLayers(std::vector<LayerT>& layers, int input_dim, const std::vector<int>& hidden,
+                int out_dim, Rng& rng) {
+  layers.clear();
+  std::vector<int> dims;
+  dims.push_back(input_dim);
+  for (int h : hidden) {
+    dims.push_back(h);
+  }
+  dims.push_back(out_dim);
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    LayerT layer;
+    layer.in = dims[l];
+    layer.out = dims[l + 1];
+    layer.w.resize(static_cast<size_t>(layer.in) * layer.out);
+    layer.b.assign(layer.out, 0.0);
+    double scale = std::sqrt(2.0 / layer.in);
+    for (auto& w : layer.w) {
+      w = rng.NextGaussian(scale);
+    }
+    layers.push_back(std::move(layer));
+  }
+}
+
+}  // namespace
+
+FeatureVec MlpRegressor::Forward(const FeatureVec& x, std::vector<FeatureVec>* acts) const {
+  FeatureVec cur = x;
+  if (acts != nullptr) {
+    acts->push_back(cur);
+  }
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    FeatureVec next(layer.out, 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double s = layer.b[o];
+      for (int i = 0; i < layer.in; ++i) {
+        s += layer.w[static_cast<size_t>(o) * layer.in + i] * cur[i];
+      }
+      next[o] = l + 1 < layers_.size() ? Relu(s) : s;  // linear output layer
+    }
+    cur = std::move(next);
+    if (acts != nullptr) {
+      acts->push_back(cur);
+    }
+  }
+  return cur;
+}
+
+void MlpRegressor::Fit(const TabularDataset& data) {
+  if (data.size() == 0) {
+    return;
+  }
+  std_.Fit(data.x);
+  std::vector<FeatureVec> x = std_.ApplyAll(data.x);
+  // Normalize targets.
+  y_mean_ = 0;
+  for (double y : data.y) {
+    y_mean_ += y;
+  }
+  y_mean_ /= data.size();
+  y_scale_ = 1e-9;
+  for (double y : data.y) {
+    y_scale_ = std::max(y_scale_, std::abs(y - y_mean_));
+  }
+  Rng rng(opts_.seed);
+  InitLayers(layers_, static_cast<int>(data.dim()), opts_.hidden, 1, rng);
+
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    double lr = opts_.learning_rate / (1.0 + 0.01 * epoch);
+    for (size_t i : rng.Permutation(data.size())) {
+      std::vector<FeatureVec> acts;
+      FeatureVec out = Forward(x[i], &acts);
+      double target = (data.y[i] - y_mean_) / y_scale_;
+      // Backprop, SGD on one sample.
+      FeatureVec delta = {out[0] - target};
+      for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
+        Layer& layer = layers_[l];
+        const FeatureVec& input = acts[l];
+        FeatureVec prev_delta(layer.in, 0.0);
+        for (int o = 0; o < layer.out; ++o) {
+          double g = delta[o];
+          // Relu derivative applies to hidden layers only.
+          if (l + 1 < static_cast<int>(layers_.size()) && acts[l + 1][o] <= 0) {
+            g = 0;
+          }
+          for (int in = 0; in < layer.in; ++in) {
+            prev_delta[in] += layer.w[static_cast<size_t>(o) * layer.in + in] * g;
+            layer.w[static_cast<size_t>(o) * layer.in + in] -= lr * g * input[in];
+          }
+          layer.b[o] -= lr * g;
+        }
+        delta = std::move(prev_delta);
+      }
+    }
+  }
+}
+
+double MlpRegressor::Predict(const FeatureVec& x) const {
+  if (layers_.empty()) {
+    return y_mean_;
+  }
+  FeatureVec out = Forward(std_.Apply(x), nullptr);
+  return out[0] * y_scale_ + y_mean_;
+}
+
+std::vector<double> MlpClassifier::Logits(const FeatureVec& x,
+                                          std::vector<FeatureVec>* acts) const {
+  FeatureVec cur = x;
+  if (acts != nullptr) {
+    acts->push_back(cur);
+  }
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    FeatureVec next(layer.out, 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double s = layer.b[o];
+      for (int i = 0; i < layer.in; ++i) {
+        s += layer.w[static_cast<size_t>(o) * layer.in + i] * cur[i];
+      }
+      next[o] = l + 1 < layers_.size() ? Relu(s) : s;
+    }
+    cur = std::move(next);
+    if (acts != nullptr) {
+      acts->push_back(cur);
+    }
+  }
+  return cur;
+}
+
+void MlpClassifier::Fit(const TabularDataset& data, int num_classes) {
+  num_classes_ = num_classes;
+  if (data.size() == 0) {
+    return;
+  }
+  std_.Fit(data.x);
+  std::vector<FeatureVec> x = std_.ApplyAll(data.x);
+  Rng rng(opts_.seed);
+  InitLayers(layers_, static_cast<int>(data.dim()), opts_.hidden, num_classes, rng);
+
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    double lr = opts_.learning_rate / (1.0 + 0.01 * epoch);
+    for (size_t i : rng.Permutation(data.size())) {
+      std::vector<FeatureVec> acts;
+      std::vector<double> logits = Logits(x[i], &acts);
+      // Softmax + cross-entropy gradient.
+      double mx = *std::max_element(logits.begin(), logits.end());
+      double z = 0;
+      for (double v : logits) {
+        z += std::exp(v - mx);
+      }
+      FeatureVec delta(num_classes);
+      int label = static_cast<int>(data.y[i]);
+      for (int c = 0; c < num_classes; ++c) {
+        double p = std::exp(logits[c] - mx) / z;
+        delta[c] = p - (c == label ? 1.0 : 0.0);
+      }
+      for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
+        Layer& layer = layers_[l];
+        const FeatureVec& input = acts[l];
+        FeatureVec prev_delta(layer.in, 0.0);
+        for (int o = 0; o < layer.out; ++o) {
+          double g = delta[o];
+          if (l + 1 < static_cast<int>(layers_.size()) && acts[l + 1][o] <= 0) {
+            g = 0;
+          }
+          for (int in = 0; in < layer.in; ++in) {
+            prev_delta[in] += layer.w[static_cast<size_t>(o) * layer.in + in] * g;
+            layer.w[static_cast<size_t>(o) * layer.in + in] -= lr * g * input[in];
+          }
+          layer.b[o] -= lr * g;
+        }
+        delta = std::move(prev_delta);
+      }
+    }
+  }
+}
+
+int MlpClassifier::Predict(const FeatureVec& x) const {
+  if (layers_.empty()) {
+    return 0;
+  }
+  std::vector<double> logits = Logits(std_.Apply(x), nullptr);
+  return static_cast<int>(
+      std::distance(logits.begin(), std::max_element(logits.begin(), logits.end())));
+}
+
+}  // namespace clara

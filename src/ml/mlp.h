@@ -1,0 +1,72 @@
+// Multilayer perceptrons — the "DNN" baselines of Figures 8, 9, 11a.
+//
+// The regressor consumes bag-of-words histograms (order-free), which is
+// precisely why it underperforms the sequence-aware LSTM on instruction
+// prediction: instruction selection depends on instruction context.
+#ifndef SRC_ML_MLP_H_
+#define SRC_ML_MLP_H_
+
+#include <vector>
+
+#include "src/ml/common.h"
+#include "src/util/rng.h"
+
+namespace clara {
+
+struct MlpOptions {
+  std::vector<int> hidden = {32, 16};
+  int epochs = 200;
+  double learning_rate = 0.01;
+  uint64_t seed = 23;
+};
+
+class MlpRegressor : public Regressor {
+ public:
+  explicit MlpRegressor(MlpOptions opts = MlpOptions{}) : opts_(opts) {}
+  void Fit(const TabularDataset& data) override;
+  double Predict(const FeatureVec& x) const override;
+  std::string Describe() const override { return "mlp-regressor"; }
+
+ private:
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    std::vector<double> w;  // out x in
+    std::vector<double> b;
+  };
+
+  FeatureVec Forward(const FeatureVec& x, std::vector<FeatureVec>* acts) const;
+
+  MlpOptions opts_;
+  Standardizer std_;
+  double y_mean_ = 0;
+  double y_scale_ = 1;
+  std::vector<Layer> layers_;
+};
+
+class MlpClassifier : public Classifier {
+ public:
+  explicit MlpClassifier(MlpOptions opts = MlpOptions{}) : opts_(opts) {}
+  void Fit(const TabularDataset& data, int num_classes) override;
+  int Predict(const FeatureVec& x) const override;
+  std::string Describe() const override { return "mlp-classifier"; }
+
+ private:
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    std::vector<double> w;
+    std::vector<double> b;
+  };
+
+  std::vector<double> Logits(const FeatureVec& x, std::vector<FeatureVec>* acts) const;
+
+  MlpOptions opts_;
+  Standardizer std_;
+  int num_classes_ = 2;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace clara
+
+#endif  // SRC_ML_MLP_H_

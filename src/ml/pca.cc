@@ -1,0 +1,90 @@
+#include "src/ml/pca.h"
+
+#include <cmath>
+
+namespace clara {
+
+FeatureVec PcaResult::Project(const FeatureVec& x) const {
+  FeatureVec out(components.size(), 0.0);
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (size_t j = 0; j < components[c].size() && j < x.size(); ++j) {
+      out[c] += (x[j] - mean[j]) * components[c][j];
+    }
+  }
+  return out;
+}
+
+PcaResult ComputePca(const std::vector<FeatureVec>& x, int num_components) {
+  PcaResult r;
+  if (x.empty()) {
+    return r;
+  }
+  size_t n = x.size();
+  size_t d = x[0].size();
+  r.mean.assign(d, 0.0);
+  for (const auto& row : x) {
+    for (size_t j = 0; j < d; ++j) {
+      r.mean[j] += row[j];
+    }
+  }
+  for (auto& m : r.mean) {
+    m /= static_cast<double>(n);
+  }
+
+  // Covariance matrix (d x d). Feature dims here are small (pattern counts).
+  std::vector<double> cov(d * d, 0.0);
+  for (const auto& row : x) {
+    for (size_t a = 0; a < d; ++a) {
+      double da = row[a] - r.mean[a];
+      for (size_t b = a; b < d; ++b) {
+        cov[a * d + b] += da * (row[b] - r.mean[b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov[a * d + b] /= static_cast<double>(n);
+      cov[b * d + a] = cov[a * d + b];
+    }
+  }
+
+  for (int c = 0; c < num_components; ++c) {
+    // Power iteration.
+    FeatureVec v(d, 1.0 / std::sqrt(static_cast<double>(d)));
+    double eigenvalue = 0;
+    for (int it = 0; it < 300; ++it) {
+      FeatureVec av(d, 0.0);
+      for (size_t a = 0; a < d; ++a) {
+        double s = 0;
+        for (size_t b = 0; b < d; ++b) {
+          s += cov[a * d + b] * v[b];
+        }
+        av[a] = s;
+      }
+      double norm = 0;
+      for (double val : av) {
+        norm += val * val;
+      }
+      norm = std::sqrt(norm);
+      if (norm < 1e-15) {
+        break;
+      }
+      for (size_t a = 0; a < d; ++a) {
+        av[a] /= norm;
+      }
+      eigenvalue = norm;
+      v = av;
+    }
+    r.components.push_back(v);
+    r.explained_variance.push_back(eigenvalue);
+    // Deflate.
+    for (size_t a = 0; a < d; ++a) {
+      for (size_t b = 0; b < d; ++b) {
+        cov[a * d + b] -= eigenvalue * v[a] * v[b];
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace clara

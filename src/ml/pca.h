@@ -1,0 +1,25 @@
+// Principal component analysis via power iteration with deflation; used to
+// project algorithm-identification features to 2-D (Figure 10a).
+#ifndef SRC_ML_PCA_H_
+#define SRC_ML_PCA_H_
+
+#include <vector>
+
+#include "src/ml/common.h"
+
+namespace clara {
+
+struct PcaResult {
+  std::vector<FeatureVec> components;  // [num_components][dim]
+  std::vector<double> explained_variance;
+  FeatureVec mean;
+
+  // Projects x onto the learned components.
+  FeatureVec Project(const FeatureVec& x) const;
+};
+
+PcaResult ComputePca(const std::vector<FeatureVec>& x, int num_components);
+
+}  // namespace clara
+
+#endif  // SRC_ML_PCA_H_

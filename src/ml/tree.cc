@@ -1,0 +1,244 @@
+#include "src/ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace clara {
+namespace {
+
+// Candidate features for a split, optionally subsampled.
+std::vector<int> CandidateFeatures(size_t dim, int subsample, Rng* rng) {
+  std::vector<int> feats(dim);
+  std::iota(feats.begin(), feats.end(), 0);
+  if (subsample > 0 && subsample < static_cast<int>(dim) && rng != nullptr) {
+    for (int i = 0; i < subsample; ++i) {
+      std::swap(feats[i], feats[i + rng->NextBounded(dim - i)]);
+    }
+    feats.resize(subsample);
+  }
+  return feats;
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const TabularDataset& data) {
+  std::vector<size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  FitSubset(data.x, data.y, idx);
+}
+
+void RegressionTree::FitSubset(const std::vector<FeatureVec>& x, const std::vector<double>& y,
+                               const std::vector<size_t>& indices, Rng* rng) {
+  nodes_.clear();
+  if (indices.empty()) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  std::vector<size_t> idx = indices;
+  Build(x, y, idx, 0, rng);
+}
+
+int RegressionTree::Build(const std::vector<FeatureVec>& x, const std::vector<double>& y,
+                          std::vector<size_t>& indices, int depth, Rng* rng) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  double sum = 0;
+  for (size_t i : indices) {
+    sum += y[i];
+  }
+  double mean = sum / static_cast<double>(indices.size());
+  nodes_[node_id].value = mean;
+
+  if (depth >= opts_.max_depth ||
+      static_cast<int>(indices.size()) < 2 * opts_.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Best split by SSE reduction.
+  double base_sse = 0;
+  for (size_t i : indices) {
+    base_sse += (y[i] - mean) * (y[i] - mean);
+  }
+  int best_feat = -1;
+  double best_thresh = 0;
+  double best_sse = base_sse - 1e-12;
+  std::vector<size_t> sorted = indices;
+  for (int f : CandidateFeatures(x[indices[0]].size(), opts_.feature_subsample, rng)) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](size_t a, size_t b) { return x[a][f] < x[b][f]; });
+    double left_sum = 0;
+    double left_sq = 0;
+    double total_sq = 0;
+    for (size_t i : sorted) {
+      total_sq += y[i] * y[i];
+    }
+    size_t n = sorted.size();
+    for (size_t k = 0; k + 1 < n; ++k) {
+      double yi = y[sorted[k]];
+      left_sum += yi;
+      left_sq += yi * yi;
+      if (x[sorted[k]][f] == x[sorted[k + 1]][f]) {
+        continue;
+      }
+      size_t nl = k + 1;
+      size_t nr = n - nl;
+      if (static_cast<int>(nl) < opts_.min_samples_leaf ||
+          static_cast<int>(nr) < opts_.min_samples_leaf) {
+        continue;
+      }
+      double right_sum = sum - left_sum;
+      double right_sq = total_sq - left_sq;
+      double sse = (left_sq - left_sum * left_sum / nl) +
+                   (right_sq - right_sum * right_sum / nr);
+      if (sse < best_sse) {
+        best_sse = sse;
+        best_feat = f;
+        best_thresh = 0.5 * (x[sorted[k]][f] + x[sorted[k + 1]][f]);
+      }
+    }
+  }
+  if (best_feat < 0) {
+    return node_id;
+  }
+  std::vector<size_t> left;
+  std::vector<size_t> right;
+  for (size_t i : indices) {
+    (x[i][best_feat] <= best_thresh ? left : right).push_back(i);
+  }
+  if (left.empty() || right.empty()) {
+    return node_id;
+  }
+  nodes_[node_id].feature = best_feat;
+  nodes_[node_id].threshold = best_thresh;
+  int l = Build(x, y, left, depth + 1, rng);
+  int r = Build(x, y, right, depth + 1, rng);
+  nodes_[node_id].left = l;
+  nodes_[node_id].right = r;
+  return node_id;
+}
+
+double RegressionTree::Predict(const FeatureVec& x) const {
+  if (nodes_.empty()) {
+    return 0;
+  }
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& n = nodes_[cur];
+    double v = n.feature < static_cast<int>(x.size()) ? x[n.feature] : 0.0;
+    cur = v <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[cur].value;
+}
+
+void TreeClassifier::Fit(const TabularDataset& data, int num_classes) {
+  num_classes_ = num_classes;
+  nodes_.clear();
+  if (data.size() == 0) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  std::vector<int> y(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    y[i] = static_cast<int>(data.y[i]);
+  }
+  std::vector<size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  Build(data.x, y, idx, 0);
+}
+
+int TreeClassifier::Build(const std::vector<FeatureVec>& x, const std::vector<int>& y,
+                          std::vector<size_t>& indices, int depth) {
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  std::vector<int> counts(num_classes_, 0);
+  for (size_t i : indices) {
+    ++counts[y[i]];
+  }
+  nodes_[node_id].label = static_cast<int>(
+      std::distance(counts.begin(), std::max_element(counts.begin(), counts.end())));
+
+  auto gini = [&](const std::vector<int>& c, int n) {
+    if (n == 0) {
+      return 0.0;
+    }
+    double g = 1.0;
+    for (int v : c) {
+      double p = static_cast<double>(v) / n;
+      g -= p * p;
+    }
+    return g;
+  };
+
+  bool pure = *std::max_element(counts.begin(), counts.end()) ==
+              static_cast<int>(indices.size());
+  if (pure || depth >= opts_.max_depth ||
+      static_cast<int>(indices.size()) < 2 * opts_.min_samples_leaf) {
+    return node_id;
+  }
+
+  int n = static_cast<int>(indices.size());
+  double best_impurity = gini(counts, n) - 1e-12;
+  int best_feat = -1;
+  double best_thresh = 0;
+  std::vector<size_t> sorted = indices;
+  for (size_t f = 0; f < x[indices[0]].size(); ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](size_t a, size_t b) { return x[a][f] < x[b][f]; });
+    std::vector<int> left_counts(num_classes_, 0);
+    std::vector<int> right_counts = counts;
+    for (int k = 0; k + 1 < n; ++k) {
+      int cls = y[sorted[k]];
+      ++left_counts[cls];
+      --right_counts[cls];
+      if (x[sorted[k]][f] == x[sorted[k + 1]][f]) {
+        continue;
+      }
+      int nl = k + 1;
+      int nr = n - nl;
+      double impurity =
+          (nl * gini(left_counts, nl) + nr * gini(right_counts, nr)) / n;
+      if (impurity < best_impurity) {
+        best_impurity = impurity;
+        best_feat = static_cast<int>(f);
+        best_thresh = 0.5 * (x[sorted[k]][f] + x[sorted[k + 1]][f]);
+      }
+    }
+  }
+  if (best_feat < 0) {
+    return node_id;
+  }
+  std::vector<size_t> left;
+  std::vector<size_t> right;
+  for (size_t i : indices) {
+    (x[i][best_feat] <= best_thresh ? left : right).push_back(i);
+  }
+  if (left.empty() || right.empty()) {
+    return node_id;
+  }
+  nodes_[node_id].feature = best_feat;
+  nodes_[node_id].threshold = best_thresh;
+  int l = Build(x, y, left, depth + 1);
+  int r = Build(x, y, right, depth + 1);
+  nodes_[node_id].left = l;
+  nodes_[node_id].right = r;
+  return node_id;
+}
+
+int TreeClassifier::Predict(const FeatureVec& x) const {
+  if (nodes_.empty()) {
+    return 0;
+  }
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const Node& n = nodes_[cur];
+    double v = n.feature < static_cast<int>(x.size()) ? x[n.feature] : 0.0;
+    cur = v <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[cur].label;
+}
+
+}  // namespace clara

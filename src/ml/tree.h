@@ -1,0 +1,77 @@
+// CART decision trees: least-squares regression trees (also the weak learner
+// for GBDT) and Gini classification trees (the "DT" baseline in Figures 9
+// and 11a).
+#ifndef SRC_ML_TREE_H_
+#define SRC_ML_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/common.h"
+#include "src/util/rng.h"
+
+namespace clara {
+
+struct TreeOptions {
+  int max_depth = 4;
+  int min_samples_leaf = 2;
+  // When > 0, consider only this many randomly chosen features per split
+  // (used by random forests).
+  int feature_subsample = 0;
+};
+
+class RegressionTree : public Regressor {
+ public:
+  explicit RegressionTree(TreeOptions opts = TreeOptions{}) : opts_(opts) {}
+
+  void Fit(const TabularDataset& data) override;
+  // Weighted fit against explicit targets (for boosting) and sample indices.
+  void FitSubset(const std::vector<FeatureVec>& x, const std::vector<double>& y,
+                 const std::vector<size_t>& indices, Rng* rng = nullptr);
+  double Predict(const FeatureVec& x) const override;
+  std::string Describe() const override { return "regression-tree"; }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 = leaf
+    double threshold = 0;
+    double value = 0;  // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const std::vector<FeatureVec>& x, const std::vector<double>& y,
+            std::vector<size_t>& indices, int depth, Rng* rng);
+
+  TreeOptions opts_;
+  std::vector<Node> nodes_;
+};
+
+class TreeClassifier : public Classifier {
+ public:
+  explicit TreeClassifier(TreeOptions opts = TreeOptions{}) : opts_(opts) {}
+
+  void Fit(const TabularDataset& data, int num_classes) override;
+  int Predict(const FeatureVec& x) const override;
+  std::string Describe() const override { return "decision-tree"; }
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0;
+    int label = 0;
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const std::vector<FeatureVec>& x, const std::vector<int>& y,
+            std::vector<size_t>& indices, int depth);
+
+  TreeOptions opts_;
+  int num_classes_ = 2;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace clara
+
+#endif  // SRC_ML_TREE_H_

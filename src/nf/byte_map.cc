@@ -1,0 +1,225 @@
+#include "src/nf/byte_map.h"
+
+#include <cstring>
+
+namespace clara {
+
+uint64_t FnvHash(const uint8_t* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+HostByteMap::HostByteMap(size_t key_bytes, size_t value_bytes, size_t initial_capacity)
+    : ByteMap(key_bytes, value_bytes),
+      slots_(RoundUpPow2(initial_capacity < 8 ? 8 : initial_capacity)),
+      stride_(key_bytes + value_bytes) {
+  storage_.resize(slots_ * stride_);
+  headers_.resize(slots_, SlotHeader{0});
+}
+
+size_t HostByteMap::Probe(const uint8_t* key, bool* match) {
+  uint64_t h = FnvHash(key, key_bytes_);
+  size_t i = SlotIndex(h);
+  size_t first_free = slots_;  // sentinel
+  for (size_t n = 0; n < slots_; ++n) {
+    ++stats_.slot_touches;
+    if (headers_[i].state == 0) {
+      *match = false;
+      return first_free != slots_ ? first_free : i;
+    }
+    if (headers_[i].state == 2) {
+      if (first_free == slots_) {
+        first_free = i;
+      }
+    } else if (std::memcmp(KeyAt(i), key, key_bytes_) == 0) {
+      *match = true;
+      return i;
+    }
+    i = (i + 1) & (slots_ - 1);
+  }
+  *match = false;
+  return first_free;
+}
+
+bool HostByteMap::Find(const uint8_t* key, uint8_t* value_out) {
+  ++stats_.finds;
+  bool match = false;
+  size_t i = Probe(key, &match);
+  if (match && value_out != nullptr) {
+    std::memcpy(value_out, ValueAt(i), value_bytes_);
+  }
+  return match;
+}
+
+void HostByteMap::Grow() {
+  std::vector<uint8_t> old_storage = std::move(storage_);
+  std::vector<SlotHeader> old_headers = std::move(headers_);
+  size_t old_slots = slots_;
+  slots_ *= 2;
+  storage_.assign(slots_ * stride_, 0);
+  headers_.assign(slots_, SlotHeader{0});
+  size_ = 0;
+  for (size_t i = 0; i < old_slots; ++i) {
+    if (old_headers[i].state == 1) {
+      const uint8_t* k = old_storage.data() + i * stride_;
+      Insert(k, k + key_bytes_);
+      --stats_.inserts;  // internal rehash, not a user-visible insert
+    }
+  }
+}
+
+bool HostByteMap::Insert(const uint8_t* key, const uint8_t* value) {
+  ++stats_.inserts;
+  if ((size_ + 1) * 10 >= slots_ * 7) {
+    Grow();
+  }
+  bool match = false;
+  size_t i = Probe(key, &match);
+  if (!match) {
+    ++size_;
+  }
+  headers_[i].state = 1;
+  ++stats_.slot_touches;
+  std::memcpy(KeyAt(i), key, key_bytes_);
+  std::memcpy(ValueAt(i), value, value_bytes_);
+  return true;
+}
+
+bool HostByteMap::Erase(const uint8_t* key) {
+  ++stats_.erases;
+  bool match = false;
+  size_t i = Probe(key, &match);
+  if (!match) {
+    return false;
+  }
+  headers_[i].state = 2;
+  ++stats_.slot_touches;
+  --size_;
+  return true;
+}
+
+void HostByteMap::Clear() {
+  std::fill(headers_.begin(), headers_.end(), SlotHeader{0});
+  size_ = 0;
+}
+
+NicByteMap::NicByteMap(size_t key_bytes, size_t value_bytes, size_t buckets,
+                       size_t slots_per_bucket)
+    : ByteMap(key_bytes, value_bytes),
+      buckets_(buckets == 0 ? 1 : buckets),
+      slots_per_bucket_(slots_per_bucket),
+      stride_(key_bytes + value_bytes) {
+  storage_.resize(buckets_ * slots_per_bucket_ * stride_);
+  valid_.resize(buckets_ * slots_per_bucket_, 0);
+}
+
+bool NicByteMap::Find(const uint8_t* key, uint8_t* value_out) {
+  ++stats_.finds;
+  size_t base = BucketOf(FnvHash(key, key_bytes_)) * slots_per_bucket_;
+  for (size_t s = 0; s < slots_per_bucket_; ++s) {
+    ++stats_.slot_touches;
+    size_t i = base + s;
+    if (valid_[i] != 0 && std::memcmp(KeyAt(i), key, key_bytes_) == 0) {
+      if (value_out != nullptr) {
+        std::memcpy(value_out, ValueAt(i), value_bytes_);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool NicByteMap::Insert(const uint8_t* key, const uint8_t* value) {
+  ++stats_.inserts;
+  size_t base = BucketOf(FnvHash(key, key_bytes_)) * slots_per_bucket_;
+  size_t free_slot = capacity();  // sentinel
+  for (size_t s = 0; s < slots_per_bucket_; ++s) {
+    ++stats_.slot_touches;
+    size_t i = base + s;
+    if (valid_[i] != 0) {
+      if (std::memcmp(KeyAt(i), key, key_bytes_) == 0) {
+        std::memcpy(ValueAt(i), value, value_bytes_);
+        ++stats_.slot_touches;
+        return true;
+      }
+    } else if (free_slot == capacity()) {
+      free_slot = i;
+    }
+  }
+  if (free_slot == capacity()) {
+    ++stats_.failed_inserts;
+    return false;  // bucket full: baremetal maps cannot grow
+  }
+  valid_[free_slot] = 1;
+  ++stats_.slot_touches;
+  std::memcpy(KeyAt(free_slot), key, key_bytes_);
+  std::memcpy(ValueAt(free_slot), value, value_bytes_);
+  ++size_;
+  return true;
+}
+
+bool NicByteMap::Erase(const uint8_t* key) {
+  ++stats_.erases;
+  size_t base = BucketOf(FnvHash(key, key_bytes_)) * slots_per_bucket_;
+  for (size_t s = 0; s < slots_per_bucket_; ++s) {
+    ++stats_.slot_touches;
+    size_t i = base + s;
+    if (valid_[i] != 0 && std::memcmp(KeyAt(i), key, key_bytes_) == 0) {
+      valid_[i] = 0;  // mark invalid only; storage is not reclaimed
+      ++stats_.slot_touches;
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void NicByteMap::Clear() {
+  std::fill(valid_.begin(), valid_.end(), 0);
+  size_ = 0;
+}
+
+NicFixedVector::NicFixedVector(size_t elem_bytes, size_t capacity)
+    : elem_bytes_(elem_bytes), capacity_(capacity) {
+  storage_.resize(elem_bytes_ * capacity_);
+  valid_.resize(capacity_, 0);
+}
+
+bool NicFixedVector::PushBack(const uint8_t* elem) {
+  for (size_t i = 0; i < capacity_; ++i) {
+    ++slot_touches_;
+    if (valid_[i] == 0) {
+      valid_[i] = 1;
+      std::memcpy(MutableAt(i), elem, elem_bytes_);
+      ++valid_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void NicFixedVector::Invalidate(size_t index) {
+  if (index < capacity_ && valid_[index] != 0) {
+    valid_[index] = 0;
+    ++slot_touches_;
+    --valid_count_;
+  }
+}
+
+}  // namespace clara

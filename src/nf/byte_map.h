@@ -1,0 +1,162 @@
+// Byte-keyed hash maps in two implementations:
+//
+//   HostByteMap — Click-style: open addressing with linear probing and elastic
+//   growth at runtime (rehash on load factor), mirroring Click's HashMap.
+//
+//   NicByteMap — the "reverse-ported" (paper §3.3) baremetal variant: memory
+//   is pre-allocated at construction, collisions resolve inside a fixed set of
+//   bucket slots, and erase only marks entries invalid (no shrinking). This is
+//   the control-flow-symmetric implementation Clara substitutes for Click's
+//   HashMap when analyzing the SmartNIC form of an NF.
+//
+// Both count the number of backing-array slot touches so that trace-driven
+// profiling (interpreter) observes the true memory-access behaviour of the
+// chosen implementation.
+#ifndef SRC_NF_BYTE_MAP_H_
+#define SRC_NF_BYTE_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clara {
+
+// FNV-1a over a byte range. The same hash is used by host and NIC variants so
+// lookup keys land comparably; the NIC additionally offers CRC-based hashing
+// through its accelerator (modelled in src/nic).
+uint64_t FnvHash(const uint8_t* data, size_t len);
+
+// Access statistics for profiling.
+struct MapStats {
+  uint64_t finds = 0;
+  uint64_t inserts = 0;
+  uint64_t erases = 0;
+  uint64_t slot_touches = 0;  // backing-array slot reads+writes
+  uint64_t failed_inserts = 0;
+
+  void Reset() { *this = MapStats{}; }
+};
+
+// Common interface so the interpreter can run the same NF against either
+// implementation.
+class ByteMap {
+ public:
+  ByteMap(size_t key_bytes, size_t value_bytes) : key_bytes_(key_bytes), value_bytes_(value_bytes) {}
+  virtual ~ByteMap() = default;
+
+  // Returns true and fills `value_out` (value_bytes long) on hit.
+  virtual bool Find(const uint8_t* key, uint8_t* value_out) = 0;
+
+  // Inserts or overwrites. Returns false if the structure is full (NIC only).
+  virtual bool Insert(const uint8_t* key, const uint8_t* value) = 0;
+
+  // Removes the entry if present; returns whether it was present.
+  virtual bool Erase(const uint8_t* key) = 0;
+
+  virtual size_t size() const = 0;
+  virtual size_t capacity() const = 0;
+  virtual void Clear() = 0;
+
+  size_t key_bytes() const { return key_bytes_; }
+  size_t value_bytes() const { return value_bytes_; }
+
+  const MapStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  size_t key_bytes_;
+  size_t value_bytes_;
+  MapStats stats_;
+};
+
+// Click-style elastic map: linear probing, grows at 70% load.
+class HostByteMap : public ByteMap {
+ public:
+  HostByteMap(size_t key_bytes, size_t value_bytes, size_t initial_capacity = 16);
+
+  bool Find(const uint8_t* key, uint8_t* value_out) override;
+  bool Insert(const uint8_t* key, const uint8_t* value) override;
+  bool Erase(const uint8_t* key) override;
+  size_t size() const override { return size_; }
+  size_t capacity() const override { return slots_; }
+  void Clear() override;
+
+ private:
+  struct SlotHeader {
+    uint8_t state;  // 0 empty, 1 used, 2 tombstone
+  };
+
+  size_t SlotIndex(uint64_t hash) const { return hash & (slots_ - 1); }
+  uint8_t* KeyAt(size_t i) { return storage_.data() + i * stride_; }
+  uint8_t* ValueAt(size_t i) { return storage_.data() + i * stride_ + key_bytes_; }
+  void Grow();
+  // Probes for `key`; returns the slot holding it, or the first insertable
+  // slot if absent (match=false).
+  size_t Probe(const uint8_t* key, bool* match);
+
+  size_t slots_;
+  size_t stride_;
+  size_t size_ = 0;
+  std::vector<uint8_t> storage_;
+  std::vector<SlotHeader> headers_;
+};
+
+// Baremetal-NIC-style map: `buckets` buckets of `slots_per_bucket` entries,
+// fixed at construction. A colliding insert scans only its bucket.
+class NicByteMap : public ByteMap {
+ public:
+  NicByteMap(size_t key_bytes, size_t value_bytes, size_t buckets, size_t slots_per_bucket = 4);
+
+  bool Find(const uint8_t* key, uint8_t* value_out) override;
+  bool Insert(const uint8_t* key, const uint8_t* value) override;
+  bool Erase(const uint8_t* key) override;
+  size_t size() const override { return size_; }
+  size_t capacity() const override { return buckets_ * slots_per_bucket_; }
+  void Clear() override;
+
+  size_t buckets() const { return buckets_; }
+  size_t slots_per_bucket() const { return slots_per_bucket_; }
+
+ private:
+  size_t BucketOf(uint64_t hash) const { return hash % buckets_; }
+  uint8_t* KeyAt(size_t i) { return storage_.data() + i * stride_; }
+  uint8_t* ValueAt(size_t i) { return storage_.data() + i * stride_ + key_bytes_; }
+
+  size_t buckets_;
+  size_t slots_per_bucket_;
+  size_t stride_;
+  size_t size_ = 0;
+  std::vector<uint8_t> storage_;
+  std::vector<uint8_t> valid_;  // per slot: 0 invalid, 1 valid
+};
+
+// Click-style Vector (elastic) vs NIC-style fixed vector with invalidation
+// semantics (paper §3.3: "Vector.delete() ... only marks entries as invalid").
+class NicFixedVector {
+ public:
+  NicFixedVector(size_t elem_bytes, size_t capacity);
+
+  // Appends into the first invalid slot; false when full.
+  bool PushBack(const uint8_t* elem);
+  // Marks slot i invalid. Does not compact.
+  void Invalidate(size_t index);
+  bool IsValid(size_t index) const { return valid_[index] != 0; }
+  const uint8_t* At(size_t index) const { return storage_.data() + index * elem_bytes_; }
+  uint8_t* MutableAt(size_t index) { return storage_.data() + index * elem_bytes_; }
+
+  size_t capacity() const { return capacity_; }
+  size_t valid_count() const { return valid_count_; }
+  uint64_t slot_touches() const { return slot_touches_; }
+
+ private:
+  size_t elem_bytes_;
+  size_t capacity_;
+  size_t valid_count_ = 0;
+  uint64_t slot_touches_ = 0;
+  std::vector<uint8_t> storage_;
+  std::vector<uint8_t> valid_;
+};
+
+}  // namespace clara
+
+#endif  // SRC_NF_BYTE_MAP_H_

@@ -1,0 +1,96 @@
+#include "src/nf/checksum.h"
+
+#include <array>
+
+namespace clara {
+
+uint16_t InternetChecksum(const uint8_t* data, size_t len) {
+  uint32_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < len) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+uint32_t Crc32Bitwise(const uint8_t* data, size_t len) {
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xedb88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+namespace {
+
+const std::array<uint32_t, 256>& Crc32TableData() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int b = 0; b < 8; ++b) {
+        c = (c >> 1) ^ (0xedb88320u & (0u - (c & 1u)));
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Table(const uint8_t* data, size_t len) {
+  const auto& table = Crc32TableData();
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+uint16_t Crc16Ccitt(const uint8_t* data, size_t len) {
+  uint16_t crc = 0xffff;
+  for (size_t i = 0; i < len; ++i) {
+    crc ^= static_cast<uint16_t>(data[i]) << 8;
+    for (int b = 0; b < 8; ++b) {
+      if (crc & 0x8000) {
+        crc = static_cast<uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+void Rc4Apply(const uint8_t* key, size_t key_len, uint8_t* data, size_t len) {
+  uint8_t s[256];
+  for (int i = 0; i < 256; ++i) {
+    s[i] = static_cast<uint8_t>(i);
+  }
+  uint8_t j = 0;
+  for (int i = 0; i < 256; ++i) {
+    j = static_cast<uint8_t>(j + s[i] + key[i % key_len]);
+    std::swap(s[i], s[j]);
+  }
+  uint8_t x = 0;
+  uint8_t y = 0;
+  for (size_t n = 0; n < len; ++n) {
+    x = static_cast<uint8_t>(x + 1);
+    y = static_cast<uint8_t>(y + s[x]);
+    std::swap(s[x], s[y]);
+    data[n] ^= s[static_cast<uint8_t>(s[x] + s[y])];
+  }
+}
+
+}  // namespace clara

@@ -1,0 +1,35 @@
+// Reference implementations of the checksum/CRC/cipher algorithms that appear
+// inside NF programs. These define the ground-truth semantics that the lang
+// interpreter (running the AST form of the same algorithms) must reproduce,
+// and they are the software paths that the NIC's CRC/checksum accelerators
+// replace.
+#ifndef SRC_NF_CHECKSUM_H_
+#define SRC_NF_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace clara {
+
+// Internet one's-complement checksum over a byte range (RFC 1071).
+uint16_t InternetChecksum(const uint8_t* data, size_t len);
+
+// Bitwise (table-free) CRC32, reflected, polynomial 0xEDB88320. This is the
+// "procedural" implementation style that Clara's algorithm identification
+// learns to recognize.
+uint32_t Crc32Bitwise(const uint8_t* data, size_t len);
+
+// Table-driven CRC32 over the same polynomial; must agree with Crc32Bitwise.
+// Represents an alternative implementation idiom of the same algorithm.
+uint32_t Crc32Table(const uint8_t* data, size_t len);
+
+// CRC16/CCITT (poly 0x1021, init 0xFFFF), bitwise.
+uint16_t Crc16Ccitt(const uint8_t* data, size_t len);
+
+// RC4 stream cipher (used by the wepdecap element). Encrypt == decrypt.
+// `key`/`key_len` seed the KSA; `data` is transformed in place.
+void Rc4Apply(const uint8_t* key, size_t key_len, uint8_t* data, size_t len);
+
+}  // namespace clara
+
+#endif  // SRC_NF_CHECKSUM_H_

@@ -1,0 +1,81 @@
+#include "src/nf/lpm.h"
+
+namespace clara {
+
+LpmTable::LpmTable() { nodes_.emplace_back(); }
+
+void LpmTable::Insert(uint32_t prefix, int prefix_len, uint32_t next_hop) {
+  int cur = 0;
+  for (int depth = 0; depth < prefix_len; ++depth) {
+    int bit = (prefix >> (31 - depth)) & 1;
+    if (nodes_[cur].child[bit] < 0) {
+      nodes_[cur].child[bit] = static_cast<int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    cur = nodes_[cur].child[bit];
+  }
+  if (nodes_[cur].next_hop < 0) {
+    ++rule_count_;
+  }
+  nodes_[cur].next_hop = static_cast<int32_t>(next_hop);
+}
+
+std::optional<uint32_t> LpmTable::Lookup(uint32_t addr) const {
+  int cur = 0;
+  std::optional<uint32_t> best;
+  last_lookup_steps_ = 0;
+  for (int depth = 0; depth <= 32; ++depth) {
+    ++last_lookup_steps_;
+    if (nodes_[cur].next_hop >= 0) {
+      best = static_cast<uint32_t>(nodes_[cur].next_hop);
+    }
+    if (depth == 32) {
+      break;
+    }
+    int bit = (addr >> (31 - depth)) & 1;
+    int next = nodes_[cur].child[bit];
+    if (next < 0) {
+      break;
+    }
+    cur = next;
+  }
+  return best;
+}
+
+std::vector<uint32_t> LpmTable::Flatten() const {
+  std::vector<uint32_t> flat(nodes_.size() * 3, 0);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    flat[3 * i + 0] = nodes_[i].child[0] < 0 ? 0 : static_cast<uint32_t>(nodes_[i].child[0] + 1);
+    flat[3 * i + 1] = nodes_[i].child[1] < 0 ? 0 : static_cast<uint32_t>(nodes_[i].child[1] + 1);
+    flat[3 * i + 2] =
+        nodes_[i].next_hop < 0 ? 0 : static_cast<uint32_t>(nodes_[i].next_hop + 1);
+  }
+  return flat;
+}
+
+std::optional<uint32_t> LpmLookupFlat(const std::vector<uint32_t>& flat, uint32_t addr,
+                                      int max_depth) {
+  uint32_t cur = 0;  // node index
+  uint32_t best = 0;
+  for (int depth = 0; depth <= max_depth; ++depth) {
+    uint32_t rule = flat[3 * cur + 2];
+    if (rule != 0) {
+      best = rule;
+    }
+    if (depth == max_depth) {
+      break;
+    }
+    uint32_t bit = (addr >> (31 - depth)) & 1;
+    uint32_t next = flat[3 * cur + bit];
+    if (next == 0) {
+      break;
+    }
+    cur = next - 1;
+  }
+  if (best == 0) {
+    return std::nullopt;
+  }
+  return best - 1;
+}
+
+}  // namespace clara

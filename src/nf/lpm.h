@@ -1,0 +1,62 @@
+// Longest-prefix-match table backed by a binary (unibit) trie.
+//
+// The trie is stored in a flat node array so the same structure can be
+// (a) used directly by C++ code, and (b) exported as a state array that the
+// lang-level iplookup element walks with a bounded pointer-chasing loop —
+// the distinctive access pattern Clara's algorithm identification keys on.
+//
+// Node layout in the exported array (3 u32 words per node):
+//   [3n + 0] left-child index + 1  (0 = none)
+//   [3n + 1] right-child index + 1 (0 = none)
+//   [3n + 2] next-hop + 1          (0 = no rule terminates here)
+#ifndef SRC_NF_LPM_H_
+#define SRC_NF_LPM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace clara {
+
+class LpmTable {
+ public:
+  LpmTable();
+
+  // Inserts `prefix`/`prefix_len` mapping to `next_hop`. Later inserts of the
+  // same prefix overwrite.
+  void Insert(uint32_t prefix, int prefix_len, uint32_t next_hop);
+
+  // Longest-prefix lookup; nullopt when no prefix covers `addr`.
+  std::optional<uint32_t> Lookup(uint32_t addr) const;
+
+  // Number of trie nodes (including the root).
+  size_t node_count() const { return nodes_.size(); }
+  size_t rule_count() const { return rule_count_; }
+
+  // Nodes touched by the last Lookup call (trie depth walked); profiling aid.
+  int last_lookup_steps() const { return last_lookup_steps_; }
+
+  // Flattened node array in the layout documented above, for embedding as NF
+  // state. Size = 3 * node_count().
+  std::vector<uint32_t> Flatten() const;
+
+ private:
+  struct Node {
+    int32_t child[2] = {-1, -1};
+    int32_t next_hop = -1;  // -1 = no rule terminates here
+  };
+
+  std::vector<Node> nodes_;
+  size_t rule_count_ = 0;
+  mutable int last_lookup_steps_ = 0;
+};
+
+// Performs the same longest-prefix lookup against a flattened node array, the
+// exact algorithm the lang-level element encodes. Returns next-hop or nullopt.
+std::optional<uint32_t> LpmLookupFlat(const std::vector<uint32_t>& flat, uint32_t addr,
+                                      int max_depth = 32);
+
+}  // namespace clara
+
+#endif  // SRC_NF_LPM_H_

@@ -1,0 +1,34 @@
+#include "src/nf/packet.h"
+
+#include <cstdio>
+
+namespace clara {
+
+std::string IpToString(uint32_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+uint16_t Ipv4HeaderChecksum(const Packet& pkt) {
+  // Serialize the logical IPv4 header (checksum field zeroed) and fold.
+  uint32_t sum = 0;
+  auto add16 = [&sum](uint16_t v) { sum += v; };
+  add16(static_cast<uint16_t>((0x4u << 12) | (pkt.ip_ihl << 8) | pkt.ip_tos));
+  add16(pkt.ip_len);
+  add16(0);  // identification
+  add16(0);  // flags/fragment
+  add16(static_cast<uint16_t>((pkt.ip_ttl << 8) | pkt.ip_proto));
+  add16(0);  // checksum field itself
+  add16(static_cast<uint16_t>(pkt.src_ip >> 16));
+  add16(static_cast<uint16_t>(pkt.src_ip & 0xffff));
+  add16(static_cast<uint16_t>(pkt.dst_ip >> 16));
+  add16(static_cast<uint16_t>(pkt.dst_ip & 0xffff));
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+}  // namespace clara

@@ -1,0 +1,38 @@
+#include "src/nf/sketch.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace clara {
+
+CountMinSketch::CountMinSketch(size_t rows, size_t cols) : rows_(rows), cols_(cols) {
+  counters_.resize(rows_ * cols_, 0);
+}
+
+uint64_t CountMinSketch::RowHash(uint64_t key, uint32_t row) {
+  uint64_t h = key ^ (0x9e3779b97f4a7c15ULL * (row + 1));
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void CountMinSketch::Update(uint64_t key, uint32_t delta) {
+  for (uint32_t r = 0; r < rows_; ++r) {
+    size_t c = RowHash(key, r) % cols_;
+    counters_[r * cols_ + c] += delta;
+  }
+}
+
+uint32_t CountMinSketch::Estimate(uint64_t key) const {
+  uint32_t best = std::numeric_limits<uint32_t>::max();
+  for (uint32_t r = 0; r < rows_; ++r) {
+    size_t c = RowHash(key, r) % cols_;
+    best = std::min(best, counters_[r * cols_ + c]);
+  }
+  return best;
+}
+
+void CountMinSketch::Clear() { std::fill(counters_.begin(), counters_.end(), 0); }
+
+}  // namespace clara

@@ -1,0 +1,36 @@
+// Count-min sketch used by the cmsketch element and by heavy-hitter
+// detection. Hash rows use CRC-style mixing so that the lang-level element
+// (which computes the same row hashes procedurally) matches this reference.
+#ifndef SRC_NF_SKETCH_H_
+#define SRC_NF_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clara {
+
+class CountMinSketch {
+ public:
+  CountMinSketch(size_t rows, size_t cols);
+
+  void Update(uint64_t key, uint32_t delta = 1);
+  uint32_t Estimate(uint64_t key) const;
+  void Clear();
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  // Row hash for `key`, identical to the one the lang element computes:
+  // multiply-xor mixing seeded per row. Exposed so both stay in lockstep.
+  static uint64_t RowHash(uint64_t key, uint32_t row);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<uint32_t> counters_;  // rows_ x cols_, row-major
+};
+
+}  // namespace clara
+
+#endif  // SRC_NF_SKETCH_H_

@@ -1,0 +1,42 @@
+#include "src/nic/api_profile.h"
+
+#include <map>
+
+namespace clara {
+
+std::optional<ApiNicProfile> LookupApiProfile(const std::string& api) {
+  // Costs follow the magnitudes reported for Netronome-class NICs: header
+  // parsing is a few instructions against packet metadata; a software IPv4
+  // checksum costs ~2000 cycles on the general-purpose cores while the
+  // ingress accelerator does it in ~300 (paper §2).
+  static const std::map<std::string, ApiNicProfile> kProfiles = {
+      {"ip_header", {"ip_header", 3, 1, 0, 0, 0, false}},
+      {"tcp_header", {"tcp_header", 3, 1, 0, 0, 0, false}},
+      {"udp_header", {"udp_header", 3, 1, 0, 0, 0, false}},
+      {"payload", {"payload", 2, 0, 0, 0, 0, false}},
+      // Software one's-complement checksum over the IPv4 header: byte loop on
+      // a wimpy core.
+      {"checksum_update", {"checksum_update", 420, 12, 1, 0, 0, false}},
+      // Ingress checksum accelerator: CSR command + fixed engine time.
+      {"csum_hw", {"csum_hw", 6, 1, 1, 300, 0, true}},
+      // CRC engine: command + per-byte streaming through the engine.
+      {"crc32_hw", {"crc32_hw", 8, 0, 0, 40, 1.5, true}},
+      // CRC engine hashing a fixed-size key (flow-hash use, no payload scan).
+      {"crc_hash_hw", {"crc_hash_hw", 6, 0, 0, 45, 0, true}},
+      // LPM lookup engine.
+      {"lpm_hw", {"lpm_hw", 6, 0, 0, 40, 0, true}},
+      // Flow-cache (CAM-assisted exact-match) engine.
+      {"flow_cache_get", {"flow_cache_get", 5, 0, 0, 30, 0, true}},
+      {"flow_cache_put", {"flow_cache_put", 5, 0, 0, 30, 0, true}},
+      {"send", {"send", 6, 0, 2, 20, 0, false}},
+      {"drop", {"drop", 3, 0, 0, 0, 0, false}},
+      {"rand", {"rand", 4, 0, 0, 0, 0, false}},
+  };
+  auto it = kProfiles.find(api);
+  if (it == kProfiles.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace clara

@@ -1,0 +1,28 @@
+// Reverse-ported cost profiles of Click framework APIs on the SmartNIC
+// (paper §3.3): each host-framework API has a NIC-native implementation
+// (e.g. Click ip_header()'s sk_buff parsing vs nbi_meta_pkt_info) whose cost
+// is measured from the NIC library directly rather than predicted.
+#ifndef SRC_NIC_API_PROFILE_H_
+#define SRC_NIC_API_PROFILE_H_
+
+#include <optional>
+#include <string>
+
+namespace clara {
+
+struct ApiNicProfile {
+  std::string name;
+  int compute_instrs = 0;       // micro-engine instructions in the NIC library code
+  int pkt_read_words = 0;       // packet-buffer words read
+  int pkt_write_words = 0;      // packet-buffer words written
+  double engine_cycles = 0;     // fixed accelerator-engine latency, cycles
+  double engine_cycles_per_payload_byte = 0;  // size-dependent engine time
+  bool uses_accelerator = false;
+};
+
+// Profile for `api`, or nullopt for unknown APIs (treated as free).
+std::optional<ApiNicProfile> LookupApiProfile(const std::string& api);
+
+}  // namespace clara
+
+#endif  // SRC_NIC_API_PROFILE_H_

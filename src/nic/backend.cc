@@ -1,0 +1,461 @@
+#include "src/nic/backend.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/nic/api_profile.h"
+
+namespace clara {
+namespace {
+
+bool IsPow2(int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+// Extra instructions needed to materialize a constant operand.
+int ImmedCost(int64_t imm) {
+  int64_t a = std::llabs(imm);
+  if (a < 256) {
+    return 0;
+  }
+  if (a < 65536) {
+    return 1;
+  }
+  return 2;
+}
+
+struct BlockInfo {
+  std::map<uint32_t, Opcode> def_op;  // reg -> defining opcode (within block)
+  std::map<uint32_t, int> uses;       // reg -> number of uses within block
+  std::map<uint32_t, bool> only_store_uses;
+};
+
+BlockInfo AnalyzeBlock(const BasicBlock& b) {
+  BlockInfo info;
+  for (const auto& i : b.instrs) {
+    if (i.result != 0) {
+      info.def_op[i.result] = i.op;
+      info.only_store_uses[i.result] = true;
+    }
+    for (size_t k = 0; k < i.operands.size(); ++k) {
+      const Value& v = i.operands[k];
+      if (v.is_reg()) {
+        ++info.uses[v.reg];
+        bool is_store_value = i.op == Opcode::kStore && k == 0;
+        if (!is_store_value) {
+          info.only_store_uses[v.reg] = false;
+        }
+      }
+    }
+  }
+  return info;
+}
+
+class BlockTranslator {
+ public:
+  BlockTranslator(const Module& m, const Function& f, const NicBackendOptions& opts,
+                  const std::set<uint32_t>& spilled_slots, const BasicBlock& block)
+      : m_(m), f_(f), opts_(opts), spilled_(spilled_slots), block_(block),
+        info_(AnalyzeBlock(block)) {}
+
+  NicBlock Run() {
+    for (size_t idx = 0; idx < block_.instrs.size(); ++idx) {
+      Translate(block_.instrs[idx], idx);
+    }
+    for (const auto& ni : out_.instrs) {
+      out_.issue_cycles += NicIssueCycles(ni.op);
+      if (IsNicCompute(ni.op)) {
+        if (ni.from_api) {
+          ++out_.counts.api_compute;
+        } else {
+          ++out_.counts.compute;
+        }
+      } else if (ni.op == NicOp::kLmemRead || ni.op == NicOp::kLmemWrite) {
+        ++out_.counts.mem_lmem;
+      } else if (IsNicMem(ni.op)) {
+        if (ni.space == AddressSpace::kState) {
+          ++out_.counts.mem_state;
+          out_.counts.state_words += ni.words;
+        } else {
+          ++out_.counts.mem_packet;
+          out_.counts.pkt_words += ni.words;
+        }
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void Emit(NicOp op, bool from_api = false) {
+    NicInstr i;
+    i.op = op;
+    i.from_api = from_api;
+    out_.instrs.push_back(i);
+  }
+
+  void EmitN(NicOp op, int n, bool from_api = false) {
+    for (int k = 0; k < n; ++k) {
+      Emit(op, from_api);
+    }
+  }
+
+  // Emits a shared-memory access and returns its index in the output.
+  size_t EmitMem(NicOp op, AddressSpace space, uint32_t sym, int words, bool from_api = false) {
+    NicInstr i;
+    i.op = op;
+    i.space = space;
+    i.sym = sym;
+    i.words = static_cast<uint8_t>(std::min(words, 32));
+    i.from_api = from_api;
+    out_.instrs.push_back(i);
+    return out_.instrs.size() - 1;
+  }
+
+  void OperandCosts(const Instruction& i) {
+    for (const auto& v : i.operands) {
+      if (v.is_const()) {
+        EmitN(NicOp::kImmed, ImmedCost(v.imm));
+      }
+    }
+  }
+
+  bool DefinedBy(const Value& v, Opcode op) const {
+    if (!v.is_reg()) {
+      return false;
+    }
+    auto it = info_.def_op.find(v.reg);
+    return it != info_.def_op.end() && it->second == op;
+  }
+
+  // Word span [lo, hi] of a field access at byte `offset` of width `bits`.
+  static std::pair<int, int> WordSpan(int offset, int bits) {
+    int lo = offset / 4;
+    int hi = (offset + bits / 8 - 1) / 4;
+    return {lo, hi};
+  }
+
+  void TranslatePacketAccess(const Instruction& i) {
+    bool is_load = i.op == Opcode::kLoad;
+    const PacketFieldInfo& field = m_.packet_fields[i.sym];
+    if (i.has_dyn_index) {
+      // Payload byte with computed address: address calc + 1-word transfer +
+      // byte extract/merge.
+      Emit(NicOp::kAlu);
+      EmitMem(is_load ? NicOp::kMemRead : NicOp::kMemWrite, AddressSpace::kPacket, 0, 1);
+      Emit(NicOp::kLdField);
+      return;
+    }
+    auto [lo, hi] = WordSpan(field.byte_offset, BitWidth(field.type));
+    bool subword = BitWidth(field.type) < 32 || field.byte_offset % 4 != 0;
+    if (is_load) {
+      bool all_cached = opts_.coalesce_packet;
+      for (int w = lo; w <= hi && all_cached; ++w) {
+        all_cached = pkt_words_.count(w) > 0;
+      }
+      if (all_cached) {
+        Emit(NicOp::kLdField);  // extract from the already-fetched word
+        return;
+      }
+      EmitMem(NicOp::kMemRead, AddressSpace::kPacket, 0, hi - lo + 1);
+      for (int w = lo; w <= hi; ++w) {
+        pkt_words_.insert(w);
+      }
+      if (subword) {
+        Emit(NicOp::kLdField);
+      }
+    } else {
+      if (subword) {
+        Emit(NicOp::kLdField);  // merge bytes into the word
+      }
+      EmitMem(NicOp::kMemWrite, AddressSpace::kPacket, 0, hi - lo + 1);
+      for (int w = lo; w <= hi; ++w) {
+        pkt_words_.insert(w);  // word now resident in transfer registers
+      }
+    }
+  }
+
+  void TranslateStateAccess(const Instruction& i) {
+    bool is_load = i.op == Opcode::kLoad;
+    const StateVar& sv = m_.state[i.sym];
+    int elem_bytes;
+    if (sv.kind == StateKind::kMap) {
+      elem_bytes = static_cast<int>(sv.key_bytes + sv.value_bytes);
+    } else {
+      elem_bytes = BitWidth(sv.elem_type) / 8;
+    }
+    // Address computation for dynamic element indices.
+    uint32_t dyn_reg = 0;
+    if (i.has_dyn_index) {
+      const Value& idx = i.operands.back();
+      dyn_reg = idx.is_reg() ? idx.reg : 0xffffffffu;
+      if (IsPow2(elem_bytes)) {
+        Emit(NicOp::kAluShf);  // index << log2(stride) + base
+      } else {
+        EmitN(NicOp::kMulStep, 3);
+        Emit(NicOp::kAlu);
+      }
+    }
+    auto [lo, hi] = WordSpan(i.offset, BitWidth(i.type));
+    int words = hi - lo + 1;
+    bool subword = BitWidth(i.type) < 32 || i.offset % 4 != 0;
+
+    // Coalescing: LOADS whose word ranges intersect a just-issued load of
+    // the same element are folded into that transfer (subword fields sharing
+    // a 32-bit word arrive together). Stores stay 1:1 with source accesses.
+    // This keeps the IR-level stateful count in close correspondence with
+    // machine code (paper §3.2: 96.4%-100%) while leaving the source-level
+    // packing optimization to Clara's §4.4 analysis.
+    if (opts_.coalesce_state && is_load && last_state_.valid && last_state_.sym == i.sym &&
+        last_state_.is_load && last_state_.dyn_reg == dyn_reg &&
+        lo <= last_state_.hi && hi >= last_state_.lo) {
+      int new_lo = std::min(lo, last_state_.lo);
+      int new_hi = std::max(hi, last_state_.hi);
+      NicInstr& prev = out_.instrs[last_state_.instr_index];
+      int prev_words = prev.words;
+      int merged = new_hi - new_lo + 1;
+      if (merged <= 16) {
+        prev.words = static_cast<uint8_t>(merged);
+        static_cast<void>(prev_words);  // word totals are tallied in Run()
+        last_state_.lo = new_lo;
+        last_state_.hi = new_hi;
+        Emit(NicOp::kLdField);  // extract/merge within the wide transfer
+        return;
+      }
+    }
+    size_t mem_idx = EmitMem(is_load ? NicOp::kMemRead : NicOp::kMemWrite,
+                             AddressSpace::kState, i.sym, words);
+    if (subword) {
+      Emit(NicOp::kLdField);
+    }
+    last_state_ = LastState{true, i.sym, dyn_reg, lo, hi, is_load, mem_idx};
+  }
+
+  void TranslateCall(const Instruction& i) {
+    last_state_.valid = false;
+    auto prof = LookupApiProfile(m_.apis[i.callee].name);
+    if (!prof.has_value()) {
+      Emit(NicOp::kAlu, /*from_api=*/true);
+      return;
+    }
+    int compute = prof->compute_instrs;
+    if (prof->uses_accelerator) {
+      Emit(NicOp::kCsr, /*from_api=*/true);
+      compute = std::max(0, compute - 1);
+    }
+    EmitN(NicOp::kAlu, compute, /*from_api=*/true);
+    // Packet traffic from library code arrives in 4-word bursts.
+    for (int left = prof->pkt_read_words; left > 0; left -= 4) {
+      EmitMem(NicOp::kMemRead, AddressSpace::kPacket, 0, std::min(left, 4),
+              /*from_api=*/true);
+    }
+    for (int left = prof->pkt_write_words; left > 0; left -= 4) {
+      EmitMem(NicOp::kMemWrite, AddressSpace::kPacket, 0, std::min(left, 4),
+              /*from_api=*/true);
+    }
+  }
+
+  void Translate(const Instruction& i, size_t idx) {
+    switch (i.op) {
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+        OperandCosts(i);
+        Emit(NicOp::kAlu);
+        break;
+      case Opcode::kShl:
+      case Opcode::kLShr:
+      case Opcode::kAShr:
+        if (i.operands[1].is_const()) {
+          Emit(NicOp::kAluShf);
+        } else {
+          Emit(NicOp::kAlu);
+          Emit(NicOp::kAluShf);
+        }
+        break;
+      case Opcode::kMul: {
+        const Value& rhs = i.operands[1];
+        if (rhs.is_const() && IsPow2(rhs.imm)) {
+          Emit(NicOp::kAluShf);
+        } else if (rhs.is_const()) {
+          EmitN(NicOp::kImmed, ImmedCost(rhs.imm));
+          EmitN(NicOp::kMulStep, 3);
+        } else {
+          EmitN(NicOp::kMulStep, 4);
+        }
+        break;
+      }
+      case Opcode::kUDiv:
+      case Opcode::kURem: {
+        const Value& rhs = i.operands[1];
+        if (rhs.is_const() && IsPow2(rhs.imm)) {
+          Emit(i.op == Opcode::kUDiv ? NicOp::kAluShf : NicOp::kAlu);
+        } else {
+          // Software divide: restore-style loop, unrolled by the library.
+          Emit(NicOp::kImmed);
+          EmitN(NicOp::kAlu, 12);
+          EmitN(NicOp::kAluShf, 4);
+          EmitN(NicOp::kBcc, 2);
+        }
+        break;
+      }
+      case Opcode::kIcmpEq:
+      case Opcode::kIcmpNe:
+      case Opcode::kIcmpUlt:
+      case Opcode::kIcmpUle:
+      case Opcode::kIcmpUgt:
+      case Opcode::kIcmpUge: {
+        OperandCosts(i);
+        bool fused = FusesWithTerminator(i, idx);
+        if (fused) {
+          Emit(NicOp::kAlu);  // compare sets condition codes
+        } else {
+          Emit(NicOp::kAlu);
+          Emit(NicOp::kAluShf);
+          Emit(NicOp::kAlu);  // materialize 0/1
+        }
+        break;
+      }
+      case Opcode::kZext: {
+        const Value& src = i.operands[0];
+        if (src.is_const() || DefinedBy(src, Opcode::kLoad)) {
+          break;  // loads zero-extend for free
+        }
+        Emit(NicOp::kAlu);
+        break;
+      }
+      case Opcode::kSext:
+        EmitN(NicOp::kAluShf, 2);
+        break;
+      case Opcode::kTrunc: {
+        auto it = info_.only_store_uses.find(i.result);
+        bool store_only = it != info_.only_store_uses.end() && it->second &&
+                          info_.uses.count(i.result) > 0;
+        if (!store_only && BitWidth(i.type) < 32) {
+          Emit(NicOp::kAlu);  // mask
+        }
+        break;
+      }
+      case Opcode::kSelect:
+        OperandCosts(i);
+        EmitN(NicOp::kAlu, 3);
+        break;
+      case Opcode::kLoad:
+      case Opcode::kStore:
+        switch (i.space) {
+          case AddressSpace::kStack: {
+            if (spilled_.count(i.sym) > 0) {
+              Emit(i.op == Opcode::kLoad ? NicOp::kLmemRead : NicOp::kLmemWrite);
+            }
+            // Register-allocated slots cost nothing.
+            break;
+          }
+          case AddressSpace::kPacket:
+            TranslatePacketAccess(i);
+            break;
+          case AddressSpace::kState:
+            TranslateStateAccess(i);
+            break;
+          case AddressSpace::kNone:
+            break;
+        }
+        break;
+      case Opcode::kCall:
+        TranslateCall(i);
+        break;
+      case Opcode::kBr:
+      case Opcode::kRet:
+        Emit(NicOp::kBr);
+        break;
+      case Opcode::kCondBr: {
+        const Value& c = i.operands[0];
+        if (!(c.is_reg() && IsCompare(info_.def_op.count(c.reg) > 0
+                                          ? info_.def_op[c.reg]
+                                          : Opcode::kAdd) &&
+              info_.uses[c.reg] == 1)) {
+          Emit(NicOp::kAlu);  // test the boolean explicitly
+        }
+        Emit(NicOp::kBcc);
+        break;
+      }
+    }
+  }
+
+  bool FusesWithTerminator(const Instruction& cmp, size_t idx) const {
+    if (cmp.result == 0) {
+      return false;
+    }
+    auto it = info_.uses.find(cmp.result);
+    if (it == info_.uses.end() || it->second != 1) {
+      return false;
+    }
+    const auto& instrs = block_.instrs;
+    if (instrs.empty() || instrs.back().op != Opcode::kCondBr) {
+      return false;
+    }
+    const Value& c = instrs.back().operands[0];
+    return c.is_reg() && c.reg == cmp.result;
+  }
+
+  struct LastState {
+    bool valid = false;
+    uint32_t sym = 0;
+    uint32_t dyn_reg = 0;
+    int lo = 0;
+    int hi = 0;
+    bool is_load = true;
+    size_t instr_index = 0;
+  };
+
+  const Module& m_;
+  const Function& f_;
+  const NicBackendOptions& opts_;
+  const std::set<uint32_t>& spilled_;
+  const BasicBlock& block_;
+  BlockInfo info_;
+  NicBlock out_;
+  std::set<int> pkt_words_;
+  LastState last_state_;
+};
+
+}  // namespace
+
+NicProgram CompileToNic(const Module& m, const Function& f, const NicBackendOptions& opts) {
+  NicProgram prog;
+  prog.name = m.name;
+
+  // Register allocation: promote the most-accessed stack slots to GPRs.
+  std::vector<std::pair<uint64_t, uint32_t>> slot_freq(f.slots.size());
+  for (size_t s = 0; s < f.slots.size(); ++s) {
+    slot_freq[s] = {0, static_cast<uint32_t>(s)};
+  }
+  for (const auto& b : f.blocks) {
+    for (const auto& i : b.instrs) {
+      if ((i.op == Opcode::kLoad || i.op == Opcode::kStore) &&
+          i.space == AddressSpace::kStack && i.sym < f.slots.size()) {
+        ++slot_freq[i.sym].first;
+      }
+    }
+  }
+  std::sort(slot_freq.begin(), slot_freq.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::set<uint32_t> spilled;
+  for (size_t rank = 0; rank < slot_freq.size(); ++rank) {
+    if (static_cast<int>(rank) >= opts.gpr_budget) {
+      spilled.insert(slot_freq[rank].second);
+    }
+  }
+
+  for (const auto& b : f.blocks) {
+    prog.blocks.push_back(BlockTranslator(m, f, opts, spilled, b).Run());
+  }
+  return prog;
+}
+
+NicProgram CompileToNic(const Module& m, const NicBackendOptions& opts) {
+  return CompileToNic(m, m.functions.at(0), opts);
+}
+
+}  // namespace clara

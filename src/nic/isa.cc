@@ -1,0 +1,93 @@
+#include "src/nic/isa.h"
+
+#include <sstream>
+
+namespace clara {
+
+const char* NicOpName(NicOp op) {
+  switch (op) {
+    case NicOp::kAlu: return "alu";
+    case NicOp::kAluShf: return "alu_shf";
+    case NicOp::kImmed: return "immed";
+    case NicOp::kMulStep: return "mul_step";
+    case NicOp::kLdField: return "ld_field";
+    case NicOp::kBr: return "br";
+    case NicOp::kBcc: return "bcc";
+    case NicOp::kCsr: return "csr";
+    case NicOp::kMemRead: return "mem[read]";
+    case NicOp::kMemWrite: return "mem[write]";
+    case NicOp::kLmemRead: return "lmem[read]";
+    case NicOp::kLmemWrite: return "lmem[write]";
+    case NicOp::kNop: return "nop";
+  }
+  return "?";
+}
+
+bool IsNicCompute(NicOp op) {
+  switch (op) {
+    case NicOp::kAlu:
+    case NicOp::kAluShf:
+    case NicOp::kImmed:
+    case NicOp::kMulStep:
+    case NicOp::kLdField:
+    case NicOp::kBr:
+    case NicOp::kBcc:
+    case NicOp::kCsr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsNicMem(NicOp op) { return op == NicOp::kMemRead || op == NicOp::kMemWrite; }
+
+int NicIssueCycles(NicOp op) {
+  switch (op) {
+    case NicOp::kCsr:
+      return 3;
+    case NicOp::kLmemRead:
+    case NicOp::kLmemWrite:
+      return 3;
+    case NicOp::kMemRead:
+    case NicOp::kMemWrite:
+      return 2;  // command issue only; wait time modelled separately
+    case NicOp::kNop:
+      return 1;
+    default:
+      return 1;
+  }
+}
+
+NicBlockCounts NicProgram::Totals() const {
+  NicBlockCounts t;
+  for (const auto& b : blocks) {
+    t.compute += b.counts.compute;
+    t.api_compute += b.counts.api_compute;
+    t.mem_state += b.counts.mem_state;
+    t.mem_packet += b.counts.mem_packet;
+    t.mem_lmem += b.counts.mem_lmem;
+    t.state_words += b.counts.state_words;
+    t.pkt_words += b.counts.pkt_words;
+  }
+  return t;
+}
+
+std::string ToString(const NicInstr& i, const Module& m) {
+  std::ostringstream os;
+  os << NicOpName(i.op);
+  if (IsNicMem(i.op)) {
+    os << " ";
+    if (i.space == AddressSpace::kPacket) {
+      os << "ctm_pkt";
+    } else if (i.space == AddressSpace::kState && i.sym < m.state.size()) {
+      os << m.state[i.sym].name;
+    }
+    os << ", " << static_cast<int>(i.words) << "w";
+  }
+  if (i.from_api) {
+    os << " ;api";
+  }
+  return os.str();
+}
+
+}  // namespace clara

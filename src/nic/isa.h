@@ -1,0 +1,84 @@
+// Instruction set of the simulated SoC SmartNIC ("nfp-sim").
+//
+// Modelled after baremetal packet-processing NICs (Netronome-style): simple
+// single-issue RISC micro-engines with ALU/shift ops, multiply steps instead
+// of a full multiplier, byte-field merge ops, explicit shared-memory read/
+// write commands, per-thread local memory, and CSR-triggered accelerators.
+#ifndef SRC_NIC_ISA_H_
+#define SRC_NIC_ISA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace clara {
+
+enum class NicOp : uint8_t {
+  kAlu,        // arithmetic/logic, optionally setting condition codes
+  kAluShf,     // ALU op fused with a shift
+  kImmed,      // materialize a large immediate
+  kMulStep,    // one step of the iterative multiplier
+  kLdField,    // byte-field extract/merge between registers
+  kBr,         // unconditional branch
+  kBcc,        // conditional branch on condition codes
+  kCsr,        // command an accelerator / CSR write
+  kMemRead,    // shared-memory read (region bound at simulation time)
+  kMemWrite,   // shared-memory write
+  kLmemRead,   // per-thread local memory read (spilled registers)
+  kLmemWrite,  // per-thread local memory write
+  kNop,
+};
+
+const char* NicOpName(NicOp op);
+
+// True for ops the paper counts as "compute instructions".
+bool IsNicCompute(NicOp op);
+// True for shared-memory accesses ("memory accesses" in the paper's sense).
+bool IsNicMem(NicOp op);
+
+struct NicInstr {
+  NicOp op = NicOp::kNop;
+  // Memory metadata (kMemRead/kMemWrite): source IR address space and symbol
+  // (state var index / packet), and the transfer size in 32-bit words.
+  AddressSpace space = AddressSpace::kNone;
+  uint32_t sym = 0;
+  uint8_t words = 1;
+  // Provenance: true when this instruction came from expanding a framework
+  // API call (reverse-ported profile) rather than core NF code.
+  bool from_api = false;
+};
+
+// Issue cost in core cycles (memory wait time is modelled separately by the
+// performance model).
+int NicIssueCycles(NicOp op);
+
+struct NicBlockCounts {
+  uint32_t compute = 0;     // core-NF compute instructions
+  uint32_t api_compute = 0; // compute instructions from API expansion
+  uint32_t mem_state = 0;   // shared-memory accesses to NF state
+  uint32_t mem_packet = 0;  // shared-memory accesses to packet data
+  uint32_t mem_lmem = 0;    // local-memory accesses (register spills)
+  uint32_t state_words = 0; // total words moved to/from NF state
+  uint32_t pkt_words = 0;   // total words moved to/from packet data
+};
+
+struct NicBlock {
+  std::vector<NicInstr> instrs;
+  NicBlockCounts counts;
+  double issue_cycles = 0;  // sum of issue costs
+};
+
+struct NicProgram {
+  std::string name;
+  std::vector<NicBlock> blocks;  // 1:1 with the IR function's blocks
+
+  NicBlockCounts Totals() const;
+};
+
+std::string ToString(const NicInstr& i, const Module& m);
+
+}  // namespace clara
+
+#endif  // SRC_NIC_ISA_H_

@@ -1,0 +1,75 @@
+// SmartNIC memory hierarchy and chip configuration.
+//
+// Mirrors the Netronome-style hierarchy the paper describes (§4.3): cluster
+// local scratch (CLS), cluster target memory (CTM), internal SRAM (IMEM) and
+// external DRAM (EMEM) fronted by an SRAM cache — with increasing sizes and
+// access latencies. Capacities/latencies are representative, not calibrated
+// to any proprietary databook; the analyses only rely on their ordering and
+// rough ratios.
+#ifndef SRC_NIC_MEMORY_H_
+#define SRC_NIC_MEMORY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace clara {
+
+enum class MemRegion : uint8_t { kCls = 0, kCtm = 1, kImem = 2, kEmem = 3 };
+
+inline constexpr int kNumMemRegions = 4;
+
+const char* MemRegionName(MemRegion r);
+
+struct RegionSpec {
+  uint64_t capacity_bytes = 0;
+  double latency_cycles = 0;          // uncontended access latency
+  double bandwidth_words_per_cycle = 0;  // aggregate across the chip
+};
+
+struct NicConfig {
+  int num_cores = 60;
+  // Effective latency-hiding contexts per core. The hardware has more, but
+  // packet-ordering and dependency stalls limit how much wait time overlaps.
+  int threads_per_core = 4;
+  double freq_ghz = 1.2;
+  double line_rate_gbps = 40.0;
+
+  // Bandwidths are *effective random-access* rates (words/cycle, chip-wide):
+  // small scattered accesses achieve a fraction of peak streaming bandwidth,
+  // especially on the DRAM-backed EMEM.
+  std::array<RegionSpec, kNumMemRegions> regions = {{
+      {64 * 1024, 40, 4},            // CLS
+      {256 * 1024, 80, 4},           // CTM
+      {4 * 1024 * 1024, 200, 3},     // IMEM
+      {2ULL * 1024 * 1024 * 1024, 600, 0.6},  // EMEM (DRAM side)
+  }};
+
+  // EMEM SRAM cache (shared; deliberately small relative to flow tables).
+  uint64_t emem_cache_bytes = 512 * 1024;
+  double emem_cache_latency = 250;
+  double emem_cache_bandwidth = 6;
+
+  // Work-distribution/reordering arbitration cost: every active core adds a
+  // little per-packet coordination latency, which is why latency keeps
+  // climbing past the throughput knee (paper Fig 11(e)-(f)).
+  double arbitration_cycles_per_core = 15;
+
+  // Packet data lives in CTM transfer buffers; modelled as its own pool so
+  // header traffic does not contend with state placed in CTM.
+  double pkt_latency_cycles = 60;
+  double pkt_bandwidth_words_per_cycle = 24;
+
+  const RegionSpec& Region(MemRegion r) const {
+    return regions[static_cast<size_t>(r)];
+  }
+
+  double MaxLineRateMpps(double wire_bytes) const {
+    // Ethernet overhead: preamble + IFG ~ 20B per frame.
+    return line_rate_gbps * 1e3 / ((wire_bytes + 20.0) * 8.0);
+  }
+};
+
+}  // namespace clara
+
+#endif  // SRC_NIC_MEMORY_H_

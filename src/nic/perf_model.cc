@@ -1,0 +1,254 @@
+#include "src/nic/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clara {
+
+const char* MemRegionName(MemRegion r) {
+  switch (r) {
+    case MemRegion::kCls: return "CLS";
+    case MemRegion::kCtm: return "CTM";
+    case MemRegion::kImem: return "IMEM";
+    case MemRegion::kEmem: return "EMEM";
+  }
+  return "?";
+}
+
+double NfDemand::TotalStateAccesses() const {
+  double n = 0;
+  for (const auto& s : state) {
+    n += s.accesses_per_pkt;
+  }
+  return n;
+}
+
+double NfDemand::ArithmeticIntensity() const {
+  double mem = TotalStateAccesses() + pkt_accesses;
+  if (mem <= 0) {
+    return compute_cycles;
+  }
+  return compute_cycles / mem;
+}
+
+namespace {
+
+constexpr double kMaxUtil = 0.97;
+
+// M/M/1-style latency inflation, clamped for numerical stability.
+double Inflate(double base_latency, double utilization) {
+  double rho = std::min(utilization, kMaxUtil);
+  return base_latency / (1.0 - rho);
+}
+
+}  // namespace
+
+PerfModel::RegionLoad PerfModel::ComputeLoad(const NfDemand& nf) const {
+  RegionLoad load;
+  for (const auto& s : nf.state) {
+    double words = s.accesses_per_pkt * s.words_per_access;
+    if (s.region == MemRegion::kEmem) {
+      // Hits are served by the SRAM cache; misses go to DRAM.
+      load.emem_cache_words_per_pkt += words * s.cache_hit_rate;
+      load.words_per_pkt[static_cast<int>(MemRegion::kEmem)] += words * (1 - s.cache_hit_rate);
+    } else {
+      load.words_per_pkt[static_cast<int>(s.region)] += words;
+    }
+  }
+  load.pkt_words_per_pkt = nf.pkt_accesses * nf.pkt_words_per_access;
+  return load;
+}
+
+double PerfModel::MemoryCycles(const NfDemand& nf, const RegionLoad& load,
+                               const double total_words[kNumMemRegions],
+                               double total_cache_words, double total_pkt_words) const {
+  double cycles = nf.engine_cycles;
+  // Packet buffer traffic.
+  if (nf.pkt_accesses > 0) {
+    double util = total_pkt_words / cfg_.pkt_bandwidth_words_per_cycle;
+    cycles += nf.pkt_accesses * Inflate(cfg_.pkt_latency_cycles, util);
+  }
+  for (const auto& s : nf.state) {
+    if (s.accesses_per_pkt <= 0) {
+      continue;
+    }
+    if (s.region == MemRegion::kEmem) {
+      double dram_util = total_words[static_cast<int>(MemRegion::kEmem)] /
+                         cfg_.Region(MemRegion::kEmem).bandwidth_words_per_cycle;
+      double cache_util = total_cache_words / cfg_.emem_cache_bandwidth;
+      double lat_hit = Inflate(cfg_.emem_cache_latency, cache_util);
+      double lat_miss = Inflate(cfg_.Region(MemRegion::kEmem).latency_cycles, dram_util);
+      cycles += s.accesses_per_pkt *
+                (s.cache_hit_rate * lat_hit + (1 - s.cache_hit_rate) * lat_miss);
+    } else {
+      const RegionSpec& spec = cfg_.Region(s.region);
+      double util = total_words[static_cast<int>(s.region)] / spec.bandwidth_words_per_cycle;
+      cycles += s.accesses_per_pkt * Inflate(spec.latency_cycles, util);
+    }
+  }
+  return cycles;
+}
+
+PerfPoint PerfModel::Evaluate(const NfDemand& nf, int cores) const {
+  cores = std::clamp(cores, 1, cfg_.num_cores);
+  RegionLoad load = ComputeLoad(nf);
+  double line_cap_mpps = cfg_.MaxLineRateMpps(nf.wire_bytes);
+  double freq_hz = cfg_.freq_ghz * 1e9;
+
+  // Fixed point on throughput T (packets/cycle).
+  double t = 1e-6;
+  double mem_cycles = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    double total_words[kNumMemRegions];
+    for (int r = 0; r < kNumMemRegions; ++r) {
+      total_words[r] = load.words_per_pkt[r] * t;
+    }
+    mem_cycles = MemoryCycles(nf, load, total_words, load.emem_cache_words_per_pkt * t,
+                              load.pkt_words_per_pkt * t);
+    double per_core_rate =
+        1.0 / std::max(nf.compute_cycles,
+                       (nf.compute_cycles + mem_cycles) / cfg_.threads_per_core);
+    double t_cores = cores * per_core_rate;
+    double t_line = line_cap_mpps * 1e6 / freq_hz;
+    double t_new = std::min(t_cores, t_line);
+    // Bandwidth hard caps per region.
+    for (int r = 0; r < kNumMemRegions; ++r) {
+      if (load.words_per_pkt[r] > 0) {
+        t_new = std::min(t_new, kMaxUtil * cfg_.regions[r].bandwidth_words_per_cycle /
+                                    load.words_per_pkt[r]);
+      }
+    }
+    if (load.emem_cache_words_per_pkt > 0) {
+      t_new = std::min(t_new,
+                       kMaxUtil * cfg_.emem_cache_bandwidth / load.emem_cache_words_per_pkt);
+    }
+    if (load.pkt_words_per_pkt > 0) {
+      t_new = std::min(t_new, kMaxUtil * cfg_.pkt_bandwidth_words_per_cycle /
+                                  load.pkt_words_per_pkt);
+    }
+    // Damped update for stability.
+    t = 0.5 * t + 0.5 * t_new;
+  }
+
+  PerfPoint p;
+  p.throughput_mpps = t * freq_hz / 1e6;
+  p.latency_us = (nf.compute_cycles + mem_cycles +
+                  cores * cfg_.arbitration_cycles_per_core) /
+                 freq_hz * 1e6;
+
+  double t_line = line_cap_mpps;
+  if (p.throughput_mpps >= t_line * 0.99) {
+    p.bottleneck = PerfPoint::Bottleneck::kLineRate;
+  } else {
+    double per_core_rate =
+        1.0 / std::max(nf.compute_cycles,
+                       (nf.compute_cycles + mem_cycles) / cfg_.threads_per_core);
+    double t_cores_mpps = cores * per_core_rate * freq_hz / 1e6;
+    p.bottleneck = p.throughput_mpps >= t_cores_mpps * 0.95
+                       ? PerfPoint::Bottleneck::kCores
+                       : PerfPoint::Bottleneck::kMemory;
+  }
+  return p;
+}
+
+std::pair<PerfPoint, PerfPoint> PerfModel::EvaluatePair(const NfDemand& a, int cores_a,
+                                                        const NfDemand& b,
+                                                        int cores_b) const {
+  cores_a = std::max(1, cores_a);
+  cores_b = std::max(1, cores_b);
+  RegionLoad la = ComputeLoad(a);
+  RegionLoad lb = ComputeLoad(b);
+  double freq_hz = cfg_.freq_ghz * 1e9;
+  double ta = 1e-6;
+  double tb = 1e-6;
+  double mem_a = 0;
+  double mem_b = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    double total_words[kNumMemRegions];
+    for (int r = 0; r < kNumMemRegions; ++r) {
+      total_words[r] = la.words_per_pkt[r] * ta + lb.words_per_pkt[r] * tb;
+    }
+    double cache_words = la.emem_cache_words_per_pkt * ta + lb.emem_cache_words_per_pkt * tb;
+    double pkt_words = la.pkt_words_per_pkt * ta + lb.pkt_words_per_pkt * tb;
+    mem_a = MemoryCycles(a, la, total_words, cache_words, pkt_words);
+    mem_b = MemoryCycles(b, lb, total_words, cache_words, pkt_words);
+
+    auto step = [&](const NfDemand& nf, const RegionLoad& load, double mem, int cores,
+                    double t_other_words) {
+      double per_core =
+          1.0 / std::max(nf.compute_cycles,
+                         (nf.compute_cycles + mem) / cfg_.threads_per_core);
+      double t_new = cores * per_core;
+      t_new = std::min(t_new, cfg_.MaxLineRateMpps(nf.wire_bytes) * 1e6 / freq_hz);
+      for (int r = 0; r < kNumMemRegions; ++r) {
+        if (load.words_per_pkt[r] > 0) {
+          double avail = kMaxUtil * cfg_.regions[r].bandwidth_words_per_cycle -
+                         t_other_words * 0;  // contention enters via latencies
+          t_new = std::min(t_new, std::max(1e-9, avail) / load.words_per_pkt[r]);
+        }
+      }
+      return t_new;
+    };
+    double ta_new = step(a, la, mem_a, cores_a, 0);
+    double tb_new = step(b, lb, mem_b, cores_b, 0);
+    // Shared-bandwidth cap: scale both down proportionally if a region is
+    // oversubscribed.
+    for (int r = 0; r < kNumMemRegions; ++r) {
+      double demand = la.words_per_pkt[r] * ta_new + lb.words_per_pkt[r] * tb_new;
+      double cap = kMaxUtil * cfg_.regions[r].bandwidth_words_per_cycle;
+      if (demand > cap && demand > 0) {
+        double scale = cap / demand;
+        ta_new *= scale;
+        tb_new *= scale;
+      }
+    }
+    {
+      double demand = la.emem_cache_words_per_pkt * ta_new + lb.emem_cache_words_per_pkt * tb_new;
+      double cap = kMaxUtil * cfg_.emem_cache_bandwidth;
+      if (demand > cap && demand > 0) {
+        double scale = cap / demand;
+        ta_new *= scale;
+        tb_new *= scale;
+      }
+    }
+    ta = 0.5 * ta + 0.5 * ta_new;
+    tb = 0.5 * tb + 0.5 * tb_new;
+  }
+  PerfPoint pa;
+  pa.throughput_mpps = ta * freq_hz / 1e6;
+  pa.latency_us = (a.compute_cycles + mem_a +
+                   cores_a * cfg_.arbitration_cycles_per_core) /
+                  freq_hz * 1e6;
+  PerfPoint pb;
+  pb.throughput_mpps = tb * freq_hz / 1e6;
+  pb.latency_us = (b.compute_cycles + mem_b +
+                   cores_b * cfg_.arbitration_cycles_per_core) /
+                  freq_hz * 1e6;
+  return {pa, pb};
+}
+
+int PerfModel::OptimalCores(const NfDemand& nf) const {
+  int best = 1;
+  double best_ratio = -1;
+  for (int n = 1; n <= cfg_.num_cores; ++n) {
+    PerfPoint p = Evaluate(nf, n);
+    double ratio = p.RatioMppsPerUs();
+    if (ratio > best_ratio * (1 + 1e-9)) {
+      best_ratio = ratio;
+      best = n;
+    }
+  }
+  return best;
+}
+
+int PerfModel::CoresToSaturate(const NfDemand& nf, double fraction) const {
+  double peak = Evaluate(nf, cfg_.num_cores).throughput_mpps;
+  for (int n = 1; n <= cfg_.num_cores; ++n) {
+    if (Evaluate(nf, n).throughput_mpps >= fraction * peak) {
+      return n;
+    }
+  }
+  return cfg_.num_cores;
+}
+
+}  // namespace clara

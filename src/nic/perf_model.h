@@ -1,0 +1,105 @@
+// Multicore run-to-completion performance model of the SmartNIC.
+//
+// Given a per-packet resource demand (compute cycles, memory accesses per
+// region, accelerator-engine time), a state placement, and a core count, the
+// model solves a throughput/latency fixed point:
+//
+//   * each core runs `threads_per_core` contexts that hide memory wait time,
+//     so a core's packet rate is 1 / max(C, (C + M) / threads)
+//   * each memory region is an M/M/1-style server: effective latency
+//     L_eff = L / (1 - rho) where rho is the region's bandwidth utilization
+//     at the current aggregate throughput
+//   * throughput is additionally capped by wire line rate
+//
+// This reproduces the qualitative behaviours the paper measures: throughput
+// scales with cores until a memory region saturates (the "knee", §4.2),
+// latency keeps growing past the knee, cache-friendly workloads peak at
+// lower core counts, and colocated NFs contend in the shared regions (§4.5).
+#ifndef SRC_NIC_PERF_MODEL_H_
+#define SRC_NIC_PERF_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nic/memory.h"
+
+namespace clara {
+
+// Per-packet demand against one state variable.
+struct StateDemand {
+  std::string name;
+  double accesses_per_pkt = 0;
+  double words_per_access = 1;
+  uint64_t size_bytes = 0;     // for placement feasibility
+  MemRegion region = MemRegion::kEmem;
+  double cache_hit_rate = 0;   // meaningful only when region == kEmem
+};
+
+// Complete per-packet demand of one NF under one workload.
+struct NfDemand {
+  std::string name;
+  double compute_cycles = 10;       // instruction issue cycles
+  double engine_cycles = 0;         // accelerator time (hidden like memory)
+  double pkt_accesses = 2;          // packet-buffer transfers
+  double pkt_words_per_access = 2;
+  double wire_bytes = 128;          // for the line-rate cap
+  std::vector<StateDemand> state;
+
+  double TotalStateAccesses() const;
+  // Compute instructions per memory access (paper's arithmetic intensity).
+  double ArithmeticIntensity() const;
+};
+
+struct PerfPoint {
+  double throughput_mpps = 0;
+  double latency_us = 0;
+  // Which resource binds at this operating point.
+  enum class Bottleneck { kCores, kMemory, kLineRate } bottleneck = Bottleneck::kCores;
+
+  double RatioMppsPerUs() const {
+    return latency_us > 0 ? throughput_mpps / latency_us : 0;
+  }
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(NicConfig cfg = NicConfig{}) : cfg_(cfg) {}
+
+  const NicConfig& config() const { return cfg_; }
+
+  // Steady-state throughput and latency for `nf` on `cores` cores.
+  PerfPoint Evaluate(const NfDemand& nf, int cores) const;
+
+  // Joint evaluation of two colocated NFs sharing the memory system, each
+  // with its own core allocation. Returns {perf of a, perf of b}.
+  std::pair<PerfPoint, PerfPoint> EvaluatePair(const NfDemand& a, int cores_a,
+                                               const NfDemand& b, int cores_b) const;
+
+  // Core count in [1, num_cores] maximizing throughput/latency (the paper's
+  // knee-of-the-curve operating point, §4.2).
+  int OptimalCores(const NfDemand& nf) const;
+
+  // Smallest core count achieving >= `fraction` of the 60-core throughput
+  // (Figure 13's "cores to saturate bandwidth" metric).
+  int CoresToSaturate(const NfDemand& nf, double fraction = 0.95) const;
+
+ private:
+  struct RegionLoad {
+    double words_per_pkt[kNumMemRegions] = {0, 0, 0, 0};
+    double emem_cache_words_per_pkt = 0;
+    double pkt_words_per_pkt = 0;
+  };
+
+  RegionLoad ComputeLoad(const NfDemand& nf) const;
+  // Average per-packet memory wait given aggregate throughputs (pkts/cycle)
+  // of all colocated NFs.
+  double MemoryCycles(const NfDemand& nf, const RegionLoad& load,
+                      const double total_words[kNumMemRegions], double total_cache_words,
+                      double total_pkt_words) const;
+
+  NicConfig cfg_;
+};
+
+}  // namespace clara
+
+#endif  // SRC_NIC_PERF_MODEL_H_

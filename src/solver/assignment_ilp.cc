@@ -1,0 +1,140 @@
+#include "src/solver/assignment_ilp.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace clara {
+namespace {
+
+// Items ordered by decreasing cost spread (max - min): the most consequential
+// decisions first, which tightens the bound quickly.
+std::vector<size_t> OrderBySpread(const AssignmentProblem& p) {
+  std::vector<size_t> order(p.items());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> spread(p.items(), 0.0);
+  for (size_t i = 0; i < p.items(); ++i) {
+    double lo = std::numeric_limits<double>::max();
+    double hi = 0;
+    for (double c : p.cost[i]) {
+      if (c >= AssignmentProblem::Infeasible()) {
+        continue;
+      }
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    spread[i] = hi - lo;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return spread[a] > spread[b]; });
+  return order;
+}
+
+class BranchAndBound {
+ public:
+  explicit BranchAndBound(const AssignmentProblem& p) : p_(p), order_(OrderBySpread(p)) {
+    // Capacity-unaware lower bound suffix: min feasible cost of each item.
+    min_cost_suffix_.assign(p_.items() + 1, 0.0);
+    for (size_t k = p_.items(); k-- > 0;) {
+      size_t item = order_[k];
+      double best = AssignmentProblem::Infeasible();
+      for (size_t j = 0; j < p_.locations(); ++j) {
+        best = std::min(best, p_.cost[item][j]);
+      }
+      min_cost_suffix_[k] = min_cost_suffix_[k + 1] + best;
+    }
+  }
+
+  AssignmentSolution Run() {
+    AssignmentSolution greedy = GreedyAssignment(p_);
+    best_ = greedy;
+    if (!best_.feasible) {
+      best_.objective = std::numeric_limits<double>::max();
+    }
+    std::vector<uint64_t> used(p_.locations(), 0);
+    std::vector<int> placement(p_.items(), -1);
+    Recurse(0, 0.0, used, placement);
+    best_.nodes_explored = nodes_;
+    return best_;
+  }
+
+ private:
+  void Recurse(size_t depth, double cost_so_far, std::vector<uint64_t>& used,
+               std::vector<int>& placement) {
+    ++nodes_;
+    if (cost_so_far + min_cost_suffix_[depth] >= best_.objective) {
+      return;  // bound
+    }
+    if (depth == p_.items()) {
+      best_.feasible = true;
+      best_.objective = cost_so_far;
+      best_.location = placement;
+      return;
+    }
+    size_t item = order_[depth];
+    // Try locations cheapest-first for this item.
+    std::vector<size_t> locs(p_.locations());
+    std::iota(locs.begin(), locs.end(), 0);
+    std::sort(locs.begin(), locs.end(),
+              [&](size_t a, size_t b) { return p_.cost[item][a] < p_.cost[item][b]; });
+    for (size_t j : locs) {
+      double c = p_.cost[item][j];
+      if (c >= AssignmentProblem::Infeasible()) {
+        continue;
+      }
+      if (used[j] + p_.size[item] > p_.capacity[j]) {
+        continue;
+      }
+      used[j] += p_.size[item];
+      placement[item] = static_cast<int>(j);
+      Recurse(depth + 1, cost_so_far + c, used, placement);
+      placement[item] = -1;
+      used[j] -= p_.size[item];
+    }
+  }
+
+  const AssignmentProblem& p_;
+  std::vector<size_t> order_;
+  std::vector<double> min_cost_suffix_;
+  AssignmentSolution best_;
+  uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+AssignmentSolution GreedyAssignment(const AssignmentProblem& p) {
+  AssignmentSolution s;
+  s.location.assign(p.items(), -1);
+  std::vector<uint64_t> used(p.locations(), 0);
+  double total = 0;
+  for (size_t i : OrderBySpread(p)) {
+    int best = -1;
+    double best_cost = AssignmentProblem::Infeasible();
+    for (size_t j = 0; j < p.locations(); ++j) {
+      if (p.cost[i][j] < best_cost && used[j] + p.size[i] <= p.capacity[j]) {
+        best = static_cast<int>(j);
+        best_cost = p.cost[i][j];
+      }
+    }
+    if (best < 0) {
+      return s;  // infeasible
+    }
+    s.location[i] = best;
+    used[best] += p.size[i];
+    total += best_cost;
+  }
+  s.feasible = true;
+  s.objective = total;
+  return s;
+}
+
+AssignmentSolution SolveAssignment(const AssignmentProblem& p) {
+  if (p.items() == 0) {
+    AssignmentSolution s;
+    s.feasible = true;
+    return s;
+  }
+  return BranchAndBound(p).Run();
+}
+
+}  // namespace clara

@@ -1,0 +1,213 @@
+#include "src/synth/algorithm_corpus.h"
+
+#include <string>
+
+#include "src/synth/synth.h"
+
+namespace clara {
+
+const char* AccelClassName(AccelClass c) {
+  switch (c) {
+    case AccelClass::kCrc: return "CRC";
+    case AccelClass::kLpm: return "LPM";
+    case AccelClass::kAes: return "AES";
+    case AccelClass::kNone: return "none";
+  }
+  return "?";
+}
+
+Program SynthCrcVariant(Rng& rng, int index) {
+  Program p;
+  p.name = "crc_variant_" + std::to_string(index);
+  bool table_driven = rng.NextBool(0.4);
+  bool crc32 = rng.NextBool(0.6);
+  uint64_t poly = crc32 ? 0xedb88320ULL : 0x1021ULL;
+  int len = static_cast<int>(rng.NextInt(8, 48));
+
+  if (table_driven) {
+    StateDecl tbl;
+    tbl.name = "crc_table";
+    tbl.kind = StateKind::kArray;
+    tbl.elem_type = Type::kI32;
+    tbl.length = 256;
+    p.state.push_back(tbl);
+  }
+
+  p.body.push_back(Api("ip_header"));
+  p.body.push_back(Decl("crc", Type::kI32, Lit(crc32 ? 0xffffffffULL : 0xffffULL)));
+  std::vector<StmtPtr> outer;
+  if (table_driven) {
+    // crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xff]
+    ExprPtr idx = Bin(Opcode::kAnd,
+                      Bin(Opcode::kXor, Local("crc"), PayloadAt(Local("i"))), Lit(255));
+    outer.push_back(Assign(
+        "crc", Bin(Opcode::kXor, Bin(Opcode::kLShr, Local("crc"), Lit(8)),
+                   StateAt("crc_table", std::move(idx)))));
+  } else {
+    // Bitwise: xor in the byte, then 8 shift/conditional-xor rounds (some
+    // variants unroll 2 or 4 rounds per loop iteration).
+    outer.push_back(Assign("crc", Bin(Opcode::kXor, Local("crc"), PayloadAt(Local("i")))));
+    int unroll = rng.NextBool(0.5) ? 8 : (rng.NextBool(0.5) ? 4 : 2);
+    std::vector<StmtPtr> rounds;
+    for (int r = 0; r < unroll; ++r) {
+      std::vector<StmtPtr> then_body;
+      then_body.push_back(Assign(
+          "crc", Bin(Opcode::kXor, Bin(Opcode::kLShr, Local("crc"), Lit(1)), Lit(poly))));
+      std::vector<StmtPtr> else_body;
+      else_body.push_back(Assign("crc", Bin(Opcode::kLShr, Local("crc"), Lit(1))));
+      rounds.push_back(If(Cmp(Opcode::kIcmpNe, Bin(Opcode::kAnd, Local("crc"), Lit(1)), Lit(0)),
+                          std::move(then_body), std::move(else_body)));
+    }
+    if (unroll < 8) {
+      outer.push_back(For("b", Lit(0), Lit(8 / unroll), std::move(rounds)));
+    } else {
+      for (auto& r : rounds) {
+        outer.push_back(std::move(r));
+      }
+    }
+  }
+  p.body.push_back(For("i", Lit(0), Lit(static_cast<uint64_t>(len)), std::move(outer)));
+  // Final xor-out and a write-back, as real checksums do.
+  p.body.push_back(Assign("crc", Bin(Opcode::kXor, Local("crc"),
+                                     Lit(crc32 ? 0xffffffffULL : 0ULL))));
+  p.body.push_back(AssignPkt("tcp.csum", Bin(Opcode::kAnd, Local("crc"), Lit(0xffff))));
+  p.body.push_back(Send(Lit(0)));
+  return p;
+}
+
+Program SynthLpmVariant(Rng& rng, int index) {
+  Program p;
+  p.name = "lpm_variant_" + std::to_string(index);
+  // Node layout variants: 3-word (left/right/rule) or 4-word (+prefix len).
+  int words = rng.NextBool(0.5) ? 3 : 4;
+  int depth = static_cast<int>(rng.NextInt(16, 32));
+  StateDecl trie;
+  trie.name = "trie";
+  trie.kind = StateKind::kArray;
+  trie.elem_type = Type::kI32;
+  trie.length = 1u << rng.NextInt(8, 12);
+  // Populate a random but well-formed trie: node n's children point to
+  // later nodes so walks terminate, and some nodes carry rules. This keeps
+  // the runtime pointer-chasing pattern alive for workload profiling.
+  {
+    uint32_t nodes = trie.length / words;
+    trie.init.assign(trie.length, 0);
+    for (uint32_t n = 0; n < nodes; ++n) {
+      for (int side = 0; side < 2; ++side) {
+        uint32_t child = 2 * n + 1 + static_cast<uint32_t>(side);
+        if (child < nodes && rng.NextBool(0.8)) {
+          trie.init[n * words + side] = child + 1;
+        }
+      }
+      if (rng.NextBool(0.25)) {
+        trie.init[n * words + (words - 1)] = rng.NextBounded(15) + 1;
+      }
+    }
+  }
+  p.state.push_back(trie);
+
+  p.body.push_back(Api("ip_header"));
+  p.body.push_back(Decl("addr", Type::kI32, PktField("ip.dst")));
+  p.body.push_back(Decl("node", Type::kI32, Lit(0)));
+  p.body.push_back(Decl("best", Type::kI32, Lit(0)));
+  p.body.push_back(Decl("stop", Type::kI8, Lit(0)));
+
+  // The pointer-chasing walk: child index loaded from the current node.
+  std::vector<StmtPtr> loop;
+  {
+    std::vector<StmtPtr> live;
+    // rule = trie[node*words + (words-1)]
+    live.push_back(Decl("rule", Type::kI32,
+                        StateAt("trie", Bin(Opcode::kAdd,
+                                            Bin(Opcode::kMul, Local("node"),
+                                                Lit(static_cast<uint64_t>(words))),
+                                            Lit(static_cast<uint64_t>(words - 1))))));
+    std::vector<StmtPtr> save;
+    save.push_back(Assign("best", Local("rule")));
+    live.push_back(If(Cmp(Opcode::kIcmpNe, Local("rule"), Lit(0)), std::move(save)));
+    // bit = (addr >> (31 - d)) & 1
+    live.push_back(Decl("bit", Type::kI32,
+                        Bin(Opcode::kAnd,
+                            Bin(Opcode::kLShr, Local("addr"),
+                                Bin(Opcode::kSub, Lit(31), Local("d"))),
+                            Lit(1))));
+    // next = trie[node*words + bit]
+    live.push_back(Decl("next", Type::kI32,
+                        StateAt("trie", Bin(Opcode::kAdd,
+                                            Bin(Opcode::kMul, Local("node"),
+                                                Lit(static_cast<uint64_t>(words))),
+                                            Local("bit")))));
+    std::vector<StmtPtr> dead_end;
+    dead_end.push_back(Assign("stop", Lit(1)));
+    std::vector<StmtPtr> follow;
+    follow.push_back(Assign("node", Bin(Opcode::kSub, Local("next"), Lit(1))));
+    live.push_back(If(Cmp(Opcode::kIcmpEq, Local("next"), Lit(0)), std::move(dead_end),
+                      std::move(follow)));
+    loop.push_back(If(Cmp(Opcode::kIcmpEq, Local("stop"), Lit(0)), std::move(live)));
+  }
+  p.body.push_back(For("d", Lit(0), Lit(static_cast<uint64_t>(depth)), std::move(loop)));
+  std::vector<StmtPtr> hit;
+  hit.push_back(Send(Bin(Opcode::kAnd, Local("best"), Lit(15))));
+  std::vector<StmtPtr> miss;
+  miss.push_back(Drop());
+  p.body.push_back(
+      If(Cmp(Opcode::kIcmpNe, Local("best"), Lit(0)), std::move(hit), std::move(miss)));
+  return p;
+}
+
+Program SynthAesVariant(Rng& rng, int index) {
+  Program p;
+  p.name = "aes_variant_" + std::to_string(index);
+  StateDecl sbox;
+  sbox.name = "sbox";
+  sbox.kind = StateKind::kArray;
+  sbox.elem_type = Type::kI8;
+  sbox.length = 256;
+  p.state.push_back(sbox);
+  StateDecl rk;
+  rk.name = "round_key";
+  rk.kind = StateKind::kArray;
+  rk.elem_type = Type::kI32;
+  rk.length = 64;
+  p.state.push_back(rk);
+
+  int rounds = static_cast<int>(rng.NextInt(4, 10));
+  int block = rng.NextBool(0.5) ? 16 : 8;
+  p.body.push_back(Api("ip_header"));
+  p.body.push_back(Decl("acc", Type::kI32, Lit(0)));
+  std::vector<StmtPtr> inner;
+  // b = sbox[payload[i] ^ (round_key[r] & 0xff)]; acc = (acc << 1) ^ b
+  inner.push_back(Decl("b", Type::kI8,
+                       StateAt("sbox", Bin(Opcode::kXor, PayloadAt(Local("i")),
+                                           Bin(Opcode::kAnd, StateAt("round_key", Local("r")),
+                                               Lit(255))))));
+  inner.push_back(AssignPayload(Local("i"), Bin(Opcode::kXor, Local("b"),
+                                                PayloadAt(Local("i")))));
+  inner.push_back(Assign("acc", Bin(Opcode::kXor, Bin(Opcode::kShl, Local("acc"), Lit(1)),
+                                    Local("b"))));
+  std::vector<StmtPtr> round;
+  round.push_back(For("i", Lit(0), Lit(static_cast<uint64_t>(block)), std::move(inner)));
+  p.body.push_back(For("r", Lit(0), Lit(static_cast<uint64_t>(rounds)), std::move(round)));
+  p.body.push_back(Send(Lit(0)));
+  return p;
+}
+
+std::vector<LabeledProgram> BuildAlgorithmCorpus(size_t per_class, uint64_t seed) {
+  std::vector<LabeledProgram> corpus;
+  Rng rng(seed);
+  for (size_t i = 0; i < per_class; ++i) {
+    corpus.push_back({SynthCrcVariant(rng, static_cast<int>(i)), AccelClass::kCrc});
+    corpus.push_back({SynthLpmVariant(rng, static_cast<int>(i)), AccelClass::kLpm});
+    corpus.push_back({SynthAesVariant(rng, static_cast<int>(i)), AccelClass::kAes});
+  }
+  SynthOptions opts;
+  opts.profile = UniformProfile();
+  // "none" samples: general programs without accelerator algorithms.
+  for (size_t i = 0; i < per_class; ++i) {
+    corpus.push_back({SynthesizeProgram(rng, opts, static_cast<int>(1000 + i)),
+                      AccelClass::kNone});
+  }
+  return corpus;
+}
+
+}  // namespace clara

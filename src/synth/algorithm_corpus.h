@@ -1,0 +1,44 @@
+// Labelled corpus generator for accelerator-algorithm identification
+// (paper §4.1). Produces many implementation variants of CRC checksums,
+// longest-prefix-match trie walks, and AES-style round functions — differing
+// in unrolling, table use, widths, and incidental surrounding code — plus
+// "none" programs with no accelerator-eligible algorithm.
+#ifndef SRC_SYNTH_ALGORITHM_CORPUS_H_
+#define SRC_SYNTH_ALGORITHM_CORPUS_H_
+
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/util/rng.h"
+
+namespace clara {
+
+// Class labels (the SVM's output space). kNone must stay last.
+enum class AccelClass : int { kCrc = 0, kLpm = 1, kAes = 2, kNone = 3 };
+inline constexpr int kNumAccelClasses = 4;
+
+const char* AccelClassName(AccelClass c);
+
+struct LabeledProgram {
+  Program program;
+  AccelClass label;
+};
+
+// CRC variants: bitwise vs table-driven, CRC16/CRC32 polynomials, different
+// unroll factors and byte orders.
+Program SynthCrcVariant(Rng& rng, int index);
+
+// LPM variants: unibit trie walks over a flattened node array (the pointer-
+// chasing signature), varying node layouts and walk bounds.
+Program SynthLpmVariant(Rng& rng, int index);
+
+// AES-round-style variants: s-box substitutions + xor mixing over payload.
+Program SynthAesVariant(Rng& rng, int index);
+
+// A balanced labelled corpus of `per_class` samples per class; "none"
+// samples come from the general synthesizer.
+std::vector<LabeledProgram> BuildAlgorithmCorpus(size_t per_class, uint64_t seed);
+
+}  // namespace clara
+
+#endif  // SRC_SYNTH_ALGORITHM_CORPUS_H_

@@ -1,0 +1,81 @@
+// Distribution-guided NF program synthesis (paper §3.2 "data synthesis").
+//
+// Clara customizes a YarpGen-style random program generator so that emitted
+// programs match the statistical profile of real Click elements: statement-
+// kind mix, operator mix, header-field popularity, state shapes, and control
+// nesting. MeasureCorpus extracts that profile from real elements;
+// UniformProfile is the baseline synthesizer that ignores it (Table 1's
+// comparison). Synthesized programs always type-check and lower.
+#ifndef SRC_SYNTH_SYNTH_H_
+#define SRC_SYNTH_SYNTH_H_
+
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/util/rng.h"
+
+namespace clara {
+
+// Statement categories tracked by the profile (coarser than StmtKind).
+enum class SynthStmt : uint8_t {
+  kArith = 0,      // local decl/assign with an arithmetic expression
+  kPacketRead,     // local <- header field expression
+  kPacketWrite,    // header field <- expression
+  kStateScalarOp,  // counter/scalar update
+  kStateArrayOp,   // array read/update
+  kIf,
+  kFor,
+  kMapFind,
+  kMapInsert,
+  kApiCall,
+  kPayloadOp,
+};
+inline constexpr int kNumSynthStmts = 11;
+
+struct SynthProfile {
+  std::vector<double> stmt_weights = std::vector<double>(kNumSynthStmts, 1.0);
+  // Binary operator mix: add, sub, mul, and, or, xor, shl, lshr (+rare udiv).
+  std::vector<double> op_weights = std::vector<double>(9, 1.0);
+  std::vector<double> field_weights;  // per standard packet field
+  double avg_body_len = 8;
+  double nest_prob = 0.35;       // chance a generated if/for nests further
+  double scalar_state_avg = 2;   // expected scalar state vars
+  double array_state_prob = 0.5;
+  double map_state_prob = 0.5;
+  double stateful_prob = 0.7;    // program declares any state at all
+  // Fine-grained idiom statistics (measured from the corpus):
+  double scalar_i64_frac = 0.5;   // fraction of scalar state that is 64-bit
+  double local_leaf_prob = 0.4;   // leaf expressions that re-read a local
+  double mask_test_prob = 0.3;    // if-conditions of the (x & mask) != 0 shape
+  double mul_bigconst_prob = 0.3; // multiplies by >16-bit constants (hashing)
+  // When false, generate generic compute programs (vanilla-YarpGen style):
+  // no packet idioms, no NF state — the Table 1 baseline that ignores
+  // Click's AST distribution entirely.
+  bool click_shaped = true;
+};
+
+// Extracts the statistical profile of a corpus of real NF programs.
+SynthProfile MeasureCorpus(const std::vector<const Program*>& corpus);
+
+// The guidance-free baseline (uniform choices everywhere, still NF-shaped).
+SynthProfile UniformProfile();
+
+// The Table 1 baseline: a generic program generator that ignores Click's
+// AST distribution altogether (plain arithmetic/branch/loop programs).
+SynthProfile GenericProfile();
+
+struct SynthOptions {
+  SynthProfile profile;
+  int min_stmts = 4;
+  int max_depth = 3;
+};
+
+// Generates one random, well-formed NF program.
+Program SynthesizeProgram(Rng& rng, const SynthOptions& opts, int index);
+
+// Convenience: generates `n` programs with seeds derived from `seed`.
+std::vector<Program> SynthesizeCorpus(size_t n, const SynthOptions& opts, uint64_t seed);
+
+}  // namespace clara
+
+#endif  // SRC_SYNTH_SYNTH_H_

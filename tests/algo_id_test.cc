@@ -1,0 +1,118 @@
+// Algorithm identification (§4.1): SPE features + SVM must recognize CRC,
+// LPM, and AES implementations — including the real elements, which were not
+// in the training corpus.
+#include "src/core/algo_id.h"
+
+#include <gtest/gtest.h>
+
+#include "src/elements/elements.h"
+#include "src/lang/lower.h"
+#include "src/ml/metrics.h"
+
+namespace clara {
+namespace {
+
+class AlgoIdFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    identifier_ = new AlgorithmIdentifier();
+    identifier_->Train(BuildAlgorithmCorpus(30, 2024));
+  }
+  static void TearDownTestSuite() {
+    delete identifier_;
+    identifier_ = nullptr;
+  }
+
+  static AccelClass ClassifyProgram(Program p) {
+    LowerResult lr = LowerProgram(p);
+    EXPECT_TRUE(lr.ok);
+    return identifier_->Classify(lr.module);
+  }
+
+  static AlgorithmIdentifier* identifier_;
+};
+
+AlgorithmIdentifier* AlgoIdFixture::identifier_ = nullptr;
+
+TEST_F(AlgoIdFixture, MinesPatterns) {
+  EXPECT_TRUE(identifier_->trained());
+  EXPECT_GT(identifier_->feature_names().size(), 10u);
+  // Manual features are always appended.
+  bool has_pointer_chase = false;
+  for (const auto& name : identifier_->feature_names()) {
+    has_pointer_chase |= name == "pointer-chase";
+  }
+  EXPECT_TRUE(has_pointer_chase);
+}
+
+TEST_F(AlgoIdFixture, HighTrainAccuracy) {
+  const TabularDataset& d = identifier_->dataset();
+  ASSERT_GT(d.size(), 0u);
+  // Evaluate on held-out variants (fresh seed).
+  auto held_out = BuildAlgorithmCorpus(12, 777);
+  std::vector<int> truth;
+  std::vector<int> pred;
+  for (const auto& lp : held_out) {
+    Program copy = CloneProgram(lp.program);
+    LowerResult lr = LowerProgram(copy);
+    ASSERT_TRUE(lr.ok);
+    truth.push_back(static_cast<int>(lp.label));
+    pred.push_back(static_cast<int>(identifier_->Classify(lr.module)));
+  }
+  auto pr = MultiClassPrecisionRecall(truth, pred, static_cast<int>(AccelClass::kNone));
+  EXPECT_GT(pr.precision, 0.8);
+  EXPECT_GT(pr.recall, 0.7);
+}
+
+TEST_F(AlgoIdFixture, RecognizesWepDecapAsCrc) {
+  // Paper §5.3: CRC opportunities in 'rc4'/wepdecap.
+  EXPECT_EQ(ClassifyProgram(MakeWepDecap(false)), AccelClass::kCrc);
+}
+
+TEST_F(AlgoIdFixture, RecognizesIpLookupAsLpm) {
+  // Paper §5.3: LPM accelerator for radixiplookup.
+  EXPECT_EQ(ClassifyProgram(MakeIpLookup()), AccelClass::kLpm);
+}
+
+TEST_F(AlgoIdFixture, PlainElementsAreNone) {
+  EXPECT_EQ(ClassifyProgram(MakeTcpAck()), AccelClass::kNone);
+  EXPECT_EQ(ClassifyProgram(MakeAggCounter()), AccelClass::kNone);
+  EXPECT_EQ(ClassifyProgram(MakeTimeFilter()), AccelClass::kNone);
+}
+
+TEST(ManualFeatureTest, CrcIsBitwiseDense) {
+  Program crc = MakeWepDecap(false);
+  Program plain = MakeUdpIpEncap();
+  LowerResult l1 = LowerProgram(crc);
+  LowerResult l2 = LowerProgram(plain);
+  FeatureVec f1 = ManualFeatures(l1.module);
+  FeatureVec f2 = ManualFeatures(l2.module);
+  EXPECT_GT(f1[0], f2[0]);  // bitwise density
+}
+
+TEST(ManualFeatureTest, LpmHasPointerChase) {
+  Program lpm = MakeIpLookup();
+  LowerResult lr = LowerProgram(lpm);
+  FeatureVec f = ManualFeatures(lr.module);
+  EXPECT_GT(f[3], 0.0);  // pointer-chase score
+  Program counter = MakeAggCounter();
+  LowerResult lc = LowerProgram(counter);
+  EXPECT_DOUBLE_EQ(ManualFeatures(lc.module)[3], 0.0);
+}
+
+TEST(OpcodeTokenTest, TracksSpaces) {
+  Program p = MakeAggCounter();
+  LowerResult lr = LowerProgram(p);
+  auto tokens = OpcodeTokens(lr.module);
+  bool saw_state_load = false;
+  bool saw_pkt_load = false;
+  for (const auto& t : tokens) {
+    saw_state_load |= t.rfind("load.state", 0) == 0;
+    saw_pkt_load |= t.rfind("load.pkt", 0) == 0;
+  }
+  EXPECT_TRUE(saw_state_load);
+  EXPECT_TRUE(saw_pkt_load);
+}
+
+}  // namespace
+}  // namespace clara

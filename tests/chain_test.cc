@@ -1,0 +1,107 @@
+// Service chains and the partial-offloading advisor (paper SS6 extension).
+#include "src/core/chain.h"
+
+#include <gtest/gtest.h>
+
+namespace clara {
+namespace {
+
+NfDemand Stage(double compute, double state_accesses, double hit = 0.5) {
+  NfDemand d;
+  d.compute_cycles = compute;
+  d.pkt_accesses = 2;
+  d.wire_bytes = 128;
+  if (state_accesses > 0) {
+    StateDemand s;
+    s.name = "tbl";
+    s.accesses_per_pkt = state_accesses;
+    s.words_per_access = 2;
+    s.region = MemRegion::kEmem;
+    s.cache_hit_rate = hit;
+    d.state.push_back(s);
+  }
+  return d;
+}
+
+TEST(Chain, CombineAddsComputeAndConcatsState) {
+  std::vector<ChainStage> chain = {{"a", Stage(100, 2)}, {"b", Stage(50, 3)}};
+  NfDemand combined = CombineChain(chain);
+  EXPECT_DOUBLE_EQ(combined.compute_cycles, 150.0);
+  EXPECT_DOUBLE_EQ(combined.pkt_accesses, 4.0);
+  ASSERT_EQ(combined.state.size(), 2u);
+  EXPECT_EQ(combined.name, "a->b");
+  // Colliding state names get prefixed.
+  EXPECT_EQ(combined.state[0].name, "tbl");
+  EXPECT_EQ(combined.state[1].name, "b.tbl");
+}
+
+TEST(Chain, CombinedChainSlowerThanAnyStage) {
+  PerfModel model;
+  std::vector<ChainStage> chain = {{"a", Stage(200, 2)}, {"b", Stage(300, 4)}};
+  PerfPoint whole = model.Evaluate(CombineChain(chain), 16);
+  PerfPoint a_only = model.Evaluate(chain[0].demand, 16);
+  PerfPoint b_only = model.Evaluate(chain[1].demand, 16);
+  EXPECT_LT(whole.throughput_mpps, std::min(a_only.throughput_mpps, b_only.throughput_mpps));
+  EXPECT_GT(whole.latency_us, std::max(a_only.latency_us, b_only.latency_us));
+}
+
+TEST(Partition, FullNicBestForLightChains) {
+  // A light chain fits on the NIC; crossing PCIe would only add latency.
+  PartitionAdvisor advisor{PerfModel{}, HostConfig{}};
+  std::vector<ChainStage> chain = {{"a", Stage(50, 1, 0.95)}, {"b", Stage(50, 1, 0.95)}};
+  SplitPoint best = advisor.Best(chain, 40);
+  EXPECT_EQ(best.nic_stages, 2);
+}
+
+TEST(Partition, HeavyComputeTailMovesToHost) {
+  // A compute-monster stage exceeds what wimpy cores deliver; the advisor
+  // should offload the prefix and leave the monster on the host.
+  PartitionAdvisor advisor{PerfModel{}, HostConfig{}};
+  std::vector<ChainStage> chain = {{"parse", Stage(60, 1, 0.9)},
+                                   {"crypto", Stage(40000, 0)}};
+  std::vector<SplitPoint> splits = advisor.EvaluateSplits(chain, 20);
+  ASSERT_EQ(splits.size(), 3u);
+  SplitPoint best = advisor.Best(chain, 20);
+  EXPECT_LT(best.nic_stages, 2);  // the crypto stage is not on the NIC
+  EXPECT_GT(best.throughput_mpps, splits[2].throughput_mpps);
+}
+
+TEST(Partition, HostInvolvementAddsPcieLatency) {
+  HostConfig host;
+  PartitionAdvisor advisor{PerfModel{}, host};
+  std::vector<ChainStage> chain = {{"a", Stage(100, 2)}};
+  std::vector<SplitPoint> splits = advisor.EvaluateSplits(chain, 20);
+  // splits[0] = all host, splits[1] = all NIC.
+  EXPECT_GT(splits[0].latency_us, 2 * host.pcie_latency_us);
+}
+
+TEST(Partition, PcieCapsHostThroughput) {
+  HostConfig host;
+  host.pcie_gbps = 10.0;  // strangle the link
+  PartitionAdvisor advisor{PerfModel{}, host};
+  std::vector<ChainStage> chain = {{"a", Stage(10, 0)}};
+  std::vector<SplitPoint> splits = advisor.EvaluateSplits(chain, 20);
+  EXPECT_EQ(splits[0].bound, SplitPoint::Bound::kPcie);
+  EXPECT_NEAR(splits[0].throughput_mpps, host.MaxPcieMpps(128), 1e-6);
+}
+
+TEST(Partition, SplitCountMatchesStagesPlusOne) {
+  PartitionAdvisor advisor{PerfModel{}, HostConfig{}};
+  std::vector<ChainStage> chain = {{"a", Stage(10, 1)},
+                                   {"b", Stage(20, 1)},
+                                   {"c", Stage(30, 1)}};
+  EXPECT_EQ(advisor.EvaluateSplits(chain, 20).size(), 4u);
+}
+
+TEST(Partition, HostOnlyModelScalesWithCores) {
+  HostConfig host;
+  PartitionAdvisor a8{PerfModel{}, host};
+  host.cores = 16;
+  PartitionAdvisor a16{PerfModel{}, host};
+  NfDemand d = Stage(1000, 4);
+  EXPECT_NEAR(a16.EvaluateHostOnly(d).throughput_mpps,
+              2 * a8.EvaluateHostOnly(d).throughput_mpps, 1e-6);
+}
+
+}  // namespace
+}  // namespace clara

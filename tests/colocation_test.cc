@@ -1,0 +1,137 @@
+// NF colocation ranking (§4.5): pairwise GBDT ranker trained on measured
+// colocation friendliness.
+#include "src/core/colocation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/elements/elements.h"
+#include "src/lang/interp.h"
+#include "src/ml/metrics.h"
+#include "src/nic/backend.h"
+#include "src/nic/demand.h"
+
+namespace clara {
+namespace {
+
+ColocationOptions FastOptions() {
+  ColocationOptions opts;
+  opts.train_nfs = 30;
+  opts.train_groups = 60;
+  opts.group_size = 4;
+  opts.gbdt.rounds = 60;
+  opts.synth.profile = UniformProfile();
+  return opts;
+}
+
+class ColocationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new PerfModel();
+    ranker_ = new ColocationRanker(FastOptions());
+    ranker_->Train(*model_, WorkloadSpec::SmallFlows());
+  }
+  static void TearDownTestSuite() {
+    delete ranker_;
+    delete model_;
+  }
+  static PerfModel* model_;
+  static ColocationRanker* ranker_;
+};
+
+PerfModel* ColocationFixture::model_ = nullptr;
+ColocationRanker* ColocationFixture::ranker_ = nullptr;
+
+NfDemand Demand(const std::string& name, const NicConfig& cfg) {
+  NfInstance nf(MakeElementByName(name));
+  EXPECT_TRUE(nf.ok());
+  NicProgram nic = CompileToNic(nf.module());
+  WorkloadSpec w = WorkloadSpec::SmallFlows();
+  Trace t = GenerateTrace(w, 1000);
+  for (auto& pkt : t.packets) {
+    pkt.in_port = 0;
+    nf.Process(pkt);
+  }
+  return BuildDemand(nf.module(), nic, nf.profile(), w, cfg);
+}
+
+TEST(PairOutcome, FriendlinessMetrics) {
+  PairOutcome o;
+  o.tput_a_solo = 10;
+  o.tput_b_solo = 10;
+  o.tput_a_coloc = 9;
+  o.tput_b_coloc = 7;
+  o.lat_a_solo = 2;
+  o.lat_b_solo = 2;
+  o.lat_a_coloc = 4;
+  o.lat_b_coloc = 2;
+  EXPECT_DOUBLE_EQ(o.Friendliness(RankObjective::kTotalThroughput), 0.8);
+  EXPECT_DOUBLE_EQ(o.Friendliness(RankObjective::kAverageThroughput), 0.8);
+  EXPECT_DOUBLE_EQ(o.Friendliness(RankObjective::kTotalLatency), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(o.Friendliness(RankObjective::kAverageLatency), 0.75);
+}
+
+TEST(MeasurePairTest, MemoryHogsInterfere) {
+  PerfModel model;
+  NfDemand mem;
+  mem.compute_cycles = 40;
+  StateDemand s;
+  s.accesses_per_pkt = 6;
+  s.words_per_access = 4;
+  s.region = MemRegion::kEmem;
+  s.cache_hit_rate = 0.05;
+  mem.state.push_back(s);
+  NfDemand cpu;
+  cpu.compute_cycles = 400;
+
+  PairOutcome hog_pair = MeasurePair(model, mem, mem);
+  PairOutcome mixed = MeasurePair(model, mem, cpu);
+  EXPECT_LT(hog_pair.Friendliness(RankObjective::kTotalThroughput),
+            mixed.Friendliness(RankObjective::kTotalThroughput) + 1e-9);
+}
+
+TEST_F(ColocationFixture, RankerOrdersPairsByMeasuredFriendliness) {
+  // Build a candidate set from real elements and verify top-1/top-3
+  // ranking accuracy against ground-truth measurement (Figure 14a).
+  NicConfig cfg = model_->config();
+  std::vector<std::string> names = {"mazunat", "dnsproxy", "udpcount", "webgen",
+                                    "aggcounter", "dpi"};
+  std::vector<NfDemand> demands;
+  for (const auto& n : names) {
+    demands.push_back(Demand(n, cfg));
+  }
+  std::vector<std::vector<double>> true_scores;
+  std::vector<std::vector<double>> pred_scores;
+  for (size_t anchor = 0; anchor < demands.size(); ++anchor) {
+    std::vector<double> ts;
+    std::vector<double> ps;
+    for (size_t other = 0; other < demands.size(); ++other) {
+      if (other == anchor) {
+        continue;
+      }
+      ts.push_back(MeasurePair(*model_, demands[anchor], demands[other])
+                       .Friendliness(RankObjective::kTotalThroughput));
+      ps.push_back(ranker_->ScorePair(demands[anchor], demands[other]));
+    }
+    true_scores.push_back(std::move(ts));
+    pred_scores.push_back(std::move(ps));
+  }
+  double top1 = TopKAccuracy(true_scores, pred_scores, 1);
+  double top3 = TopKAccuracy(true_scores, pred_scores, 3);
+  EXPECT_GE(top3, 0.5);
+  EXPECT_GE(top1, 0.3);
+  EXPECT_GE(top3, top1);
+}
+
+TEST_F(ColocationFixture, PairFeaturesSymmetricStructure) {
+  NicConfig cfg = model_->config();
+  NfDemand a = Demand("aggcounter", cfg);
+  NfDemand b = Demand("mazunat", cfg);
+  FeatureVec fab = ColocationRanker::PairFeatures(a, b);
+  FeatureVec fba = ColocationRanker::PairFeatures(b, a);
+  EXPECT_EQ(fab.size(), 10u);
+  // Feature 9 (total DRAM pressure) is symmetric.
+  EXPECT_NEAR(fab[9], fba[9], 1e-9);
+}
+
+}  // namespace
+}  // namespace clara

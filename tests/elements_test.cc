@@ -1,0 +1,345 @@
+// The NF element suite: every element lowers, executes realistic traffic,
+// and exhibits its advertised behaviour.
+#include "src/elements/elements.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ir/classify.h"
+#include "src/lang/interp.h"
+#include "src/lang/printer.h"
+#include "src/nf/lpm.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+namespace {
+
+class ElementSuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ElementSuiteTest, ProcessesTrafficWithoutStalling) {
+  Program p = MakeElementByName(GetParam());
+  NfInstance nf(std::move(p));
+  ASSERT_TRUE(nf.ok()) << nf.error();
+  if (GetParam() == "iplookup") {
+    // not required, but exercise the accel hook path too
+  }
+  Trace t = GenerateTrace(WorkloadSpec::SmallFlows(), 400);
+  for (auto& pkt : t.packets) {
+    pkt.in_port = pkt.src_ip & 1;
+    nf.Process(pkt);
+    ASSERT_NE(pkt.verdict, Packet::Verdict::kPending);
+  }
+  EXPECT_EQ(nf.profile().packets, 400u);
+  EXPECT_EQ(nf.profile().sends + nf.profile().drops, 400u);
+}
+
+TEST_P(ElementSuiteTest, SourceRendersAndHasReasonableSize) {
+  Program p = MakeElementByName(GetParam());
+  int loc = SourceLineCount(p);
+  EXPECT_GT(loc, 5) << GetParam();
+  EXPECT_LT(loc, 400) << GetParam();
+}
+
+std::vector<std::string> AllElementNames() {
+  std::vector<std::string> names;
+  for (const auto& info : ElementRegistry()) {
+    names.push_back(info.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, ElementSuiteTest, ::testing::ValuesIn(AllElementNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Elements, RegistryComplete) {
+  EXPECT_GE(ElementRegistry().size(), 20u);
+  int stateful = 0;
+  for (const auto& info : ElementRegistry()) {
+    stateful += info.stateful ? 1 : 0;
+    EXPECT_FALSE(info.insights.empty()) << info.name;
+  }
+  EXPECT_GE(stateful, 14);
+}
+
+TEST(Elements, StatefulFlagMatchesPrograms) {
+  for (const auto& info : ElementRegistry()) {
+    Program p = info.make();
+    EXPECT_EQ(info.stateful, !p.state.empty()) << info.name;
+  }
+}
+
+TEST(Elements, AnonIpAddrChangesAddressesDeterministically) {
+  NfInstance nf(MakeAnonIpAddr());
+  ASSERT_TRUE(nf.ok());
+  Packet a;
+  a.src_ip = 0x0a000001;
+  a.dst_ip = 0xc0a80101;
+  Packet b = a;
+  nf.Process(a);
+  nf.Process(b);
+  EXPECT_NE(a.src_ip, 0x0a000001u);
+  EXPECT_EQ(a.src_ip, b.src_ip);                      // deterministic
+  EXPECT_EQ(a.src_ip >> 24, 0x0au);                   // class byte preserved
+}
+
+TEST(Elements, FirewallLearnsFromSyn) {
+  NfInstance nf(MakeFirewall());
+  ASSERT_TRUE(nf.ok());
+  Packet outside;
+  outside.src_ip = 5;
+  outside.dst_ip = 6;
+  outside.in_port = 1;
+  outside.tcp_flags = kTcpAck;
+  nf.Process(outside);
+  EXPECT_EQ(outside.verdict, Packet::Verdict::kDropped);
+
+  Packet syn;
+  syn.src_ip = 5;
+  syn.dst_ip = 6;
+  syn.in_port = 0;
+  syn.tcp_flags = kTcpSyn;
+  nf.Process(syn);
+  EXPECT_EQ(syn.verdict, Packet::Verdict::kSent);
+
+  Packet later;
+  later.src_ip = 5;
+  later.dst_ip = 6;
+  later.in_port = 1;
+  later.tcp_flags = kTcpAck;
+  nf.Process(later);
+  EXPECT_EQ(later.verdict, Packet::Verdict::kSent);
+}
+
+TEST(Elements, HeavyHitterFlagsHotFlow) {
+  NfInstance nf(MakeHeavyHitter(/*threshold=*/16));
+  ASSERT_TRUE(nf.ok());
+  for (int i = 0; i < 40; ++i) {
+    Packet p;
+    p.src_ip = 0x01010101;
+    p.dst_ip = 0x02020202;
+    nf.Process(p);
+  }
+  EXPECT_GT(nf.ReadScalar("hh_count"), 10u);
+  Packet cold;
+  cold.src_ip = 0x09090909;
+  cold.dst_ip = 0x0a0a0a0a;
+  nf.Process(cold);
+  EXPECT_EQ(cold.ip_tos, 0);
+}
+
+TEST(Elements, CmSketchVariantsCountSameUpdates) {
+  NfInstance sw(MakeCmSketch(false));
+  NfInstance hw(MakeCmSketch(true));
+  ASSERT_TRUE(sw.ok());
+  ASSERT_TRUE(hw.ok());
+  Trace t = GenerateTrace(WorkloadSpec::SmallFlows(), 100);
+  for (auto& pkt : t.packets) {
+    Packet copy = pkt;
+    sw.Process(pkt);
+    hw.Process(copy);
+  }
+  EXPECT_EQ(sw.ReadScalar("updates"), 100u);
+  EXPECT_EQ(hw.ReadScalar("updates"), 100u);
+  // The accelerated variant compiles to far fewer core compute instructions
+  // in the hash blocks (this is the Figure 10b effect at the source level).
+  BlockCounts csw = CountFunction(sw.module().functions[0]);
+  BlockCounts chw = CountFunction(hw.module().functions[0]);
+  EXPECT_LT(chw.compute, csw.compute);
+}
+
+TEST(Elements, IpLookupAccelMatchesSoftwareVerdicts) {
+  LpmTable table;
+  Rng trng(99);
+  table.Insert(0, 0, 15);  // the element seeds a default route first
+  for (int r = 0; r < 128; ++r) {
+    int plen = static_cast<int>(trng.NextInt(8, 24));
+    uint32_t prefix = static_cast<uint32_t>(trng.NextU64()) & ~((1u << (32 - plen)) - 1);
+    table.Insert(prefix, plen, static_cast<uint32_t>(trng.NextBounded(16)));
+  }
+  NfInstance sw(MakeIpLookup(128, false, false, 99));
+  NfInstance hw(MakeIpLookup(128, true, false, 99));
+  ASSERT_TRUE(sw.ok());
+  ASSERT_TRUE(hw.ok());
+  hw.SetLpmAccelTable(&table);
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    Packet a;
+    a.dst_ip = static_cast<uint32_t>(rng.NextU64());
+    Packet b = a;
+    sw.Process(a);
+    hw.Process(b);
+    ASSERT_EQ(a.verdict, b.verdict) << IpToString(a.dst_ip);
+    if (a.verdict == Packet::Verdict::kSent) {
+      ASSERT_EQ(a.out_port, b.out_port);
+    }
+  }
+}
+
+TEST(Elements, UdpCountTracksFlows) {
+  NfInstance nf(MakeUdpCount());
+  ASSERT_TRUE(nf.ok());
+  Packet udp;
+  udp.src_ip = 3;
+  udp.dst_ip = 4;
+  udp.ip_proto = kProtoUdp;
+  udp.dport = 53;
+  udp.wire_len = 100;
+  nf.Process(udp);
+  nf.Process(udp);
+  Packet tcp;
+  tcp.src_ip = 3;
+  tcp.dst_ip = 4;
+  tcp.ip_proto = kProtoTcp;
+  nf.Process(tcp);
+  EXPECT_EQ(nf.ReadScalar("udp_pkts"), 2u);
+  EXPECT_EQ(nf.ReadScalar("other_pkts"), 1u);
+  EXPECT_EQ(nf.ReadScalar("udp_bytes"), 200u);
+}
+
+TEST(Elements, DnsProxyCachesAnswers) {
+  NfInstance nf(MakeDnsProxy());
+  ASSERT_TRUE(nf.ok());
+  Packet q;
+  q.ip_proto = kProtoUdp;
+  q.dport = 53;
+  q.src_ip = 10;
+  q.dst_ip = 20;
+  q.payload_len = 40;
+  for (int i = 0; i < 8; ++i) {
+    q.payload[12 + i] = static_cast<uint8_t>('a' + i);
+  }
+  Packet q1 = q;
+  nf.Process(q1);
+  EXPECT_EQ(nf.ReadScalar("cache_misses"), 1u);
+  Packet q2 = q;
+  nf.Process(q2);
+  EXPECT_EQ(nf.ReadScalar("cache_hits"), 1u);
+  // Cached answer is served back toward the client (addresses swapped).
+  EXPECT_EQ(q2.dst_ip, 10u);
+}
+
+TEST(Elements, WebGenEmitsRequests) {
+  NfInstance nf(MakeWebGen());
+  ASSERT_TRUE(nf.ok());
+  Packet p;
+  p.dst_ip = 50;
+  p.dport = 80;
+  nf.Process(p);  // opens the connection
+  Packet p2;
+  p2.dst_ip = 50;
+  p2.dport = 80;
+  nf.Process(p2);  // writes the request
+  EXPECT_EQ(nf.ReadScalar("req_counter"), 1u);
+  EXPECT_EQ(p2.payload[0], 'G');
+  EXPECT_EQ(p2.payload[3], ' ');
+}
+
+TEST(Elements, TcpGenCountsGoodAndBadAcks) {
+  NfInstance nf(MakeTcpGen());
+  ASSERT_TRUE(nf.ok());
+  Packet good;
+  good.tcp_flags = kTcpAck;
+  good.tcp_ack = 0;  // matches initial send_next
+  good.payload_len = 10;
+  nf.Process(good);
+  EXPECT_EQ(nf.ReadScalar("good_pkt"), 1u);
+  Packet bad;
+  bad.tcp_flags = kTcpAck;
+  bad.tcp_ack = 999;
+  nf.Process(bad);
+  EXPECT_EQ(nf.ReadScalar("bad_pkt"), 1u);
+}
+
+TEST(Elements, IpClassifierClassifies) {
+  NfInstance nf(MakeIpClassifier());
+  ASSERT_TRUE(nf.ok());
+  Trace t = GenerateTrace(WorkloadSpec::SmallFlows(), 200);
+  uint64_t before = 0;
+  for (auto& pkt : t.packets) {
+    nf.Process(pkt);
+  }
+  uint64_t classified = 0;
+  for (int a = 0; a < 4; ++a) {
+    classified += nf.ReadArray("class_counts", a);
+  }
+  EXPECT_EQ(classified + nf.ReadScalar("fallthrough"), 200u);
+  EXPECT_GT(classified, before);
+}
+
+TEST(Elements, MazuNatAccelVariantSameBehaviour) {
+  NfInstance plain(MakeMazuNat(false));
+  NfInstance accel(MakeMazuNat(true));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(accel.ok());
+  Trace t = GenerateTrace(WorkloadSpec::SmallFlows(), 150);
+  for (auto& pkt : t.packets) {
+    Packet copy = pkt;
+    pkt.in_port = 0;
+    copy.in_port = 0;
+    plain.Process(pkt);
+    accel.Process(copy);
+    ASSERT_EQ(pkt.verdict, copy.verdict);
+    ASSERT_EQ(pkt.src_ip, copy.src_ip);
+  }
+  EXPECT_EQ(plain.ReadScalar("translated"), accel.ReadScalar("translated"));
+}
+
+}  // namespace
+}  // namespace clara
+
+namespace clara {
+namespace {
+
+TEST(Elements, TokenBucketPolices) {
+  NfInstance nf(MakeTokenBucket(/*rate_per_ms=*/1, /*burst=*/4));
+  ASSERT_TRUE(nf.ok()) << nf.error();
+  for (int i = 0; i < 20; ++i) {
+    Packet p;
+    p.src_ip = 1;
+    p.dst_ip = 2;
+    p.ts_ns = 10'000'000;  // burst within one millisecond
+    nf.Process(p);
+  }
+  uint64_t conformed_before = nf.ReadScalar("conformed");
+  EXPECT_GT(nf.ReadScalar("policed"), 0u);
+  EXPECT_LE(conformed_before, 10u);
+  // After time passes, tokens refill and packets conform again.
+  Packet later;
+  later.src_ip = 1;
+  later.dst_ip = 2;
+  later.ts_ns = 200'000'000;
+  nf.Process(later);
+  EXPECT_EQ(later.verdict, Packet::Verdict::kSent);
+  EXPECT_GT(nf.ReadScalar("conformed"), conformed_before);
+}
+
+TEST(Elements, SynFloodRaisesAlerts) {
+  NfInstance nf(MakeSynFlood(/*threshold=*/8));
+  ASSERT_TRUE(nf.ok()) << nf.error();
+  for (int i = 0; i < 20; ++i) {
+    Packet p;
+    p.src_ip = 100 + i;  // many sources, one victim
+    p.dst_ip = 0x0a0a0a0a;
+    p.tcp_flags = kTcpSyn;
+    nf.Process(p);
+  }
+  EXPECT_EQ(nf.ReadScalar("total_syns"), 20u);
+  EXPECT_GT(nf.ReadScalar("alerts"), 0u);
+  EXPECT_GT(nf.FindMap("watchlist")->entries(), 0u);
+  // FINs drain the counter back below the threshold.
+  for (int i = 0; i < 20; ++i) {
+    Packet p;
+    p.src_ip = 100 + i;
+    p.dst_ip = 0x0a0a0a0a;
+    p.tcp_flags = kTcpFin;
+    nf.Process(p);
+  }
+  Packet benign;
+  benign.src_ip = 1;
+  benign.dst_ip = 0x0a0a0a0a;
+  benign.tcp_flags = kTcpSyn;
+  nf.Process(benign);
+  EXPECT_EQ(benign.ip_tos, 0);
+}
+
+}  // namespace
+}  // namespace clara

@@ -1,0 +1,97 @@
+// End-to-end: the ClaraAnalyzer facade produces a complete set of offloading
+// insights for a real element, and the tuned port beats the naive port.
+#include "src/core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/elements/elements.h"
+
+namespace clara {
+namespace {
+
+AnalyzerOptions FastAnalyzerOptions() {
+  AnalyzerOptions opts;
+  opts.predictor.train_programs = 80;
+  opts.predictor.lstm.epochs = 6;
+  opts.predictor.lstm.hidden = 16;
+  opts.scaleout.train_programs = 30;
+  opts.colocation.train_nfs = 16;
+  opts.colocation.train_groups = 30;
+  opts.algo_corpus_per_class = 15;
+  opts.profile_packets = 1500;
+  return opts;
+}
+
+class AnalyzerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    analyzer_ = new ClaraAnalyzer(FastAnalyzerOptions());
+    std::vector<Program> corpus;
+    for (const auto& info : ElementRegistry()) {
+      corpus.push_back(info.make());
+    }
+    std::vector<const Program*> ptrs;
+    for (const auto& p : corpus) {
+      ptrs.push_back(&p);
+    }
+    analyzer_->Train(ptrs);
+  }
+  static void TearDownTestSuite() {
+    delete analyzer_;
+    analyzer_ = nullptr;
+  }
+  static ClaraAnalyzer* analyzer_;
+};
+
+ClaraAnalyzer* AnalyzerFixture::analyzer_ = nullptr;
+
+TEST_F(AnalyzerFixture, AllComponentsTrained) {
+  ASSERT_TRUE(analyzer_->trained());
+  EXPECT_TRUE(analyzer_->predictor().trained());
+  EXPECT_TRUE(analyzer_->algo_id().trained());
+  EXPECT_TRUE(analyzer_->scaleout().trained());
+  EXPECT_TRUE(analyzer_->colocation().trained());
+}
+
+TEST_F(AnalyzerFixture, MazuNatFullInsights) {
+  OffloadingInsights insights =
+      analyzer_->Analyze(MakeMazuNat(), WorkloadSpec::SmallFlows());
+  EXPECT_EQ(insights.nf_name, "mazunat");
+  EXPECT_GT(insights.prediction.total_compute, 0.0);
+  EXPECT_GT(insights.prediction.total_mem_state, 0u);
+  EXPECT_GE(insights.suggested_cores, 1);
+  EXPECT_LE(insights.suggested_cores, 60);
+  ASSERT_TRUE(insights.placement.ok);
+  EXPECT_EQ(insights.placement.placement.size(),
+            MakeMazuNat().state.size());
+  // The tuned port is at least as good as the naive port.
+  EXPECT_GE(insights.tuned_perf.throughput_mpps,
+            insights.naive_perf.throughput_mpps * 0.99);
+  EXPECT_LE(insights.tuned_perf.latency_us, insights.naive_perf.latency_us * 1.01);
+  // Report renders.
+  std::string report = insights.ToString(analyzer_->perf_model().config());
+  EXPECT_NE(report.find("mazunat"), std::string::npos);
+  EXPECT_NE(report.find("scale-out"), std::string::npos);
+}
+
+TEST_F(AnalyzerFixture, IpLookupGetsLpmInsight) {
+  OffloadingInsights insights =
+      analyzer_->Analyze(MakeIpLookup(), WorkloadSpec::LargeFlows());
+  EXPECT_EQ(insights.accelerator, AccelClass::kLpm);
+}
+
+TEST_F(AnalyzerFixture, StatelessElementGetsNoAccelOrPacking) {
+  OffloadingInsights insights =
+      analyzer_->Analyze(MakeTcpAck(), WorkloadSpec::SmallFlows());
+  EXPECT_EQ(insights.accelerator, AccelClass::kNone);
+  EXPECT_TRUE(insights.coalescing.packs.empty());
+}
+
+TEST_F(AnalyzerFixture, TunedBeatsNaiveOnStatefulNf) {
+  OffloadingInsights insights =
+      analyzer_->Analyze(MakeUdpCount(), WorkloadSpec::SmallFlows());
+  EXPECT_LT(insights.tuned_perf.latency_us, insights.naive_perf.latency_us);
+}
+
+}  // namespace
+}  // namespace clara

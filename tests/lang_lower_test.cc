@@ -1,0 +1,225 @@
+// Lowering invariants: block structure, terminators, optimization-free local
+// handling, map-op expansion, and statement/block annotations.
+#include "src/lang/lower.h"
+
+#include <gtest/gtest.h>
+
+#include "src/elements/elements.h"
+#include "src/ir/cfg.h"
+#include "src/ir/classify.h"
+#include "src/ir/printer.h"
+
+namespace clara {
+namespace {
+
+void ExpectWellFormed(const Module& m) {
+  const Function& f = m.functions.at(0);
+  ASSERT_FALSE(f.blocks.empty());
+  for (size_t b = 0; b < f.blocks.size(); ++b) {
+    const auto& blk = f.blocks[b];
+    ASSERT_FALSE(blk.instrs.empty()) << "empty block " << b;
+    EXPECT_TRUE(IsTerminator(blk.instrs.back().op)) << "block " << b << " unterminated";
+    for (size_t i = 0; i + 1 < blk.instrs.size(); ++i) {
+      EXPECT_FALSE(IsTerminator(blk.instrs[i].op))
+          << "terminator mid-block " << b << ":" << i;
+    }
+    // Branch targets are valid.
+    const auto& t = blk.instrs.back();
+    if (t.op == Opcode::kBr) {
+      EXPECT_LT(t.target0, f.blocks.size());
+    } else if (t.op == Opcode::kCondBr) {
+      EXPECT_LT(t.target0, f.blocks.size());
+      EXPECT_LT(t.target1, f.blocks.size());
+    }
+  }
+}
+
+TEST(Lower, LocalsStayStackTraffic) {
+  // With optimizations disabled, `x` is stored and re-loaded, not forwarded.
+  Program p;
+  p.body.push_back(Decl("x", Type::kI32, PktField("ip.src")));
+  p.body.push_back(Decl("y", Type::kI32, Bin(Opcode::kAdd, Local("x"), Local("x"))));
+  LowerResult lr = LowerProgram(p);
+  ASSERT_TRUE(lr.ok) << lr.error;
+  BlockCounts c = CountFunction(lr.module.functions[0]);
+  // 1 pkt load + 1 store x + 2 loads of x + 1 store y = 5 stateless accesses.
+  EXPECT_EQ(c.stateless_mem, 5u);
+}
+
+TEST(Lower, IfCreatesDiamond) {
+  Program p;
+  std::vector<StmtPtr> then_body;
+  then_body.push_back(Drop());
+  p.body.push_back(If(Cmp(Opcode::kIcmpEq, PktField("ip.proto"), Lit(6)),
+                      std::move(then_body)));
+  p.body.push_back(Send(nullptr));
+  LowerResult lr = LowerProgram(p);
+  ASSERT_TRUE(lr.ok);
+  ExpectWellFormed(lr.module);
+  Cfg cfg = BuildCfg(lr.module.functions[0]);
+  EXPECT_TRUE(cfg.back_edges.empty());
+  EXPECT_GE(lr.module.functions[0].blocks.size(), 3u);
+}
+
+TEST(Lower, ForCreatesLoopWithAnnotations) {
+  Program p;
+  std::vector<StmtPtr> body;
+  body.push_back(Decl("x", Type::kI32, Local("i")));
+  p.body.push_back(For("i", Lit(0), Lit(8), std::move(body)));
+  LowerResult lr = LowerProgram(p);
+  ASSERT_TRUE(lr.ok);
+  ExpectWellFormed(lr.module);
+  const Stmt& loop = *p.body[0];
+  EXPECT_GE(loop.block_cond, 0);
+  EXPECT_GE(loop.block_latch, 0);
+  Cfg cfg = BuildCfg(lr.module.functions[0]);
+  ASSERT_EQ(cfg.back_edges.size(), 1u);
+  EXPECT_EQ(cfg.back_edges[0].second, static_cast<uint32_t>(loop.block_cond));
+}
+
+Program MapProgram(MapImpl impl) {
+  Program p;
+  StateDecl m;
+  m.name = "flows";
+  m.kind = StateKind::kMap;
+  m.key_fields = {Type::kI32, Type::kI32};
+  m.value_fields = {{"a", Type::kI32}, {"b", Type::kI16}};
+  m.capacity = 256;
+  m.impl = impl;
+  p.state.push_back(m);
+  std::vector<ExprPtr> keys;
+  keys.push_back(PktField("ip.src"));
+  keys.push_back(PktField("ip.dst"));
+  p.body.push_back(MapFind("flows", std::move(keys), "found", {"a", "b"}));
+  p.body.push_back(Send(nullptr));
+  return p;
+}
+
+TEST(Lower, MapFindExpandsToProbeLoop) {
+  Program p = MapProgram(MapImpl::kNicFixedBucket);
+  LowerResult lr = LowerProgram(p);
+  ASSERT_TRUE(lr.ok) << lr.error;
+  ExpectWellFormed(lr.module);
+  const Stmt& find = *p.body[0];
+  EXPECT_GE(find.block_cond, 0);
+  EXPECT_GE(find.block_body, 0);
+  EXPECT_GE(find.block_echk, 0);
+  EXPECT_GE(find.block_latch, 0);
+  EXPECT_GE(find.block_hit, 0);
+  EXPECT_GE(find.block_miss, 0);
+  // The probe is a natural loop back to the cond block.
+  Cfg cfg = BuildCfg(lr.module.functions[0]);
+  ASSERT_FALSE(cfg.back_edges.empty());
+  EXPECT_EQ(cfg.back_edges[0].second, static_cast<uint32_t>(find.block_cond));
+  // The probe body loads stored keys from the map's backing state.
+  BlockCounts body_counts =
+      CountBlock(lr.module.functions[0].blocks[find.block_body]);
+  EXPECT_EQ(body_counts.stateful_mem, 2u);  // two key fields
+  // The hit block reads the two requested value fields.
+  BlockCounts hit_counts = CountBlock(lr.module.functions[0].blocks[find.block_hit]);
+  EXPECT_EQ(hit_counts.stateful_mem, 2u);
+}
+
+TEST(Lower, HostMapUsesWraparoundModulo) {
+  // The host linear-probing latch computes (i+1) % capacity: a urem appears
+  // in the lowered code; the NIC bucket variant has no latch urem.
+  Program host = MapProgram(MapImpl::kHostLinearProbe);
+  LowerResult lh = LowerProgram(host);
+  ASSERT_TRUE(lh.ok);
+  const Stmt& hfind = *host.body[0];
+  bool host_urem = false;
+  for (const auto& i : lh.module.functions[0].blocks[hfind.block_latch].instrs) {
+    host_urem |= i.op == Opcode::kURem;
+  }
+  EXPECT_TRUE(host_urem);
+
+  Program nic = MapProgram(MapImpl::kNicFixedBucket);
+  LowerResult ln = LowerProgram(nic);
+  ASSERT_TRUE(ln.ok);
+  const Stmt& nfind = *nic.body[0];
+  for (const auto& i : ln.module.functions[0].blocks[nfind.block_latch].instrs) {
+    EXPECT_NE(i.op, Opcode::kURem);
+  }
+}
+
+TEST(Lower, MapInsertWritesKeysAndValues) {
+  Program p;
+  StateDecl m;
+  m.name = "t";
+  m.kind = StateKind::kMap;
+  m.key_fields = {Type::kI32};
+  m.value_fields = {{"v", Type::kI32}};
+  m.capacity = 64;
+  p.state.push_back(m);
+  std::vector<ExprPtr> keys;
+  keys.push_back(PktField("ip.src"));
+  std::vector<ExprPtr> vals;
+  vals.push_back(Lit(5));
+  p.body.push_back(MapInsert("t", std::move(keys), std::move(vals)));
+  LowerResult lr = LowerProgram(p);
+  ASSERT_TRUE(lr.ok);
+  const Stmt& ins = *p.body[0];
+  uint32_t stores = 0;
+  for (const auto& i : lr.module.functions[0].blocks[ins.block_hit].instrs) {
+    if (i.op == Opcode::kStore && i.space == AddressSpace::kState) {
+      ++stores;
+    }
+  }
+  EXPECT_EQ(stores, 2u);  // key + value
+}
+
+TEST(Lower, StatementsAfterReturnAreUnreachableButAnnotated) {
+  Program p;
+  p.body.push_back(Drop());
+  p.body.push_back(Send(nullptr));  // unreachable
+  LowerResult lr = LowerProgram(p);
+  ASSERT_TRUE(lr.ok);
+  EXPECT_GE(p.body[1]->block, 0);
+  ExpectWellFormed(lr.module);
+}
+
+TEST(Lower, SendEmitsCallAndRet) {
+  Program p;
+  p.body.push_back(Send(Lit(3)));
+  LowerResult lr = LowerProgram(p);
+  ASSERT_TRUE(lr.ok);
+  const auto& instrs = lr.module.functions[0].blocks[0].instrs;
+  ASSERT_GE(instrs.size(), 2u);
+  EXPECT_EQ(instrs[instrs.size() - 2].op, Opcode::kCall);
+  EXPECT_EQ(instrs.back().op, Opcode::kRet);
+  EXPECT_EQ(lr.module.apis[instrs[instrs.size() - 2].callee].name, "send");
+}
+
+TEST(Lower, AllRegistryElementsLowerWellFormed) {
+  for (const auto& info : ElementRegistry()) {
+    Program p = info.make();
+    LowerResult lr = LowerProgram(p);
+    ASSERT_TRUE(lr.ok) << info.name << ": " << lr.error;
+    ExpectWellFormed(lr.module);
+    // Every lowered module prints without crashing (debuggability).
+    EXPECT_FALSE(ToString(lr.module).empty());
+  }
+}
+
+TEST(Lower, BlockEntryAnnotationsAreUnique) {
+  Program p = MakeMazuNat();
+  LowerResult lr = LowerProgram(p);
+  ASSERT_TRUE(lr.ok);
+  // No two statements may claim block_entry for the same block.
+  std::set<int> entries;
+  std::function<void(const std::vector<StmtPtr>&)> walk =
+      [&](const std::vector<StmtPtr>& body) {
+        for (const auto& s : body) {
+          if (s->block_entry) {
+            EXPECT_TRUE(entries.insert(s->block).second)
+                << "duplicate block entry " << s->block;
+          }
+          walk(s->body);
+          walk(s->else_body);
+        }
+      };
+  walk(p.body);
+}
+
+}  // namespace
+}  // namespace clara

@@ -1,0 +1,76 @@
+#include "src/nf/lpm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace clara {
+namespace {
+
+TEST(LpmTable, BasicLongestPrefixWins) {
+  LpmTable t;
+  t.Insert(0x0a000000, 8, 1);   // 10/8 -> 1
+  t.Insert(0x0a010000, 16, 2);  // 10.1/16 -> 2
+  t.Insert(0x0a010100, 24, 3);  // 10.1.1/24 -> 3
+  EXPECT_EQ(t.Lookup(0x0a020304).value(), 1u);
+  EXPECT_EQ(t.Lookup(0x0a010304).value(), 2u);
+  EXPECT_EQ(t.Lookup(0x0a010104).value(), 3u);
+  EXPECT_FALSE(t.Lookup(0x0b000000).has_value());
+}
+
+TEST(LpmTable, DefaultRouteCatchesAll) {
+  LpmTable t;
+  t.Insert(0, 0, 42);
+  EXPECT_EQ(t.Lookup(0xdeadbeef).value(), 42u);
+  EXPECT_EQ(t.Lookup(0).value(), 42u);
+}
+
+TEST(LpmTable, OverwriteSamePrefix) {
+  LpmTable t;
+  t.Insert(0x0a000000, 8, 1);
+  t.Insert(0x0a000000, 8, 9);
+  EXPECT_EQ(t.rule_count(), 1u);
+  EXPECT_EQ(t.Lookup(0x0a123456).value(), 9u);
+}
+
+TEST(LpmTable, HostZeroLookupStepsBounded) {
+  LpmTable t;
+  t.Insert(0xff000000, 32, 5);
+  t.Lookup(0xff000000);
+  EXPECT_LE(t.last_lookup_steps(), 33);
+}
+
+// Property: the flattened-array walk (the algorithm the lang element
+// encodes) agrees with the tree lookup on random tables and queries.
+TEST(LpmTable, FlatWalkMatchesTreeLookup) {
+  Rng rng(321);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpmTable t;
+    for (int r = 0; r < 100; ++r) {
+      int plen = static_cast<int>(rng.NextInt(4, 28));
+      uint32_t prefix =
+          static_cast<uint32_t>(rng.NextU64()) & ~((plen == 32) ? 0u : ((1u << (32 - plen)) - 1));
+      t.Insert(prefix, plen, static_cast<uint32_t>(rng.NextBounded(100)));
+    }
+    std::vector<uint32_t> flat = t.Flatten();
+    for (int q = 0; q < 500; ++q) {
+      uint32_t addr = static_cast<uint32_t>(rng.NextU64());
+      auto tree = t.Lookup(addr);
+      auto walk = LpmLookupFlat(flat, addr);
+      ASSERT_EQ(tree.has_value(), walk.has_value()) << "addr=" << addr;
+      if (tree.has_value()) {
+        ASSERT_EQ(*tree, *walk) << "addr=" << addr;
+      }
+    }
+  }
+}
+
+TEST(LpmTable, NodeCountGrowsWithRules) {
+  LpmTable t;
+  size_t before = t.node_count();
+  t.Insert(0x80000000, 4, 1);
+  EXPECT_GT(t.node_count(), before);
+}
+
+}  // namespace
+}  // namespace clara

@@ -1,0 +1,115 @@
+#include "src/ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace clara {
+namespace {
+
+TEST(Wmape, PerfectPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(Wmape({10, 20, 30}, {10, 20, 30}), 0.0);
+}
+
+TEST(Wmape, WeightsByMagnitude) {
+  // |err| sum = 6, |truth| sum = 60.
+  EXPECT_DOUBLE_EQ(Wmape({10, 20, 30}, {12, 22, 32}), 0.1);
+}
+
+TEST(Mae, Basic) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {2, 2, 5}), 1.0);
+}
+
+TEST(PrecisionRecall, PerfectClassifier) {
+  std::vector<int> truth = {0, 1, 2, 3, 0, 1};
+  auto pr = MultiClassPrecisionRecall(truth, truth, /*negative_class=*/3);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(PrecisionRecall, MissedDetectionHitsRecall) {
+  // One CRC (0) classified as none (3): recall drops, precision intact.
+  std::vector<int> truth = {0, 0, 3};
+  std::vector<int> pred = {0, 3, 3};
+  auto pr = MultiClassPrecisionRecall(truth, pred, 3);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+}
+
+TEST(PrecisionRecall, FalseAlarmHitsPrecision) {
+  std::vector<int> truth = {3, 3, 0};
+  std::vector<int> pred = {0, 3, 0};
+  auto pr = MultiClassPrecisionRecall(truth, pred, 3);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(TopK, ExactTopOne) {
+  std::vector<std::vector<double>> truth = {{1, 5, 2}, {9, 1, 1}};
+  std::vector<std::vector<double>> pred_good = {{0, 10, 1}, {8, 0, 0}};
+  std::vector<std::vector<double>> pred_bad = {{10, 0, 1}, {0, 8, 0}};
+  EXPECT_DOUBLE_EQ(TopKAccuracy(truth, pred_good, 1), 1.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(truth, pred_bad, 1), 0.0);
+}
+
+TEST(TopK, WidensWithK) {
+  std::vector<std::vector<double>> truth = {{1, 5, 2, 0}};
+  std::vector<std::vector<double>> pred = {{3, 2, 1, 0}};  // best truth item ranked 2nd
+  EXPECT_DOUBLE_EQ(TopKAccuracy(truth, pred, 1), 0.0);
+  EXPECT_DOUBLE_EQ(TopKAccuracy(truth, pred, 2), 1.0);
+}
+
+TEST(Distances, IdenticalDistributionsAreZero) {
+  std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(JensenShannonDivergence(p, p), 0.0, 1e-6);
+  EXPECT_NEAR(RenyiDivergence(p, p), 0.0, 1e-6);
+  EXPECT_NEAR(BhattacharyyaDistance(p, p), 0.0, 1e-6);
+  EXPECT_NEAR(CosineDistance(p, p), 0.0, 1e-6);
+  EXPECT_NEAR(EuclideanDistance(p, p), 0.0, 1e-6);
+  EXPECT_NEAR(VariationalDistance(p, p), 0.0, 1e-6);
+}
+
+TEST(Distances, AllPositiveForDifferentDistributions) {
+  std::vector<double> p = {0.9, 0.1, 0.0};
+  std::vector<double> q = {0.1, 0.1, 0.8};
+  EXPECT_GT(JensenShannonDivergence(p, q), 0.01);
+  EXPECT_GT(RenyiDivergence(p, q), 0.01);
+  EXPECT_GT(BhattacharyyaDistance(p, q), 0.01);
+  EXPECT_GT(CosineDistance(p, q), 0.01);
+  EXPECT_GT(EuclideanDistance(p, q), 0.01);
+  EXPECT_GT(VariationalDistance(p, q), 0.01);
+}
+
+TEST(Distances, SymmetricWhereExpected) {
+  std::vector<double> p = {0.7, 0.2, 0.1};
+  std::vector<double> q = {0.3, 0.3, 0.4};
+  EXPECT_NEAR(JensenShannonDivergence(p, q), JensenShannonDivergence(q, p), 1e-12);
+  EXPECT_NEAR(VariationalDistance(p, q), VariationalDistance(q, p), 1e-12);
+  EXPECT_NEAR(EuclideanDistance(p, q), EuclideanDistance(q, p), 1e-12);
+  EXPECT_NEAR(BhattacharyyaDistance(p, q), BhattacharyyaDistance(q, p), 1e-12);
+}
+
+TEST(Distances, MonotoneInDivergence) {
+  // Distributions farther apart score higher on every metric.
+  std::vector<double> base = {0.5, 0.5, 0.0, 0.0};
+  std::vector<double> close = {0.4, 0.6, 0.0, 0.0};
+  std::vector<double> far = {0.0, 0.0, 0.5, 0.5};
+  EXPECT_LT(JensenShannonDivergence(base, close), JensenShannonDivergence(base, far));
+  EXPECT_LT(VariationalDistance(base, close), VariationalDistance(base, far));
+  EXPECT_LT(CosineDistance(base, close), CosineDistance(base, far));
+  EXPECT_LT(EuclideanDistance(base, close), EuclideanDistance(base, far));
+}
+
+TEST(Distances, HandlesUnnormalizedCounts) {
+  // Raw histogram counts (not normalized) are accepted.
+  std::vector<double> p = {10, 30, 60};
+  std::vector<double> q = {0.1, 0.3, 0.6};
+  EXPECT_NEAR(JensenShannonDivergence(p, q), 0.0, 1e-6);
+}
+
+TEST(Distances, DifferentLengthsPadded) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<double> q = {0.5, 0.25, 0.25};
+  EXPECT_GT(VariationalDistance(p, q), 0.1);
+}
+
+}  // namespace
+}  // namespace clara

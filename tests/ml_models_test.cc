@@ -1,0 +1,285 @@
+// Feature-vector models: trees, ensembles, SVM, kNN, k-means, PCA, ranker,
+// and the AutoML search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/ml/automl.h"
+#include "src/ml/ensemble.h"
+#include "src/ml/kmeans.h"
+#include "src/ml/knn.h"
+#include "src/ml/linear.h"
+#include "src/ml/metrics.h"
+#include "src/ml/mlp.h"
+#include "src/ml/pca.h"
+#include "src/ml/tree.h"
+#include "src/util/rng.h"
+
+namespace clara {
+namespace {
+
+// y = step function of x0 plus mild noise.
+TabularDataset StepData(size_t n, uint64_t seed) {
+  TabularDataset d;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.NextDouble() * 10;
+    double x1 = rng.NextDouble();
+    double y = (x0 < 3 ? 1.0 : (x0 < 7 ? 5.0 : 9.0)) + rng.NextGaussian(0.05);
+    d.x.push_back({x0, x1});
+    d.y.push_back(y);
+  }
+  return d;
+}
+
+// Two linearly separable blobs (+ a third overlapping class for multiclass).
+TabularDataset BlobData(size_t n, int classes, uint64_t seed) {
+  TabularDataset d;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    int c = static_cast<int>(rng.NextBounded(classes));
+    double cx = c * 4.0;
+    double cy = (c % 2) * 4.0;
+    d.x.push_back({cx + rng.NextGaussian(0.5), cy + rng.NextGaussian(0.5)});
+    d.y.push_back(c);
+  }
+  return d;
+}
+
+TEST(RegressionTree, FitsStepFunction) {
+  TabularDataset d = StepData(400, 1);
+  RegressionTree tree(TreeOptions{4, 2, 0});
+  tree.Fit(d);
+  EXPECT_NEAR(tree.Predict({1.0, 0.5}), 1.0, 0.4);
+  EXPECT_NEAR(tree.Predict({5.0, 0.5}), 5.0, 0.4);
+  EXPECT_NEAR(tree.Predict({9.0, 0.5}), 9.0, 0.4);
+}
+
+TEST(RegressionTree, DepthZeroPredictsMean) {
+  TabularDataset d;
+  d.x = {{0}, {1}, {2}, {3}};
+  d.y = {0, 0, 10, 10};
+  RegressionTree tree(TreeOptions{0, 1, 0});
+  tree.Fit(d);
+  EXPECT_DOUBLE_EQ(tree.Predict({0}), 5.0);
+}
+
+// y = x0 * x1: an interaction a single shallow tree cannot capture but
+// boosted shallow trees approximate well.
+TabularDataset ProductData(size_t n, uint64_t seed) {
+  TabularDataset d;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.NextDouble() * 10;
+    double x1 = rng.NextDouble();
+    d.x.push_back({x0, x1});
+    d.y.push_back(x0 * x1 + rng.NextGaussian(0.05));
+  }
+  return d;
+}
+
+TEST(Gbdt, BeatsSingleShallowTree) {
+  TabularDataset train = ProductData(500, 2);
+  TabularDataset test = ProductData(200, 3);
+  RegressionTree tree(TreeOptions{2, 2, 0});
+  tree.Fit(train);
+  GbdtOptions gopts;
+  gopts.rounds = 80;
+  gopts.tree = {2, 2, 0};
+  GbdtRegressor gbdt(gopts);
+  gbdt.Fit(train);
+  double tree_err = 0;
+  double gbdt_err = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    tree_err += std::abs(tree.Predict(test.x[i]) - test.y[i]);
+    gbdt_err += std::abs(gbdt.Predict(test.x[i]) - test.y[i]);
+  }
+  EXPECT_LT(gbdt_err, tree_err);
+}
+
+TEST(RandomForest, ReasonableOnStepData) {
+  TabularDataset train = StepData(400, 4);
+  RandomForestRegressor rf;
+  rf.Fit(train);
+  EXPECT_NEAR(rf.Predict({1.0, 0.5}), 1.0, 1.0);
+  EXPECT_NEAR(rf.Predict({9.0, 0.5}), 9.0, 1.0);
+}
+
+TEST(TreeClassifier, SeparatesBlobs) {
+  TabularDataset d = BlobData(300, 3, 5);
+  TreeClassifier tc(TreeOptions{6, 1, 0});
+  tc.Fit(d, 3);
+  int errors = 0;
+  TabularDataset test = BlobData(150, 3, 6);
+  for (size_t i = 0; i < test.size(); ++i) {
+    errors += tc.Predict(test.x[i]) != static_cast<int>(test.y[i]);
+  }
+  EXPECT_LT(errors, 15);
+}
+
+TEST(LinearSvm, SeparatesBlobs) {
+  TabularDataset d = BlobData(300, 2, 7);
+  LinearSvm svm;
+  svm.Fit(d, 2);
+  TabularDataset test = BlobData(150, 2, 8);
+  int errors = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    errors += svm.Predict(test.x[i]) != static_cast<int>(test.y[i]);
+  }
+  EXPECT_LT(errors, 8);
+}
+
+TEST(LinearSvm, MarginsOrderClasses) {
+  TabularDataset d = BlobData(300, 2, 9);
+  LinearSvm svm;
+  svm.Fit(d, 2);
+  FeatureVec near0 = {0.0, 0.0};
+  EXPECT_GT(svm.Margin(near0, 0), svm.Margin(near0, 1));
+}
+
+TEST(Knn, ClassifiesAndRegresses) {
+  TabularDataset d = BlobData(300, 3, 10);
+  KnnClassifier kc(KnnOptions{5});
+  kc.Fit(d, 3);
+  EXPECT_EQ(kc.Predict({0.0, 0.0}), 0);
+  EXPECT_EQ(kc.Predict({4.0, 4.0}), 1);
+
+  TabularDataset r = StepData(300, 11);
+  KnnRegressor kr(KnnOptions{5});
+  kr.Fit(r);
+  EXPECT_NEAR(kr.Predict({1.0, 0.5}), 1.0, 0.8);
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  Rng rng(12);
+  std::vector<FeatureVec> x;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      x.push_back({c * 10.0 + rng.NextGaussian(0.3), rng.NextGaussian(0.3)});
+    }
+  }
+  KMeansResult km = KMeans(x, 3);
+  // All points of a ground-truth cluster share an assignment.
+  for (int c = 0; c < 3; ++c) {
+    int first = km.assignment[c * 40];
+    for (int i = 1; i < 40; ++i) {
+      EXPECT_EQ(km.assignment[c * 40 + i], first) << "cluster " << c;
+    }
+  }
+  EXPECT_LT(km.inertia, 100.0);
+}
+
+TEST(KMeans, ElbowPicksRightK) {
+  Rng rng(13);
+  std::vector<FeatureVec> x;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      x.push_back({c * 20.0 + rng.NextGaussian(0.4), rng.NextGaussian(0.4)});
+    }
+  }
+  EXPECT_EQ(ChooseKByElbow(x, 8), 3);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  Rng rng(14);
+  std::vector<FeatureVec> x;
+  for (int i = 0; i < 300; ++i) {
+    double t = rng.NextGaussian(5.0);
+    x.push_back({t, 0.5 * t + rng.NextGaussian(0.1), rng.NextGaussian(0.1)});
+  }
+  PcaResult pca = ComputePca(x, 2);
+  ASSERT_EQ(pca.components.size(), 2u);
+  // First component aligns with (1, 0.5, 0) normalized.
+  double norm = std::sqrt(1.25);
+  double dot = pca.components[0][0] * (1 / norm) + pca.components[0][1] * (0.5 / norm);
+  EXPECT_GT(std::abs(dot), 0.98);
+  EXPECT_GT(pca.explained_variance[0], pca.explained_variance[1] * 10);
+}
+
+TEST(Pca, ProjectionCentersData) {
+  std::vector<FeatureVec> x = {{1, 2}, {3, 2}, {5, 2}};
+  PcaResult pca = ComputePca(x, 1);
+  FeatureVec p = pca.Project({3, 2});  // the mean maps to ~0
+  EXPECT_NEAR(p[0], 0.0, 1e-9);
+}
+
+TEST(Ranker, LearnsPairwiseOrder) {
+  // Relevance = -x0 (smaller feature is better). Groups of 4.
+  Rng rng(15);
+  std::vector<RankGroup> groups;
+  for (int g = 0; g < 60; ++g) {
+    RankGroup grp;
+    for (int i = 0; i < 4; ++i) {
+      double v = rng.NextDouble() * 10;
+      grp.items.push_back({v, rng.NextDouble()});
+      grp.relevance.push_back(-v);
+    }
+    groups.push_back(std::move(grp));
+  }
+  GbdtOptions o;
+  o.rounds = 40;
+  GbdtRanker ranker(o);
+  ranker.Fit(groups);
+  EXPECT_GT(ranker.Score({1.0, 0.5}), ranker.Score({9.0, 0.5}));
+  EXPECT_GT(ranker.Score({3.0, 0.1}), ranker.Score({7.0, 0.9}));
+}
+
+TEST(AutoMl, RegressionPicksAndFits) {
+  TabularDataset d = StepData(300, 16);
+  AutoMlReport report;
+  auto model = AutoMlRegression(d, &report, 3);
+  ASSERT_NE(model, nullptr);
+  EXPECT_FALSE(report.chosen.empty());
+  EXPECT_LT(report.cv_error, 1.0);
+  EXPECT_NEAR(model->Predict({1.0, 0.5}), 1.0, 1.0);
+}
+
+TEST(AutoMl, ClassificationPicksAndFits) {
+  TabularDataset d = BlobData(240, 3, 17);
+  AutoMlReport report;
+  auto model = AutoMlClassification(d, 3, &report, 3);
+  ASSERT_NE(model, nullptr);
+  EXPECT_LT(report.cv_error, 0.15);
+  EXPECT_EQ(model->Predict({0.0, 0.0}), 0);
+}
+
+TEST(Mlp, RegressesSmoothFunction) {
+  TabularDataset d;
+  Rng rng(18);
+  for (int i = 0; i < 500; ++i) {
+    double a = rng.NextDouble() * 2 - 1;
+    double b = rng.NextDouble() * 2 - 1;
+    d.x.push_back({a, b});
+    d.y.push_back(2 * a + 3 * b + 1);
+  }
+  MlpOptions o;
+  o.epochs = 120;
+  MlpRegressor mlp(o);
+  mlp.Fit(d);
+  EXPECT_NEAR(mlp.Predict({0.5, -0.5}), 2 * 0.5 - 3 * 0.5 + 1, 0.35);
+}
+
+TEST(MlpClassifier, SeparatesBlobs) {
+  TabularDataset d = BlobData(300, 2, 19);
+  MlpClassifier mlp;
+  mlp.Fit(d, 2);
+  TabularDataset test = BlobData(100, 2, 20);
+  int errors = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    errors += mlp.Predict(test.x[i]) != static_cast<int>(test.y[i]);
+  }
+  EXPECT_LT(errors, 6);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  std::vector<FeatureVec> x = {{1, 100}, {3, 300}, {5, 500}};
+  Standardizer std_;
+  std_.Fit(x);
+  auto z = std_.ApplyAll(x);
+  double mean0 = (z[0][0] + z[1][0] + z[2][0]) / 3;
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  EXPECT_NEAR(z[2][0], -z[0][0], 1e-12);
+}
+
+}  // namespace
+}  // namespace clara

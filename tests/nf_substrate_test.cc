@@ -1,0 +1,268 @@
+// Unit tests for the NF substrate: packet model, host/NIC byte maps, fixed
+// vectors, checksums, CRC variants, RC4, and the count-min sketch.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/nf/byte_map.h"
+#include "src/nf/checksum.h"
+#include "src/nf/packet.h"
+#include "src/nf/sketch.h"
+#include "src/util/rng.h"
+
+namespace clara {
+namespace {
+
+std::vector<uint8_t> Key32(uint32_t a, uint32_t b) {
+  std::vector<uint8_t> k(8);
+  std::memcpy(k.data(), &a, 4);
+  std::memcpy(k.data() + 4, &b, 4);
+  return k;
+}
+
+TEST(Packet, IpToString) {
+  EXPECT_EQ(IpToString(0x0a000001), "10.0.0.1");
+  EXPECT_EQ(IpToString(0xffffffff), "255.255.255.255");
+}
+
+TEST(Packet, ChecksumChangesWithHeaderFields) {
+  Packet p;
+  p.src_ip = 0x0a000001;
+  p.dst_ip = 0xc0a80101;
+  p.ip_len = 100;
+  uint16_t c1 = Ipv4HeaderChecksum(p);
+  p.dst_ip = 0xc0a80102;
+  uint16_t c2 = Ipv4HeaderChecksum(p);
+  EXPECT_NE(c1, c2);
+}
+
+TEST(Packet, ChecksumDeterministic) {
+  Packet p;
+  p.src_ip = 1;
+  p.dst_ip = 2;
+  EXPECT_EQ(Ipv4HeaderChecksum(p), Ipv4HeaderChecksum(p));
+}
+
+TEST(HostByteMap, InsertFindErase) {
+  HostByteMap m(8, 4);
+  auto k = Key32(1, 2);
+  uint32_t v = 77;
+  EXPECT_FALSE(m.Find(k.data(), nullptr));
+  EXPECT_TRUE(m.Insert(k.data(), reinterpret_cast<uint8_t*>(&v)));
+  uint32_t out = 0;
+  EXPECT_TRUE(m.Find(k.data(), reinterpret_cast<uint8_t*>(&out)));
+  EXPECT_EQ(out, 77u);
+  EXPECT_TRUE(m.Erase(k.data()));
+  EXPECT_FALSE(m.Find(k.data(), nullptr));
+  EXPECT_FALSE(m.Erase(k.data()));
+}
+
+TEST(HostByteMap, GrowsElastically) {
+  HostByteMap m(8, 4, 8);
+  size_t initial = m.capacity();
+  for (uint32_t i = 0; i < 1000; ++i) {
+    auto k = Key32(i + 1, i + 2);
+    uint32_t v = i;
+    ASSERT_TRUE(m.Insert(k.data(), reinterpret_cast<uint8_t*>(&v)));
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  EXPECT_GT(m.capacity(), initial);
+  // Everything still findable after rehash.
+  for (uint32_t i = 0; i < 1000; ++i) {
+    auto k = Key32(i + 1, i + 2);
+    uint32_t out = 0;
+    ASSERT_TRUE(m.Find(k.data(), reinterpret_cast<uint8_t*>(&out)));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(HostByteMap, OverwriteKeepsSize) {
+  HostByteMap m(8, 4);
+  auto k = Key32(5, 6);
+  uint32_t v1 = 1;
+  uint32_t v2 = 2;
+  m.Insert(k.data(), reinterpret_cast<uint8_t*>(&v1));
+  m.Insert(k.data(), reinterpret_cast<uint8_t*>(&v2));
+  EXPECT_EQ(m.size(), 1u);
+  uint32_t out = 0;
+  m.Find(k.data(), reinterpret_cast<uint8_t*>(&out));
+  EXPECT_EQ(out, 2u);
+}
+
+TEST(NicByteMap, FixedCapacityBucketOverflow) {
+  // One bucket with 4 slots: the 5th colliding insert must fail (baremetal
+  // maps cannot grow).
+  NicByteMap m(8, 4, /*buckets=*/1, /*slots_per_bucket=*/4);
+  uint32_t inserted = 0;
+  for (uint32_t i = 0; i < 5; ++i) {
+    auto k = Key32(i + 1, 0);
+    uint32_t v = i;
+    if (m.Insert(k.data(), reinterpret_cast<uint8_t*>(&v))) {
+      ++inserted;
+    }
+  }
+  EXPECT_EQ(inserted, 4u);
+  EXPECT_EQ(m.stats().failed_inserts, 1u);
+}
+
+TEST(NicByteMap, EraseMarksInvalidAndSlotReusable) {
+  NicByteMap m(8, 4, 1, 2);
+  auto k1 = Key32(1, 0);
+  auto k2 = Key32(2, 0);
+  auto k3 = Key32(3, 0);
+  uint32_t v = 9;
+  ASSERT_TRUE(m.Insert(k1.data(), reinterpret_cast<uint8_t*>(&v)));
+  ASSERT_TRUE(m.Insert(k2.data(), reinterpret_cast<uint8_t*>(&v)));
+  ASSERT_FALSE(m.Insert(k3.data(), reinterpret_cast<uint8_t*>(&v)));
+  ASSERT_TRUE(m.Erase(k1.data()));
+  EXPECT_FALSE(m.Find(k1.data(), nullptr));
+  EXPECT_TRUE(m.Insert(k3.data(), reinterpret_cast<uint8_t*>(&v)));
+  EXPECT_TRUE(m.Find(k3.data(), nullptr));
+}
+
+TEST(NicByteMap, StatsCountSlotTouches) {
+  NicByteMap m(8, 4, 16, 4);
+  auto k = Key32(42, 43);
+  uint32_t v = 1;
+  m.ResetStats();
+  m.Insert(k.data(), reinterpret_cast<uint8_t*>(&v));
+  EXPECT_GT(m.stats().slot_touches, 0u);
+  uint64_t after_insert = m.stats().slot_touches;
+  m.Find(k.data(), nullptr);
+  EXPECT_GT(m.stats().slot_touches, after_insert);
+}
+
+// Property: host and NIC maps agree with std::map semantics on a random
+// workload (when the NIC map does not overflow).
+TEST(ByteMaps, AgreeWithReferenceOnRandomOps) {
+  HostByteMap host(8, 8);
+  NicByteMap nic(8, 8, 4096, 8);
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> ref;
+  Rng rng(1234);
+  for (int op = 0; op < 5000; ++op) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBounded(200)) + 1;
+    uint32_t b = static_cast<uint32_t>(rng.NextBounded(5)) + 1;
+    auto k = Key32(a, b);
+    int kind = static_cast<int>(rng.NextBounded(3));
+    if (kind == 0) {
+      uint64_t v = rng.NextU64();
+      ASSERT_TRUE(host.Insert(k.data(), reinterpret_cast<uint8_t*>(&v)));
+      ASSERT_TRUE(nic.Insert(k.data(), reinterpret_cast<uint8_t*>(&v)));
+      ref[{a, b}] = v;
+    } else if (kind == 1) {
+      uint64_t hv = 0;
+      uint64_t nv = 0;
+      bool hf = host.Find(k.data(), reinterpret_cast<uint8_t*>(&hv));
+      bool nf2 = nic.Find(k.data(), reinterpret_cast<uint8_t*>(&nv));
+      bool rf = ref.count({a, b}) > 0;
+      ASSERT_EQ(hf, rf);
+      ASSERT_EQ(nf2, rf);
+      if (rf) {
+        uint64_t expect = ref[{a, b}];
+        ASSERT_EQ(hv, expect);
+        ASSERT_EQ(nv, expect);
+      }
+    } else {
+      bool hf = host.Erase(k.data());
+      bool nf2 = nic.Erase(k.data());
+      bool rf = ref.erase({a, b}) > 0;
+      ASSERT_EQ(hf, rf);
+      ASSERT_EQ(nf2, rf);
+    }
+  }
+  EXPECT_EQ(host.size(), ref.size());
+  EXPECT_EQ(nic.size(), ref.size());
+}
+
+TEST(NicFixedVector, PushInvalidateReuse) {
+  NicFixedVector v(4, 3);
+  uint32_t a = 1;
+  uint32_t b = 2;
+  EXPECT_TRUE(v.PushBack(reinterpret_cast<uint8_t*>(&a)));
+  EXPECT_TRUE(v.PushBack(reinterpret_cast<uint8_t*>(&b)));
+  EXPECT_EQ(v.valid_count(), 2u);
+  v.Invalidate(0);
+  EXPECT_FALSE(v.IsValid(0));
+  EXPECT_EQ(v.valid_count(), 1u);
+  uint32_t c = 3;
+  EXPECT_TRUE(v.PushBack(reinterpret_cast<uint8_t*>(&c)));
+  EXPECT_TRUE(v.IsValid(0));  // slot reused, not compacted
+}
+
+TEST(Checksum, Crc32BitwiseMatchesTable) {
+  Rng rng(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> data(rng.NextBounded(200) + 1);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    EXPECT_EQ(Crc32Bitwise(data.data(), data.size()), Crc32Table(data.data(), data.size()));
+  }
+}
+
+TEST(Checksum, Crc32KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (the standard check value).
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32Bitwise(data, 9), 0xcbf43926u);
+}
+
+TEST(Checksum, Crc16KnownVector) {
+  // CRC16/CCITT-FALSE("123456789") = 0x29B1.
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc16Ccitt(data, 9), 0x29b1);
+}
+
+TEST(Checksum, InternetChecksumVerifies) {
+  const uint8_t data[] = {0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00,
+                          0x40, 0x06, 0x00, 0x00, 0xac, 0x10, 0x0a, 0x63,
+                          0xac, 0x10, 0x0a, 0x0c};
+  uint16_t c = InternetChecksum(data, sizeof(data));
+  // Recomputing with the checksum patched in yields 0.
+  std::vector<uint8_t> patched(data, data + sizeof(data));
+  patched[10] = static_cast<uint8_t>(c >> 8);
+  patched[11] = static_cast<uint8_t>(c & 0xff);
+  EXPECT_EQ(InternetChecksum(patched.data(), patched.size()), 0);
+}
+
+TEST(Checksum, Rc4RoundTrips) {
+  const uint8_t key[] = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> data(64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  std::vector<uint8_t> orig = data;
+  Rc4Apply(key, sizeof(key), data.data(), data.size());
+  EXPECT_NE(data, orig);
+  Rc4Apply(key, sizeof(key), data.data(), data.size());
+  EXPECT_EQ(data, orig);
+}
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch cms(4, 256);
+  Rng rng(77);
+  std::map<uint64_t, uint32_t> truth;
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t key = rng.NextBounded(500);
+    cms.Update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(cms.Estimate(key), count);
+  }
+}
+
+TEST(CountMinSketch, ExactWhenSparse) {
+  CountMinSketch cms(4, 4096);
+  for (int i = 0; i < 10; ++i) {
+    cms.Update(i, static_cast<uint32_t>(i + 1));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cms.Estimate(i), static_cast<uint32_t>(i + 1));
+  }
+  EXPECT_EQ(cms.Estimate(999), 0u);
+}
+
+}  // namespace
+}  // namespace clara

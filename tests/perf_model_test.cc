@@ -1,0 +1,183 @@
+// Performance-model behaviours the paper's figures rely on: core scaling,
+// memory knees, latency inflation past the knee, line-rate caps, placement
+// sensitivity, and colocation interference.
+#include "src/nic/perf_model.h"
+
+#include <gtest/gtest.h>
+
+namespace clara {
+namespace {
+
+NfDemand ComputeBound() {
+  NfDemand d;
+  d.name = "compute-bound";
+  d.compute_cycles = 400;
+  d.pkt_accesses = 1;
+  d.wire_bytes = 64;
+  return d;
+}
+
+NfDemand MemoryBound() {
+  NfDemand d;
+  d.name = "memory-bound";
+  d.compute_cycles = 40;
+  d.pkt_accesses = 2;
+  d.wire_bytes = 64;
+  StateDemand s;
+  s.name = "flows";
+  s.accesses_per_pkt = 6;
+  s.words_per_access = 4;
+  s.region = MemRegion::kEmem;
+  s.cache_hit_rate = 0.1;
+  d.state.push_back(s);
+  return d;
+}
+
+TEST(PerfModel, ThroughputGrowsWithCoresUntilPlateau) {
+  PerfModel model;
+  NfDemand d = MemoryBound();
+  PerfPoint p1 = model.Evaluate(d, 1);
+  PerfPoint p8 = model.Evaluate(d, 8);
+  PerfPoint p60 = model.Evaluate(d, 60);
+  EXPECT_GT(p8.throughput_mpps, p1.throughput_mpps * 4);
+  // Memory-bound NF plateaus: far from linear scaling at 60 cores.
+  EXPECT_LT(p60.throughput_mpps, p1.throughput_mpps * 30);
+  // The throughput/latency knee sits well inside the core range (Fig 11).
+  int knee = model.OptimalCores(d);
+  EXPECT_LT(knee, 45);
+  EXPECT_GT(knee, 4);
+}
+
+TEST(PerfModel, LatencyRisesPastKnee) {
+  PerfModel model;
+  NfDemand d = MemoryBound();
+  PerfPoint low = model.Evaluate(d, 2);
+  PerfPoint high = model.Evaluate(d, 60);
+  EXPECT_GT(high.latency_us, low.latency_us * 1.5);
+}
+
+TEST(PerfModel, ComputeBoundScalesNearlyLinearly) {
+  PerfModel model;
+  NfDemand d = ComputeBound();
+  double t10 = model.Evaluate(d, 10).throughput_mpps;
+  double t20 = model.Evaluate(d, 20).throughput_mpps;
+  EXPECT_NEAR(t20 / t10, 2.0, 0.2);
+}
+
+TEST(PerfModel, LineRateCapsThroughput) {
+  PerfModel model;
+  NfDemand d;
+  d.compute_cycles = 5;  // nearly free NF
+  d.pkt_accesses = 0;
+  d.wire_bytes = 1500;
+  PerfPoint p = model.Evaluate(d, 60);
+  double line = model.config().MaxLineRateMpps(1500);
+  EXPECT_LE(p.throughput_mpps, line * 1.01);
+  EXPECT_GE(p.throughput_mpps, line * 0.9);
+  EXPECT_EQ(p.bottleneck, PerfPoint::Bottleneck::kLineRate);
+}
+
+TEST(PerfModel, FasterRegionsGiveLowerLatency) {
+  PerfModel model;
+  NfDemand d = MemoryBound();
+  d.state[0].region = MemRegion::kEmem;
+  double lat_emem = model.Evaluate(d, 8).latency_us;
+  d.state[0].region = MemRegion::kImem;
+  double lat_imem = model.Evaluate(d, 8).latency_us;
+  d.state[0].region = MemRegion::kCls;
+  double lat_cls = model.Evaluate(d, 8).latency_us;
+  EXPECT_LT(lat_imem, lat_emem);
+  EXPECT_LT(lat_cls, lat_imem);
+}
+
+TEST(PerfModel, CacheHitRateMatters) {
+  PerfModel model;
+  NfDemand d = MemoryBound();
+  d.state[0].cache_hit_rate = 0.05;
+  double t_cold = model.Evaluate(d, 60).throughput_mpps;
+  d.state[0].cache_hit_rate = 0.95;
+  double t_warm = model.Evaluate(d, 60).throughput_mpps;
+  EXPECT_GT(t_warm, t_cold * 1.5);
+}
+
+TEST(PerfModel, CacheHostileWorkloadsSaturateLater) {
+  // Paper Figure 11(c)-(d): cache-unfriendly (small flow) workloads keep
+  // gaining from extra cores longer than cache-friendly (large flow) ones,
+  // which hit their peak (often line rate) early.
+  PerfModel model;
+  NfDemand friendly = MemoryBound();
+  friendly.state[0].cache_hit_rate = 0.98;
+  NfDemand hostile = MemoryBound();
+  hostile.state[0].cache_hit_rate = 0.05;
+  EXPECT_GT(model.CoresToSaturate(hostile), model.CoresToSaturate(friendly));
+  // And the friendly workload achieves strictly higher peak throughput.
+  EXPECT_GT(model.Evaluate(friendly, 60).throughput_mpps,
+            model.Evaluate(hostile, 60).throughput_mpps);
+}
+
+TEST(PerfModel, CoresToSaturateIsMinimal) {
+  PerfModel model;
+  NfDemand d = MemoryBound();
+  int n = model.CoresToSaturate(d);
+  double peak = model.Evaluate(d, 60).throughput_mpps;
+  EXPECT_GE(model.Evaluate(d, n).throughput_mpps, 0.95 * peak);
+  if (n > 1) {
+    EXPECT_LT(model.Evaluate(d, n - 1).throughput_mpps, 0.95 * peak);
+  }
+}
+
+TEST(PerfModel, ColocationDegradesSharedMemoryNfs) {
+  PerfModel model;
+  NfDemand a = MemoryBound();
+  NfDemand b = MemoryBound();
+  b.name = "memory-bound-2";
+  PerfPoint solo = model.Evaluate(a, 30);
+  auto [ca, cb] = model.EvaluatePair(a, 30, b, 30);
+  EXPECT_LT(ca.throughput_mpps, solo.throughput_mpps * 1.001);
+  // Two DRAM-hungry NFs sharing the chip: each gets meaningfully less.
+  EXPECT_LT(ca.throughput_mpps + cb.throughput_mpps, 2 * solo.throughput_mpps * 0.95);
+}
+
+TEST(PerfModel, ComputeBoundNfsColocateGracefully) {
+  PerfModel model;
+  NfDemand a = ComputeBound();
+  NfDemand b = ComputeBound();
+  PerfPoint solo = model.Evaluate(a, 30);
+  auto [ca, cb] = model.EvaluatePair(a, 30, b, 30);
+  EXPECT_GT(ca.throughput_mpps, solo.throughput_mpps * 0.9);
+  EXPECT_GT(cb.throughput_mpps, solo.throughput_mpps * 0.9);
+}
+
+TEST(PerfModel, MixedPairFriendlierThanTwoMemoryHogs) {
+  PerfModel model;
+  NfDemand mem1 = MemoryBound();
+  NfDemand mem2 = MemoryBound();
+  NfDemand cpu = ComputeBound();
+  auto [m1, m2] = model.EvaluatePair(mem1, 30, mem2, 30);
+  auto [m3, c1] = model.EvaluatePair(mem1, 30, cpu, 30);
+  EXPECT_GT(m3.throughput_mpps, m1.throughput_mpps * 0.99);
+}
+
+TEST(PerfModel, ArithmeticIntensityComputed) {
+  NfDemand d = MemoryBound();
+  EXPECT_NEAR(d.ArithmeticIntensity(), 40.0 / 8.0, 1e-9);
+  NfDemand nomem;
+  nomem.compute_cycles = 10;
+  nomem.pkt_accesses = 0;
+  EXPECT_DOUBLE_EQ(nomem.ArithmeticIntensity(), 10.0);
+}
+
+TEST(PerfModel, EngineCyclesAddLatencyNotCoreWork) {
+  PerfModel model;
+  NfDemand base = ComputeBound();
+  NfDemand with_engine = base;
+  with_engine.engine_cycles = 300;
+  PerfPoint p0 = model.Evaluate(base, 8);
+  PerfPoint p1 = model.Evaluate(with_engine, 8);
+  EXPECT_GT(p1.latency_us, p0.latency_us);
+  // Hidden by multithreading: throughput loss is bounded.
+  EXPECT_GT(p1.throughput_mpps, p0.throughput_mpps * 0.5);
+}
+
+}  // namespace
+}  // namespace clara

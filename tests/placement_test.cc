@@ -1,0 +1,143 @@
+// NF state placement (§4.3): ILP placement, naive baseline, and the
+// exhaustive expert search.
+#include "src/core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "src/elements/elements.h"
+#include "src/nic/backend.h"
+
+namespace clara {
+namespace {
+
+struct Profiled {
+  std::unique_ptr<NfInstance> nf;
+  NicProgram nic;
+  WorkloadSpec workload;
+};
+
+Profiled Profile(Program p, const WorkloadSpec& w, size_t packets = 2000) {
+  Profiled out;
+  out.nf = std::make_unique<NfInstance>(std::move(p));
+  EXPECT_TRUE(out.nf->ok());
+  out.nic = CompileToNic(out.nf->module());
+  out.workload = w;
+  Trace t = GenerateTrace(w, packets);
+  for (auto& pkt : t.packets) {
+    pkt.in_port = 0;
+    out.nf->Process(pkt);
+  }
+  return out;
+}
+
+TEST(Placement, NaiveIsAllEmem) {
+  Program p = MakeUdpCount();
+  LowerResult lr = LowerProgram(p);
+  auto naive = NaivePlacement(lr.module);
+  EXPECT_EQ(naive.size(), lr.module.state.size());
+  for (const auto& [name, region] : naive) {
+    EXPECT_EQ(region, MemRegion::kEmem);
+  }
+}
+
+TEST(Placement, HotSmallStateLeavesEmem) {
+  // Paper §5.5: in UDPCount, small frequently-accessed structures (the
+  // per-port counters) move out of EMEM.
+  NicConfig cfg;
+  Profiled pr = Profile(MakeUdpCount(), WorkloadSpec::SmallFlows());
+  PlacementResult r =
+      PlaceState(pr.nf->module(), pr.nf->profile(), pr.workload, cfg);
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.placement.at("udp_pkts"), MemRegion::kEmem);
+  EXPECT_NE(r.placement.at("port_counts"), MemRegion::kEmem);
+}
+
+TEST(Placement, OversizedStructuresStayInBigRegions) {
+  NicConfig cfg;
+  Profiled pr = Profile(MakeMazuNat(), WorkloadSpec::SmallFlows());
+  PlacementResult r = PlaceState(pr.nf->module(), pr.nf->profile(), pr.workload, cfg);
+  ASSERT_TRUE(r.ok);
+  // The two 8K-entry flow maps cannot fit in CLS (64 KB).
+  EXPECT_NE(r.placement.at("int_map"), MemRegion::kCls);
+  EXPECT_NE(r.placement.at("ext_map"), MemRegion::kCls);
+}
+
+TEST(Placement, RespectsAggregateCapacity) {
+  NicConfig cfg;
+  for (const char* name : {"udpcount", "mazunat", "dnsproxy", "webgen"}) {
+    Profiled pr = Profile(MakeElementByName(name), WorkloadSpec::SmallFlows());
+    PlacementResult r = PlaceState(pr.nf->module(), pr.nf->profile(), pr.workload, cfg);
+    ASSERT_TRUE(r.ok) << name;
+    uint64_t used[kNumMemRegions] = {0, 0, 0, 0};
+    const Module& m = pr.nf->module();
+    for (size_t v = 0; v < m.state.size(); ++v) {
+      used[static_cast<int>(r.placement.at(m.state[v].name))] += m.state[v].SizeBytes();
+    }
+    for (int reg = 0; reg < kNumMemRegions; ++reg) {
+      EXPECT_LE(used[reg], cfg.regions[reg].capacity_bytes) << name;
+    }
+  }
+}
+
+TEST(Placement, ImprovesOverNaive) {
+  // Figure 12: Clara placement beats the all-EMEM naive port on both
+  // latency and throughput.
+  NicConfig cfg;
+  PerfModel model(cfg);
+  Profiled pr = Profile(MakeUdpCount(), WorkloadSpec::SmallFlows());
+  const Module& m = pr.nf->module();
+
+  DemandOptions naive_opts;
+  naive_opts.placement = NaivePlacement(m);
+  NfDemand naive = BuildDemand(m, pr.nic, pr.nf->profile(), pr.workload, cfg, naive_opts);
+
+  PlacementResult r = PlaceState(m, pr.nf->profile(), pr.workload, cfg);
+  DemandOptions clara_opts;
+  clara_opts.placement = r.placement;
+  NfDemand clara = BuildDemand(m, pr.nic, pr.nf->profile(), pr.workload, cfg, clara_opts);
+
+  int cores = 24;
+  PerfPoint p_naive = model.Evaluate(naive, cores);
+  PerfPoint p_clara = model.Evaluate(clara, cores);
+  EXPECT_LT(p_clara.latency_us, p_naive.latency_us);
+  EXPECT_GE(p_clara.throughput_mpps, p_naive.throughput_mpps * 0.999);
+}
+
+TEST(Placement, IlpMatchesOrBeatsGreedyObjective) {
+  NicConfig cfg;
+  Profiled pr = Profile(MakeDnsProxy(), WorkloadSpec::SmallFlows());
+  PlacementResult ilp = PlaceState(pr.nf->module(), pr.nf->profile(), pr.workload, cfg);
+  ASSERT_TRUE(ilp.ok);
+  EXPECT_GT(ilp.ilp_nodes, 0u);
+  EXPECT_LT(ilp.solve_seconds, 5.0);  // paper: "within a few seconds"
+}
+
+TEST(Placement, ExhaustiveExpertAtLeastAsGood) {
+  // Figure 15: the expert sweep can only beat Clara by a bounded margin.
+  NicConfig cfg;
+  PerfModel model(cfg);
+  Profiled pr = Profile(MakeUdpCount(), WorkloadSpec::SmallFlows());
+  const Module& m = pr.nf->module();
+  int cores = 24;
+
+  PlacementResult clara = PlaceState(m, pr.nf->profile(), pr.workload, cfg);
+  PlacementResult expert =
+      ExhaustivePlacement(m, pr.nic, pr.nf->profile(), pr.workload, model, cores);
+  ASSERT_TRUE(clara.ok);
+  ASSERT_TRUE(expert.ok);
+
+  auto eval = [&](const std::map<std::string, MemRegion>& placement) {
+    DemandOptions opts;
+    opts.placement = placement;
+    return model.Evaluate(BuildDemand(m, pr.nic, pr.nf->profile(), pr.workload, cfg, opts),
+                          cores);
+  };
+  PerfPoint p_clara = eval(clara.placement);
+  PerfPoint p_expert = eval(expert.placement);
+  double ratio = p_expert.RatioMppsPerUs() / std::max(1e-12, p_clara.RatioMppsPerUs());
+  EXPECT_GE(ratio, 0.999);  // expert never loses
+  EXPECT_LT(ratio, 1.5);    // ...but Clara stays competitive (paper: <~10%)
+}
+
+}  // namespace
+}  // namespace clara

@@ -1,0 +1,122 @@
+// Cross-platform instruction prediction (§3.2): LSTM training on synthesized
+// pairs, per-block compute WMAPE, and direct memory counting accuracy.
+#include "src/core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/elements/elements.h"
+#include "src/lang/lower.h"
+#include "src/ml/metrics.h"
+
+namespace clara {
+namespace {
+
+PredictorOptions FastOptions() {
+  PredictorOptions opts;
+  opts.train_programs = 120;
+  opts.lstm.epochs = 10;
+  opts.lstm.hidden = 24;
+  opts.synth.profile = UniformProfile();
+  return opts;
+}
+
+class PredictorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    predictor_ = new InstructionPredictor(FastOptions());
+    predictor_->Train();
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    predictor_ = nullptr;
+  }
+  static InstructionPredictor* predictor_;
+};
+
+InstructionPredictor* PredictorFixture::predictor_ = nullptr;
+
+TEST_F(PredictorFixture, TrainingConverges) {
+  ASSERT_TRUE(predictor_->trained());
+  EXPECT_GT(predictor_->dataset().examples.size(), 300u);
+  EXPECT_GT(predictor_->vocab().size(), 20);
+  EXPECT_LT(predictor_->vocab().size(), 500);
+  // Paper: LSTM+FC converges to ~10% train WMAPE; allow slack for the small
+  // test-sized configuration.
+  EXPECT_LT(predictor_->model().train_wmape(), 0.30);
+}
+
+TEST_F(PredictorFixture, PredictsElementBlocksReasonably) {
+  // Held-out real elements (never in the synthesized training set).
+  std::vector<double> truth;
+  std::vector<double> pred;
+  for (const char* name : {"tcpack", "udpipencap", "forcetcp", "anonipaddr", "tcpresp"}) {
+    Program p = MakeElementByName(name);
+    LowerResult lr = LowerProgram(p);
+    ASSERT_TRUE(lr.ok);
+    auto gt = CompileGroundTruth(lr.module, predictor_->options().backend);
+    const Function& f = lr.module.functions[0];
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+      if (f.blocks[b].instrs.size() < 2) {
+        continue;
+      }
+      BlockPrediction bp = predictor_->PredictBlock(lr.module, f.blocks[b]);
+      truth.push_back(gt[b].compute);
+      pred.push_back(bp.compute);
+    }
+  }
+  double wmape = Wmape(truth, pred);
+  EXPECT_LT(wmape, 0.40) << "cross-element WMAPE too high";
+}
+
+TEST_F(PredictorFixture, MemoryCountingNearPerfect) {
+  // Paper §3.2: counting IR memory instructions gives 96.4%-100% accuracy on
+  // stateful accesses.
+  uint64_t total_ir = 0;
+  uint64_t total_nic = 0;
+  for (const auto& info : ElementRegistry()) {
+    Program p = info.make();
+    LowerResult lr = LowerProgram(p);
+    ASSERT_TRUE(lr.ok);
+    auto gt = CompileGroundTruth(lr.module, predictor_->options().backend);
+    NfPrediction np = predictor_->PredictNf(lr.module);
+    for (size_t b = 0; b < np.blocks.size(); ++b) {
+      total_ir += np.blocks[b].mem_state;
+      total_nic += gt[b].mem_state;
+    }
+  }
+  ASSERT_GT(total_nic, 0u);
+  double accuracy = 1.0 - std::abs(static_cast<double>(total_ir) -
+                                   static_cast<double>(total_nic)) /
+                              static_cast<double>(total_nic);
+  EXPECT_GT(accuracy, 0.9);
+  // Coalescing means the NIC does no MORE accesses than the IR count.
+  EXPECT_GE(total_ir, total_nic);
+}
+
+TEST_F(PredictorFixture, PredictionsNonNegative) {
+  Program p = MakeMazuNat();
+  LowerResult lr = LowerProgram(p);
+  NfPrediction np = predictor_->PredictNf(lr.module);
+  for (const auto& b : np.blocks) {
+    EXPECT_GE(b.compute, 0.0);
+  }
+  EXPECT_GT(np.total_compute, 0.0);
+  EXPECT_GT(np.total_mem_state, 0u);
+}
+
+TEST(PredictorAblation, RawVocabularyIsWorse) {
+  // §6 "Experience with ML models": without vocabulary compaction the
+  // vocabulary explodes and accuracy degrades.
+  PredictorOptions compact = FastOptions();
+  PredictorOptions raw = FastOptions();
+  raw.abstraction = AbstractionMode::kRaw;
+  InstructionPredictor pc(compact);
+  InstructionPredictor pr(raw);
+  pc.Train();
+  pr.Train();
+  EXPECT_GT(pr.vocab().size(), pc.vocab().size() * 3);
+  EXPECT_LE(pc.model().train_wmape(), pr.model().train_wmape() + 0.02);
+}
+
+}  // namespace
+}  // namespace clara

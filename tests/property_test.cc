@@ -1,0 +1,154 @@
+// Cross-cutting property tests over randomly synthesized programs: the
+// pipeline invariants that every well-formed NF must satisfy end-to-end.
+#include <gtest/gtest.h>
+
+#include "src/ir/cfg.h"
+#include "src/ir/classify.h"
+#include "src/ir/parser.h"
+#include "src/ir/printer.h"
+#include "src/ir/verify.h"
+#include "src/lang/interp.h"
+#include "src/lang/lower.h"
+#include "src/nic/backend.h"
+#include "src/synth/synth.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+namespace {
+
+class PipelineProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  std::vector<Program> Corpus() {
+    SynthOptions opts;
+    opts.profile = UniformProfile();
+    return SynthesizeCorpus(4, opts, GetParam());
+  }
+};
+
+TEST_P(PipelineProperty, PrinterParserFixedPoint) {
+  for (Program& p : Corpus()) {
+    LowerResult lr = LowerProgram(p);
+    ASSERT_TRUE(lr.ok);
+    std::string text = ToString(lr.module);
+    ParseResult parsed = ParseModule(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << text;
+    EXPECT_EQ(ToString(parsed.module), text);
+    EXPECT_TRUE(VerifyModule(parsed.module).ok);
+  }
+}
+
+TEST_P(PipelineProperty, ProfileConsistentWithCfg) {
+  for (Program& p : Corpus()) {
+    NfInstance nf(std::move(p));
+    ASSERT_TRUE(nf.ok());
+    Trace t = GenerateTrace(WorkloadSpec{}, 120);
+    for (auto& pkt : t.packets) {
+      nf.Process(pkt);
+    }
+    const NfProfile& prof = nf.profile();
+    Cfg cfg = BuildCfg(nf.module().functions[0]);
+    // Executed blocks must be CFG-reachable; the entry block runs per packet.
+    for (size_t b = 0; b < prof.block_exec.size(); ++b) {
+      if (prof.block_exec[b] > 0) {
+        EXPECT_TRUE(cfg.reachable[b]) << "block " << b << " executed but unreachable";
+      }
+    }
+    ASSERT_FALSE(prof.block_exec.empty());
+    EXPECT_EQ(prof.block_exec[0], prof.packets);
+    EXPECT_EQ(prof.sends + prof.drops, prof.packets);
+  }
+}
+
+TEST_P(PipelineProperty, BackendInvariants) {
+  for (Program& p : Corpus()) {
+    LowerResult lr = LowerProgram(p);
+    ASSERT_TRUE(lr.ok);
+    NicProgram nic = CompileToNic(lr.module);
+    const Function& f = lr.module.functions[0];
+    ASSERT_EQ(nic.blocks.size(), f.blocks.size());
+    for (size_t b = 0; b < f.blocks.size(); ++b) {
+      BlockCounts ir = CountBlock(f.blocks[b]);
+      const NicBlockCounts& mc = nic.blocks[b].counts;
+      // Load coalescing only ever reduces stateful access counts.
+      EXPECT_LE(mc.mem_state, ir.stateful_mem) << "block " << b;
+      // Every state access moves at least one word.
+      EXPECT_GE(mc.state_words, mc.mem_state) << "block " << b;
+      // API expansion appears iff the IR block calls an API.
+      if (ir.api_calls == 0) {
+        EXPECT_EQ(mc.api_compute, 0u) << "block " << b;
+      }
+      // A nonempty block has at least its terminator's compute cost.
+      if (!f.blocks[b].instrs.empty()) {
+        EXPECT_GE(mc.compute, 1u) << "block " << b;
+      }
+    }
+  }
+}
+
+TEST_P(PipelineProperty, InterpreterDeterministic) {
+  SynthOptions opts;
+  opts.profile = UniformProfile();
+  Rng rng_a(GetParam());
+  Rng rng_b(GetParam());
+  Program a = SynthesizeProgram(rng_a, opts, 0);
+  Program b = SynthesizeProgram(rng_b, opts, 0);
+  NfInstance na(std::move(a), /*seed=*/7);
+  NfInstance nb(std::move(b), /*seed=*/7);
+  ASSERT_TRUE(na.ok());
+  ASSERT_TRUE(nb.ok());
+  Trace t = GenerateTrace(WorkloadSpec{}, 80);
+  for (auto& pkt : t.packets) {
+    Packet copy = pkt;
+    na.Process(pkt);
+    nb.Process(copy);
+    ASSERT_EQ(pkt.verdict, copy.verdict);
+    ASSERT_EQ(pkt.src_ip, copy.src_ip);
+    ASSERT_EQ(pkt.ip_checksum, copy.ip_checksum);
+  }
+  for (size_t bix = 0; bix < na.profile().block_exec.size(); ++bix) {
+    ASSERT_EQ(na.profile().block_exec[bix], nb.profile().block_exec[bix]);
+  }
+}
+
+TEST_P(PipelineProperty, MapProbeBlockCountsMatchSimMapStats) {
+  // For map-bearing programs, the interpreter's probe-loop block counts must
+  // be internally consistent: body >= hit + miss boundary counts, cond >=
+  // body, latch < body.
+  for (Program& p : Corpus()) {
+    // Find map statements after lowering annotations are in place.
+    NfInstance nf(std::move(p));
+    ASSERT_TRUE(nf.ok());
+    Trace t = GenerateTrace(WorkloadSpec{}, 200);
+    for (auto& pkt : t.packets) {
+      nf.Process(pkt);
+    }
+    const NfProfile& prof = nf.profile();
+    std::function<void(const std::vector<StmtPtr>&)> walk =
+        [&](const std::vector<StmtPtr>& body) {
+          for (const auto& s : body) {
+            if (s->kind == StmtKind::kMapFind || s->kind == StmtKind::kMapInsert ||
+                s->kind == StmtKind::kMapErase) {
+              uint64_t cond = prof.block_exec[s->block_cond];
+              uint64_t probe = prof.block_exec[s->block_body];
+              uint64_t latch = prof.block_exec[s->block_latch];
+              uint64_t hit = prof.block_exec[s->block_hit];
+              uint64_t miss = prof.block_exec[s->block_miss];
+              EXPECT_GE(cond, probe);
+              EXPECT_LE(latch, probe);
+              if (probe > 0) {
+                EXPECT_GE(hit + miss, 1u);
+              }
+            }
+            walk(s->body);
+            walk(s->else_body);
+          }
+        };
+    walk(nf.program().body);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace clara

@@ -1,0 +1,122 @@
+// Multicore scale-out analysis (§4.2): GBDT cost model trained on simulator
+// schedule sweeps of synthesized programs.
+#include "src/core/scaleout.h"
+
+#include <gtest/gtest.h>
+
+#include "src/elements/elements.h"
+#include "src/lang/interp.h"
+#include "src/ml/metrics.h"
+#include "src/nic/backend.h"
+
+namespace clara {
+namespace {
+
+ScaleOutOptions FastOptions() {
+  ScaleOutOptions opts;
+  opts.train_programs = 60;
+  opts.synth.profile = UniformProfile();
+  opts.gbdt.rounds = 80;
+  return opts;
+}
+
+class ScaleOutFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new PerfModel();
+    advisor_ = new ScaleOutAdvisor(FastOptions());
+    advisor_->Train(*model_, {WorkloadSpec::LargeFlows(), WorkloadSpec::SmallFlows()});
+  }
+  static void TearDownTestSuite() {
+    delete advisor_;
+    delete model_;
+  }
+  static PerfModel* model_;
+  static ScaleOutAdvisor* advisor_;
+};
+
+PerfModel* ScaleOutFixture::model_ = nullptr;
+ScaleOutAdvisor* ScaleOutFixture::advisor_ = nullptr;
+
+NfDemand ElementDemand(const std::string& name, const WorkloadSpec& w, const NicConfig& cfg) {
+  NfInstance nf(MakeElementByName(name));
+  EXPECT_TRUE(nf.ok());
+  NicProgram nic = CompileToNic(nf.module());
+  Trace t = GenerateTrace(w, 1200);
+  for (auto& pkt : t.packets) {
+    nf.Process(pkt);
+  }
+  return BuildDemand(nf.module(), nic, nf.profile(), w, cfg);
+}
+
+TEST_F(ScaleOutFixture, TrainsOnSweeps) {
+  ASSERT_TRUE(advisor_->trained());
+  EXPECT_GT(advisor_->dataset().size(), 80u);
+}
+
+TEST_F(ScaleOutFixture, LowMaeOnHeldOutPrograms) {
+  // Figure 11(a): Clara's GBDT achieves low MAE in suggested cores.
+  ScaleOutOptions held = FastOptions();
+  held.seed = 31415;
+  held.train_programs = 25;
+  std::vector<Program> programs = SynthesizeCorpus(25, held.synth, held.seed);
+  std::vector<double> truth;
+  std::vector<double> pred;
+  for (auto& prog : programs) {
+    NfInstance nf(std::move(prog));
+    ASSERT_TRUE(nf.ok());
+    NicProgram nic = CompileToNic(nf.module());
+    WorkloadSpec w = WorkloadSpec::SmallFlows();
+    Trace t = GenerateTrace(w, 800);
+    for (auto& pkt : t.packets) {
+      nf.Process(pkt);
+    }
+    NfDemand d = BuildDemand(nf.module(), nic, nf.profile(), w, model_->config());
+    truth.push_back(model_->OptimalCores(d));
+    pred.push_back(advisor_->SuggestCores(d));
+  }
+  double mae = MeanAbsoluteError(truth, pred);
+  EXPECT_LT(mae, 8.0) << "cores MAE too high";
+}
+
+TEST_F(ScaleOutFixture, ComplexNfSuggestionsNearOptimal) {
+  // Figure 11(b): suggested core counts deviate from exhaustive-search
+  // optima by a small margin for the complex NFs.
+  NicConfig cfg = model_->config();
+  for (const char* name : {"mazunat", "dnsproxy", "webgen", "udpcount"}) {
+    NfDemand d = ElementDemand(name, WorkloadSpec::SmallFlows(), cfg);
+    int suggested = advisor_->SuggestCores(d);
+    int optimal = model_->OptimalCores(d);
+    EXPECT_LE(std::abs(suggested - optimal), 16) << name;
+    // The suggestion must recover most of the optimal operating ratio.
+    double r_sug = model_->Evaluate(d, suggested).RatioMppsPerUs();
+    double r_opt = model_->Evaluate(d, optimal).RatioMppsPerUs();
+    EXPECT_GT(r_sug, 0.7 * r_opt) << name;
+  }
+}
+
+TEST_F(ScaleOutFixture, SuggestionsWithinCoreRange) {
+  NfDemand d = ElementDemand("aggcounter", WorkloadSpec::LargeFlows(), model_->config());
+  int cores = advisor_->SuggestCores(d);
+  EXPECT_GE(cores, 1);
+  EXPECT_LE(cores, model_->config().num_cores);
+}
+
+TEST(ScaleOutFeatures, CaptureIntensity) {
+  NfDemand d;
+  d.compute_cycles = 100;
+  d.pkt_accesses = 2;
+  StateDemand s;
+  s.accesses_per_pkt = 3;
+  s.words_per_access = 2;
+  s.region = MemRegion::kImem;
+  d.state.push_back(s);
+  FeatureVec f = ScaleOutAdvisor::Features(d);
+  EXPECT_EQ(f.size(), 9u);
+  EXPECT_DOUBLE_EQ(f[0], 100.0);  // compute cycles
+  EXPECT_DOUBLE_EQ(f[2], 3.0);    // state accesses
+  EXPECT_DOUBLE_EQ(f[7], 6.0);    // sram words
+}
+
+}  // namespace
+}  // namespace clara

@@ -1,0 +1,125 @@
+#include "src/solver/assignment_ilp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace clara {
+namespace {
+
+TEST(Ilp, TrivialSingleItem) {
+  AssignmentProblem p;
+  p.cost = {{5.0, 1.0, 3.0}};
+  p.size = {10};
+  p.capacity = {100, 100, 100};
+  auto s = SolveAssignment(p);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.location[0], 1);
+  EXPECT_DOUBLE_EQ(s.objective, 1.0);
+}
+
+TEST(Ilp, CapacityForcesSpill) {
+  // Both items want location 0, but only one fits.
+  AssignmentProblem p;
+  p.cost = {{1.0, 10.0}, {1.0, 10.0}};
+  p.size = {60, 60};
+  p.capacity = {100, 1000};
+  auto s = SolveAssignment(p);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_NE(s.location[0], s.location[1]);
+  EXPECT_DOUBLE_EQ(s.objective, 11.0);
+}
+
+TEST(Ilp, InfeasiblePairRespected) {
+  AssignmentProblem p;
+  p.cost = {{AssignmentProblem::Infeasible(), 2.0}};
+  p.size = {10};
+  p.capacity = {100, 100};
+  auto s = SolveAssignment(p);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.location[0], 1);
+}
+
+TEST(Ilp, DetectsInfeasibleInstance) {
+  AssignmentProblem p;
+  p.cost = {{1.0}};
+  p.size = {200};
+  p.capacity = {100};
+  auto s = SolveAssignment(p);
+  EXPECT_FALSE(s.feasible);
+}
+
+TEST(Ilp, GreedyIsFeasibleWhenIlpIs) {
+  AssignmentProblem p;
+  p.cost = {{1, 2, 3}, {3, 1, 2}, {2, 3, 1}};
+  p.size = {50, 50, 50};
+  p.capacity = {60, 60, 120};
+  auto greedy = GreedyAssignment(p);
+  auto ilp = SolveAssignment(p);
+  ASSERT_TRUE(ilp.feasible);
+  ASSERT_TRUE(greedy.feasible);
+  EXPECT_LE(ilp.objective, greedy.objective + 1e-12);
+}
+
+// Exhaustive-check property: on random small instances, branch-and-bound
+// finds exactly the brute-force optimum.
+TEST(Ilp, MatchesBruteForceOnRandomInstances) {
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t items = 2 + rng.NextBounded(4);      // 2..5
+    size_t locs = 2 + rng.NextBounded(3);       // 2..4
+    AssignmentProblem p;
+    p.capacity.resize(locs);
+    for (auto& c : p.capacity) {
+      c = 50 + rng.NextBounded(200);
+    }
+    for (size_t i = 0; i < items; ++i) {
+      p.size.push_back(10 + rng.NextBounded(80));
+      std::vector<double> row(locs);
+      for (auto& c : row) {
+        c = 1.0 + static_cast<double>(rng.NextBounded(100));
+      }
+      p.cost.push_back(row);
+    }
+    // Brute force.
+    double best = 1e300;
+    size_t combos = 1;
+    for (size_t i = 0; i < items; ++i) {
+      combos *= locs;
+    }
+    for (size_t code = 0; code < combos; ++code) {
+      size_t c = code;
+      std::vector<uint64_t> used(locs, 0);
+      double total = 0;
+      bool ok = true;
+      for (size_t i = 0; i < items && ok; ++i) {
+        size_t loc = c % locs;
+        c /= locs;
+        used[loc] += p.size[i];
+        ok = used[loc] <= p.capacity[loc];
+        total += p.cost[i][loc];
+      }
+      if (ok) {
+        best = std::min(best, total);
+      }
+    }
+    auto s = SolveAssignment(p);
+    if (best >= 1e300) {
+      EXPECT_FALSE(s.feasible) << "trial " << trial;
+    } else {
+      ASSERT_TRUE(s.feasible) << "trial " << trial;
+      EXPECT_NEAR(s.objective, best, 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Ilp, EmptyProblemIsFeasible) {
+  AssignmentProblem p;
+  p.capacity = {10, 10};
+  auto s = SolveAssignment(p);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace clara

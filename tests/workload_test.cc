@@ -1,0 +1,132 @@
+#include "src/workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace clara {
+namespace {
+
+TEST(Workload, DeterministicForSameSeed) {
+  WorkloadSpec spec;
+  spec.seed = 5;
+  Trace a = GenerateTrace(spec, 200);
+  Trace b = GenerateTrace(spec, 200);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (size_t i = 0; i < a.packets.size(); ++i) {
+    EXPECT_EQ(a.packets[i].src_ip, b.packets[i].src_ip);
+    EXPECT_EQ(a.packets[i].ts_ns, b.packets[i].ts_ns);
+  }
+}
+
+TEST(Workload, FlowCountBounded) {
+  WorkloadSpec spec;
+  spec.num_flows = 16;
+  spec.zipf_s = 0.0;
+  Trace t = GenerateTrace(spec, 2000);
+  std::set<std::pair<uint32_t, uint32_t>> flows;
+  for (const auto& p : t.packets) {
+    flows.insert({p.src_ip, p.dst_ip});
+  }
+  EXPECT_LE(flows.size(), 16u);
+  EXPECT_GE(flows.size(), 12u);  // nearly all flows appear
+}
+
+TEST(Workload, ZipfSkewConcentratesTraffic) {
+  WorkloadSpec skewed;
+  skewed.num_flows = 1000;
+  skewed.zipf_s = 1.2;
+  Trace t = GenerateTrace(skewed, 5000);
+  std::map<uint32_t, int> counts;
+  for (const auto& p : t.packets) {
+    ++counts[p.src_ip];
+  }
+  int max_count = 0;
+  for (const auto& [ip, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, 5000 / 50);  // top flow >> fair share
+}
+
+TEST(Workload, PacketFieldsSane) {
+  WorkloadSpec spec;
+  spec.pkt_size = 256;
+  spec.syn_ratio = 0.5;
+  Trace t = GenerateTrace(spec, 500);
+  int syns = 0;
+  for (const auto& p : t.packets) {
+    EXPECT_EQ(p.wire_len, 256);
+    EXPECT_EQ(p.ip_len, 242);
+    EXPECT_EQ(p.payload_len, 202);
+    EXPECT_NE(p.src_ip & 0xff, 0u);  // keys never zero (map sentinel)
+    if (p.tcp_flags & kTcpSyn) {
+      ++syns;
+    }
+  }
+  EXPECT_GT(syns, 150);
+  EXPECT_LT(syns, 350);
+}
+
+TEST(Workload, TimestampsMonotone) {
+  Trace t = GenerateTrace(WorkloadSpec{}, 100);
+  for (size_t i = 1; i < t.packets.size(); ++i) {
+    EXPECT_GT(t.packets[i].ts_ns, t.packets[i - 1].ts_ns);
+  }
+}
+
+TEST(Workload, UdpFraction) {
+  WorkloadSpec spec;
+  spec.udp_fraction = 1.0;
+  Trace t = GenerateTrace(spec, 100);
+  for (const auto& p : t.packets) {
+    EXPECT_EQ(p.ip_proto, kProtoUdp);
+  }
+}
+
+TEST(CacheHitRate, FitsEntirelyIsOne) {
+  WorkloadSpec spec;
+  spec.num_flows = 100;
+  EXPECT_DOUBLE_EQ(EstimateCacheHitRate(spec, 100), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateCacheHitRate(spec, 1000), 1.0);
+}
+
+TEST(CacheHitRate, ZeroCacheIsZero) {
+  WorkloadSpec spec;
+  EXPECT_DOUBLE_EQ(EstimateCacheHitRate(spec, 0), 0.0);
+}
+
+TEST(CacheHitRate, MonotoneInCacheSize) {
+  WorkloadSpec spec;
+  spec.num_flows = 100000;
+  spec.zipf_s = 1.0;
+  double prev = 0;
+  for (uint64_t entries : {100, 1000, 10000, 50000}) {
+    double h = EstimateCacheHitRate(spec, entries);
+    EXPECT_GE(h, prev);
+    EXPECT_LE(h, 1.0);
+    prev = h;
+  }
+}
+
+TEST(CacheHitRate, SkewHelps) {
+  WorkloadSpec flat;
+  flat.num_flows = 100000;
+  flat.zipf_s = 0.0;
+  WorkloadSpec skewed = flat;
+  skewed.zipf_s = 1.2;
+  EXPECT_GT(EstimateCacheHitRate(skewed, 5000), EstimateCacheHitRate(flat, 5000));
+}
+
+TEST(CacheHitRate, LargeVsSmallFlowClasses) {
+  // The Figure 11 workload classes: large flows must be far more cache
+  // friendly than small flows for a few-thousand-entry cache.
+  uint64_t entries = 4096;
+  double large = EstimateCacheHitRate(WorkloadSpec::LargeFlows(), entries);
+  double small = EstimateCacheHitRate(WorkloadSpec::SmallFlows(), entries);
+  EXPECT_GT(large, 0.95);
+  EXPECT_LT(small, 0.6);
+}
+
+}  // namespace
+}  // namespace clara

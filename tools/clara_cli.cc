@@ -1,0 +1,205 @@
+// clara_cli — command-line front end to the Clara library.
+//
+// Subcommands:
+//   list                          the NF element registry (Table 2 style)
+//   show <element>                pseudo-Click source + lowered IR summary
+//   ir <element>                  full lowered IR dump
+//   asm <element>                 simulated NIC machine code per block
+//   profile <element> [small|large]   trace-driven workload profile
+//   insights <element> [small|large]  full Clara analysis (trains models)
+//
+// Examples:
+//   clara_cli list
+//   clara_cli asm aggcounter
+//   clara_cli insights mazunat small
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/analyzer.h"
+#include "src/elements/elements.h"
+#include "src/ir/classify.h"
+#include "src/ir/printer.h"
+#include "src/lang/interp.h"
+#include "src/lang/lower.h"
+#include "src/lang/printer.h"
+#include "src/nic/backend.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+using namespace clara;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: clara_cli <command> [args]\n"
+               "  list                       NF element registry\n"
+               "  show <element>             pseudo-Click source + IR summary\n"
+               "  ir <element>               lowered IR dump\n"
+               "  asm <element>              simulated NIC machine code\n"
+               "  profile <element> [small|large]\n"
+               "  insights <element> [small|large]\n");
+  return 2;
+}
+
+WorkloadSpec PickWorkload(int argc, char** argv, int index) {
+  if (argc > index && std::strcmp(argv[index], "large") == 0) {
+    return WorkloadSpec::LargeFlows();
+  }
+  return WorkloadSpec::SmallFlows();
+}
+
+int CmdList() {
+  std::printf("%-14s %-8s insights\n", "element", "stateful");
+  for (const auto& info : ElementRegistry()) {
+    std::string tags;
+    for (size_t i = 0; i < info.insights.size(); ++i) {
+      tags += (i ? "," : "") + info.insights[i];
+    }
+    std::printf("%-14s %-8s %s\n", info.name.c_str(), info.stateful ? "yes" : "no",
+                tags.c_str());
+  }
+  return 0;
+}
+
+int CmdShow(const std::string& name) {
+  Program p = MakeElementByName(name);
+  std::printf("%s\n", ToSource(p).c_str());
+  LowerResult lr = LowerProgram(p);
+  if (!lr.ok) {
+    std::fprintf(stderr, "lowering failed: %s\n", lr.error.c_str());
+    return 1;
+  }
+  BlockCounts c = CountFunction(lr.module.functions[0]);
+  std::printf("// lowered: %zu blocks, %u instrs (%u compute, %u stateless mem, "
+              "%u stateful mem, %u API calls)\n",
+              lr.module.functions[0].blocks.size(),
+              lr.module.functions[0].NumInstructions(), c.compute, c.stateless_mem,
+              c.stateful_mem, c.api_calls);
+  return 0;
+}
+
+int CmdIr(const std::string& name) {
+  Program p = MakeElementByName(name);
+  LowerResult lr = LowerProgram(p);
+  if (!lr.ok) {
+    std::fprintf(stderr, "lowering failed: %s\n", lr.error.c_str());
+    return 1;
+  }
+  std::printf("%s", ToString(lr.module).c_str());
+  return 0;
+}
+
+int CmdAsm(const std::string& name) {
+  Program p = MakeElementByName(name);
+  LowerResult lr = LowerProgram(p);
+  if (!lr.ok) {
+    std::fprintf(stderr, "lowering failed: %s\n", lr.error.c_str());
+    return 1;
+  }
+  NicProgram nic = CompileToNic(lr.module);
+  const Function& f = lr.module.functions[0];
+  for (size_t b = 0; b < nic.blocks.size(); ++b) {
+    std::printf("^%s:  ; compute=%u api=%u mem_state=%u mem_pkt=%u lmem=%u\n",
+                f.blocks[b].label.c_str(), nic.blocks[b].counts.compute,
+                nic.blocks[b].counts.api_compute, nic.blocks[b].counts.mem_state,
+                nic.blocks[b].counts.mem_packet, nic.blocks[b].counts.mem_lmem);
+    for (const auto& instr : nic.blocks[b].instrs) {
+      std::printf("    %s\n", ToString(instr, lr.module).c_str());
+    }
+  }
+  NicBlockCounts t = nic.Totals();
+  std::printf("; totals: %u compute + %u api-compute, %u state mem, %u pkt mem\n",
+              t.compute, t.api_compute, t.mem_state, t.mem_packet);
+  return 0;
+}
+
+int CmdProfile(const std::string& name, const WorkloadSpec& workload) {
+  NfInstance nf(MakeElementByName(name));
+  if (!nf.ok()) {
+    std::fprintf(stderr, "error: %s\n", nf.error().c_str());
+    return 1;
+  }
+  Trace trace = GenerateTrace(workload, 5000);
+  for (auto& pkt : trace.packets) {
+    pkt.in_port = pkt.src_ip & 1;
+    nf.Process(pkt);
+  }
+  const NfProfile& prof = nf.profile();
+  std::printf("workload: %s (%u flows, %uB packets)\n", workload.name.c_str(),
+              workload.num_flows, workload.pkt_size);
+  std::printf("packets: %llu  sends: %llu  drops: %llu\n",
+              static_cast<unsigned long long>(prof.packets),
+              static_cast<unsigned long long>(prof.sends),
+              static_cast<unsigned long long>(prof.drops));
+  std::printf("\nstate accesses per packet:\n");
+  for (size_t v = 0; v < nf.module().state.size(); ++v) {
+    std::printf("  %-16s %8.3f reads  %8.3f writes  (%llu bytes)\n",
+                nf.module().state[v].name.c_str(),
+                static_cast<double>(prof.state_reads[v]) / prof.packets,
+                static_cast<double>(prof.state_writes[v]) / prof.packets,
+                static_cast<unsigned long long>(nf.module().state[v].SizeBytes()));
+  }
+  std::printf("\nframework API calls per packet:\n");
+  for (const auto& [api, count] : prof.api_calls) {
+    std::printf("  %-16s %8.3f\n", api.c_str(),
+                static_cast<double>(count) / prof.packets);
+  }
+  return 0;
+}
+
+int CmdInsights(const std::string& name, const WorkloadSpec& workload) {
+  AnalyzerOptions options;
+  options.predictor.train_programs = 150;
+  options.predictor.lstm.epochs = 10;
+  options.scaleout.train_programs = 60;
+  options.colocation.train_nfs = 24;
+  options.colocation.train_groups = 60;
+  options.algo_corpus_per_class = 25;
+  ClaraAnalyzer analyzer(options);
+  std::printf("training Clara (one-time)...\n");
+  std::vector<Program> corpus;
+  for (const auto& info : ElementRegistry()) {
+    corpus.push_back(info.make());
+  }
+  std::vector<const Program*> ptrs;
+  for (const auto& p : corpus) {
+    ptrs.push_back(&p);
+  }
+  analyzer.Train(ptrs);
+  OffloadingInsights insights = analyzer.Analyze(MakeElementByName(name), workload);
+  std::printf("%s", insights.ToString(analyzer.perf_model().config()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  if (cmd == "list") {
+    return CmdList();
+  }
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string element = argv[2];
+  if (cmd == "show") {
+    return CmdShow(element);
+  }
+  if (cmd == "ir") {
+    return CmdIr(element);
+  }
+  if (cmd == "asm") {
+    return CmdAsm(element);
+  }
+  if (cmd == "profile") {
+    return CmdProfile(element, PickWorkload(argc, argv, 3));
+  }
+  if (cmd == "insights") {
+    return CmdInsights(element, PickWorkload(argc, argv, 3));
+  }
+  return Usage();
+}
