@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ilp_vs_greedy.dir/abl_ilp_vs_greedy.cc.o"
+  "CMakeFiles/abl_ilp_vs_greedy.dir/abl_ilp_vs_greedy.cc.o.d"
+  "abl_ilp_vs_greedy"
+  "abl_ilp_vs_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ilp_vs_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

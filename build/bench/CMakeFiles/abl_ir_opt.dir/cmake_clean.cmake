@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ir_opt.dir/abl_ir_opt.cc.o"
+  "CMakeFiles/abl_ir_opt.dir/abl_ir_opt.cc.o.d"
+  "abl_ir_opt"
+  "abl_ir_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ir_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_vocab_compaction.dir/abl_vocab_compaction.cc.o"
+  "CMakeFiles/abl_vocab_compaction.dir/abl_vocab_compaction.cc.o.d"
+  "abl_vocab_compaction"
+  "abl_vocab_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_vocab_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

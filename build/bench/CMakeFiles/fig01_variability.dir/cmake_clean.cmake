@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_variability.dir/fig01_variability.cc.o"
+  "CMakeFiles/fig01_variability.dir/fig01_variability.cc.o.d"
+  "fig01_variability"
+  "fig01_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

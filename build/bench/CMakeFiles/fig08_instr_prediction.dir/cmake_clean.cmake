@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_instr_prediction.dir/fig08_instr_prediction.cc.o"
+  "CMakeFiles/fig08_instr_prediction.dir/fig08_instr_prediction.cc.o.d"
+  "fig08_instr_prediction"
+  "fig08_instr_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_instr_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_algorithm_id.dir/fig09_algorithm_id.cc.o"
+  "CMakeFiles/fig09_algorithm_id.dir/fig09_algorithm_id.cc.o.d"
+  "fig09_algorithm_id"
+  "fig09_algorithm_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_algorithm_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scaleout.dir/fig11_scaleout.cc.o"
+  "CMakeFiles/fig11_scaleout.dir/fig11_scaleout.cc.o.d"
+  "fig11_scaleout"
+  "fig11_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_state_placement.dir/fig12_state_placement.cc.o"
+  "CMakeFiles/fig12_state_placement.dir/fig12_state_placement.cc.o.d"
+  "fig12_state_placement"
+  "fig12_state_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_state_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

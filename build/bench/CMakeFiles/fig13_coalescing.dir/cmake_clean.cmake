@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_coalescing.dir/fig13_coalescing.cc.o"
+  "CMakeFiles/fig13_coalescing.dir/fig13_coalescing.cc.o.d"
+  "fig13_coalescing"
+  "fig13_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

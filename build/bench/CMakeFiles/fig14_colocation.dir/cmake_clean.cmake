@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_colocation.dir/fig14_colocation.cc.o"
+  "CMakeFiles/fig14_colocation.dir/fig14_colocation.cc.o.d"
+  "fig14_colocation"
+  "fig14_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_expert_placement.dir/fig15_expert_placement.cc.o"
+  "CMakeFiles/fig15_expert_placement.dir/fig15_expert_placement.cc.o.d"
+  "fig15_expert_placement"
+  "fig15_expert_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_expert_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_expert_coalescing.dir/fig16_expert_coalescing.cc.o"
+  "CMakeFiles/fig16_expert_coalescing.dir/fig16_expert_coalescing.cc.o.d"
+  "fig16_expert_coalescing"
+  "fig16_expert_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_expert_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_synth_fidelity.dir/tab01_synth_fidelity.cc.o"
+  "CMakeFiles/tab01_synth_fidelity.dir/tab01_synth_fidelity.cc.o.d"
+  "tab01_synth_fidelity"
+  "tab01_synth_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_synth_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_nf_inventory.dir/tab02_nf_inventory.cc.o"
+  "CMakeFiles/tab02_nf_inventory.dir/tab02_nf_inventory.cc.o.d"
+  "tab02_nf_inventory"
+  "tab02_nf_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_nf_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

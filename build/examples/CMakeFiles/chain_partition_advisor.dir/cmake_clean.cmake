@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_partition_advisor.dir/chain_partition_advisor.cpp.o"
+  "CMakeFiles/chain_partition_advisor.dir/chain_partition_advisor.cpp.o.d"
+  "chain_partition_advisor"
+  "chain_partition_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_partition_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_porting_advisor.dir/nat_porting_advisor.cpp.o"
+  "CMakeFiles/nat_porting_advisor.dir/nat_porting_advisor.cpp.o.d"
+  "nat_porting_advisor"
+  "nat_porting_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_porting_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_explorer.dir/scaleout_explorer.cpp.o"
+  "CMakeFiles/scaleout_explorer.dir/scaleout_explorer.cpp.o.d"
+  "scaleout_explorer"
+  "scaleout_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

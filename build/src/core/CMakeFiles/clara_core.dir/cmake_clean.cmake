@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_core.dir/algo_id.cc.o"
+  "CMakeFiles/clara_core.dir/algo_id.cc.o.d"
+  "CMakeFiles/clara_core.dir/analyzer.cc.o"
+  "CMakeFiles/clara_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/clara_core.dir/chain.cc.o"
+  "CMakeFiles/clara_core.dir/chain.cc.o.d"
+  "CMakeFiles/clara_core.dir/coalescing.cc.o"
+  "CMakeFiles/clara_core.dir/coalescing.cc.o.d"
+  "CMakeFiles/clara_core.dir/colocation.cc.o"
+  "CMakeFiles/clara_core.dir/colocation.cc.o.d"
+  "CMakeFiles/clara_core.dir/placement.cc.o"
+  "CMakeFiles/clara_core.dir/placement.cc.o.d"
+  "CMakeFiles/clara_core.dir/predictor.cc.o"
+  "CMakeFiles/clara_core.dir/predictor.cc.o.d"
+  "CMakeFiles/clara_core.dir/scaleout.cc.o"
+  "CMakeFiles/clara_core.dir/scaleout.cc.o.d"
+  "libclara_core.a"
+  "libclara_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

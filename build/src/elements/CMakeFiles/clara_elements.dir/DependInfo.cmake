@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elements/elements_accel.cc" "src/elements/CMakeFiles/clara_elements.dir/elements_accel.cc.o" "gcc" "src/elements/CMakeFiles/clara_elements.dir/elements_accel.cc.o.d"
+  "/root/repo/src/elements/elements_basic.cc" "src/elements/CMakeFiles/clara_elements.dir/elements_basic.cc.o" "gcc" "src/elements/CMakeFiles/clara_elements.dir/elements_basic.cc.o.d"
+  "/root/repo/src/elements/elements_complex.cc" "src/elements/CMakeFiles/clara_elements.dir/elements_complex.cc.o" "gcc" "src/elements/CMakeFiles/clara_elements.dir/elements_complex.cc.o.d"
+  "/root/repo/src/elements/registry.cc" "src/elements/CMakeFiles/clara_elements.dir/registry.cc.o" "gcc" "src/elements/CMakeFiles/clara_elements.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/clara_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/clara_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clara_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/clara_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_elements.dir/elements_accel.cc.o"
+  "CMakeFiles/clara_elements.dir/elements_accel.cc.o.d"
+  "CMakeFiles/clara_elements.dir/elements_basic.cc.o"
+  "CMakeFiles/clara_elements.dir/elements_basic.cc.o.d"
+  "CMakeFiles/clara_elements.dir/elements_complex.cc.o"
+  "CMakeFiles/clara_elements.dir/elements_complex.cc.o.d"
+  "CMakeFiles/clara_elements.dir/registry.cc.o"
+  "CMakeFiles/clara_elements.dir/registry.cc.o.d"
+  "libclara_elements.a"
+  "libclara_elements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_elements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/clara_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/clara_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/cfg.cc" "src/ir/CMakeFiles/clara_ir.dir/cfg.cc.o" "gcc" "src/ir/CMakeFiles/clara_ir.dir/cfg.cc.o.d"
+  "/root/repo/src/ir/classify.cc" "src/ir/CMakeFiles/clara_ir.dir/classify.cc.o" "gcc" "src/ir/CMakeFiles/clara_ir.dir/classify.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/clara_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/clara_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/opt.cc" "src/ir/CMakeFiles/clara_ir.dir/opt.cc.o" "gcc" "src/ir/CMakeFiles/clara_ir.dir/opt.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/clara_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/clara_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/clara_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/clara_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/verify.cc" "src/ir/CMakeFiles/clara_ir.dir/verify.cc.o" "gcc" "src/ir/CMakeFiles/clara_ir.dir/verify.cc.o.d"
+  "/root/repo/src/ir/vocab.cc" "src/ir/CMakeFiles/clara_ir.dir/vocab.cc.o" "gcc" "src/ir/CMakeFiles/clara_ir.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/clara_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_ir.dir/builder.cc.o"
+  "CMakeFiles/clara_ir.dir/builder.cc.o.d"
+  "CMakeFiles/clara_ir.dir/cfg.cc.o"
+  "CMakeFiles/clara_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/clara_ir.dir/classify.cc.o"
+  "CMakeFiles/clara_ir.dir/classify.cc.o.d"
+  "CMakeFiles/clara_ir.dir/ir.cc.o"
+  "CMakeFiles/clara_ir.dir/ir.cc.o.d"
+  "CMakeFiles/clara_ir.dir/opt.cc.o"
+  "CMakeFiles/clara_ir.dir/opt.cc.o.d"
+  "CMakeFiles/clara_ir.dir/parser.cc.o"
+  "CMakeFiles/clara_ir.dir/parser.cc.o.d"
+  "CMakeFiles/clara_ir.dir/printer.cc.o"
+  "CMakeFiles/clara_ir.dir/printer.cc.o.d"
+  "CMakeFiles/clara_ir.dir/verify.cc.o"
+  "CMakeFiles/clara_ir.dir/verify.cc.o.d"
+  "CMakeFiles/clara_ir.dir/vocab.cc.o"
+  "CMakeFiles/clara_ir.dir/vocab.cc.o.d"
+  "libclara_ir.a"
+  "libclara_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cc" "src/lang/CMakeFiles/clara_lang.dir/ast.cc.o" "gcc" "src/lang/CMakeFiles/clara_lang.dir/ast.cc.o.d"
+  "/root/repo/src/lang/check.cc" "src/lang/CMakeFiles/clara_lang.dir/check.cc.o" "gcc" "src/lang/CMakeFiles/clara_lang.dir/check.cc.o.d"
+  "/root/repo/src/lang/interp.cc" "src/lang/CMakeFiles/clara_lang.dir/interp.cc.o" "gcc" "src/lang/CMakeFiles/clara_lang.dir/interp.cc.o.d"
+  "/root/repo/src/lang/lower.cc" "src/lang/CMakeFiles/clara_lang.dir/lower.cc.o" "gcc" "src/lang/CMakeFiles/clara_lang.dir/lower.cc.o.d"
+  "/root/repo/src/lang/printer.cc" "src/lang/CMakeFiles/clara_lang.dir/printer.cc.o" "gcc" "src/lang/CMakeFiles/clara_lang.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/clara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/clara_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clara_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

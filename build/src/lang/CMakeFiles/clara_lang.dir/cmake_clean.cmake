@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_lang.dir/ast.cc.o"
+  "CMakeFiles/clara_lang.dir/ast.cc.o.d"
+  "CMakeFiles/clara_lang.dir/check.cc.o"
+  "CMakeFiles/clara_lang.dir/check.cc.o.d"
+  "CMakeFiles/clara_lang.dir/interp.cc.o"
+  "CMakeFiles/clara_lang.dir/interp.cc.o.d"
+  "CMakeFiles/clara_lang.dir/lower.cc.o"
+  "CMakeFiles/clara_lang.dir/lower.cc.o.d"
+  "CMakeFiles/clara_lang.dir/printer.cc.o"
+  "CMakeFiles/clara_lang.dir/printer.cc.o.d"
+  "libclara_lang.a"
+  "libclara_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

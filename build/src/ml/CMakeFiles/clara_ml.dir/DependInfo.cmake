@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/automl.cc" "src/ml/CMakeFiles/clara_ml.dir/automl.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/automl.cc.o.d"
+  "/root/repo/src/ml/cnn.cc" "src/ml/CMakeFiles/clara_ml.dir/cnn.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/cnn.cc.o.d"
+  "/root/repo/src/ml/common.cc" "src/ml/CMakeFiles/clara_ml.dir/common.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/common.cc.o.d"
+  "/root/repo/src/ml/ensemble.cc" "src/ml/CMakeFiles/clara_ml.dir/ensemble.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/ensemble.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/clara_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/clara_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/clara_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/lstm.cc" "src/ml/CMakeFiles/clara_ml.dir/lstm.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/lstm.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/clara_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/clara_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/pca.cc" "src/ml/CMakeFiles/clara_ml.dir/pca.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/pca.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/clara_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/clara_ml.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/clara_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_ml.dir/automl.cc.o"
+  "CMakeFiles/clara_ml.dir/automl.cc.o.d"
+  "CMakeFiles/clara_ml.dir/cnn.cc.o"
+  "CMakeFiles/clara_ml.dir/cnn.cc.o.d"
+  "CMakeFiles/clara_ml.dir/common.cc.o"
+  "CMakeFiles/clara_ml.dir/common.cc.o.d"
+  "CMakeFiles/clara_ml.dir/ensemble.cc.o"
+  "CMakeFiles/clara_ml.dir/ensemble.cc.o.d"
+  "CMakeFiles/clara_ml.dir/kmeans.cc.o"
+  "CMakeFiles/clara_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/clara_ml.dir/knn.cc.o"
+  "CMakeFiles/clara_ml.dir/knn.cc.o.d"
+  "CMakeFiles/clara_ml.dir/linear.cc.o"
+  "CMakeFiles/clara_ml.dir/linear.cc.o.d"
+  "CMakeFiles/clara_ml.dir/lstm.cc.o"
+  "CMakeFiles/clara_ml.dir/lstm.cc.o.d"
+  "CMakeFiles/clara_ml.dir/metrics.cc.o"
+  "CMakeFiles/clara_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/clara_ml.dir/mlp.cc.o"
+  "CMakeFiles/clara_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/clara_ml.dir/pca.cc.o"
+  "CMakeFiles/clara_ml.dir/pca.cc.o.d"
+  "CMakeFiles/clara_ml.dir/tree.cc.o"
+  "CMakeFiles/clara_ml.dir/tree.cc.o.d"
+  "libclara_ml.a"
+  "libclara_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/byte_map.cc" "src/nf/CMakeFiles/clara_nf.dir/byte_map.cc.o" "gcc" "src/nf/CMakeFiles/clara_nf.dir/byte_map.cc.o.d"
+  "/root/repo/src/nf/checksum.cc" "src/nf/CMakeFiles/clara_nf.dir/checksum.cc.o" "gcc" "src/nf/CMakeFiles/clara_nf.dir/checksum.cc.o.d"
+  "/root/repo/src/nf/lpm.cc" "src/nf/CMakeFiles/clara_nf.dir/lpm.cc.o" "gcc" "src/nf/CMakeFiles/clara_nf.dir/lpm.cc.o.d"
+  "/root/repo/src/nf/packet.cc" "src/nf/CMakeFiles/clara_nf.dir/packet.cc.o" "gcc" "src/nf/CMakeFiles/clara_nf.dir/packet.cc.o.d"
+  "/root/repo/src/nf/sketch.cc" "src/nf/CMakeFiles/clara_nf.dir/sketch.cc.o" "gcc" "src/nf/CMakeFiles/clara_nf.dir/sketch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/clara_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

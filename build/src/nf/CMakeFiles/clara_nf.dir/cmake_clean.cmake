@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_nf.dir/byte_map.cc.o"
+  "CMakeFiles/clara_nf.dir/byte_map.cc.o.d"
+  "CMakeFiles/clara_nf.dir/checksum.cc.o"
+  "CMakeFiles/clara_nf.dir/checksum.cc.o.d"
+  "CMakeFiles/clara_nf.dir/lpm.cc.o"
+  "CMakeFiles/clara_nf.dir/lpm.cc.o.d"
+  "CMakeFiles/clara_nf.dir/packet.cc.o"
+  "CMakeFiles/clara_nf.dir/packet.cc.o.d"
+  "CMakeFiles/clara_nf.dir/sketch.cc.o"
+  "CMakeFiles/clara_nf.dir/sketch.cc.o.d"
+  "libclara_nf.a"
+  "libclara_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

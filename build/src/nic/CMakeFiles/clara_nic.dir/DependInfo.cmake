@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/api_profile.cc" "src/nic/CMakeFiles/clara_nic.dir/api_profile.cc.o" "gcc" "src/nic/CMakeFiles/clara_nic.dir/api_profile.cc.o.d"
+  "/root/repo/src/nic/backend.cc" "src/nic/CMakeFiles/clara_nic.dir/backend.cc.o" "gcc" "src/nic/CMakeFiles/clara_nic.dir/backend.cc.o.d"
+  "/root/repo/src/nic/demand.cc" "src/nic/CMakeFiles/clara_nic.dir/demand.cc.o" "gcc" "src/nic/CMakeFiles/clara_nic.dir/demand.cc.o.d"
+  "/root/repo/src/nic/isa.cc" "src/nic/CMakeFiles/clara_nic.dir/isa.cc.o" "gcc" "src/nic/CMakeFiles/clara_nic.dir/isa.cc.o.d"
+  "/root/repo/src/nic/perf_model.cc" "src/nic/CMakeFiles/clara_nic.dir/perf_model.cc.o" "gcc" "src/nic/CMakeFiles/clara_nic.dir/perf_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/clara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/clara_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/clara_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clara_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/clara_nf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

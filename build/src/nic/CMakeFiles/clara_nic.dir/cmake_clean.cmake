@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_nic.dir/api_profile.cc.o"
+  "CMakeFiles/clara_nic.dir/api_profile.cc.o.d"
+  "CMakeFiles/clara_nic.dir/backend.cc.o"
+  "CMakeFiles/clara_nic.dir/backend.cc.o.d"
+  "CMakeFiles/clara_nic.dir/demand.cc.o"
+  "CMakeFiles/clara_nic.dir/demand.cc.o.d"
+  "CMakeFiles/clara_nic.dir/isa.cc.o"
+  "CMakeFiles/clara_nic.dir/isa.cc.o.d"
+  "CMakeFiles/clara_nic.dir/perf_model.cc.o"
+  "CMakeFiles/clara_nic.dir/perf_model.cc.o.d"
+  "libclara_nic.a"
+  "libclara_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_solver.dir/assignment_ilp.cc.o"
+  "CMakeFiles/clara_solver.dir/assignment_ilp.cc.o.d"
+  "libclara_solver.a"
+  "libclara_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

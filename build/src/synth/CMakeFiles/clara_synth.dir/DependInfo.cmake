@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/algorithm_corpus.cc" "src/synth/CMakeFiles/clara_synth.dir/algorithm_corpus.cc.o" "gcc" "src/synth/CMakeFiles/clara_synth.dir/algorithm_corpus.cc.o.d"
+  "/root/repo/src/synth/synth.cc" "src/synth/CMakeFiles/clara_synth.dir/synth.cc.o" "gcc" "src/synth/CMakeFiles/clara_synth.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/clara_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clara_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/clara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/clara_nf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_synth.dir/algorithm_corpus.cc.o"
+  "CMakeFiles/clara_synth.dir/algorithm_corpus.cc.o.d"
+  "CMakeFiles/clara_synth.dir/synth.cc.o"
+  "CMakeFiles/clara_synth.dir/synth.cc.o.d"
+  "libclara_synth.a"
+  "libclara_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

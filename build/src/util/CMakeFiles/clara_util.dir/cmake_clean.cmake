@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_util.dir/rng.cc.o"
+  "CMakeFiles/clara_util.dir/rng.cc.o.d"
+  "libclara_util.a"
+  "libclara_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

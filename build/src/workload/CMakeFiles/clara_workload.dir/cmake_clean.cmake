@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_workload.dir/workload.cc.o"
+  "CMakeFiles/clara_workload.dir/workload.cc.o.d"
+  "libclara_workload.a"
+  "libclara_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

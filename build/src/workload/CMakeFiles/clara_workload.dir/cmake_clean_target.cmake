@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclara_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_id_test.dir/algo_id_test.cc.o"
+  "CMakeFiles/algo_id_test.dir/algo_id_test.cc.o.d"
+  "algo_id_test"
+  "algo_id_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coalescing_test.cc" "tests/CMakeFiles/coalescing_test.dir/coalescing_test.cc.o" "gcc" "tests/CMakeFiles/coalescing_test.dir/coalescing_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/clara_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/elements/CMakeFiles/clara_elements.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/clara_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/clara_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/clara_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/clara_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/clara_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/clara_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/clara_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/clara_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/clara_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

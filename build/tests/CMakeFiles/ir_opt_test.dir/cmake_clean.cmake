@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_opt_test.dir/ir_opt_test.cc.o"
+  "CMakeFiles/ir_opt_test.dir/ir_opt_test.cc.o.d"
+  "ir_opt_test"
+  "ir_opt_test.pdb"
+  "ir_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

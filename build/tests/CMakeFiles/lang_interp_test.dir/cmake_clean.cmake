@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_interp_test.dir/lang_interp_test.cc.o"
+  "CMakeFiles/lang_interp_test.dir/lang_interp_test.cc.o.d"
+  "lang_interp_test"
+  "lang_interp_test.pdb"
+  "lang_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

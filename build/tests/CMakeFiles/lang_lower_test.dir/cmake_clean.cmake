@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_lower_test.dir/lang_lower_test.cc.o"
+  "CMakeFiles/lang_lower_test.dir/lang_lower_test.cc.o.d"
+  "lang_lower_test"
+  "lang_lower_test.pdb"
+  "lang_lower_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_lower_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

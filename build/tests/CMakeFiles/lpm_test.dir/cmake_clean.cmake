@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_test.dir/lpm_test.cc.o"
+  "CMakeFiles/lpm_test.dir/lpm_test.cc.o.d"
+  "lpm_test"
+  "lpm_test.pdb"
+  "lpm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

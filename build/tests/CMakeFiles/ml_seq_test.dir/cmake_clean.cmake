@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_seq_test.dir/ml_seq_test.cc.o"
+  "CMakeFiles/ml_seq_test.dir/ml_seq_test.cc.o.d"
+  "ml_seq_test"
+  "ml_seq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

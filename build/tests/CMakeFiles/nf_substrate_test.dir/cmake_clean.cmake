@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_substrate_test.dir/nf_substrate_test.cc.o"
+  "CMakeFiles/nf_substrate_test.dir/nf_substrate_test.cc.o.d"
+  "nf_substrate_test"
+  "nf_substrate_test.pdb"
+  "nf_substrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_test.dir/scaleout_test.cc.o"
+  "CMakeFiles/scaleout_test.dir/scaleout_test.cc.o.d"
+  "scaleout_test"
+  "scaleout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

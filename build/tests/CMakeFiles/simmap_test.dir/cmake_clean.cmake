@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simmap_test.dir/simmap_test.cc.o"
+  "CMakeFiles/simmap_test.dir/simmap_test.cc.o.d"
+  "simmap_test"
+  "simmap_test.pdb"
+  "simmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

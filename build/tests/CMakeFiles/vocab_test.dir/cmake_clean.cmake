@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocab_test.dir/vocab_test.cc.o"
+  "CMakeFiles/vocab_test.dir/vocab_test.cc.o.d"
+  "vocab_test"
+  "vocab_test.pdb"
+  "vocab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_cli.dir/clara_cli.cc.o"
+  "CMakeFiles/clara_cli.dir/clara_cli.cc.o.d"
+  "clara_cli"
+  "clara_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
