@@ -22,7 +22,7 @@ void Run() {
   tight.regions[static_cast<int>(MemRegion::kImem)].capacity_bytes = 192 * 1024;
   for (const char* name : {"mazunat", "dnsproxy", "webgen", "udpcount", "heavyhitter",
                            "cmsketch"}) {
-    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows());
+    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows()).OrDie();
 
     // Rebuild the same assignment problem PlaceState builds, then compare
     // exact vs greedy objectives.

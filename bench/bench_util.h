@@ -8,6 +8,7 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "src/nic/backend.h"
 #include "src/nic/demand.h"
 #include "src/nic/perf_model.h"
+#include "src/obs/json_util.h"
 #include "src/synth/synth.h"
 #include "src/workload/workload.h"
 
@@ -24,10 +26,25 @@ namespace clara {
 namespace bench {
 
 // An NF profiled under a workload: everything needed to build demands.
+// Check ok() (or use OrDie()) before touching nf — lowering can fail.
 struct ProfiledNf {
   std::unique_ptr<NfInstance> nf;
   NicProgram nic;
   WorkloadSpec workload;
+  std::string error;
+
+  bool ok() const { return error.empty() && nf != nullptr; }
+
+  // Exits with a diagnostic on failure; for bench mains where a broken
+  // element means the figure cannot be reproduced at all.
+  ProfiledNf OrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "profile error: %s\n",
+                   error.empty() ? "no NF instance" : error.c_str());
+      std::exit(1);
+    }
+    return std::move(*this);
+  }
 
   const Module& module() const { return nf->module(); }
   const NfProfile& profile() const { return nf->profile(); }
@@ -41,10 +58,12 @@ inline ProfiledNf ProfileNf(Program program, const WorkloadSpec& workload,
                             size_t packets = 4000, const LpmTable* lpm_accel = nullptr,
                             int force_in_port = -1) {
   ProfiledNf out;
+  std::string name = program.name;
   out.nf = std::make_unique<NfInstance>(std::move(program));
   if (!out.nf->ok()) {
-    std::fprintf(stderr, "profile error: %s\n", out.nf->error().c_str());
-    std::abort();
+    out.error = name + ": " + out.nf->error();
+    out.nf.reset();
+    return out;
   }
   if (lpm_accel != nullptr) {
     out.nf->SetLpmAccelTable(lpm_accel);
@@ -77,6 +96,75 @@ inline SynthProfile CorpusProfile(const std::vector<Program>& corpus) {
   }
   return MeasureCorpus(ptrs);
 }
+
+// ---- Machine-readable bench output ----
+//
+// When CLARA_BENCH_JSON_DIR is set, JsonRows collects {string,double} rows
+// and writes them to <dir>/BENCH_<name>.json on destruction, so scripts can
+// consume figure data without scraping the text tables. With the variable
+// unset it does nothing.
+class JsonRows {
+ public:
+  explicit JsonRows(const std::string& bench_name) {
+    const char* dir = std::getenv("CLARA_BENCH_JSON_DIR");
+    if (dir != nullptr && *dir != '\0') {
+      path_ = std::string(dir) + "/BENCH_" + bench_name + ".json";
+    }
+  }
+  JsonRows(const JsonRows&) = delete;
+  JsonRows& operator=(const JsonRows&) = delete;
+  ~JsonRows() { Flush(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Starts a new row; subsequent Str/Num calls fill it.
+  JsonRows& Row() {
+    if (enabled()) {
+      rows_.emplace_back();
+    }
+    return *this;
+  }
+  JsonRows& Str(const char* key, const std::string& v) {
+    if (enabled() && !rows_.empty()) {
+      rows_.back().push_back(std::string("\"") + key + "\":\"" + obs::JsonEscape(v) + "\"");
+    }
+    return *this;
+  }
+  JsonRows& Num(const char* key, double v) {
+    if (enabled() && !rows_.empty()) {
+      rows_.back().push_back(std::string("\"") + key + "\":" + obs::JsonNumber(v));
+    }
+    return *this;
+  }
+
+  void Flush() {
+    if (!enabled() || flushed_) {
+      return;
+    }
+    flushed_ = true;
+    FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::string row = "{";
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        row += (i ? "," : "") + rows_[r][i];
+      }
+      row += "}";
+      std::fprintf(f, "  %s%s\n", row.c_str(), r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::vector<std::string>> rows_;
+  bool flushed_ = false;
+};
 
 // ---- Table/plot text output ----
 

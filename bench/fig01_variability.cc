@@ -34,8 +34,8 @@ void Run() {
   {
     WorkloadSpec w = WorkloadSpec::LargeFlows(128);
     w.syn_ratio = 0.15;  // ensure every flow's mapping is established
-    ProfiledNf sw = ProfileNf(MakeMazuNat(false), w, 4000, nullptr, /*in_port=*/0);
-    ProfiledNf hw = ProfileNf(MakeMazuNat(true), w, 4000, nullptr, /*in_port=*/0);
+    ProfiledNf sw = ProfileNf(MakeMazuNat(false), w, 4000, nullptr, /*in_port=*/0).OrDie();
+    ProfiledNf hw = ProfileNf(MakeMazuNat(true), w, 4000, nullptr, /*in_port=*/0).OrDie();
     variants.push_back({"NAT", "software checksum", Latency(sw, model)});
     variants.push_back({"NAT", "checksum accel", Latency(hw, model)});
   }
@@ -43,7 +43,7 @@ void Run() {
   // DPI: ported variants scanning different packet-size prefixes.
   for (int scan : {8, 16, 32, 64}) {
     WorkloadSpec w = WorkloadSpec::SmallFlows(256);
-    ProfiledNf pr = ProfileNf(MakeDpi(scan), w);
+    ProfiledNf pr = ProfileNf(MakeDpi(scan), w).OrDie();
     variants.push_back({"DPI", "scan " + std::to_string(scan) + "B", Latency(pr, model)});
   }
 
@@ -52,7 +52,7 @@ void Run() {
     for (const char* wl : {"small", "large"}) {
       WorkloadSpec w = std::string(wl) == "small" ? WorkloadSpec::SmallFlows()
                                                   : WorkloadSpec::LargeFlows(128);
-      ProfiledNf pr = ProfileNf(MakeFirewall(), w);
+      ProfiledNf pr = ProfileNf(MakeFirewall(), w).OrDie();
       DemandOptions emem;  // default: all EMEM
       DemandOptions imem;
       imem.placement["conn_table"] = MemRegion::kImem;
@@ -66,9 +66,9 @@ void Run() {
   // LPM: rule-table sizes, optionally with the flow cache.
   {
     WorkloadSpec w = WorkloadSpec::LargeFlows(128);
-    ProfiledNf small_tbl = ProfileNf(MakeIpLookup(16, false, false), w);
-    ProfiledNf big_tbl = ProfileNf(MakeIpLookup(512, false, false), w);
-    ProfiledNf cached = ProfileNf(MakeIpLookup(512, false, true), w);
+    ProfiledNf small_tbl = ProfileNf(MakeIpLookup(16, false, false), w).OrDie();
+    ProfiledNf big_tbl = ProfileNf(MakeIpLookup(512, false, false), w).OrDie();
+    ProfiledNf cached = ProfileNf(MakeIpLookup(512, false, true), w).OrDie();
     variants.push_back({"LPM", "16 rules", Latency(small_tbl, model)});
     variants.push_back({"LPM", "512 rules", Latency(big_tbl, model)});
     variants.push_back({"LPM", "512 rules + flow cache", Latency(cached, model)});
@@ -76,13 +76,14 @@ void Run() {
 
   // HH: packet rates via flow-mix classes.
   {
-    ProfiledNf hot = ProfileNf(MakeHeavyHitter(), WorkloadSpec::LargeFlows(128));
-    ProfiledNf cold = ProfileNf(MakeHeavyHitter(), WorkloadSpec::SmallFlows());
+    ProfiledNf hot = ProfileNf(MakeHeavyHitter(), WorkloadSpec::LargeFlows(128)).OrDie();
+    ProfiledNf cold = ProfileNf(MakeHeavyHitter(), WorkloadSpec::SmallFlows()).OrDie();
     variants.push_back({"HH", "skewed traffic", Latency(hot, model)});
     variants.push_back({"HH", "uniform traffic", Latency(cold, model)});
   }
 
   Header("Figure 1: performance variability of five NFs (latency, normalized per NF)");
+  JsonRows rows("fig01_variability");
   std::string cur;
   double best = 0;
   double worst_spread = 0;
@@ -101,6 +102,11 @@ void Run() {
     worst_spread = std::max(worst_spread, norm);
     std::printf("    %-28s %6.2fx  (%7.2f us) %s\n", variants[i].label.c_str(), norm,
                 variants[i].latency_us, Bar(norm, 14.0, 28).c_str());
+    rows.Row()
+        .Str("nf", variants[i].nf)
+        .Str("variant", variants[i].label)
+        .Num("latency_us", variants[i].latency_us)
+        .Num("normalized", norm);
   }
   std::printf("\n  max spread across variants: %.1fx (paper: up to 13.8x)\n", worst_spread);
 }

@@ -26,8 +26,8 @@ void CrcFigure(const PerfModel& model) {
       {"wepdecap", MakeWepDecap(false), MakeWepDecap(true)},
   };
   for (auto& c : cases) {
-    ProfiledNf naive = ProfileNf(std::move(c.naive), w);
-    ProfiledNf clara = ProfileNf(std::move(c.clara), w);
+    ProfiledNf naive = ProfileNf(std::move(c.naive), w).OrDie();
+    ProfiledNf clara = ProfileNf(std::move(c.clara), w).OrDie();
     // Isolate the accelerator effect: both variants get the same (Clara)
     // state placement so RC4/sketch state traffic doesn't mask it.
     DemandOptions nopts;
@@ -61,8 +61,8 @@ void LpmFigure(const PerfModel& model) {
       uint32_t prefix = static_cast<uint32_t>(rng.NextU64()) & ~((1u << (32 - plen)) - 1);
       table.Insert(prefix, plen, static_cast<uint32_t>(rng.NextBounded(16)));
     }
-    ProfiledNf naive = ProfileNf(MakeIpLookup(rules, false, false, 99), w);
-    ProfiledNf clara = ProfileNf(MakeIpLookup(rules, true, false, 99), w, 4000, &table);
+    ProfiledNf naive = ProfileNf(MakeIpLookup(rules, false, false, 99), w).OrDie();
+    ProfiledNf clara = ProfileNf(MakeIpLookup(rules, true, false, 99), w, 4000, &table).OrDie();
     PerfPoint pn = model.Evaluate(naive.Demand(model.config()), kCores);
     PerfPoint pc = model.Evaluate(clara.Demand(model.config()), kCores);
     std::printf("  2^%-6d %14.2f %14.2f %12.2f %12.2f   (x%.1f tput, x%.1f lat)\n",

@@ -85,15 +85,21 @@ void Run() {
   }
 
   Header("Figure 11b: suggested vs optimal cores (complex NFs, small flows)");
+  JsonRows rows("fig11_scaleout");
   std::printf("  %-10s %10s %10s %12s\n", "NF", "Clara", "optimal", "ratio@sugg");
   for (const char* name : kComplexNfs) {
-    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows());
+    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows()).OrDie();
     NfDemand d = pr.Demand(model.config());
     int suggested = advisor.SuggestCores(d);
     int optimal = model.OptimalCores(d);
     double frac = model.Evaluate(d, suggested).RatioMppsPerUs() /
                   std::max(1e-12, model.Evaluate(d, optimal).RatioMppsPerUs());
     std::printf("  %-10s %10d %10d %11.1f%%\n", name, suggested, optimal, frac * 100);
+    rows.Row()
+        .Str("nf", name)
+        .Num("suggested_cores", suggested)
+        .Num("optimal_cores", optimal)
+        .Num("ratio_at_suggested", frac);
   }
   Note("paper: suggested counts deviate 1-6% from exhaustive-search optima.");
 
@@ -105,7 +111,7 @@ void Run() {
     }
     std::printf("\n");
     for (const char* name : kComplexNfs) {
-      ProfiledNf pr = ProfileNf(MakeElementByName(name), w);
+      ProfiledNf pr = ProfileNf(MakeElementByName(name), w).OrDie();
       NfDemand d = pr.Demand(model.config());
       std::printf("  %-10s", name);
       for (int n : {4, 8, 16, 24, 32, 40, 48, 56, 60}) {
@@ -117,7 +123,7 @@ void Run() {
 
   Header("Figure 11e/f: Mazu-NAT and WebGen detail (large flows)");
   for (const char* name : {"mazunat", "webgen"}) {
-    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::LargeFlows());
+    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::LargeFlows()).OrDie();
     NfDemand d = pr.Demand(model.config());
     int suggested = advisor.SuggestCores(d);
     std::printf("\n  %s (Clara suggests %d cores)\n", name, suggested);
@@ -135,7 +141,7 @@ void Run() {
     // The headline: optimal core counts vs naively using all 60 cores.
     double best_gain = 0;
     for (const char* name : kComplexNfs) {
-      ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows());
+      ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows()).OrDie();
       NfDemand d = pr.Demand(model.config());
       int opt = model.OptimalCores(d);
       double r_opt = model.Evaluate(d, opt).RatioMppsPerUs();

@@ -21,7 +21,7 @@ void Run() {
   double lat_gain = 0;
   int n = 0;
   for (const char* name : {"mazunat", "dnsproxy", "webgen", "udpcount"}) {
-    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows());
+    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows()).OrDie();
 
     DemandOptions naive_opts;
     naive_opts.placement = NaivePlacement(pr.module());

@@ -16,7 +16,7 @@ void Run() {
   std::printf("  %-12s %11s %11s %10s %10s   packs\n", "NF", "naive cores", "Clara cores",
               "naive us", "Clara us");
   for (const char* name : {"aggcounter", "timefilter", "webtcp", "tcpgen"}) {
-    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows());
+    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows()).OrDie();
     NfDemand naive = pr.Demand(cfg);
 
     CoalescingPlan plan = SuggestCoalescing(pr.module(), pr.profile());

@@ -73,7 +73,7 @@ void RealPairs(const PerfModel& model, const SynthProfile& profile) {
   const char* labels[] = {"NF1", "NF2", "NF3", "NF4"};
   std::vector<NfDemand> demands;
   for (const char* n : names) {
-    ProfiledNf pr = ProfileNf(MakeElementByName(n), WorkloadSpec::SmallFlows());
+    ProfiledNf pr = ProfileNf(MakeElementByName(n), WorkloadSpec::SmallFlows()).OrDie();
     demands.push_back(pr.Demand(model.config()));
   }
   ColocationOptions opts;

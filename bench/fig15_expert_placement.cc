@@ -19,7 +19,7 @@ void Run() {
   double worst_tput_gap = 0;
   double worst_lat_gap = 0;
   for (const char* name : {"mazunat", "dnsproxy", "webgen", "udpcount"}) {
-    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows());
+    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows()).OrDie();
 
     PlacementResult clara = PlaceState(pr.module(), pr.profile(), pr.workload, cfg);
     PlacementResult expert =

@@ -18,7 +18,7 @@ void Run() {
   std::printf("  %-12s %11s %11s %10s %10s %10s\n", "NF", "Clara cores", "Exp cores",
               "Clara us", "Exp us", "partitions");
   for (const char* name : {"aggcounter", "timefilter", "webtcp", "tcpgen"}) {
-    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows());
+    ProfiledNf pr = ProfileNf(MakeElementByName(name), WorkloadSpec::SmallFlows()).OrDie();
 
     CoalescingPlan clara = SuggestCoalescing(pr.module(), pr.profile());
     CoalescingPlan expert =

@@ -4,6 +4,9 @@
 
 #include "src/lang/interp.h"
 #include "src/nic/backend.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/workload/workload.h"
 
 namespace clara {
@@ -45,63 +48,108 @@ ClaraAnalyzer::ClaraAnalyzer(AnalyzerOptions opts)
     : opts_(std::move(opts)), perf_model_(opts_.nic) {}
 
 void ClaraAnalyzer::Train(const std::vector<const Program*>& click_corpus) {
-  // §3.2: guide the synthesizer by the real corpus' AST distribution.
-  synth_profile_ = MeasureCorpus(click_corpus);
-
-  PredictorOptions popts = opts_.predictor;
-  popts.synth.profile = synth_profile_;
-  predictor_ = InstructionPredictor(popts);
-  predictor_.Train();
-
-  algo_id_ = AlgorithmIdentifier(opts_.algo_id);
-  algo_id_.Train(BuildAlgorithmCorpus(opts_.algo_corpus_per_class, opts_.seed));
-
-  ScaleOutOptions sopts = opts_.scaleout;
-  sopts.synth.profile = synth_profile_;
-  scaleout_ = ScaleOutAdvisor(sopts);
-  scaleout_.Train(perf_model_, {WorkloadSpec::LargeFlows(), WorkloadSpec::SmallFlows()});
-
-  ColocationOptions copts = opts_.colocation;
-  copts.synth.profile = synth_profile_;
-  colocation_ = ColocationRanker(copts);
-  colocation_.Train(perf_model_, WorkloadSpec::SmallFlows());
-
+  obs::StageTimer train_timer("core.analyzer.train", "core.analyzer.stage_ms.train");
+  {
+    // §3.2: guide the synthesizer by the real corpus' AST distribution.
+    obs::StageTimer t("core.analyzer.train.measure_corpus",
+                      "core.analyzer.stage_ms.measure_corpus");
+    synth_profile_ = MeasureCorpus(click_corpus);
+  }
+  {
+    obs::StageTimer t("core.analyzer.train.predictor", "core.analyzer.stage_ms.predictor");
+    PredictorOptions popts = opts_.predictor;
+    popts.synth.profile = synth_profile_;
+    predictor_ = InstructionPredictor(popts);
+    predictor_.Train();
+  }
+  {
+    obs::StageTimer t("core.analyzer.train.algo_id", "core.analyzer.stage_ms.algo_id");
+    algo_id_ = AlgorithmIdentifier(opts_.algo_id);
+    algo_id_.Train(BuildAlgorithmCorpus(opts_.algo_corpus_per_class, opts_.seed));
+  }
+  {
+    obs::StageTimer t("core.analyzer.train.scaleout", "core.analyzer.stage_ms.scaleout");
+    ScaleOutOptions sopts = opts_.scaleout;
+    sopts.synth.profile = synth_profile_;
+    scaleout_ = ScaleOutAdvisor(sopts);
+    scaleout_.Train(perf_model_, {WorkloadSpec::LargeFlows(), WorkloadSpec::SmallFlows()});
+  }
+  {
+    obs::StageTimer t("core.analyzer.train.colocation", "core.analyzer.stage_ms.colocation");
+    ColocationOptions copts = opts_.colocation;
+    copts.synth.profile = synth_profile_;
+    colocation_ = ColocationRanker(copts);
+    colocation_.Train(perf_model_, WorkloadSpec::SmallFlows());
+  }
   trained_ = true;
 }
 
 OffloadingInsights ClaraAnalyzer::Analyze(Program program, const WorkloadSpec& workload) const {
+  obs::StageTimer analyze_timer("core.analyzer.analyze", "core.analyzer.stage_ms.analyze");
   OffloadingInsights out;
   out.nf_name = program.name;
 
-  NfInstance nf(std::move(program));
+  NfInstance nf = [&] {
+    obs::StageTimer t("core.analyzer.lower", "core.analyzer.stage_ms.lower");
+    return NfInstance(std::move(program));
+  }();
   if (!nf.ok()) {
     return out;
   }
-  // Workload-specific profiling on the host (paper §4.3: run the NF with its
-  // reverse-ported data structures on the specified workload).
-  Trace trace = GenerateTrace(workload, opts_.profile_packets);
-  for (auto& pkt : trace.packets) {
-    nf.Process(pkt);
+  {
+    // Workload-specific profiling on the host (paper §4.3: run the NF with
+    // its reverse-ported data structures on the specified workload).
+    obs::StageTimer t("core.analyzer.profile", "core.analyzer.stage_ms.profile");
+    Trace trace = GenerateTrace(workload, opts_.profile_packets);
+    for (auto& pkt : trace.packets) {
+      nf.Process(pkt);
+    }
   }
   const Module& m = nf.module();
 
-  out.prediction = predictor_.PredictNf(m);
-  out.accelerator = algo_id_.Classify(m);
+  {
+    obs::StageTimer t("core.analyzer.predict", "core.analyzer.stage_ms.predict");
+    out.prediction = predictor_.PredictNf(m);
+  }
+  {
+    obs::StageTimer t("core.analyzer.classify", "core.analyzer.stage_ms.classify");
+    out.accelerator = algo_id_.Classify(m);
+  }
 
-  NicProgram nic = CompileToNic(m, opts_.predictor.backend);
-  NfDemand naive = BuildDemand(m, nic, nf.profile(), workload, opts_.nic);
-  out.suggested_cores = scaleout_.trained() ? scaleout_.SuggestCores(naive)
-                                            : perf_model_.OptimalCores(naive);
+  NicProgram nic;
+  NfDemand naive;
+  {
+    obs::StageTimer t("core.analyzer.demand", "core.analyzer.stage_ms.demand");
+    nic = CompileToNic(m, opts_.predictor.backend);
+    naive = BuildDemand(m, nic, nf.profile(), workload, opts_.nic);
+  }
 
-  out.placement = PlaceState(m, nf.profile(), workload, opts_.nic);
-  out.coalescing = SuggestCoalescing(m, nf.profile());
+  {
+    obs::StageTimer t("core.analyzer.scaleout", "core.analyzer.stage_ms.scaleout_advise");
+    out.suggested_cores = scaleout_.trained() ? scaleout_.SuggestCores(naive)
+                                              : perf_model_.OptimalCores(naive);
+  }
+  {
+    obs::StageTimer t("core.analyzer.placement", "core.analyzer.stage_ms.placement");
+    out.placement = PlaceState(m, nf.profile(), workload, opts_.nic);
+  }
+  {
+    obs::StageTimer t("core.analyzer.coalescing", "core.analyzer.stage_ms.coalescing");
+    out.coalescing = SuggestCoalescing(m, nf.profile());
+  }
 
-  DemandOptions tuned_opts;
-  tuned_opts.placement = out.placement.placement;
-  tuned_opts.coalescing = out.coalescing.effects;
-  NfDemand tuned = BuildDemand(m, nic, nf.profile(), workload, opts_.nic, tuned_opts);
-  out.naive_perf = perf_model_.Evaluate(naive, out.suggested_cores);
-  out.tuned_perf = perf_model_.Evaluate(tuned, out.suggested_cores);
+  {
+    obs::StageTimer t("core.analyzer.evaluate", "core.analyzer.stage_ms.evaluate");
+    DemandOptions tuned_opts;
+    tuned_opts.placement = out.placement.placement;
+    tuned_opts.coalescing = out.coalescing.effects;
+    NfDemand tuned = BuildDemand(m, nic, nf.profile(), workload, opts_.nic, tuned_opts);
+    out.naive_perf = perf_model_.Evaluate(naive, out.suggested_cores);
+    out.tuned_perf = perf_model_.Evaluate(tuned, out.suggested_cores);
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter("core.analyzer.analyses").Add(1);
+  }
   return out;
 }
 

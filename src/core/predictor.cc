@@ -1,6 +1,9 @@
 #include "src/core/predictor.h"
 
 #include "src/lang/lower.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
 
 namespace clara {
 
@@ -15,31 +18,48 @@ std::vector<BlockTruth> CompileGroundTruth(const Module& m, const NicBackendOpti
 }
 
 void InstructionPredictor::Train() {
-  std::vector<Program> corpus =
-      SynthesizeCorpus(opts_.train_programs, opts_.synth, opts_.seed);
+  obs::StageTimer train_timer("core.predictor.train", "core.predictor.stage_ms.train");
+  std::vector<Program> corpus = [&] {
+    obs::StageTimer t("core.predictor.synthesize", "core.predictor.stage_ms.synthesize");
+    return SynthesizeCorpus(opts_.train_programs, opts_.synth, opts_.seed);
+  }();
   dataset_ = SeqDataset{};
-  for (auto& prog : corpus) {
-    LowerResult lr = LowerProgram(prog);
-    if (!lr.ok) {
-      continue;  // synthesized programs always lower; defensive
-    }
-    NicProgram nic = CompileToNic(lr.module, opts_.backend);
-    const Function& f = lr.module.functions[0];
-    for (size_t b = 0; b < f.blocks.size(); ++b) {
-      const BasicBlock& blk = f.blocks[b];
-      if (blk.instrs.size() < 2) {
-        continue;  // trivial terminator-only blocks carry no signal
+  {
+    // Lower + compile the synthetic corpus to get ground-truth labels.
+    obs::StageTimer t("core.predictor.label", "core.predictor.stage_ms.label");
+    for (auto& prog : corpus) {
+      LowerResult lr = LowerProgram(prog);
+      if (!lr.ok) {
+        continue;  // synthesized programs always lower; defensive
       }
-      SeqExample ex;
-      ex.tokens = vocab_.Encode(blk, lr.module, opts_.abstraction);
-      ex.target = static_cast<double>(nic.blocks[b].counts.compute);
-      dataset_.examples.push_back(std::move(ex));
+      NicProgram nic = CompileToNic(lr.module, opts_.backend);
+      const Function& f = lr.module.functions[0];
+      for (size_t b = 0; b < f.blocks.size(); ++b) {
+        const BasicBlock& blk = f.blocks[b];
+        if (blk.instrs.size() < 2) {
+          continue;  // trivial terminator-only blocks carry no signal
+        }
+        SeqExample ex;
+        ex.tokens = vocab_.Encode(blk, lr.module, opts_.abstraction);
+        ex.target = static_cast<double>(nic.blocks[b].counts.compute);
+        dataset_.examples.push_back(std::move(ex));
+      }
     }
   }
   vocab_.Freeze();
   dataset_.vocab = vocab_.size();
-  lstm_ = LstmRegressor(opts_.lstm);
-  lstm_.Fit(dataset_);
+  {
+    obs::StageTimer t("core.predictor.fit", "core.predictor.stage_ms.fit");
+    lstm_ = LstmRegressor(opts_.lstm);
+    lstm_.Fit(dataset_);
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetGauge("core.predictor.train_examples")
+        .Set(static_cast<double>(dataset_.examples.size()));
+    reg.GetGauge("core.predictor.vocab_size").Set(static_cast<double>(vocab_.size()));
+    reg.GetGauge("core.predictor.train_wmape").Set(lstm_.train_wmape());
+  }
   trained_ = true;
 }
 

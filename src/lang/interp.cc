@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/nf/checksum.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
 
 namespace clara {
 namespace {
@@ -261,6 +263,12 @@ void NfInstance::WritePacketField(const std::string& name, uint64_t v) {
 uint64_t NfInstance::CallApi(const std::string& name, const std::vector<uint64_t>& args,
                              int block) {
   ++profile_.api_calls[name];
+  if (obs::Enabled() && obs_api_calls_ != nullptr) {
+    obs_api_calls_->Add(1);
+    if (obs_drops_ != nullptr && name == "drop") {
+      obs_drops_->Add(1);
+    }
+  }
   Packet& p = *pkt_;
   if (name == "ip_header" || name == "tcp_header" || name == "udp_header" ||
       name == "payload") {
@@ -620,6 +628,16 @@ void NfInstance::Process(Packet& pkt) {
   assert(ok_);
   pkt_ = &pkt;
   ++profile_.packets;
+  if (obs::Enabled()) {
+    if (obs_packets_ == nullptr) {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      std::string base = "lang.interp." + module_.name;
+      obs_packets_ = &reg.GetCounter(base + ".packets");
+      obs_api_calls_ = &reg.GetCounter(base + ".api_calls");
+      obs_drops_ = &reg.GetCounter(base + ".drops");
+    }
+    obs_packets_->Add(1);
+  }
   std::fill(locals_.begin(), locals_.end(), 0);
   ExecBody(program_.body);
   if (pkt.verdict == Packet::Verdict::kPending) {

@@ -26,6 +26,10 @@
 
 namespace clara {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 // A hash map with the probe behaviour of the lowered IR: bounded scan,
 // key0 == 0 means empty, NIC variant probes within a fixed bucket, host
 // variant probes linearly with wraparound.
@@ -139,6 +143,11 @@ class NfInstance {
   std::vector<std::unique_ptr<SimMap>> maps_;  // per state var (null if not map)
 
   NfProfile profile_;
+  // Cached telemetry handles (lang.interp.<element>.*), resolved on first
+  // use with telemetry enabled; see src/obs/metrics.h for handle stability.
+  obs::Counter* obs_packets_ = nullptr;
+  obs::Counter* obs_api_calls_ = nullptr;
+  obs::Counter* obs_drops_ = nullptr;
   Packet* pkt_ = nullptr;
   Rng rng_;
   const LpmTable* lpm_accel_ = nullptr;

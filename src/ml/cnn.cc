@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
+
 namespace clara {
 
 CnnRegressor::Pooled CnnRegressor::ForwardPool(const std::vector<int>& tokens) const {
@@ -58,6 +62,7 @@ void CnnRegressor::Fit(const SeqDataset& data) {
 
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
     double lr = opts_.learning_rate / (1.0 + 0.05 * epoch);
+    double epoch_sse = 0;
     for (size_t si : rng.Permutation(data.examples.size())) {
       const SeqExample& ex = data.examples[si];
       Pooled p = ForwardPool(ex.tokens);
@@ -66,6 +71,7 @@ void CnnRegressor::Fit(const SeqDataset& data) {
         y += w_out_[f] * p.value[f];
       }
       double dy = y - ex.target / y_scale_;
+      epoch_sse += 0.5 * dy * dy;
       b_out_ -= lr * dy;
       for (int f = 0; f < nf; ++f) {
         double dval = dy * w_out_[f];
@@ -83,6 +89,13 @@ void CnnRegressor::Fit(const SeqDataset& data) {
           w_[(static_cast<size_t>(f) * kw + d) * vocab_ + x] -= lr * dval;
         }
       }
+    }
+    if (obs::Enabled() && !data.examples.empty()) {
+      double mean_loss = epoch_sse / static_cast<double>(data.examples.size());
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      reg.GetGauge("ml.cnn.epoch_loss").Set(mean_loss);
+      reg.GetGauge("ml.cnn.epochs").Set(epoch + 1);
+      obs::TraceCounter("ml.cnn.epoch_loss", mean_loss);
     }
   }
 }

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "src/ml/metrics.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
 
 namespace clara {
 namespace {
@@ -167,12 +170,14 @@ void LstmRegressor::Fit(const SeqDataset& data) {
 
   double adam_t = 0;
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    double epoch_sse = 0;
     for (size_t si : rng.Permutation(data.examples.size())) {
       const SeqExample& ex = data.examples[si];
       Trace tr;
       double y = Forward(ex.tokens, &tr);
       double target = ex.target / y_scale_;
       double dy = y - target;  // dLoss/dy for 0.5*(y-t)^2
+      epoch_sse += 0.5 * dy * dy;
 
       std::fill(g_wx.begin(), g_wx.end(), 0.0);
       std::fill(g_wh.begin(), g_wh.end(), 0.0);
@@ -255,6 +260,16 @@ void LstmRegressor::Fit(const SeqDataset& data) {
       std::vector<double> b2v = {p_.b2};
       a_b2.Step(b2v, g_b2, opts_.learning_rate, adam_t);
       p_.b2 = b2v[0];
+    }
+    if (obs::Enabled() && !data.examples.empty()) {
+      double mean_loss = epoch_sse / static_cast<double>(data.examples.size());
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      reg.GetGauge("ml.lstm.epoch_loss").Set(mean_loss);
+      reg.GetGauge("ml.lstm.epochs").Set(epoch + 1);
+      reg.GetHistogram("ml.lstm.epoch_loss_hist",
+                       obs::Histogram::ExponentialBuckets(1e-6, 2, 40))
+          .Observe(mean_loss);
+      obs::TraceCounter("ml.lstm.epoch_loss", mean_loss);
     }
   }
 

@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
+
 namespace clara {
 namespace {
 
 double Relu(double v) { return v > 0 ? v : 0; }
+
+// Per-epoch training-loss telemetry shared by the MLP fit loops.
+void RecordEpochLoss(const char* model, int epoch, double sse, size_t n) {
+  if (!obs::Enabled() || n == 0) {
+    return;
+  }
+  double mean_loss = sse / static_cast<double>(n);
+  std::string base = std::string("ml.") + model;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge(base + ".epoch_loss").Set(mean_loss);
+  reg.GetGauge(base + ".epochs").Set(epoch + 1);
+  obs::TraceCounter((base + ".epoch_loss").c_str(), mean_loss);
+}
 
 template <typename LayerT>
 void InitLayers(std::vector<LayerT>& layers, int input_dim, const std::vector<int>& hidden,
@@ -78,10 +95,12 @@ void MlpRegressor::Fit(const TabularDataset& data) {
 
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
     double lr = opts_.learning_rate / (1.0 + 0.01 * epoch);
+    double epoch_sse = 0;
     for (size_t i : rng.Permutation(data.size())) {
       std::vector<FeatureVec> acts;
       FeatureVec out = Forward(x[i], &acts);
       double target = (data.y[i] - y_mean_) / y_scale_;
+      epoch_sse += 0.5 * (out[0] - target) * (out[0] - target);
       // Backprop, SGD on one sample.
       FeatureVec delta = {out[0] - target};
       for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
@@ -103,6 +122,7 @@ void MlpRegressor::Fit(const TabularDataset& data) {
         delta = std::move(prev_delta);
       }
     }
+    RecordEpochLoss("mlp", epoch, epoch_sse, data.size());
   }
 }
 
@@ -150,6 +170,7 @@ void MlpClassifier::Fit(const TabularDataset& data, int num_classes) {
 
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
     double lr = opts_.learning_rate / (1.0 + 0.01 * epoch);
+    double epoch_xent = 0;
     for (size_t i : rng.Permutation(data.size())) {
       std::vector<FeatureVec> acts;
       std::vector<double> logits = Logits(x[i], &acts);
@@ -164,6 +185,9 @@ void MlpClassifier::Fit(const TabularDataset& data, int num_classes) {
       for (int c = 0; c < num_classes; ++c) {
         double p = std::exp(logits[c] - mx) / z;
         delta[c] = p - (c == label ? 1.0 : 0.0);
+        if (c == label) {
+          epoch_xent += -std::log(std::max(p, 1e-12));
+        }
       }
       for (int l = static_cast<int>(layers_.size()) - 1; l >= 0; --l) {
         Layer& layer = layers_[l];
@@ -183,6 +207,7 @@ void MlpClassifier::Fit(const TabularDataset& data, int num_classes) {
         delta = std::move(prev_delta);
       }
     }
+    RecordEpochLoss("mlp_classifier", epoch, epoch_xent, data.size());
   }
 }
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/nic/api_profile.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
 
 namespace clara {
 namespace {
@@ -55,9 +57,10 @@ BlockInfo AnalyzeBlock(const BasicBlock& b) {
 class BlockTranslator {
  public:
   BlockTranslator(const Module& m, const Function& f, const NicBackendOptions& opts,
-                  const std::set<uint32_t>& spilled_slots, const BasicBlock& block)
+                  const std::set<uint32_t>& spilled_slots, const BasicBlock& block,
+                  RuleFirings* rules)
       : m_(m), f_(f), opts_(opts), spilled_(spilled_slots), block_(block),
-        info_(AnalyzeBlock(block)) {}
+        info_(AnalyzeBlock(block)), rules_(rules) {}
 
   NicBlock Run() {
     for (size_t idx = 0; idx < block_.instrs.size(); ++idx) {
@@ -115,7 +118,9 @@ class BlockTranslator {
   void OperandCosts(const Instruction& i) {
     for (const auto& v : i.operands) {
       if (v.is_const()) {
-        EmitN(NicOp::kImmed, ImmedCost(v.imm));
+        int n = ImmedCost(v.imm);
+        EmitN(NicOp::kImmed, n);
+        rules_->immed_materializations += static_cast<uint32_t>(n);
       }
     }
   }
@@ -154,6 +159,7 @@ class BlockTranslator {
         all_cached = pkt_words_.count(w) > 0;
       }
       if (all_cached) {
+        ++rules_->packet_coalesces;
         Emit(NicOp::kLdField);  // extract from the already-fetched word
         return;
       }
@@ -215,6 +221,7 @@ class BlockTranslator {
       int prev_words = prev.words;
       int merged = new_hi - new_lo + 1;
       if (merged <= 16) {
+        ++rules_->state_coalesces;
         prev.words = static_cast<uint8_t>(merged);
         static_cast<void>(prev_words);  // word totals are tallied in Run()
         last_state_.lo = new_lo;
@@ -238,6 +245,7 @@ class BlockTranslator {
       Emit(NicOp::kAlu, /*from_api=*/true);
       return;
     }
+    ++rules_->api_expansions;
     int compute = prof->compute_instrs;
     if (prof->uses_accelerator) {
       Emit(NicOp::kCsr, /*from_api=*/true);
@@ -278,11 +286,15 @@ class BlockTranslator {
       case Opcode::kMul: {
         const Value& rhs = i.operands[1];
         if (rhs.is_const() && IsPow2(rhs.imm)) {
+          ++rules_->mul_pow2_shifts;
           Emit(NicOp::kAluShf);
         } else if (rhs.is_const()) {
+          ++rules_->mul_expansions;
+          rules_->immed_materializations += static_cast<uint32_t>(ImmedCost(rhs.imm));
           EmitN(NicOp::kImmed, ImmedCost(rhs.imm));
           EmitN(NicOp::kMulStep, 3);
         } else {
+          ++rules_->mul_expansions;
           EmitN(NicOp::kMulStep, 4);
         }
         break;
@@ -294,6 +306,8 @@ class BlockTranslator {
           Emit(i.op == Opcode::kUDiv ? NicOp::kAluShf : NicOp::kAlu);
         } else {
           // Software divide: restore-style loop, unrolled by the library.
+          ++rules_->div_expansions;
+          ++rules_->immed_materializations;
           Emit(NicOp::kImmed);
           EmitN(NicOp::kAlu, 12);
           EmitN(NicOp::kAluShf, 4);
@@ -310,8 +324,10 @@ class BlockTranslator {
         OperandCosts(i);
         bool fused = FusesWithTerminator(i, idx);
         if (fused) {
+          ++rules_->cmp_branch_fusions;
           Emit(NicOp::kAlu);  // compare sets condition codes
         } else {
+          ++rules_->cmp_materializations;
           Emit(NicOp::kAlu);
           Emit(NicOp::kAluShf);
           Emit(NicOp::kAlu);  // materialize 0/1
@@ -321,6 +337,7 @@ class BlockTranslator {
       case Opcode::kZext: {
         const Value& src = i.operands[0];
         if (src.is_const() || DefinedBy(src, Opcode::kLoad)) {
+          ++rules_->zext_elisions;
           break;  // loads zero-extend for free
         }
         Emit(NicOp::kAlu);
@@ -415,6 +432,7 @@ class BlockTranslator {
   const std::set<uint32_t>& spilled_;
   const BasicBlock& block_;
   BlockInfo info_;
+  RuleFirings* rules_;
   NicBlock out_;
   std::set<int> pkt_words_;
   LastState last_state_;
@@ -445,11 +463,36 @@ NicProgram CompileToNic(const Module& m, const Function& f, const NicBackendOpti
   for (size_t rank = 0; rank < slot_freq.size(); ++rank) {
     if (static_cast<int>(rank) >= opts.gpr_budget) {
       spilled.insert(slot_freq[rank].second);
+    } else if (slot_freq[rank].first > 0) {
+      ++prog.rules.stack_promotions;
+    }
+  }
+  for (const auto& [freq, slot] : slot_freq) {
+    if (freq > 0 && spilled.count(slot) > 0) {
+      ++prog.rules.stack_spills;
     }
   }
 
   for (const auto& b : f.blocks) {
-    prog.blocks.push_back(BlockTranslator(m, f, opts, spilled, b).Run());
+    prog.blocks.push_back(BlockTranslator(m, f, opts, spilled, b, &prog.rules).Run());
+  }
+
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("nic.backend.compilations").Add(1);
+    const RuleFirings& r = prog.rules;
+    reg.GetCounter("nic.backend.rule.mul_pow2_shift").Add(r.mul_pow2_shifts);
+    reg.GetCounter("nic.backend.rule.mul_expansion").Add(r.mul_expansions);
+    reg.GetCounter("nic.backend.rule.div_expansion").Add(r.div_expansions);
+    reg.GetCounter("nic.backend.rule.cmp_branch_fusion").Add(r.cmp_branch_fusions);
+    reg.GetCounter("nic.backend.rule.cmp_materialization").Add(r.cmp_materializations);
+    reg.GetCounter("nic.backend.rule.immed_materialization").Add(r.immed_materializations);
+    reg.GetCounter("nic.backend.rule.zext_elision").Add(r.zext_elisions);
+    reg.GetCounter("nic.backend.rule.packet_coalesce").Add(r.packet_coalesces);
+    reg.GetCounter("nic.backend.rule.state_coalesce").Add(r.state_coalesces);
+    reg.GetCounter("nic.backend.rule.stack_promotion").Add(r.stack_promotions);
+    reg.GetCounter("nic.backend.rule.stack_spill").Add(r.stack_spills);
+    reg.GetCounter("nic.backend.rule.api_expansion").Add(r.api_expansions);
   }
   return prog;
 }

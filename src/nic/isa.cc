@@ -58,6 +58,27 @@ int NicIssueCycles(NicOp op) {
   }
 }
 
+void RuleFirings::Accumulate(const RuleFirings& o) {
+  mul_pow2_shifts += o.mul_pow2_shifts;
+  mul_expansions += o.mul_expansions;
+  div_expansions += o.div_expansions;
+  cmp_branch_fusions += o.cmp_branch_fusions;
+  cmp_materializations += o.cmp_materializations;
+  immed_materializations += o.immed_materializations;
+  zext_elisions += o.zext_elisions;
+  packet_coalesces += o.packet_coalesces;
+  state_coalesces += o.state_coalesces;
+  stack_promotions += o.stack_promotions;
+  stack_spills += o.stack_spills;
+  api_expansions += o.api_expansions;
+}
+
+uint32_t RuleFirings::Total() const {
+  return mul_pow2_shifts + mul_expansions + div_expansions + cmp_branch_fusions +
+         cmp_materializations + immed_materializations + zext_elisions + packet_coalesces +
+         state_coalesces + stack_promotions + stack_spills + api_expansions;
+}
+
 NicBlockCounts NicProgram::Totals() const {
   NicBlockCounts t;
   for (const auto& b : blocks) {

@@ -70,9 +70,30 @@ struct NicBlock {
   double issue_cycles = 0;  // sum of issue costs
 };
 
+// How often each backend rewrite rule fired while compiling one program
+// (telemetry; see src/nic/backend.h for the rule catalogue).
+struct RuleFirings {
+  uint32_t mul_pow2_shifts = 0;       // mul by pow2 -> single alu_shf
+  uint32_t mul_expansions = 0;        // mul -> mul_step sequence
+  uint32_t div_expansions = 0;        // udiv/urem -> software routine
+  uint32_t cmp_branch_fusions = 0;    // compare fused into the terminator
+  uint32_t cmp_materializations = 0;  // boolean materialized (no fusion)
+  uint32_t immed_materializations = 0;  // kImmed instructions emitted
+  uint32_t zext_elisions = 0;         // free zext after load/const
+  uint32_t packet_coalesces = 0;      // packet word re-served from registers
+  uint32_t state_coalesces = 0;       // state transfers widened/merged
+  uint32_t stack_promotions = 0;      // stack slots kept in GPRs
+  uint32_t stack_spills = 0;          // stack slots spilled to lmem
+  uint32_t api_expansions = 0;        // API calls expanded from profiles
+
+  void Accumulate(const RuleFirings& o);
+  uint32_t Total() const;
+};
+
 struct NicProgram {
   std::string name;
   std::vector<NicBlock> blocks;  // 1:1 with the IR function's blocks
+  RuleFirings rules;             // rewrite-rule firings for this compilation
 
   NicBlockCounts Totals() const;
 };

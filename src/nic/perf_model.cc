@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/bottleneck.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
 namespace clara {
 
 const char* MemRegionName(MemRegion r) {
@@ -41,6 +45,45 @@ double Inflate(double base_latency, double utilization) {
   return base_latency / (1.0 - rho);
 }
 
+// Resource display name for a memory region index.
+const char* RegionResourceName(int r) {
+  return MemRegionName(static_cast<MemRegion>(r));
+}
+
+// Files the evaluation with the global bottleneck ledger and metrics
+// registry. Called only when telemetry is enabled.
+void RecordEvaluation(const NfDemand& nf, int cores, const PerfPoint& p) {
+  obs::BottleneckRecord rec;
+  rec.nf = nf.name;
+  rec.cores = cores;
+  rec.throughput_mpps = p.throughput_mpps;
+  rec.latency_us = p.latency_us;
+  rec.bound_resource = p.breakdown.bound_resource;
+  rec.bound_rho = p.breakdown.bound_rho;
+  for (int r = 0; r < kNumMemRegions; ++r) {
+    if (p.breakdown.region_used[r]) {
+      rec.utils.push_back({RegionResourceName(r), p.breakdown.region_rho[r],
+                           p.breakdown.region_latency_cycles[r]});
+    }
+  }
+  if (p.breakdown.cache_used) {
+    rec.utils.push_back({"EMEM$", p.breakdown.cache_rho, p.breakdown.cache_latency_cycles});
+  }
+  if (p.breakdown.pkt_used) {
+    rec.utils.push_back({"PKT", p.breakdown.pkt_rho, p.breakdown.pkt_latency_cycles});
+  }
+  rec.utils.push_back({"cores", p.breakdown.core_rho, 0});
+  obs::BottleneckLedger::Global().Record(std::move(rec));
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("nic.perf.evaluations").Add(1);
+  reg.GetCounter(std::string("nic.perf.bound.") + p.breakdown.bound_resource).Add(1);
+  reg.GetHistogram("nic.perf.bound_rho", obs::Histogram::LinearBuckets(0.05, 0.05, 20))
+      .Observe(p.breakdown.bound_rho);
+  reg.GetHistogram("nic.perf.throughput_mpps").Observe(p.throughput_mpps);
+  reg.GetHistogram("nic.perf.latency_us").Observe(p.latency_us);
+}
+
 }  // namespace
 
 PerfModel::RegionLoad PerfModel::ComputeLoad(const NfDemand& nf) const {
@@ -57,6 +100,32 @@ PerfModel::RegionLoad PerfModel::ComputeLoad(const NfDemand& nf) const {
   }
   load.pkt_words_per_pkt = nf.pkt_accesses * nf.pkt_words_per_access;
   return load;
+}
+
+void PerfModel::FillBreakdown(const NfDemand& nf, const RegionLoad& load,
+                              const double total_words[kNumMemRegions],
+                              double total_cache_words, double total_pkt_words,
+                              double mem_cycles, PerfBreakdown* bd) const {
+  for (int r = 0; r < kNumMemRegions; ++r) {
+    bd->region_used[r] = load.words_per_pkt[r] > 0;
+    if (total_words[r] > 0 || bd->region_used[r]) {
+      bd->region_rho[r] = total_words[r] / cfg_.regions[r].bandwidth_words_per_cycle;
+      bd->region_latency_cycles[r] =
+          Inflate(cfg_.regions[r].latency_cycles, bd->region_rho[r]);
+    }
+  }
+  bd->cache_used = load.emem_cache_words_per_pkt > 0;
+  if (total_cache_words > 0 || bd->cache_used) {
+    bd->cache_rho = total_cache_words / cfg_.emem_cache_bandwidth;
+    bd->cache_latency_cycles = Inflate(cfg_.emem_cache_latency, bd->cache_rho);
+  }
+  bd->pkt_used = load.pkt_words_per_pkt > 0;
+  if (total_pkt_words > 0 || bd->pkt_used) {
+    bd->pkt_rho = total_pkt_words / cfg_.pkt_bandwidth_words_per_cycle;
+    bd->pkt_latency_cycles = Inflate(cfg_.pkt_latency_cycles, bd->pkt_rho);
+  }
+  bd->compute_cycles = nf.compute_cycles;
+  bd->mem_cycles = mem_cycles;
 }
 
 double PerfModel::MemoryCycles(const NfDemand& nf, const RegionLoad& load,
@@ -136,17 +205,49 @@ PerfPoint PerfModel::Evaluate(const NfDemand& nf, int cores) const {
                   cores * cfg_.arbitration_cycles_per_core) /
                  freq_hz * 1e6;
 
+  double total_words[kNumMemRegions];
+  for (int r = 0; r < kNumMemRegions; ++r) {
+    total_words[r] = load.words_per_pkt[r] * t;
+  }
+  FillBreakdown(nf, load, total_words, load.emem_cache_words_per_pkt * t,
+                load.pkt_words_per_pkt * t, mem_cycles, &p.breakdown);
+
   double t_line = line_cap_mpps;
+  double per_core_rate =
+      1.0 / std::max(nf.compute_cycles,
+                     (nf.compute_cycles + mem_cycles) / cfg_.threads_per_core);
+  double t_cores_mpps = cores * per_core_rate * freq_hz / 1e6;
+  p.breakdown.core_rho = t_cores_mpps > 0 ? p.throughput_mpps / t_cores_mpps : 0;
   if (p.throughput_mpps >= t_line * 0.99) {
     p.bottleneck = PerfPoint::Bottleneck::kLineRate;
+    p.breakdown.bound_resource = "line-rate";
+    p.breakdown.bound_rho = t_line > 0 ? p.throughput_mpps / t_line : 1;
+  } else if (p.throughput_mpps >= t_cores_mpps * 0.95) {
+    p.bottleneck = PerfPoint::Bottleneck::kCores;
+    p.breakdown.bound_resource = "cores";
+    p.breakdown.bound_rho = p.breakdown.core_rho;
   } else {
-    double per_core_rate =
-        1.0 / std::max(nf.compute_cycles,
-                       (nf.compute_cycles + mem_cycles) / cfg_.threads_per_core);
-    double t_cores_mpps = cores * per_core_rate * freq_hz / 1e6;
-    p.bottleneck = p.throughput_mpps >= t_cores_mpps * 0.95
-                       ? PerfPoint::Bottleneck::kCores
-                       : PerfPoint::Bottleneck::kMemory;
+    // Memory-bound: attribute to the resource with the highest utilization.
+    p.bottleneck = PerfPoint::Bottleneck::kMemory;
+    p.breakdown.bound_resource = "memory";
+    p.breakdown.bound_rho = 0;
+    for (int r = 0; r < kNumMemRegions; ++r) {
+      if (p.breakdown.region_used[r] && p.breakdown.region_rho[r] > p.breakdown.bound_rho) {
+        p.breakdown.bound_rho = p.breakdown.region_rho[r];
+        p.breakdown.bound_resource = RegionResourceName(r);
+      }
+    }
+    if (p.breakdown.cache_used && p.breakdown.cache_rho > p.breakdown.bound_rho) {
+      p.breakdown.bound_rho = p.breakdown.cache_rho;
+      p.breakdown.bound_resource = "EMEM$";
+    }
+    if (p.breakdown.pkt_used && p.breakdown.pkt_rho > p.breakdown.bound_rho) {
+      p.breakdown.bound_rho = p.breakdown.pkt_rho;
+      p.breakdown.bound_resource = "PKT";
+    }
+  }
+  if (obs::Enabled()) {
+    RecordEvaluation(nf, cores, p);
   }
   return p;
 }
@@ -224,6 +325,48 @@ std::pair<PerfPoint, PerfPoint> PerfModel::EvaluatePair(const NfDemand& a, int c
   pb.latency_us = (b.compute_cycles + mem_b +
                    cores_b * cfg_.arbitration_cycles_per_core) /
                   freq_hz * 1e6;
+
+  // Attribution under colocation: utilizations come from the *combined*
+  // traffic, so each NF's record shows the contention it experiences.
+  double total_words[kNumMemRegions];
+  for (int r = 0; r < kNumMemRegions; ++r) {
+    total_words[r] = la.words_per_pkt[r] * ta + lb.words_per_pkt[r] * tb;
+  }
+  double cache_words = la.emem_cache_words_per_pkt * ta + lb.emem_cache_words_per_pkt * tb;
+  double pkt_words = la.pkt_words_per_pkt * ta + lb.pkt_words_per_pkt * tb;
+  auto attribute = [&](const NfDemand& nf, const RegionLoad& load, double mem, double t,
+                       int cores, PerfPoint* p) {
+    FillBreakdown(nf, load, total_words, cache_words, pkt_words, mem, &p->breakdown);
+    double per_core =
+        1.0 / std::max(nf.compute_cycles, (nf.compute_cycles + mem) / cfg_.threads_per_core);
+    double t_cores = cores * per_core;
+    p->breakdown.core_rho = t_cores > 0 ? t / t_cores : 0;
+    p->breakdown.bound_resource = "cores";
+    p->breakdown.bound_rho = p->breakdown.core_rho;
+    p->bottleneck = PerfPoint::Bottleneck::kCores;
+    for (int r = 0; r < kNumMemRegions; ++r) {
+      if (p->breakdown.region_used[r] && p->breakdown.region_rho[r] > p->breakdown.bound_rho) {
+        p->breakdown.bound_rho = p->breakdown.region_rho[r];
+        p->breakdown.bound_resource = RegionResourceName(r);
+        p->bottleneck = PerfPoint::Bottleneck::kMemory;
+      }
+    }
+    if (p->breakdown.cache_used && p->breakdown.cache_rho > p->breakdown.bound_rho) {
+      p->breakdown.bound_rho = p->breakdown.cache_rho;
+      p->breakdown.bound_resource = "EMEM$";
+      p->bottleneck = PerfPoint::Bottleneck::kMemory;
+    }
+    if (p->breakdown.pkt_used && p->breakdown.pkt_rho > p->breakdown.bound_rho) {
+      p->breakdown.bound_rho = p->breakdown.pkt_rho;
+      p->breakdown.bound_resource = "PKT";
+      p->bottleneck = PerfPoint::Bottleneck::kMemory;
+    }
+    if (obs::Enabled()) {
+      RecordEvaluation(nf, cores, *p);
+    }
+  };
+  attribute(a, la, mem_a, ta, cores_a, &pa);
+  attribute(b, lb, mem_b, tb, cores_b, &pb);
   return {pa, pb};
 }
 

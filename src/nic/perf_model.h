@@ -50,11 +50,36 @@ struct NfDemand {
   double ArithmeticIntensity() const;
 };
 
+// Per-resource state at one evaluated operating point. Fixed-size (no
+// allocation) so Evaluate stays cheap inside training loops; region indexes
+// follow MemRegion order, with the EMEM SRAM cache and the packet-buffer
+// pool broken out separately.
+struct PerfBreakdown {
+  double region_rho[kNumMemRegions] = {0, 0, 0, 0};
+  double region_latency_cycles[kNumMemRegions] = {0, 0, 0, 0};  // effective (inflated)
+  bool region_used[kNumMemRegions] = {false, false, false, false};
+  double cache_rho = 0;
+  double cache_latency_cycles = 0;
+  bool cache_used = false;
+  double pkt_rho = 0;
+  double pkt_latency_cycles = 0;
+  bool pkt_used = false;
+  double core_rho = 0;           // achieved / core-limited throughput
+  double compute_cycles = 0;     // per-packet issue cycles
+  double mem_cycles = 0;         // per-packet memory + engine wait
+  // The binding resource ("cores", "line-rate", a region name, "EMEM$" for
+  // the cache, or "PKT" for the packet buffer) and its utilization.
+  const char* bound_resource = "cores";
+  double bound_rho = 0;
+};
+
 struct PerfPoint {
   double throughput_mpps = 0;
   double latency_us = 0;
   // Which resource binds at this operating point.
   enum class Bottleneck { kCores, kMemory, kLineRate } bottleneck = Bottleneck::kCores;
+  // Full attribution behind `bottleneck` (telemetry; see src/obs/bottleneck.h).
+  PerfBreakdown breakdown;
 
   double RatioMppsPerUs() const {
     return latency_us > 0 ? throughput_mpps / latency_us : 0;
@@ -91,6 +116,11 @@ class PerfModel {
   };
 
   RegionLoad ComputeLoad(const NfDemand& nf) const;
+  // Per-resource utilizations and effective latencies at aggregate
+  // throughput `t_total` (pkts/cycle across all colocated NFs).
+  void FillBreakdown(const NfDemand& nf, const RegionLoad& load,
+                     const double total_words[kNumMemRegions], double total_cache_words,
+                     double total_pkt_words, double mem_cycles, PerfBreakdown* bd) const;
   // Average per-packet memory wait given aggregate throughputs (pkts/cycle)
   // of all colocated NFs.
   double MemoryCycles(const NfDemand& nf, const RegionLoad& load,

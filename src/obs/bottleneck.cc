@@ -1,0 +1,112 @@
+#include "src/obs/bottleneck.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/obs/json_util.h"
+
+namespace clara {
+namespace obs {
+
+std::string BottleneckRecord::ToString() const {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s @ %d cores: %.2f Mpps / %.2f us — bound by %s (rho=%.2f)\n",
+                nf.c_str(), cores, throughput_mpps, latency_us, bound_resource.c_str(),
+                bound_rho);
+  os << buf;
+  for (const ResourceSample& u : utils) {
+    std::snprintf(buf, sizeof(buf), "    %-6s rho=%5.2f  eff-latency=%8.1f cyc%s\n",
+                  u.resource.c_str(), u.rho, u.latency_cycles,
+                  u.resource == bound_resource ? "   <-- binds" : "");
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string BottleneckRecord::ToJson() const {
+  std::ostringstream os;
+  os << "{\"nf\":\"" << JsonEscape(nf) << "\",\"cores\":" << cores
+     << ",\"throughput_mpps\":" << JsonNumber(throughput_mpps)
+     << ",\"latency_us\":" << JsonNumber(latency_us) << ",\"bound_resource\":\""
+     << JsonEscape(bound_resource) << "\",\"bound_rho\":" << JsonNumber(bound_rho)
+     << ",\"utils\":[";
+  for (size_t i = 0; i < utils.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << "{\"resource\":\"" << JsonEscape(utils[i].resource)
+       << "\",\"rho\":" << JsonNumber(utils[i].rho)
+       << ",\"latency_cycles\":" << JsonNumber(utils[i].latency_cycles) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void BottleneckLedger::Record(BottleneckRecord r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  auto it = latest_.find(r.nf);
+  if (it != latest_.end()) {
+    it->second = std::move(r);
+    return;
+  }
+  while (latest_.size() >= max_nfs_ && !insertion_order_.empty()) {
+    latest_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+  insertion_order_.push_back(r.nf);
+  latest_.emplace(r.nf, std::move(r));
+}
+
+std::vector<BottleneckRecord> BottleneckLedger::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BottleneckRecord> out;
+  out.reserve(latest_.size());
+  for (const auto& [name, rec] : latest_) {
+    out.push_back(rec);
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+bool BottleneckLedger::LatestFor(const std::string& nf, BottleneckRecord* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latest_.find(nf);
+  if (it == latest_.end()) {
+    return false;
+  }
+  if (out != nullptr) {
+    *out = it->second;
+  }
+  return true;
+}
+
+uint64_t BottleneckLedger::total_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string BottleneckLedger::Render() const {
+  std::ostringstream os;
+  for (const BottleneckRecord& r : Latest()) {
+    os << r.ToString();
+  }
+  return os.str();
+}
+
+void BottleneckLedger::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_.clear();
+  insertion_order_.clear();
+  total_ = 0;
+}
+
+BottleneckLedger& BottleneckLedger::Global() {
+  static BottleneckLedger* ledger = new BottleneckLedger();
+  return *ledger;
+}
+
+}  // namespace obs
+}  // namespace clara

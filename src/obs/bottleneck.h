@@ -1,0 +1,72 @@
+// Bottleneck attribution: which NIC resource binds an NF's performance, at
+// what utilization, with the full per-resource picture behind the verdict.
+//
+// The performance model (src/nic/perf_model.cc) files one record per
+// evaluation when telemetry is enabled; `clara_cli report` renders the
+// latest record per NF. This is the §4.2 "where is the knee and why"
+// evidence the paper presents, kept instead of thrown away.
+#ifndef SRC_OBS_BOTTLENECK_H_
+#define SRC_OBS_BOTTLENECK_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clara {
+namespace obs {
+
+// One resource's state at the evaluated operating point.
+struct ResourceSample {
+  std::string resource;         // "CLS", "CTM", "IMEM", "EMEM", "EMEM$", "PKT", ...
+  double rho = 0;               // bandwidth utilization in [0, ~1]
+  double latency_cycles = 0;    // effective (contention-inflated) latency
+};
+
+struct BottleneckRecord {
+  std::string nf;
+  int cores = 0;
+  double throughput_mpps = 0;
+  double latency_us = 0;
+  std::string bound_resource;   // "cores", "line-rate", or a memory resource
+  double bound_rho = 0;         // utilization of the binding resource
+  std::vector<ResourceSample> utils;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+// Keeps the latest record per NF name (bounded; oldest names evicted) plus a
+// total evaluation count.
+class BottleneckLedger {
+ public:
+  explicit BottleneckLedger(size_t max_nfs = 512) : max_nfs_(max_nfs) {}
+  BottleneckLedger(const BottleneckLedger&) = delete;
+  BottleneckLedger& operator=(const BottleneckLedger&) = delete;
+
+  void Record(BottleneckRecord r);
+
+  // Latest record per NF, sorted by name.
+  std::vector<BottleneckRecord> Latest() const;
+  // Latest record for one NF; false if none.
+  bool LatestFor(const std::string& nf, BottleneckRecord* out) const;
+  uint64_t total_records() const;
+  std::string Render() const;
+  void Clear();
+
+  static BottleneckLedger& Global();
+
+ private:
+  size_t max_nfs_;
+  mutable std::mutex mu_;
+  std::map<std::string, BottleneckRecord> latest_;
+  std::deque<std::string> insertion_order_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace obs
+}  // namespace clara
+
+#endif  // SRC_OBS_BOTTLENECK_H_

@@ -1,0 +1,48 @@
+// Tiny JSON emission helpers shared by the metrics and trace sinks.
+#ifndef SRC_OBS_JSON_UTIL_H_
+#define SRC_OBS_JSON_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace clara {
+namespace obs {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no inf/nan; clamp to null-safe numbers.
+inline std::string JsonNumber(double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    return "0";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace clara
+
+#endif  // SRC_OBS_JSON_UTIL_H_

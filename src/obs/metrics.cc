@@ -1,0 +1,281 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/obs/json_util.h"
+
+namespace clara {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    bounds_ = DefaultBuckets();
+  }
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double v) {
+  size_t idx = std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  // std::upper_bound yields the first bound strictly greater; bucket i is
+  // v <= bounds[i], so step back onto an exactly-equal bound.
+  if (idx > 0 && v == bounds_[idx - 1]) {
+    idx -= 1;
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double old_sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(old_sum, old_sum + v, std::memory_order_relaxed)) {
+  }
+  std::lock_guard<std::mutex> lock(minmax_mu_);
+  if (!has_obs_.load(std::memory_order_relaxed)) {
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+    has_obs_.store(true, std::memory_order_relaxed);
+  } else {
+    if (v < min_.load(std::memory_order_relaxed)) {
+      min_.store(v, std::memory_order_relaxed);
+    }
+    if (v > max_.load(std::memory_order_relaxed)) {
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(n);
+  std::vector<uint64_t> counts = BucketCounts();
+  double cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    double next = cum + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      // Interpolate within bucket [lo, hi].
+      double lo = i == 0 ? min() : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max();
+      lo = std::min(lo, hi);
+      double frac = counts[i] > 0 ? (target - cum) / static_cast<double>(counts[i]) : 0;
+      // The bucket upper bound can overshoot the largest observed value;
+      // clamp so quantiles never exceed max (or undershoot min).
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min(), max());
+    }
+    cum = next;
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(minmax_mu_);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  has_obs_.store(false, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor, int n) {
+  std::vector<double> out;
+  double v = start;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::LinearBuckets(double start, double step, int n) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(start + step * i);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::DefaultBuckets() {
+  return ExponentialBuckets(1, 2, 30);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricKind::kCounter;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->Quantile(0.50);
+    s.p95 = h->Quantile(0.95);
+    s.p99 = h->Quantile(0.99);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::ostringstream os;
+  for (const MetricSnapshot& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricKind::kCounter: {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%-48s %14llu\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.value));
+        os << buf;
+        break;
+      }
+      case MetricKind::kGauge: {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%-48s %14.4f\n", s.name.c_str(), s.value);
+        os << buf;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        char buf[240];
+        std::snprintf(buf, sizeof(buf),
+                      "%-48s n=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+                      s.name.c_str(), static_cast<unsigned long long>(s.count),
+                      s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0, s.p50,
+                      s.p95, s.p99, s.max);
+        os << buf;
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream counters;
+  std::ostringstream gauges;
+  std::ostringstream hists;
+  bool fc = true;
+  bool fg = true;
+  bool fh = true;
+  for (const MetricSnapshot& s : Snapshot()) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        counters << (fc ? "" : ",") << "\"" << JsonEscape(s.name)
+                 << "\":" << static_cast<uint64_t>(s.value);
+        fc = false;
+        break;
+      case MetricKind::kGauge:
+        gauges << (fg ? "" : ",") << "\"" << JsonEscape(s.name) << "\":" << JsonNumber(s.value);
+        fg = false;
+        break;
+      case MetricKind::kHistogram:
+        hists << (fh ? "" : ",") << "\"" << JsonEscape(s.name) << "\":{\"count\":" << s.count
+              << ",\"sum\":" << JsonNumber(s.sum) << ",\"min\":" << JsonNumber(s.min)
+              << ",\"max\":" << JsonNumber(s.max) << ",\"p50\":" << JsonNumber(s.p50)
+              << ",\"p95\":" << JsonNumber(s.p95) << ",\"p99\":" << JsonNumber(s.p99) << "}";
+        fh = false;
+        break;
+    }
+  }
+  return "{\"counters\":{" + counters.str() + "},\"gauges\":{" + gauges.str() +
+         "},\"histograms\":{" + hists.str() + "}}";
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace clara

@@ -1,0 +1,131 @@
+// Thread-safe metrics registry: named counters, gauges and fixed-bucket
+// histograms with quantile estimation.
+//
+// Handles returned by Get*() are stable for the life of the registry, so hot
+// paths look a metric up once and then touch only lock-free atomics.
+// Metric names follow the `layer.component.name` convention (see obs.h).
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clara {
+namespace obs {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]; one
+// implicit overflow bucket catches the rest. Quantiles are estimated by
+// linear interpolation inside the containing bucket, using the observed
+// min/max to tighten the first and overflow buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  // q in [0, 1]; returns 0 with no observations.
+  double Quantile(double q) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> BucketCounts() const;
+  void Reset();
+
+  // bounds {start, start*factor, ...}, `n` entries.
+  static std::vector<double> ExponentialBuckets(double start, double factor, int n);
+  // bounds {start, start+step, ...}, `n` entries.
+  static std::vector<double> LinearBuckets(double start, double step, int n);
+  // General-purpose default: 1 .. ~5e8, factor 2.
+  static std::vector<double> DefaultBuckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1 (overflow)
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+  std::atomic<bool> has_obs_{false};
+  std::mutex minmax_mu_;  // min/max update only; reads are atomic loads
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;     // counter value or gauge value
+  uint64_t count = 0;   // histogram observation count
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Creates on first use; returned references stay valid until Clear().
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // `bounds` is honoured only on first creation; empty means DefaultBuckets().
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds = {});
+
+  // All metrics, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+  // Human-readable dump (clara_cli report).
+  std::string Render() const;
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+  void Reset();  // zero every metric, keep registrations
+  void Clear();  // drop all metrics (invalidates handles)
+
+  size_t size() const;
+
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace clara
+
+#endif  // SRC_OBS_METRICS_H_

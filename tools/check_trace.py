@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Trace self-check: run `clara_cli profile --trace` and validate the output.
+
+Runs the CLI on one example NF, then checks that the emitted file is valid
+JSON in Chrome-trace format (chrome://tracing / Perfetto loadable) and that
+the expected pipeline-stage spans are present with sane fields. Wired into
+ctest as `check_trace` (see tools/CMakeLists.txt).
+
+Usage: check_trace.py <path-to-clara_cli> [element]
+"""
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+REQUIRED_SPANS = {
+    "cli.parse",
+    "cli.lower",
+    "cli.profile",
+    "cli.demand",
+    "cli.evaluate",
+    "cli.pipeline",
+}
+
+VALID_PHASES = {"X", "C", "i"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace.py <clara_cli> [element]")
+    cli = sys.argv[1]
+    element = sys.argv[2] if len(sys.argv) > 2 else "aggcounter"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "trace.json")
+        jsonl_path = os.path.join(tmp, "trace.jsonl")
+        cmd = [
+            cli,
+            "profile",
+            element,
+            f"--trace={trace_path}",
+            f"--trace-jsonl={jsonl_path}",
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+
+        # Chrome-trace JSON: must parse, must carry the stage spans.
+        try:
+            with open(trace_path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"trace file is not valid JSON: {e}")
+
+        if not isinstance(doc, dict):
+            fail("top-level value is not an object")
+        events = doc.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            fail("traceEvents missing or empty")
+        if doc.get("displayTimeUnit") != "ms":
+            fail("displayTimeUnit != ms")
+
+        names = set()
+        for i, ev in enumerate(events):
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                if key not in ev:
+                    fail(f"event {i} missing field {key!r}: {ev}")
+            if ev["ph"] not in VALID_PHASES:
+                fail(f"event {i} has unknown phase {ev['ph']!r}")
+            if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+                fail(f"event {i} has bad ts: {ev['ts']!r}")
+            if ev["ph"] == "X":
+                if "dur" not in ev or ev["dur"] < 0:
+                    fail(f"complete event {i} has bad dur: {ev}")
+            names.add(ev["name"])
+
+        missing = REQUIRED_SPANS - names
+        if missing:
+            fail(f"missing pipeline spans: {sorted(missing)}; got {sorted(names)}")
+
+        # JSONL: every line parses to an object with the same core fields.
+        with open(jsonl_path) as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+        if len(lines) != len(events):
+            fail(f"JSONL has {len(lines)} lines but Chrome trace has {len(events)} events")
+        for i, line in enumerate(lines):
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"JSONL line {i} invalid: {e}")
+            if "name" not in obj or "ph" not in obj:
+                fail(f"JSONL line {i} missing name/ph: {obj}")
+
+    print(f"check_trace: OK ({len(events)} events, "
+          f"{len(names & REQUIRED_SPANS)} pipeline spans, element={element})")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,14 +7,25 @@
 //   asm <element>                 simulated NIC machine code per block
 //   profile <element> [small|large]   trace-driven workload profile
 //   insights <element> [small|large]  full Clara analysis (trains models)
+//   report [element...]           telemetry report: per-region utilization,
+//                                 bottleneck attribution, backend rule
+//                                 firings (defaults to the whole registry)
+//
+// Global flags (any command):
+//   --trace=out.json        emit a Chrome-trace (chrome://tracing) span file
+//   --trace-jsonl=out.jsonl same events, one JSON object per line
+//   --metrics-json=out.json dump the metrics registry as JSON on exit
 //
 // Examples:
 //   clara_cli list
 //   clara_cli asm aggcounter
+//   clara_cli profile aggcounter --trace=trace.json
+//   clara_cli report aggcounter heavyhitter mazunat
 //   clara_cli insights mazunat small
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/core/analyzer.h"
 #include "src/elements/elements.h"
@@ -24,6 +35,11 @@
 #include "src/lang/lower.h"
 #include "src/lang/printer.h"
 #include "src/nic/backend.h"
+#include "src/nic/demand.h"
+#include "src/obs/bottleneck.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/workload/workload.h"
 
 namespace {
@@ -32,21 +48,32 @@ using namespace clara;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: clara_cli <command> [args]\n"
+               "usage: clara_cli [flags] <command> [args]\n"
                "  list                       NF element registry\n"
                "  show <element>             pseudo-Click source + IR summary\n"
                "  ir <element>               lowered IR dump\n"
                "  asm <element>              simulated NIC machine code\n"
                "  profile <element> [small|large]\n"
-               "  insights <element> [small|large]\n");
+               "  insights <element> [small|large]\n"
+               "  report [element...]        telemetry report (default: all)\n"
+               "flags:\n"
+               "  --trace=FILE               Chrome-trace JSON (chrome://tracing)\n"
+               "  --trace-jsonl=FILE         trace events as JSONL\n"
+               "  --metrics-json=FILE        metrics registry dump as JSON\n");
   return 2;
 }
 
-WorkloadSpec PickWorkload(int argc, char** argv, int index) {
-  if (argc > index && std::strcmp(argv[index], "large") == 0) {
+WorkloadSpec PickWorkload(const std::vector<std::string>& args, size_t index) {
+  if (args.size() > index && args[index] == "large") {
     return WorkloadSpec::LargeFlows();
   }
   return WorkloadSpec::SmallFlows();
+}
+
+// Accepts both `aggcounter` and `examples/aggcounter` spellings.
+std::string ElementName(const std::string& arg) {
+  size_t slash = arg.rfind('/');
+  return slash == std::string::npos ? arg : arg.substr(slash + 1);
 }
 
 int CmdList() {
@@ -114,16 +141,43 @@ int CmdAsm(const std::string& name) {
   return 0;
 }
 
+void PrintRuleFirings(const RuleFirings& r) {
+  std::printf("backend rewrite-rule firings (%u total):\n", r.Total());
+  std::printf("  %-24s %6u    %-24s %6u\n", "mul->pow2 shift", r.mul_pow2_shifts,
+              "mul expansion", r.mul_expansions);
+  std::printf("  %-24s %6u    %-24s %6u\n", "div expansion", r.div_expansions,
+              "cmp/branch fusion", r.cmp_branch_fusions);
+  std::printf("  %-24s %6u    %-24s %6u\n", "cmp materialization", r.cmp_materializations,
+              "immed materialization", r.immed_materializations);
+  std::printf("  %-24s %6u    %-24s %6u\n", "zext elision", r.zext_elisions,
+              "api expansion", r.api_expansions);
+  std::printf("  %-24s %6u    %-24s %6u\n", "packet coalesce", r.packet_coalesces,
+              "state coalesce", r.state_coalesces);
+  std::printf("  %-24s %6u    %-24s %6u\n", "stack promotion", r.stack_promotions,
+              "stack spill", r.stack_spills);
+}
+
 int CmdProfile(const std::string& name, const WorkloadSpec& workload) {
-  NfInstance nf(MakeElementByName(name));
+  CLARA_TRACE_SPAN("cli.pipeline", "cli");
+  Program program = [&] {
+    obs::StageTimer t("cli.parse", "cli.stage_ms.parse", "cli");
+    return MakeElementByName(name);
+  }();
+  NfInstance nf = [&] {
+    obs::StageTimer t("cli.lower", "cli.stage_ms.lower", "cli");
+    return NfInstance(std::move(program));
+  }();
   if (!nf.ok()) {
     std::fprintf(stderr, "error: %s\n", nf.error().c_str());
     return 1;
   }
-  Trace trace = GenerateTrace(workload, 5000);
-  for (auto& pkt : trace.packets) {
-    pkt.in_port = pkt.src_ip & 1;
-    nf.Process(pkt);
+  {
+    obs::StageTimer t("cli.profile", "cli.stage_ms.profile", "cli");
+    Trace trace = GenerateTrace(workload, 5000);
+    for (auto& pkt : trace.packets) {
+      pkt.in_port = pkt.src_ip & 1;
+      nf.Process(pkt);
+    }
   }
   const NfProfile& prof = nf.profile();
   std::printf("workload: %s (%u flows, %uB packets)\n", workload.name.c_str(),
@@ -144,6 +198,24 @@ int CmdProfile(const std::string& name, const WorkloadSpec& workload) {
   for (const auto& [api, count] : prof.api_calls) {
     std::printf("  %-16s %8.3f\n", api.c_str(),
                 static_cast<double>(count) / prof.packets);
+  }
+
+  // Demand + model estimate, so a profile --trace covers the whole pipeline.
+  NicConfig cfg;
+  NfDemand demand;
+  NicProgram nic;
+  {
+    obs::StageTimer t("cli.demand", "cli.stage_ms.demand", "cli");
+    nic = CompileToNic(nf.module());
+    demand = BuildDemand(nf.module(), nic, prof, workload, cfg);
+  }
+  {
+    obs::StageTimer t("cli.evaluate", "cli.stage_ms.evaluate", "cli");
+    PerfModel model(cfg);
+    int cores = model.OptimalCores(demand);
+    PerfPoint p = model.Evaluate(demand, cores);
+    std::printf("\nmodel estimate: %.2f Mpps / %.2f us at %d cores (bound by %s)\n",
+                p.throughput_mpps, p.latency_us, cores, p.breakdown.bound_resource);
   }
   return 0;
 }
@@ -172,34 +244,187 @@ int CmdInsights(const std::string& name, const WorkloadSpec& workload) {
   return 0;
 }
 
+bool KnownElement(const std::string& name) {
+  for (const auto& info : ElementRegistry()) {
+    if (info.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// One NF's telemetry report: profile, compile, evaluate at the optimal core
+// count, then print utilization + attribution + rule firings.
+int ReportOne(const std::string& name, const WorkloadSpec& workload, const NicConfig& cfg) {
+  CLARA_TRACE_SPAN("cli.report_nf", "cli");
+  if (!KnownElement(name)) {
+    // MakeElementByName aborts on unknown names; keep the report going
+    // over the rest of the list instead.
+    std::fprintf(stderr, "error: unknown element: %s (see `clara_cli list`)\n", name.c_str());
+    return 1;
+  }
+  NfInstance nf = [&] {
+    obs::StageTimer t("cli.lower", "cli.stage_ms.lower", "cli");
+    return NfInstance(MakeElementByName(name));
+  }();
+  if (!nf.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", name.c_str(), nf.error().c_str());
+    return 1;
+  }
+  {
+    obs::StageTimer t("cli.profile", "cli.stage_ms.profile", "cli");
+    Trace trace = GenerateTrace(workload, 4000);
+    for (auto& pkt : trace.packets) {
+      pkt.in_port = pkt.src_ip & 1;
+      nf.Process(pkt);
+    }
+  }
+  NicProgram nic;
+  NfDemand demand;
+  {
+    obs::StageTimer t("cli.demand", "cli.stage_ms.demand", "cli");
+    nic = CompileToNic(nf.module());
+    demand = BuildDemand(nf.module(), nic, nf.profile(), workload, cfg);
+  }
+  PerfModel model(cfg);
+  PerfPoint p;
+  int cores = 0;
+  {
+    obs::StageTimer t("cli.evaluate", "cli.stage_ms.evaluate", "cli");
+    cores = model.OptimalCores(demand);
+    p = model.Evaluate(demand, cores);
+  }
+
+  std::printf("=== %s (%s workload) ===\n", name.c_str(), workload.name.c_str());
+  std::printf("%llu packets profiled; %.3f state accesses/pkt; arithmetic intensity %.2f\n",
+              static_cast<unsigned long long>(nf.profile().packets),
+              demand.TotalStateAccesses(), demand.ArithmeticIntensity());
+  std::printf("operating point: %.2f Mpps / %.2f us at %d cores\n", p.throughput_mpps,
+              p.latency_us, cores);
+  std::printf("bottleneck: %s (rho=%.2f)\n", p.breakdown.bound_resource,
+              p.breakdown.bound_rho);
+  std::printf("per-region utilization:\n");
+  for (int r = 0; r < kNumMemRegions; ++r) {
+    if (!p.breakdown.region_used[r]) {
+      continue;
+    }
+    std::printf("  %-6s rho=%5.2f  eff-latency=%8.1f cyc\n",
+                MemRegionName(static_cast<MemRegion>(r)), p.breakdown.region_rho[r],
+                p.breakdown.region_latency_cycles[r]);
+  }
+  if (p.breakdown.cache_used) {
+    std::printf("  %-6s rho=%5.2f  eff-latency=%8.1f cyc\n", "EMEM$", p.breakdown.cache_rho,
+                p.breakdown.cache_latency_cycles);
+  }
+  if (p.breakdown.pkt_used) {
+    std::printf("  %-6s rho=%5.2f  eff-latency=%8.1f cyc\n", "PKT", p.breakdown.pkt_rho,
+                p.breakdown.pkt_latency_cycles);
+  }
+  std::printf("  %-6s rho=%5.2f  (compute %.1f cyc + mem wait %.1f cyc per pkt)\n", "cores",
+              p.breakdown.core_rho, p.breakdown.compute_cycles, p.breakdown.mem_cycles);
+  PrintRuleFirings(nic.rules);
+  std::printf("\n");
+  return 0;
+}
+
+int CmdReport(std::vector<std::string> names, const WorkloadSpec& workload) {
+  obs::SetEnabled(true);
+  if (names.empty()) {
+    for (const auto& info : ElementRegistry()) {
+      names.push_back(info.name);
+    }
+  }
+  NicConfig cfg;
+  int rc = 0;
+  for (const auto& name : names) {
+    rc |= ReportOne(ElementName(name), workload, cfg);
+  }
+  std::printf("=== metrics registry ===\n%s",
+              obs::MetricsRegistry::Global().Render().c_str());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    return Usage();
+  std::string trace_path;
+  std::string jsonl_path;
+  std::string metrics_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(strlen("--trace="));
+    } else if (a.rfind("--trace-jsonl=", 0) == 0) {
+      jsonl_path = a.substr(strlen("--trace-jsonl="));
+    } else if (a.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = a.substr(strlen("--metrics-json="));
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return Usage();
+    } else {
+      args.push_back(std::move(a));
+    }
   }
-  std::string cmd = argv[1];
-  if (cmd == "list") {
-    return CmdList();
+
+  obs::TraceSink sink;
+  bool tracing = !trace_path.empty() || !jsonl_path.empty();
+  if (tracing || !metrics_path.empty()) {
+    obs::SetEnabled(true);
   }
-  if (argc < 3) {
-    return Usage();
+  if (tracing) {
+    obs::SetGlobalTrace(&sink);
   }
-  std::string element = argv[2];
-  if (cmd == "show") {
-    return CmdShow(element);
+
+  int rc = 2;
+  if (args.empty()) {
+    rc = Usage();
+  } else {
+    const std::string& cmd = args[0];
+    if (cmd == "list") {
+      rc = CmdList();
+    } else if (cmd == "report") {
+      rc = CmdReport(std::vector<std::string>(args.begin() + 1, args.end()),
+                     WorkloadSpec::SmallFlows());
+    } else if (args.size() < 2) {
+      rc = Usage();
+    } else {
+      std::string element = ElementName(args[1]);
+      if (cmd == "show") {
+        rc = CmdShow(element);
+      } else if (cmd == "ir") {
+        rc = CmdIr(element);
+      } else if (cmd == "asm") {
+        rc = CmdAsm(element);
+      } else if (cmd == "profile") {
+        rc = CmdProfile(element, PickWorkload(args, 2));
+      } else if (cmd == "insights") {
+        rc = CmdInsights(element, PickWorkload(args, 2));
+      } else {
+        rc = Usage();
+      }
+    }
   }
-  if (cmd == "ir") {
-    return CmdIr(element);
+
+  obs::SetGlobalTrace(nullptr);
+  if (!trace_path.empty() && !sink.WriteChromeJson(trace_path)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", trace_path.c_str());
+    rc = rc == 0 ? 1 : rc;
   }
-  if (cmd == "asm") {
-    return CmdAsm(element);
+  if (!jsonl_path.empty() && !sink.WriteJsonl(jsonl_path)) {
+    std::fprintf(stderr, "failed to write trace JSONL to %s\n", jsonl_path.c_str());
+    rc = rc == 0 ? 1 : rc;
   }
-  if (cmd == "profile") {
-    return CmdProfile(element, PickWorkload(argc, argv, 3));
+  if (!metrics_path.empty()) {
+    FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f != nullptr) {
+      std::string json = obs::MetricsRegistry::Global().ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n", metrics_path.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
   }
-  if (cmd == "insights") {
-    return CmdInsights(element, PickWorkload(argc, argv, 3));
-  }
-  return Usage();
+  return rc;
 }
