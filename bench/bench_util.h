@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,10 +21,22 @@
 #include "src/nic/perf_model.h"
 #include "src/obs/json_util.h"
 #include "src/synth/synth.h"
+#include "src/util/parallel.h"
 #include "src/workload/workload.h"
 
 namespace clara {
 namespace bench {
+
+// Applies a --threads=N flag (shared by every bench binary) to the parallel
+// pool; other arguments are left alone. CLARA_THREADS is honored by the pool
+// itself, so this only matters when the flag is given explicitly.
+inline void InitBenchThreads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      SetNumThreads(std::atoi(argv[i] + 10));
+    }
+  }
+}
 
 // An NF profiled under a workload: everything needed to build demands.
 // Check ok() (or use OrDie()) before touching nf — lowering can fail.

@@ -77,7 +77,8 @@ void LpmFigure(const PerfModel& model) {
 }  // namespace bench
 }  // namespace clara
 
-int main() {
+int main(int argc, char** argv) {
+  clara::bench::InitBenchThreads(argc, argv);
   clara::PerfModel model;
   clara::bench::CrcFigure(model);
   clara::bench::LpmFigure(model);

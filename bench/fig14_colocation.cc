@@ -139,7 +139,8 @@ void RealPairs(const PerfModel& model, const SynthProfile& profile) {
 }  // namespace bench
 }  // namespace clara
 
-int main() {
+int main(int argc, char** argv) {
+  clara::bench::InitBenchThreads(argc, argv);
   clara::PerfModel model;
   std::vector<clara::Program> corpus = clara::bench::ElementCorpus();
   clara::SynthProfile profile = clara::bench::CorpusProfile(corpus);

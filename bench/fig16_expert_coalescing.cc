@@ -43,7 +43,8 @@ void Run() {
 }  // namespace bench
 }  // namespace clara
 
-int main() {
+int main(int argc, char** argv) {
+  clara::bench::InitBenchThreads(argc, argv);
   clara::bench::Run();
   return 0;
 }

@@ -4,15 +4,21 @@
 // on these numbers.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_util.h"
 #include "src/core/predictor.h"
 #include "src/elements/elements.h"
 #include "src/ir/vocab.h"
 #include "src/lang/interp.h"
 #include "src/lang/lower.h"
+#include "src/ml/automl.h"
+#include "src/ml/kernels.h"
 #include "src/ml/lstm.h"
 #include "src/nic/backend.h"
 #include "src/nic/perf_model.h"
 #include "src/solver/assignment_ilp.h"
+#include "src/util/parallel.h"
 #include "src/workload/workload.h"
 
 namespace clara {
@@ -133,6 +139,61 @@ void BM_IlpSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_IlpSolve);
 
+void BM_KernelDot(benchmark::State& state) {
+  std::vector<double> a(1024), b(1024);
+  Rng rng(3);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::Dot(a.data(), b.data(), a.size()));
+  }
+}
+BENCHMARK(BM_KernelDot);
+
+void BM_KernelGemvBias(benchmark::State& state) {
+  constexpr size_t kRows = 256, kCols = 64;
+  std::vector<double> m(kRows * kCols), x(kCols), bias(kRows), y(kRows);
+  Rng rng(4);
+  for (auto& v : m) {
+    v = rng.NextDouble();
+  }
+  for (auto& v : x) {
+    v = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    kernels::GemvBias(y.data(), m.data(), x.data(), bias.data(), kRows, kCols);
+    benchmark::DoNotOptimize(y[0]);
+  }
+}
+BENCHMARK(BM_KernelGemvBias);
+
+void BM_KernelAxpyDual(benchmark::State& state) {
+  constexpr size_t kN = 1024;
+  std::vector<double> g(kN), dh(kN), w(kN), h(kN);
+  Rng rng(5);
+  for (size_t i = 0; i < kN; ++i) {
+    w[i] = rng.NextDouble();
+    h[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    kernels::AxpyDual(g.data(), dh.data(), w.data(), h.data(), 0.25, kN);
+    benchmark::DoNotOptimize(g[0]);
+  }
+}
+BENCHMARK(BM_KernelAxpyDual);
+
+void BM_CompileToNicCachedMazuNat(benchmark::State& state) {
+  Program p = MakeMazuNat();
+  LowerResult lr = LowerProgram(p);
+  for (auto _ : state) {
+    NicProgram nic = CompileToNicCached(lr.module);
+    benchmark::DoNotOptimize(nic.Totals().compute);
+  }
+}
+BENCHMARK(BM_CompileToNicCachedMazuNat);
+
 void BM_VocabularyEncode(benchmark::State& state) {
   Program p = MakeMazuNat();
   LowerResult lr = LowerProgram(p);
@@ -146,6 +207,92 @@ void BM_VocabularyEncode(benchmark::State& state) {
 BENCHMARK(BM_VocabularyEncode);
 
 }  // namespace
+
+// Serial-vs-parallel wall-time rows for the bench trajectory: the same
+// training workloads at 1 thread and at the pool's configured width, written
+// to BENCH_micro_kernels.json when CLARA_BENCH_JSON_DIR is set. On a
+// single-core host the two columns coincide; tools/bench_diff.py compares
+// rows across runs.
+void EmitParallelComparison() {
+  bench::JsonRows rows("micro_kernels");
+  if (!rows.enabled()) {
+    return;
+  }
+  auto time_ms = [](auto&& fn) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  SeqDataset seq;
+  seq.vocab = 64;
+  Rng rng(11);
+  for (int i = 0; i < 120; ++i) {
+    SeqExample ex;
+    for (int t = 0; t < 24; ++t) {
+      ex.tokens.push_back(static_cast<int>(rng.NextBounded(64)));
+    }
+    ex.target = static_cast<double>(rng.NextBounded(40));
+    seq.examples.push_back(std::move(ex));
+  }
+  TabularDataset tab;
+  for (int i = 0; i < 160; ++i) {
+    FeatureVec x;
+    for (int j = 0; j < 6; ++j) {
+      x.push_back(rng.NextDouble());
+    }
+    tab.y.push_back(x[0] * 3 + x[1] - x[2] * x[3]);
+    tab.x.push_back(std::move(x));
+  }
+  PredictorOptions popts;
+  popts.train_programs = 40;  // reduced corpus: a trajectory row, not a figure
+  popts.lstm.epochs = 2;
+  popts.lstm.hidden = 16;
+  popts.lstm.batch_size = 8;
+  popts.synth.profile = bench::CorpusProfile(bench::ElementCorpus());
+  int wide = NumThreads();
+  for (int threads : {1, wide}) {
+    SetNumThreads(threads);
+    LstmOptions opts;
+    opts.epochs = 4;
+    opts.hidden = 24;
+    opts.batch_size = 8;
+    double lstm_ms = time_ms([&] {
+      LstmRegressor lstm(opts);
+      lstm.Fit(seq);
+    });
+    double automl_ms = time_ms([&] { AutoMlRegression(tab); });
+    ClearNicCompileCache();  // both passes pay the same compile cost
+    double predictor_ms = time_ms([&] {
+      InstructionPredictor pred(popts);
+      pred.Train();
+    });
+    rows.Row().Str("phase", "lstm_fit").Num("threads", threads).Num("ms", lstm_ms);
+    rows.Row().Str("phase", "automl_fit").Num("threads", threads).Num("ms", automl_ms);
+    rows.Row().Str("phase", "predictor_train").Num("threads", threads).Num("ms", predictor_ms);
+  }
+  SetNumThreads(wide);
+}
+
 }  // namespace clara
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  clara::bench::InitBenchThreads(argc, argv);
+  // Drop --threads= before handing argv to google-benchmark: it rejects
+  // flags it does not recognize.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) != 0) {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  clara::EmitParallelComparison();
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include "src/lang/interp.h"
 #include "src/nic/backend.h"
 #include "src/nic/demand.h"
+#include "src/util/parallel.h"
 
 namespace clara {
 
@@ -86,34 +87,67 @@ void ColocationRanker::Train(const PerfModel& model, const WorkloadSpec& workloa
   Rng rng(opts_.seed);
   std::vector<Program> programs = SynthesizeCorpus(opts_.train_nfs, opts_.synth, opts_.seed);
 
-  // Profile each NF once to build its demand.
+  // Profile each NF once to build its demand. Each program is independent, so
+  // the profile runs fan out across the pool; results are collected (and
+  // failed instantiations dropped) in program order to match a serial run.
+  struct MaybeDemand {
+    bool ok = false;
+    NfDemand demand;
+  };
+  std::vector<MaybeDemand> profiled =
+      ParallelMap<MaybeDemand>(programs.size(), [&](size_t i) {
+        MaybeDemand out;
+        NfInstance nf(std::move(programs[i]));
+        if (!nf.ok()) {
+          return out;
+        }
+        NicProgram nic = CompileToNicCached(nf.module());
+        Trace trace = GenerateTrace(workload, 600);
+        for (auto& pkt : trace.packets) {
+          nf.Process(pkt);
+        }
+        out.demand = BuildDemand(nf.module(), nic, nf.profile(), workload, model.config());
+        out.ok = true;
+        return out;
+      });
   std::vector<NfDemand> demands;
-  for (auto& prog : programs) {
-    NfInstance nf(std::move(prog));
-    if (!nf.ok()) {
-      continue;
+  demands.reserve(profiled.size());
+  for (MaybeDemand& md : profiled) {
+    if (md.ok) {
+      demands.push_back(std::move(md.demand));
     }
-    NicProgram nic = CompileToNic(nf.module());
-    Trace trace = GenerateTrace(workload, 600);
-    for (auto& pkt : trace.packets) {
-      nf.Process(pkt);
-    }
-    demands.push_back(BuildDemand(nf.module(), nic, nf.profile(), workload, model.config()));
   }
   if (demands.size() < opts_.group_size) {
     return;
   }
 
   // Sample groups of candidate pairings; relevance = measured friendliness.
-  std::vector<RankGroup> groups;
+  // The rng draws stay serial (one shared stream decides the pairings), then
+  // the expensive pair measurements fan out and are assembled in draw order.
+  struct PairDraw {
+    size_t anchor = 0;
+    size_t other = 0;
+  };
+  std::vector<PairDraw> draws;
+  draws.reserve(opts_.train_groups * opts_.group_size);
   for (size_t g = 0; g < opts_.train_groups; ++g) {
-    RankGroup group;
     size_t anchor = rng.NextBounded(demands.size());
     for (size_t i = 0; i < opts_.group_size; ++i) {
-      size_t other = rng.NextBounded(demands.size());
-      PairOutcome outcome = MeasurePair(model, demands[anchor], demands[other]);
-      group.items.push_back(PairFeatures(demands[anchor], demands[other]));
-      group.relevance.push_back(outcome.Friendliness(opts_.objective));
+      draws.push_back(PairDraw{anchor, rng.NextBounded(demands.size())});
+    }
+  }
+  std::vector<double> relevance = ParallelMap<double>(draws.size(), [&](size_t i) {
+    PairOutcome outcome = MeasurePair(model, demands[draws[i].anchor], demands[draws[i].other]);
+    return outcome.Friendliness(opts_.objective);
+  });
+  std::vector<RankGroup> groups;
+  groups.reserve(opts_.train_groups);
+  for (size_t g = 0; g < opts_.train_groups; ++g) {
+    RankGroup group;
+    for (size_t i = 0; i < opts_.group_size; ++i) {
+      size_t idx = g * opts_.group_size + i;
+      group.items.push_back(PairFeatures(demands[draws[idx].anchor], demands[draws[idx].other]));
+      group.relevance.push_back(relevance[idx]);
     }
     groups.push_back(std::move(group));
   }

@@ -4,6 +4,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
+#include "src/util/parallel.h"
 
 namespace clara {
 
@@ -25,23 +26,41 @@ void InstructionPredictor::Train() {
   }();
   dataset_ = SeqDataset{};
   {
-    // Lower + compile the synthetic corpus to get ground-truth labels.
+    // Lower + compile the synthetic corpus to get ground-truth labels. The
+    // lower/compile pass is data-parallel across programs (with the backend
+    // memo absorbing repeat corpora); the vocabulary encode stays serial and
+    // in corpus order because token interning is order-sensitive — this keeps
+    // the dataset, and therefore the trained model, bit-identical to a fully
+    // serial run at any thread count.
     obs::StageTimer t("core.predictor.label", "core.predictor.stage_ms.label");
-    for (auto& prog : corpus) {
-      LowerResult lr = LowerProgram(prog);
-      if (!lr.ok) {
-        continue;  // synthesized programs always lower; defensive
+    struct Labeled {
+      bool ok = false;
+      LowerResult lr;
+      NicProgram nic;
+    };
+    std::vector<Labeled> labeled = ParallelMap<Labeled>(corpus.size(), [&](size_t i) {
+      Labeled out;
+      out.lr = LowerProgram(corpus[i]);
+      if (!out.lr.ok) {
+        return out;  // synthesized programs always lower; defensive
       }
-      NicProgram nic = CompileToNic(lr.module, opts_.backend);
-      const Function& f = lr.module.functions[0];
+      out.nic = CompileToNicCached(out.lr.module, opts_.backend);
+      out.ok = true;
+      return out;
+    });
+    for (const Labeled& lab : labeled) {
+      if (!lab.ok) {
+        continue;
+      }
+      const Function& f = lab.lr.module.functions[0];
       for (size_t b = 0; b < f.blocks.size(); ++b) {
         const BasicBlock& blk = f.blocks[b];
         if (blk.instrs.size() < 2) {
           continue;  // trivial terminator-only blocks carry no signal
         }
         SeqExample ex;
-        ex.tokens = vocab_.Encode(blk, lr.module, opts_.abstraction);
-        ex.target = static_cast<double>(nic.blocks[b].counts.compute);
+        ex.tokens = vocab_.Encode(blk, lab.lr.module, opts_.abstraction);
+        ex.target = static_cast<double>(lab.nic.blocks[b].counts.compute);
         dataset_.examples.push_back(std::move(ex));
       }
     }

@@ -5,6 +5,7 @@
 
 #include "src/lang/interp.h"
 #include "src/nic/backend.h"
+#include "src/util/parallel.h"
 #include "src/workload/workload.h"
 
 namespace clara {
@@ -41,12 +42,20 @@ void ScaleOutAdvisor::Train(const PerfModel& model, const std::vector<WorkloadSp
   std::vector<Program> programs =
       SynthesizeCorpus(opts_.train_programs, opts_.synth, opts_.seed);
   dataset_ = TabularDataset{};
-  for (auto& prog : programs) {
-    NfInstance nf(std::move(prog));
+  // Each program's profile + schedule sweep is independent: fan the corpus
+  // out across the pool and splice the rows back in program order, so the
+  // dataset matches a serial run exactly.
+  struct ProgramRows {
+    std::vector<FeatureVec> x;
+    std::vector<double> y;
+  };
+  std::vector<ProgramRows> rows = ParallelMap<ProgramRows>(programs.size(), [&](size_t i) {
+    ProgramRows out;
+    NfInstance nf(std::move(programs[i]));
     if (!nf.ok()) {
-      continue;
+      return out;
     }
-    NicProgram nic = CompileToNic(nf.module());
+    NicProgram nic = CompileToNicCached(nf.module());
     for (const auto& w : workloads) {
       nf.ResetState();
       nf.ResetProfile();
@@ -58,8 +67,15 @@ void ScaleOutAdvisor::Train(const PerfModel& model, const std::vector<WorkloadSp
       // "Schedule" sweep: the training label is the measured-optimal core
       // count on the NIC.
       int optimal = model.OptimalCores(demand);
-      dataset_.x.push_back(Features(demand));
-      dataset_.y.push_back(optimal);
+      out.x.push_back(Features(demand));
+      out.y.push_back(optimal);
+    }
+    return out;
+  });
+  for (ProgramRows& r : rows) {
+    for (size_t k = 0; k < r.x.size(); ++k) {
+      dataset_.x.push_back(std::move(r.x[k]));
+      dataset_.y.push_back(r.y[k]);
     }
   }
   gbdt_ = GbdtRegressor(opts_.gbdt);

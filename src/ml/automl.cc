@@ -8,20 +8,39 @@
 #include "src/ml/knn.h"
 #include "src/ml/mlp.h"
 #include "src/ml/tree.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/util/parallel.h"
 
 namespace clara {
 namespace {
 
-// Splits [0, n) into `folds` contiguous validation ranges.
+// Index view of one fold: [lo, hi) validates, the rest trains.
+struct FoldSpan {
+  size_t lo = 0;
+  size_t hi = 0;
+};
+
+FoldSpan FoldRange(size_t n, int fold, int folds) {
+  return FoldSpan{n * fold / folds, n * (fold + 1) / folds};
+}
+
+// Splits [0, n) into `folds` contiguous validation ranges. Both halves are
+// reserved to their exact sizes, so k-fold CV does one allocation per half
+// instead of O(n) vector regrowth.
 std::pair<TabularDataset, TabularDataset> Split(const TabularDataset& data, int fold,
                                                 int folds) {
   TabularDataset train;
   TabularDataset valid;
   size_t n = data.size();
-  size_t lo = n * fold / folds;
-  size_t hi = n * (fold + 1) / folds;
+  FoldSpan span = FoldRange(n, fold, folds);
+  size_t n_valid = span.hi - span.lo;
+  valid.x.reserve(n_valid);
+  valid.y.reserve(n_valid);
+  train.x.reserve(n - n_valid);
+  train.y.reserve(n - n_valid);
   for (size_t i = 0; i < n; ++i) {
-    if (i >= lo && i < hi) {
+    if (i >= span.lo && i < span.hi) {
       valid.x.push_back(data.x[i]);
       valid.y.push_back(data.y[i]);
     } else {
@@ -30,6 +49,18 @@ std::pair<TabularDataset, TabularDataset> Split(const TabularDataset& data, int 
     }
   }
   return {std::move(train), std::move(valid)};
+}
+
+// One (candidate, fold) cell of the CV grid.
+struct CvCell {
+  double err = 0;  // absolute error sum (regression) / error count (classif.)
+  int count = 0;
+};
+
+void RecordGridMetrics(size_t cells) {
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter("ml.automl.cv_cells").Add(cells);
+  }
 }
 
 }  // namespace
@@ -62,29 +93,45 @@ std::unique_ptr<Regressor> AutoMlRegression(const TabularDataset& data, AutoMlRe
     });
   }
 
+  // Fan the candidate x fold grid out across the pool: every cell trains an
+  // independent model on its own fold copy. Scores are folded back in
+  // (candidate, fold) order, so the selected pipeline never depends on the
+  // thread count.
+  size_t n_cells = candidates.size() * static_cast<size_t>(folds);
+  RecordGridMetrics(n_cells);
+  std::vector<CvCell> cells = ParallelMap<CvCell>(n_cells, [&](size_t idx) {
+    CvCell cell;
+    size_t ci = idx / folds;
+    int f = static_cast<int>(idx % folds);
+    auto [train, valid] = Split(data, f, folds);
+    if (train.size() == 0 || valid.size() == 0) {
+      return cell;
+    }
+    auto model = candidates[ci].second();
+    model->Fit(train);
+    for (size_t i = 0; i < valid.size(); ++i) {
+      cell.err += std::abs(model->Predict(valid.x[i]) - valid.y[i]);
+      ++cell.count;
+    }
+    return cell;
+  });
+
   std::string best_desc;
   Factory best_factory;
   double best_err = 1e300;
-  for (const auto& [desc, factory] : candidates) {
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
     double err = 0;
     int count = 0;
     for (int f = 0; f < folds; ++f) {
-      auto [train, valid] = Split(data, f, folds);
-      if (train.size() == 0 || valid.size() == 0) {
-        continue;
-      }
-      auto model = factory();
-      model->Fit(train);
-      for (size_t i = 0; i < valid.size(); ++i) {
-        err += std::abs(model->Predict(valid.x[i]) - valid.y[i]);
-        ++count;
-      }
+      const CvCell& cell = cells[ci * folds + f];
+      err += cell.err;
+      count += cell.count;
     }
     double mae = count > 0 ? err / count : 1e300;
     if (mae < best_err) {
       best_err = mae;
-      best_desc = desc;
-      best_factory = factory;
+      best_desc = candidates[ci].first;
+      best_factory = candidates[ci].second;
     }
   }
   if (report != nullptr) {
@@ -116,29 +163,41 @@ std::unique_ptr<Classifier> AutoMlClassification(const TabularDataset& data, int
   });
   candidates.emplace_back("mlp", [] { return std::make_unique<MlpClassifier>(); });
 
+  size_t n_cells = candidates.size() * static_cast<size_t>(folds);
+  RecordGridMetrics(n_cells);
+  std::vector<CvCell> cells = ParallelMap<CvCell>(n_cells, [&](size_t idx) {
+    CvCell cell;
+    size_t ci = idx / folds;
+    int f = static_cast<int>(idx % folds);
+    auto [train, valid] = Split(data, f, folds);
+    if (train.size() == 0 || valid.size() == 0) {
+      return cell;
+    }
+    auto model = candidates[ci].second();
+    model->Fit(train, num_classes);
+    for (size_t i = 0; i < valid.size(); ++i) {
+      cell.err += model->Predict(valid.x[i]) != static_cast<int>(valid.y[i]) ? 1 : 0;
+      ++cell.count;
+    }
+    return cell;
+  });
+
   std::string best_desc;
   Factory best_factory;
   double best_err = 1e300;
-  for (const auto& [desc, factory] : candidates) {
-    int errors = 0;
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    double errors = 0;
     int count = 0;
     for (int f = 0; f < folds; ++f) {
-      auto [train, valid] = Split(data, f, folds);
-      if (train.size() == 0 || valid.size() == 0) {
-        continue;
-      }
-      auto model = factory();
-      model->Fit(train, num_classes);
-      for (size_t i = 0; i < valid.size(); ++i) {
-        errors += model->Predict(valid.x[i]) != static_cast<int>(valid.y[i]) ? 1 : 0;
-        ++count;
-      }
+      const CvCell& cell = cells[ci * folds + f];
+      errors += cell.err;
+      count += cell.count;
     }
-    double rate = count > 0 ? static_cast<double>(errors) / count : 1e300;
+    double rate = count > 0 ? errors / count : 1e300;
     if (rate < best_err) {
       best_err = rate;
-      best_desc = desc;
-      best_factory = factory;
+      best_desc = candidates[ci].first;
+      best_factory = candidates[ci].second;
     }
   }
   if (report != nullptr) {

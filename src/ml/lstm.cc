@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "src/ml/kernels.h"
 #include "src/ml/metrics.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
+#include "src/util/parallel.h"
 
 namespace clara {
 namespace {
@@ -39,75 +42,240 @@ struct AdamVec {
 
 }  // namespace
 
+// Flat, preallocated forward activations: one contiguous buffer per kind,
+// indexed by [t * dim + j]. Prepare() is called once per workspace and the
+// buffers are reused for every sequence, so the BPTT hot loop never touches
+// the allocator.
 struct LstmRegressor::Trace {
-  std::vector<int> x;                       // token per step
-  std::vector<std::vector<double>> gates;   // per step: i,f,g,o (4H)
-  std::vector<std::vector<double>> c;       // per step cell state (H)
-  std::vector<std::vector<double>> h;       // per step hidden (H)
-  std::vector<double> fc_hidden;            // post-relu FC activations (F)
-  std::vector<double> fc_pre;               // pre-relu FC activations (F)
+  int len = 0;
+  std::vector<int> x;            // len
+  std::vector<double> gates;     // len x 4H (i, f, g, o)
+  std::vector<double> c;         // len x H
+  std::vector<double> h;         // len x H
+  std::vector<double> fc_pre;    // F
+  std::vector<double> fc_hidden; // F
+  std::vector<double> h_cur;     // H scratch
+  std::vector<double> c_cur;     // H scratch
+  std::vector<double> pre;       // 4H scratch
   double y = 0;
+
+  void Prepare(int max_len, int h_dim, int f_dim) {
+    x.resize(max_len);
+    gates.resize(static_cast<size_t>(max_len) * 4 * h_dim);
+    c.resize(static_cast<size_t>(max_len) * h_dim);
+    h.resize(static_cast<size_t>(max_len) * h_dim);
+    fc_pre.resize(f_dim);
+    fc_hidden.resize(f_dim);
+    h_cur.resize(h_dim);
+    c_cur.resize(h_dim);
+    pre.resize(4 * h_dim);
+  }
+};
+
+// One parameter-shaped gradient accumulator.
+struct LstmRegressor::Grads {
+  std::vector<double> wx, wh, b, w1, b1, w2;
+  double b2 = 0;
+
+  void Init(const Params& p) {
+    wx.assign(p.wx.size(), 0.0);
+    wh.assign(p.wh.size(), 0.0);
+    b.assign(p.b.size(), 0.0);
+    w1.assign(p.w1.size(), 0.0);
+    b1.assign(p.b1.size(), 0.0);
+    w2.assign(p.w2.size(), 0.0);
+    b2 = 0;
+  }
+
+  void Zero() {
+    std::fill(wx.begin(), wx.end(), 0.0);
+    std::fill(wh.begin(), wh.end(), 0.0);
+    std::fill(b.begin(), b.end(), 0.0);
+    std::fill(w1.begin(), w1.end(), 0.0);
+    std::fill(b1.begin(), b1.end(), 0.0);
+    std::fill(w2.begin(), w2.end(), 0.0);
+    b2 = 0;
+  }
+
+  // acc += other, in fixed order; used for the ordered batch reduction.
+  void Accum(const Grads& o) {
+    kernels::Axpy(wx.data(), 1.0, o.wx.data(), static_cast<int>(wx.size()));
+    kernels::Axpy(wh.data(), 1.0, o.wh.data(), static_cast<int>(wh.size()));
+    kernels::Axpy(b.data(), 1.0, o.b.data(), static_cast<int>(b.size()));
+    kernels::Axpy(w1.data(), 1.0, o.w1.data(), static_cast<int>(w1.size()));
+    kernels::Axpy(b1.data(), 1.0, o.b1.data(), static_cast<int>(b1.size()));
+    kernels::Axpy(w2.data(), 1.0, o.w2.data(), static_cast<int>(w2.size()));
+    b2 += o.b2;
+  }
+
+  void Scale(double s) {
+    for (auto* v : {&wx, &wh, &b, &w1, &b1, &w2}) {
+      for (double& g : *v) {
+        g *= s;
+      }
+    }
+    b2 *= s;
+  }
+};
+
+// Per-batch-slot scratch: trace, gradient buffer, and BPTT temporaries. One
+// workspace per in-flight example, so the data-parallel gradient pass shares
+// nothing but the (read-only) parameters.
+struct LstmRegressor::Workspace {
+  Trace tr;
+  Grads grads;
+  std::vector<double> dh, dc, dpre;
+  double loss = 0;
+
+  void Prepare(const Params& p, int max_len, int h_dim, int f_dim) {
+    tr.Prepare(max_len, h_dim, f_dim);
+    grads.Init(p);
+    dh.resize(h_dim);
+    dc.resize(h_dim);
+    dpre.resize(4 * h_dim);
+  }
 };
 
 double LstmRegressor::Forward(const std::vector<int>& tokens, Trace* trace) const {
-  int h_dim = opts_.hidden;
-  int f_dim = opts_.fc_hidden;
-  std::vector<double> h(h_dim, 0.0);
-  std::vector<double> c(h_dim, 0.0);
+  const int h_dim = opts_.hidden;
+  const int f_dim = opts_.fc_hidden;
+  // Inference (trace == nullptr) uses small local buffers so Predict stays
+  // const and safe to call concurrently from parallel loops.
+  std::vector<double> local_h, local_c, local_pre, local_fc;
+  double* h;
+  double* c;
+  double* pre;
+  if (trace != nullptr) {
+    h = trace->h_cur.data();
+    c = trace->c_cur.data();
+    pre = trace->pre.data();
+  } else {
+    local_h.resize(h_dim);
+    local_c.resize(h_dim);
+    local_pre.resize(4 * h_dim);
+    local_fc.resize(2 * f_dim);
+    h = local_h.data();
+    c = local_c.data();
+    pre = local_pre.data();
+  }
+  std::fill(h, h + h_dim, 0.0);
+  std::fill(c, c + h_dim, 0.0);
+
   size_t len = std::min<size_t>(tokens.size(), opts_.max_seq_len);
   for (size_t t = 0; t < len; ++t) {
     int x = tokens[t];
     if (x < 0 || x >= vocab_) {
       x = 0;
     }
-    std::vector<double> pre(4 * h_dim);
-    for (int k = 0; k < 4 * h_dim; ++k) {
-      double s = p_.wx[static_cast<size_t>(k) * vocab_ + x] + p_.b[k];
-      const double* wh_row = &p_.wh[static_cast<size_t>(k) * h_dim];
-      for (int j = 0; j < h_dim; ++j) {
-        s += wh_row[j] * h[j];
-      }
-      pre[k] = s;
-    }
-    std::vector<double> gates(4 * h_dim);
+    // pre = Wh h + b + Wx[:, x]  (one-hot input == column gather).
+    kernels::GemvBias(pre, p_.wh.data(), h, nullptr, 4 * h_dim, h_dim);
+    kernels::OneHotGatherAdd(pre, p_.wx.data(), p_.b.data(), x, 4 * h_dim, vocab_);
+    double* gates = trace != nullptr ? &trace->gates[t * 4 * h_dim] : pre;
     for (int j = 0; j < h_dim; ++j) {
-      gates[j] = Sigmoid(pre[j]);                       // input gate
-      gates[h_dim + j] = Sigmoid(pre[h_dim + j]);       // forget gate
-      gates[2 * h_dim + j] = std::tanh(pre[2 * h_dim + j]);  // candidate
-      gates[3 * h_dim + j] = Sigmoid(pre[3 * h_dim + j]);    // output gate
-    }
-    for (int j = 0; j < h_dim; ++j) {
-      c[j] = gates[h_dim + j] * c[j] + gates[j] * gates[2 * h_dim + j];
-      h[j] = gates[3 * h_dim + j] * std::tanh(c[j]);
+      double i_g = Sigmoid(pre[j]);                         // input gate
+      double f_g = Sigmoid(pre[h_dim + j]);                 // forget gate
+      double g_g = std::tanh(pre[2 * h_dim + j]);           // candidate
+      double o_g = Sigmoid(pre[3 * h_dim + j]);             // output gate
+      gates[j] = i_g;
+      gates[h_dim + j] = f_g;
+      gates[2 * h_dim + j] = g_g;
+      gates[3 * h_dim + j] = o_g;
+      c[j] = f_g * c[j] + i_g * g_g;
+      h[j] = o_g * std::tanh(c[j]);
     }
     if (trace != nullptr) {
-      trace->x.push_back(x);
-      trace->gates.push_back(gates);
-      trace->c.push_back(c);
-      trace->h.push_back(h);
+      trace->x[t] = x;
+      std::memcpy(&trace->c[t * h_dim], c, sizeof(double) * h_dim);
+      std::memcpy(&trace->h[t * h_dim], h, sizeof(double) * h_dim);
     }
   }
+
   // FC head: relu(W1 h + b1) -> linear.
-  std::vector<double> fc_pre(f_dim);
-  std::vector<double> fc(f_dim);
+  double* fc_pre = trace != nullptr ? trace->fc_pre.data() : local_fc.data();
+  double* fc = trace != nullptr ? trace->fc_hidden.data() : local_fc.data() + f_dim;
+  kernels::GemvBias(fc_pre, p_.w1.data(), h, p_.b1.data(), f_dim, h_dim);
   for (int f = 0; f < f_dim; ++f) {
-    double s = p_.b1[f];
-    for (int j = 0; j < h_dim; ++j) {
-      s += p_.w1[static_cast<size_t>(f) * h_dim + j] * h[j];
-    }
-    fc_pre[f] = s;
-    fc[f] = s > 0 ? s : 0;
+    fc[f] = fc_pre[f] > 0 ? fc_pre[f] : 0;
   }
-  double y = p_.b2;
-  for (int f = 0; f < f_dim; ++f) {
-    y += p_.w2[f] * fc[f];
-  }
+  double y = p_.b2 + kernels::Dot(p_.w2.data(), fc, f_dim);
   if (trace != nullptr) {
-    trace->fc_pre = fc_pre;
-    trace->fc_hidden = fc;
+    trace->len = static_cast<int>(len);
     trace->y = y;
   }
   return y;
+}
+
+double LstmRegressor::ExampleGradient(const SeqExample& ex, Workspace& ws) const {
+  const int h_dim = opts_.hidden;
+  const int f_dim = opts_.fc_hidden;
+  Trace& tr = ws.tr;
+  Grads& g = ws.grads;
+  g.Zero();
+
+  double y = Forward(ex.tokens, &tr);
+  double target = ex.target / y_scale_;
+  double dy = y - target;  // dLoss/dy for 0.5*(y-t)^2
+  g.b2 = dy;
+
+  const int len = tr.len;
+  double* dh = ws.dh.data();
+  double* dc = ws.dc.data();
+  double* dpre = ws.dpre.data();
+  std::fill(dh, dh + h_dim, 0.0);
+  std::fill(dc, dc + h_dim, 0.0);
+
+  // tr.h_cur holds the final hidden state (all zeros for empty sequences).
+  const double* h_last = tr.h_cur.data();
+  // FC head gradients.
+  for (int f = 0; f < f_dim; ++f) {
+    g.w2[f] = dy * tr.fc_hidden[f];
+    double dfc = dy * p_.w2[f];
+    if (tr.fc_pre[f] <= 0) {
+      dfc = 0;
+    }
+    g.b1[f] = dfc;
+    kernels::AxpyDual(&g.w1[static_cast<size_t>(f) * h_dim], dh,
+                      &p_.w1[static_cast<size_t>(f) * h_dim], h_last, dfc, h_dim);
+  }
+  // BPTT over the preallocated trace.
+  for (int t = len - 1; t >= 0; --t) {
+    const double* gates = &tr.gates[static_cast<size_t>(t) * 4 * h_dim];
+    const double* c_t = &tr.c[static_cast<size_t>(t) * h_dim];
+    const double* c_prev = t > 0 ? &tr.c[static_cast<size_t>(t - 1) * h_dim] : nullptr;
+    const double* h_prev = t > 0 ? &tr.h[static_cast<size_t>(t - 1) * h_dim] : nullptr;
+    for (int j = 0; j < h_dim; ++j) {
+      double i_g = gates[j];
+      double f_g = gates[h_dim + j];
+      double g_g = gates[2 * h_dim + j];
+      double o_g = gates[3 * h_dim + j];
+      double tc = std::tanh(c_t[j]);
+      double dc_total = dc[j] + dh[j] * o_g * (1 - tc * tc);
+      double do_g = dh[j] * tc;
+      double di = dc_total * g_g;
+      double df = dc_total * (c_prev != nullptr ? c_prev[j] : 0.0);
+      double dg = dc_total * i_g;
+      dpre[j] = di * i_g * (1 - i_g);
+      dpre[h_dim + j] = df * f_g * (1 - f_g);
+      dpre[2 * h_dim + j] = dg * (1 - g_g * g_g);
+      dpre[3 * h_dim + j] = do_g * o_g * (1 - o_g);
+      dc[j] = dc_total * f_g;  // propagate to t-1
+    }
+    std::fill(dh, dh + h_dim, 0.0);
+    int x = tr.x[t];
+    for (int k = 0; k < 4 * h_dim; ++k) {
+      double d = dpre[k];
+      g.b[k] += d;
+      g.wx[static_cast<size_t>(k) * vocab_ + x] += d;
+      const double* wh_row = &p_.wh[static_cast<size_t>(k) * h_dim];
+      if (h_prev != nullptr) {
+        kernels::AxpyDual(&g.wh[static_cast<size_t>(k) * h_dim], dh, wh_row, h_prev, d,
+                          h_dim);
+      } else {
+        kernels::Axpy(dh, d, wh_row, h_dim);
+      }
+    }
+  }
+  return 0.5 * dy * dy;
 }
 
 void LstmRegressor::Fit(const SeqDataset& data) {
@@ -145,13 +313,7 @@ void LstmRegressor::Fit(const SeqDataset& data) {
     y_scale_ = std::max(y_scale_, std::abs(ex.target));
   }
 
-  AdamVec a_wx;
-  AdamVec a_wh;
-  AdamVec a_b;
-  AdamVec a_w1;
-  AdamVec a_b1;
-  AdamVec a_w2;
-  AdamVec a_b2;
+  AdamVec a_wx, a_wh, a_b, a_w1, a_b1, a_w2, a_b2;
   a_wx.Init(p_.wx.size());
   a_wh.Init(p_.wh.size());
   a_b.Init(p_.b.size());
@@ -160,103 +322,48 @@ void LstmRegressor::Fit(const SeqDataset& data) {
   a_w2.Init(p_.w2.size());
   a_b2.Init(1);
 
-  std::vector<double> g_wx(p_.wx.size());
-  std::vector<double> g_wh(p_.wh.size());
-  std::vector<double> g_b(p_.b.size());
-  std::vector<double> g_w1(p_.w1.size());
-  std::vector<double> g_b1(p_.b1.size());
-  std::vector<double> g_w2(p_.w2.size());
+  const size_t batch = static_cast<size_t>(std::max(1, opts_.batch_size));
+  std::vector<Workspace> ws(batch);
+  for (auto& w : ws) {
+    w.Prepare(p_, opts_.max_seq_len, h_dim, f_dim);
+  }
+  // Batch-level accumulator (slot gradients are folded in example order, so
+  // the update is independent of how the pool schedules the slots).
+  Grads acc;
+  acc.Init(p_);
   std::vector<double> g_b2(1);
 
   double adam_t = 0;
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
     double epoch_sse = 0;
-    for (size_t si : rng.Permutation(data.examples.size())) {
-      const SeqExample& ex = data.examples[si];
-      Trace tr;
-      double y = Forward(ex.tokens, &tr);
-      double target = ex.target / y_scale_;
-      double dy = y - target;  // dLoss/dy for 0.5*(y-t)^2
-      epoch_sse += 0.5 * dy * dy;
-
-      std::fill(g_wx.begin(), g_wx.end(), 0.0);
-      std::fill(g_wh.begin(), g_wh.end(), 0.0);
-      std::fill(g_b.begin(), g_b.end(), 0.0);
-      std::fill(g_w1.begin(), g_w1.end(), 0.0);
-      std::fill(g_b1.begin(), g_b1.end(), 0.0);
-      std::fill(g_w2.begin(), g_w2.end(), 0.0);
-      g_b2[0] = dy;
-
-      size_t len = tr.x.size();
-      std::vector<double> dh(h_dim, 0.0);
-      std::vector<double> dc(h_dim, 0.0);
-      std::vector<double> h_last =
-          len > 0 ? tr.h.back() : std::vector<double>(h_dim, 0.0);
-      // FC head gradients.
-      for (int f = 0; f < f_dim; ++f) {
-        g_w2[f] = dy * tr.fc_hidden[f];
-        double dfc = dy * p_.w2[f];
-        if (tr.fc_pre[f] <= 0) {
-          dfc = 0;
+    std::vector<size_t> perm = rng.Permutation(data.examples.size());
+    for (size_t start = 0; start < perm.size(); start += batch) {
+      size_t bn = std::min(batch, perm.size() - start);
+      // Data-parallel gradient pass: one workspace per example slot.
+      ParallelForGrain(bn, 1, [&](size_t s) {
+        ws[s].loss = ExampleGradient(data.examples[perm[start + s]], ws[s]);
+      });
+      Grads* grad = &ws[0].grads;
+      if (bn > 1) {
+        acc.Zero();
+        for (size_t s = 0; s < bn; ++s) {
+          acc.Accum(ws[s].grads);
         }
-        g_b1[f] = dfc;
-        for (int j = 0; j < h_dim; ++j) {
-          g_w1[static_cast<size_t>(f) * h_dim + j] = dfc * h_last[j];
-          dh[j] += dfc * p_.w1[static_cast<size_t>(f) * h_dim + j];
-        }
+        acc.Scale(1.0 / static_cast<double>(bn));
+        grad = &acc;
       }
-      // BPTT.
-      for (int t = static_cast<int>(len) - 1; t >= 0; --t) {
-        const auto& gates = tr.gates[t];
-        const auto& c_t = tr.c[t];
-        const std::vector<double>* c_prev = t > 0 ? &tr.c[t - 1] : nullptr;
-        const std::vector<double>* h_prev = t > 0 ? &tr.h[t - 1] : nullptr;
-        std::vector<double> dpre(4 * h_dim);
-        for (int j = 0; j < h_dim; ++j) {
-          double i_g = gates[j];
-          double f_g = gates[h_dim + j];
-          double g_g = gates[2 * h_dim + j];
-          double o_g = gates[3 * h_dim + j];
-          double tc = std::tanh(c_t[j]);
-          double dc_total = dc[j] + dh[j] * o_g * (1 - tc * tc);
-          double do_g = dh[j] * tc;
-          double di = dc_total * g_g;
-          double df = dc_total * (c_prev != nullptr ? (*c_prev)[j] : 0.0);
-          double dg = dc_total * i_g;
-          dpre[j] = di * i_g * (1 - i_g);
-          dpre[h_dim + j] = df * f_g * (1 - f_g);
-          dpre[2 * h_dim + j] = dg * (1 - g_g * g_g);
-          dpre[3 * h_dim + j] = do_g * o_g * (1 - o_g);
-          dc[j] = dc_total * f_g;  // propagate to t-1
-        }
-        std::fill(dh.begin(), dh.end(), 0.0);
-        int x = tr.x[t];
-        for (int k = 0; k < 4 * h_dim; ++k) {
-          double d = dpre[k];
-          g_b[k] += d;
-          g_wx[static_cast<size_t>(k) * vocab_ + x] += d;
-          double* g_wh_row = &g_wh[static_cast<size_t>(k) * h_dim];
-          const double* wh_row = &p_.wh[static_cast<size_t>(k) * h_dim];
-          if (h_prev != nullptr) {
-            for (int j = 0; j < h_dim; ++j) {
-              g_wh_row[j] += d * (*h_prev)[j];
-              dh[j] += wh_row[j] * d;
-            }
-          } else {
-            for (int j = 0; j < h_dim; ++j) {
-              dh[j] += wh_row[j] * d;
-            }
-          }
-        }
+      for (size_t s = 0; s < bn; ++s) {
+        epoch_sse += ws[s].loss;
       }
 
       ++adam_t;
-      a_wx.Step(p_.wx, g_wx, opts_.learning_rate, adam_t);
-      a_wh.Step(p_.wh, g_wh, opts_.learning_rate, adam_t);
-      a_b.Step(p_.b, g_b, opts_.learning_rate, adam_t);
-      a_w1.Step(p_.w1, g_w1, opts_.learning_rate, adam_t);
-      a_b1.Step(p_.b1, g_b1, opts_.learning_rate, adam_t);
-      a_w2.Step(p_.w2, g_w2, opts_.learning_rate, adam_t);
+      a_wx.Step(p_.wx, grad->wx, opts_.learning_rate, adam_t);
+      a_wh.Step(p_.wh, grad->wh, opts_.learning_rate, adam_t);
+      a_b.Step(p_.b, grad->b, opts_.learning_rate, adam_t);
+      a_w1.Step(p_.w1, grad->w1, opts_.learning_rate, adam_t);
+      a_b1.Step(p_.b1, grad->b1, opts_.learning_rate, adam_t);
+      a_w2.Step(p_.w2, grad->w2, opts_.learning_rate, adam_t);
+      g_b2[0] = grad->b2;
       std::vector<double> b2v = {p_.b2};
       a_b2.Step(b2v, g_b2, opts_.learning_rate, adam_t);
       p_.b2 = b2v[0];
@@ -273,12 +380,12 @@ void LstmRegressor::Fit(const SeqDataset& data) {
     }
   }
 
-  std::vector<double> truth;
-  std::vector<double> pred;
-  for (const auto& ex : data.examples) {
-    truth.push_back(ex.target);
-    pred.push_back(Predict(ex.tokens));
-  }
+  std::vector<double> truth(data.examples.size());
+  std::vector<double> pred(data.examples.size());
+  ParallelFor(data.examples.size(), [&](size_t i) {
+    truth[i] = data.examples[i].target;
+    pred[i] = Predict(data.examples[i].tokens);
+  });
   train_wmape_ = Wmape(truth, pred);
 }
 

@@ -3,8 +3,15 @@
 //
 // The one-hot input (enabled by vocabulary compaction) is exploited directly:
 // the input transform is a column gather from the input weight matrix, so
-// cost is independent of vocabulary size. Training is per-sequence Adam with
-// full backpropagation through time.
+// cost is independent of vocabulary size. The forward/backward passes run on
+// the fused kernels in src/ml/kernels.h with preallocated BPTT trace buffers
+// (no per-step allocation).
+//
+// Training is Adam over minibatches of `batch_size` sequences. Per-example
+// gradients inside a batch are computed data-parallel on the shared thread
+// pool and accumulated in fixed example order, so the fitted weights are
+// bit-identical at any thread count. batch_size == 1 (the default) is the
+// paper's per-sequence SGD regime.
 #ifndef SRC_ML_LSTM_H_
 #define SRC_ML_LSTM_H_
 
@@ -22,6 +29,10 @@ struct LstmOptions {
   int max_seq_len = 96;
   double learning_rate = 0.004;  // Adam alpha
   uint64_t seed = 31;
+  // Sequences per Adam step. Gradients within a batch are averaged; values
+  // > 1 enable data-parallel gradient computation (deterministic at any
+  // thread count).
+  int batch_size = 1;
 };
 
 class LstmRegressor : public SeqRegressor {
@@ -46,9 +57,13 @@ class LstmRegressor : public SeqRegressor {
     double b2 = 0;
   };
 
-  struct Trace;  // per-sequence forward activations (defined in .cc)
+  struct Trace;      // preallocated forward activations (defined in .cc)
+  struct Grads;      // one parameter-shaped gradient buffer (defined in .cc)
+  struct Workspace;  // per-batch-slot trace + gradient scratch (defined in .cc)
 
   double Forward(const std::vector<int>& tokens, Trace* trace) const;
+  // Backprop for one example into ws.grads (zeroed first); returns the loss.
+  double ExampleGradient(const SeqExample& ex, Workspace& ws) const;
 
   LstmOptions opts_;
   int vocab_ = 0;

@@ -6,6 +6,7 @@
 #include "src/obs/bottleneck.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/util/parallel.h"
 
 namespace clara {
 
@@ -371,14 +372,22 @@ std::pair<PerfPoint, PerfPoint> PerfModel::EvaluatePair(const NfDemand& a, int c
 }
 
 int PerfModel::OptimalCores(const NfDemand& nf) const {
+  // The 1..num_cores schedule sweep is the inner loop of scale-out training
+  // (one sweep per corpus sample): evaluate every operating point in
+  // parallel, then do the argmax scan serially so tie-breaking is identical
+  // to the historical serial sweep. Nested calls (e.g. from a parallel
+  // training loop) run inline on the worker.
+  size_t n_pts = static_cast<size_t>(std::max(1, cfg_.num_cores));
+  std::vector<double> ratio =
+      ParallelMap<double>(n_pts, [&](size_t i) {
+        return Evaluate(nf, static_cast<int>(i) + 1).RatioMppsPerUs();
+      });
   int best = 1;
   double best_ratio = -1;
-  for (int n = 1; n <= cfg_.num_cores; ++n) {
-    PerfPoint p = Evaluate(nf, n);
-    double ratio = p.RatioMppsPerUs();
-    if (ratio > best_ratio * (1 + 1e-9)) {
-      best_ratio = ratio;
-      best = n;
+  for (size_t i = 0; i < n_pts; ++i) {
+    if (ratio[i] > best_ratio * (1 + 1e-9)) {
+      best_ratio = ratio[i];
+      best = static_cast<int>(i) + 1;
     }
   }
   return best;

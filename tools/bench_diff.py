@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on regressions.
+
+Each file is a JSON array of flat row objects (see bench/bench_util.h
+JsonRows). Rows are matched across the two files by their string-valued
+fields (e.g. {"phase": "lstm_fit", "threads": ...} matches on "phase"; the
+key also includes any numeric fields named in --key). For every matched row,
+each numeric metric is compared; a metric whose name suggests "bigger is
+worse" (ms, us, sec, time, cycles, bytes) regresses when it grows, anything
+else (throughput, mpps, score) regresses when it shrinks.
+
+Exit status: 0 when no metric regresses by more than --threshold (default
+10%), 1 otherwise, 2 on usage/IO errors.
+
+Usage:
+  tools/bench_diff.py baseline/BENCH_micro_kernels.json BENCH_micro_kernels.json
+  tools/bench_diff.py --threshold 0.05 --key threads old.json new.json
+  tools/bench_diff.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+# Metric-name fragments where an increase is a regression.
+COST_HINTS = ("ms", "us", "sec", "time", "cycles", "bytes", "latency", "error")
+
+
+def is_cost_metric(name):
+    lname = name.lower()
+    return any(h in lname for h in COST_HINTS)
+
+
+def row_key(row, extra_keys):
+    """Identity of a row: its string fields plus any opted-in numeric fields."""
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if isinstance(v, str) or k in extra_keys:
+            parts.append((k, str(v)))
+    return tuple(parts)
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_diff: cannot read {path}: {e}")
+    if not isinstance(data, list) or not all(isinstance(r, dict) for r in data):
+        raise SystemExit(f"bench_diff: {path}: expected a JSON array of row objects")
+    return data
+
+
+def compare(base_rows, new_rows, threshold, extra_keys):
+    """Returns (regressions, messages). Unmatched rows are reported, not fatal."""
+    base_by_key = {}
+    for row in base_rows:
+        base_by_key.setdefault(row_key(row, extra_keys), []).append(row)
+    regressions = []
+    notes = []
+    matched = 0
+    for row in new_rows:
+        key = row_key(row, extra_keys)
+        bucket = base_by_key.get(key)
+        if not bucket:
+            notes.append(f"  new row (no baseline): {dict(key)}")
+            continue
+        base = bucket.pop(0)
+        matched += 1
+        for name, new_v in row.items():
+            if not isinstance(new_v, (int, float)) or isinstance(new_v, bool):
+                continue
+            if name in extra_keys:
+                continue  # part of the identity, not a metric
+            old_v = base.get(name)
+            if not isinstance(old_v, (int, float)) or isinstance(old_v, bool):
+                continue
+            if old_v == 0:
+                continue  # no meaningful ratio
+            delta = (new_v - old_v) / abs(old_v)
+            worse = delta if is_cost_metric(name) else -delta
+            direction = "+" if delta >= 0 else ""
+            desc = (f"{dict(key)} {name}: {old_v:g} -> {new_v:g} "
+                    f"({direction}{delta * 100:.1f}%)")
+            if worse > threshold:
+                regressions.append("  REGRESSION " + desc)
+            else:
+                notes.append("  ok " + desc)
+    for key, leftovers in base_by_key.items():
+        for _ in leftovers:
+            notes.append(f"  baseline row disappeared: {dict(key)}")
+    if matched == 0:
+        regressions.append("  REGRESSION no rows matched between the two files")
+    return regressions, notes
+
+
+def self_test():
+    base = [{"phase": "fit", "threads": 1, "ms": 100.0},
+            {"phase": "fit", "threads": 8, "ms": 30.0},
+            {"phase": "sweep", "mpps": 12.0}]
+    # 5% slower: within the default 10% threshold.
+    ok_new = [{"phase": "fit", "threads": 1, "ms": 105.0},
+              {"phase": "fit", "threads": 8, "ms": 30.0},
+              {"phase": "sweep", "mpps": 12.5}]
+    reg, _ = compare(base, ok_new, 0.10, {"threads"})
+    assert not reg, reg
+    # 50% slower on one row: must regress.
+    bad_new = [{"phase": "fit", "threads": 1, "ms": 150.0},
+               {"phase": "fit", "threads": 8, "ms": 30.0},
+               {"phase": "sweep", "mpps": 12.0}]
+    reg, _ = compare(base, bad_new, 0.10, {"threads"})
+    assert len(reg) == 1, reg
+    # Throughput dropping 20% must regress too.
+    slow_new = [{"phase": "fit", "threads": 1, "ms": 100.0},
+                {"phase": "fit", "threads": 8, "ms": 30.0},
+                {"phase": "sweep", "mpps": 9.0}]
+    reg, _ = compare(base, slow_new, 0.10, {"threads"})
+    assert len(reg) == 1, reg
+    # Disjoint files: fail loudly instead of vacuously passing.
+    reg, _ = compare(base, [{"phase": "other", "ms": 1.0}], 0.10, set())
+    assert reg, "disjoint files must not pass"
+    print("bench_diff self-test: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    ap.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional regression (default 0.10 = 10%%)")
+    ap.add_argument("--key", action="append", default=[],
+                    help="numeric field to treat as row identity (repeatable)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in self test and exit")
+    ap.add_argument("-v", "--verbose", action="store_true",
+                    help="also print non-regressing comparisons")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        ap.error("baseline and candidate files are required")
+    extra_keys = set(args.key)
+    regressions, notes = compare(load_rows(args.baseline), load_rows(args.candidate),
+                                 args.threshold, extra_keys)
+    if args.verbose:
+        for n in notes:
+            print(n)
+    if regressions:
+        print(f"bench_diff: {args.candidate} vs {args.baseline}:")
+        for r in regressions:
+            print(r)
+        return 1
+    print(f"bench_diff: no regression > {args.threshold * 100:.0f}% "
+          f"({args.candidate} vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@
 //   clara_cli report aggcounter heavyhitter mazunat
 //   clara_cli insights mazunat small
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
+#include "src/util/parallel.h"
 #include "src/workload/workload.h"
 
 namespace {
@@ -59,7 +61,9 @@ int Usage() {
                "flags:\n"
                "  --trace=FILE               Chrome-trace JSON (chrome://tracing)\n"
                "  --trace-jsonl=FILE         trace events as JSONL\n"
-               "  --metrics-json=FILE        metrics registry dump as JSON\n");
+               "  --metrics-json=FILE        metrics registry dump as JSON\n"
+               "  --threads=N                worker threads for parallel phases\n"
+               "                             (default: CLARA_THREADS or all cores)\n");
   return 2;
 }
 
@@ -359,6 +363,8 @@ int main(int argc, char** argv) {
       jsonl_path = a.substr(strlen("--trace-jsonl="));
     } else if (a.rfind("--metrics-json=", 0) == 0) {
       metrics_path = a.substr(strlen("--metrics-json="));
+    } else if (a.rfind("--threads=", 0) == 0) {
+      clara::SetNumThreads(std::atoi(a.c_str() + strlen("--threads=")));
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return Usage();
