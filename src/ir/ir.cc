@@ -97,6 +97,29 @@ uint64_t StateVar::SizeBytes() const {
   return 0;
 }
 
+uint32_t StateVar::ElementCount() const {
+  switch (kind) {
+    case StateKind::kScalar:
+      return 1;
+    case StateKind::kArray:
+      return length == 0 ? 1 : length;
+    case StateKind::kMap: {
+      uint32_t n = slots != 0 ? slots : capacity;
+      return n == 0 ? 1 : n;
+    }
+  }
+  return 1;
+}
+
+uint32_t StateVar::ElementBytes() const {
+  if (kind == StateKind::kMap) {
+    uint32_t b = key_bytes + value_bytes;
+    return b == 0 ? 4 : b;
+  }
+  uint32_t b = static_cast<uint32_t>(BitWidth(elem_type)) / 8;
+  return b == 0 ? 1 : b;
+}
+
 uint32_t Function::NumInstructions() const {
   uint32_t n = 0;
   for (const auto& b : blocks) {

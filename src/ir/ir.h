@@ -119,8 +119,17 @@ struct StateVar {
   uint32_t key_bytes = 0;
   uint32_t value_bytes = 0;
   uint32_t capacity = 0;
+  // Backing-store slots for maps (bucketed NIC maps round capacity up to a
+  // whole number of buckets). Set by the AST lowering; 0 = derive from
+  // capacity/length.
+  uint32_t slots = 0;
 
   uint64_t SizeBytes() const;
+  // Number of addressable elements (scalars: 1, arrays: length, maps: the
+  // probe-loop slot count).
+  uint32_t ElementCount() const;
+  // Bytes per addressable element.
+  uint32_t ElementBytes() const;
 };
 
 // A packet field exposed to NF programs (e.g. "ip.src").

@@ -54,6 +54,14 @@ class SimMap {
   size_t slot_count() const { return slot_count_; }
   void Clear();
 
+  // Slot-level inspection for the differential harness (src/nic/diff.h),
+  // which compares SimMap contents field-by-field against the lowered
+  // backing-store byte image.
+  size_t num_keys() const { return nkeys_; }
+  size_t num_values() const { return nvals_; }
+  uint64_t KeyAt(size_t slot, size_t k) const { return keys_[slot * nkeys_ + k]; }
+  uint64_t ValueAt(size_t slot, size_t v) const { return values_[slot * nvals_ + v]; }
+
  private:
   struct Probe {
     uint64_t start;

@@ -63,6 +63,18 @@ class Lowerer {
         sv.key_bytes = sd.KeyBytes();
         sv.value_bytes = sd.ValueBytes();
         sv.capacity = sd.capacity;
+        // Backing-store slot count, mirroring SimMap: bucketed NIC maps round
+        // capacity up to whole buckets; host maps probe the raw capacity.
+        if (sd.impl == MapImpl::kNicFixedBucket) {
+          uint32_t spb = sd.slots_per_bucket == 0 ? 1 : sd.slots_per_bucket;
+          uint32_t buckets = (sd.capacity + spb - 1) / spb;
+          if (buckets == 0) {
+            buckets = 1;
+          }
+          sv.slots = buckets * spb;
+        } else {
+          sv.slots = sd.capacity == 0 ? 1 : sd.capacity;
+        }
       }
       r.module.state.push_back(sv);
     }

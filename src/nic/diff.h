@@ -1,0 +1,54 @@
+// Differential execution harness: AST interpreter vs IR reference
+// interpreter vs compiled NIC ISA.
+//
+// The three runners share no code on their hot paths — the AST interpreter
+// (src/lang/interp.h) walks the program tree, the IR interpreter
+// (src/nic/exec.h) executes the lowering's output, and the NIC executor runs
+// the backend's machine code. RunDifferential feeds all three the same
+// packet sequence from identical initial state and reports the first point
+// where any pair disagrees on:
+//   - per-packet output: verdict, out port, every header field, payload
+//     prefix, and metadata writes;
+//   - final state: scalars, arrays, and map backing stores (field-by-field
+//     against SimMap, byte-for-byte between the IR and NIC images).
+//
+// A disagreement is a compiler bug by construction (the AST interpreter is
+// the specification); the fuzzer (tools/clara_fuzz.cc) drives this over
+// synthesized programs and shrinks any failure it finds.
+#ifndef SRC_NIC_DIFF_H_
+#define SRC_NIC_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/nf/packet.h"
+
+namespace clara {
+
+struct DiffResult {
+  bool ok = false;
+  // Lowering/type-check failed — the program never ran, so this is not a
+  // semantic mismatch (shrinking treats such candidates as uninteresting).
+  bool setup_failed = false;
+  // Human-readable description of the first divergence.
+  std::string detail;
+  // Packet index where the divergence surfaced; -1 for setup failures and
+  // final-state divergences.
+  int packet_index = -1;
+  uint64_t packets_run = 0;
+};
+
+// Runs `prog` over `packets` three ways and cross-checks outputs and final
+// state. The program is cloned internally; `prog` is not mutated.
+DiffResult RunDifferential(const Program& prog, const std::vector<Packet>& packets);
+
+// Field-by-field packet comparison; returns a description of the first
+// differing field ("" if identical). `a_name`/`b_name` label the two sides
+// in the message.
+std::string ComparePackets(const Packet& a, const Packet& b,
+                           const std::string& a_name, const std::string& b_name);
+
+}  // namespace clara
+
+#endif  // SRC_NIC_DIFF_H_

@@ -38,16 +38,114 @@ bool IsNicCompute(NicOp op);
 // True for shared-memory accesses ("memory accesses" in the paper's sense).
 bool IsNicMem(NicOp op);
 
+// ---- Executable operand payload (see src/nic/exec.h) ----
+//
+// Historically the backend emitted operand-less instructions: enough for the
+// performance model (which only counts ops and words) but nothing could ever
+// *run* the compiled program. Every instruction now also carries its
+// architectural effect — register operands, immediates, branch targets,
+// memory geometry — so the executor can process real packets and the
+// differential fuzzer can cross-check the backend against the AST
+// interpreter and the IR reference semantics.
+//
+// Macro-op contract: the backend expands one IR instruction into a short
+// sequence of machine instructions (e.g. a software-divide routine or an
+// API-call profile). Exactly one instruction of each sequence carries the
+// architectural result; its siblings model issue cost and operate on the
+// scratch register. Cost-only instructions have `alu == kNone`, no memory
+// field semantics (`mbits == 0`) and no branch targets.
+
+// ALU function selector for executable kAlu/kAluShf/kMulStep instructions.
+enum class NicAlu : uint8_t {
+  kNone,  // cost-only (scratch)
+  kMov, kAdd, kSub, kAnd, kOr, kXor,
+  kShl, kShr, kAsr,     // shift amount: `shift` (const) or operand b (reg)
+  kSext,                // sign-extend; `shift` holds the source width in bits
+  kSelect,              // dst = c ? a : b
+  kCmp,                 // compare a,b under `cc`; sets the condition flag
+  kTest,                // condition flag = (a != 0)
+  kSetCc,               // dst = condition flag (materialized boolean)
+  kUDiv, kURem,         // architectural result of the software-divide macro
+};
+
+// Branch / compare condition (unsigned, like the IR's icmp.*).
+enum class NicCc : uint8_t { kNone, kEq, kNe, kUlt, kUle, kUgt, kUge };
+
+// Field-op role for kLdField and the value delivery of kMemRead/kMemWrite.
+enum class NicFieldMode : uint8_t {
+  kNone,     // cost-only
+  kExtract,  // dst <- field bytes (load-side extract)
+  kMerge,    // scratch byte-merge preceding a store (cost-only semantics)
+};
+
+// A register-or-immediate operand reference.
+struct NicRef {
+  enum class Kind : uint8_t { kNone, kReg, kImm };
+  Kind kind = Kind::kNone;
+  uint32_t reg = 0;
+  int64_t imm = 0;
+
+  static NicRef R(uint32_t r) { return NicRef{Kind::kReg, r, 0}; }
+  static NicRef I(int64_t v) { return NicRef{Kind::kImm, 0, v}; }
+  bool valid() const { return kind != Kind::kNone; }
+  bool is_reg() const { return kind == Kind::kReg; }
+  bool is_imm() const { return kind == Kind::kImm; }
+};
+
+// Executor register namespace: IR virtual registers keep their ids;
+// register-allocated stack slots and the expansion scratch live above them.
+inline constexpr uint32_t kNicSlotRegBase = 0x40000000u;
+inline constexpr uint32_t kNicScratchReg = 0x7fffffffu;
+
 struct NicInstr {
   NicOp op = NicOp::kNop;
   // Memory metadata (kMemRead/kMemWrite): source IR address space and symbol
-  // (state var index / packet), and the transfer size in 32-bit words.
+  // (state var index / packet field index), and the transfer size in 32-bit
+  // words.
   AddressSpace space = AddressSpace::kNone;
   uint32_t sym = 0;
   uint8_t words = 1;
   // Provenance: true when this instruction came from expanding a framework
   // API call (reverse-ported profile) rather than core NF code.
   bool from_api = false;
+
+  // --- Executable payload (ignored by the cost/counting consumers) ---
+  NicAlu alu = NicAlu::kNone;
+  NicCc cc = NicCc::kNone;        // kCmp predicate / branch condition
+  Type vtype = Type::kI32;        // result masking width
+  uint8_t shift = 0;              // constant shift amount / sext source width
+  bool mul_last = false;          // kMulStep: final step delivers the product
+  uint32_t dst = 0;               // destination register (0 = none)
+  NicRef a, b, c;                 // operands (c: select condition / 3rd arg)
+  // Branches: valid only when has_targets (expansion-internal bcc's are
+  // cost-only and fall through).
+  bool has_targets = false;
+  bool is_ret = false;            // kBr emitted for IR kRet
+  uint32_t t0 = 0, t1 = 0;        // taken / fallthrough block ids
+  // Memory / field semantics: an access of `mbits` bits at byte offset
+  // `moff` within the element selected by `midx` (dynamic index; invalid =>
+  // element 0). mbits == 0 marks a cost-only transfer whose value delivery
+  // rides on a sibling kLdField.
+  int32_t moff = 0;
+  uint8_t mbits = 0;
+  NicFieldMode fmode = NicFieldMode::kNone;
+  NicRef midx;
+  // API call semantics (kCsr / first compute op of an expansion): index into
+  // Module::apis, or kNoCallee.
+  uint32_t callee = kNoCallee;
+
+  static constexpr uint32_t kNoCallee = 0xffffffffu;
+};
+
+// A zero-cost register move attached to a block: the architectural effect of
+// IR instructions the backend compiles to nothing (register-allocated stack
+// slots, elided zext/trunc). `before_index` positions the move in the
+// instruction stream (== instrs.size() places it at block end).
+struct NicMove {
+  uint32_t before_index = 0;
+  uint32_t dst = 0;
+  NicRef src;
+  Type vtype = Type::kI32;  // mask applied to the moved value
 };
 
 // Issue cost in core cycles (memory wait time is modelled separately by the
@@ -66,6 +164,7 @@ struct NicBlockCounts {
 
 struct NicBlock {
   std::vector<NicInstr> instrs;
+  std::vector<NicMove> moves;  // zero-cost register moves (see NicMove)
   NicBlockCounts counts;
   double issue_cycles = 0;  // sum of issue costs
 };

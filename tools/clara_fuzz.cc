@@ -1,0 +1,462 @@
+// Differential compiler fuzzer for the Clara NIC toolchain.
+//
+// Synthesizes random NF programs (src/synth), runs each over a generated
+// packet trace (src/workload) through three independent executors — the AST
+// interpreter, the IR reference interpreter, and the compiled-ISA executor
+// (src/nic/exec.h) — and cross-checks per-packet outputs and final state
+// via RunDifferential (src/nic/diff.h).
+//
+// On a mismatch the failing case is shrunk with delta debugging (first over
+// the packet subset, then over the program's statements) and written to a
+// corpus directory as a replayable .case file. CI replays the committed
+// corpus (tests/corpus) on every run, so once-broken cases stay fixed.
+//
+// Usage:
+//   clara_fuzz [--iters=N] [--seed=S] [--pkts=M]
+//              [--corpus-out=DIR]      write shrunk failures here
+//              [--replay=FILE|DIR]     replay .case file(s) instead of fuzzing
+//
+// CLARA_FUZZ_ITERS overrides the default iteration count (the nightly CI
+// job raises it without touching ctest definitions). Exit code is nonzero
+// iff any mismatch was observed.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/interp.h"
+#include "src/lang/printer.h"
+#include "src/ir/printer.h"
+#include "src/nic/diff.h"
+#include "src/synth/synth.h"
+#include "src/util/rng.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+namespace {
+
+// Everything needed to regenerate one fuzz case deterministically.
+struct FuzzCase {
+  uint64_t seed = 1;       // synthesis RNG seed
+  int index = 0;           // synthesis program index
+  std::string profile = "default";  // default | uniform | generic
+  uint64_t wl_seed = 42;   // workload RNG seed
+  uint32_t wl_flows = 16;  // concurrent flows in the trace
+  uint32_t wl_pkts = 32;   // trace length
+  std::vector<uint32_t> pkts;  // kept trace indices (empty = all)
+  std::vector<int> keep;       // kept pre-order statement indices (empty = all)
+  bool has_keep = false;
+  std::string note;
+};
+
+SynthOptions OptionsFor(const std::string& profile) {
+  SynthOptions opts;
+  if (profile == "uniform") {
+    opts.profile = UniformProfile();
+  } else if (profile == "generic") {
+    opts.profile = GenericProfile();
+  } else {
+    opts.profile = SynthProfile{};
+  }
+  return opts;
+}
+
+// ---- statement pruning (pre-order keep-index semantics) ----
+
+int CountStmts(const std::vector<StmtPtr>& body) {
+  int n = 0;
+  for (const auto& s : body) {
+    n += 1 + CountStmts(s->body) + CountStmts(s->else_body);
+  }
+  return n;
+}
+
+// Emits clones of the statements whose pre-order index is in `keep` (children
+// of dropped statements are dropped with them; `idx` still advances through
+// the whole tree so indices are stable under any keep-set).
+void FilterBody(const std::vector<StmtPtr>& in, std::vector<StmtPtr>* out,
+                int* idx, const std::set<int>& keep) {
+  for (const auto& s : in) {
+    int my = (*idx)++;
+    std::vector<StmtPtr> body, else_body;
+    FilterBody(s->body, &body, idx, keep);
+    FilterBody(s->else_body, &else_body, idx, keep);
+    if (keep.count(my) == 0) {
+      continue;
+    }
+    StmtPtr c = CloneStmt(*s);
+    c->body = std::move(body);
+    c->else_body = std::move(else_body);
+    out->push_back(std::move(c));
+  }
+}
+
+Program PruneProgram(const Program& p, const std::set<int>& keep) {
+  Program out;
+  out.name = p.name;
+  for (const auto& d : p.state) {
+    out.state.push_back(d);
+  }
+  int idx = 0;
+  FilterBody(p.body, &out.body, &idx, keep);
+  return out;
+}
+
+// ---- case regeneration ----
+
+Program GenProgram(const FuzzCase& c) {
+  Rng rng(c.seed);
+  Program p = SynthesizeProgram(rng, OptionsFor(c.profile), c.index);
+  if (c.has_keep) {
+    std::set<int> keep(c.keep.begin(), c.keep.end());
+    p = PruneProgram(p, keep);
+  }
+  return p;
+}
+
+std::vector<Packet> GenPackets(const FuzzCase& c) {
+  WorkloadSpec spec;
+  spec.seed = c.wl_seed;
+  spec.num_flows = c.wl_flows == 0 ? 1 : c.wl_flows;
+  Trace tr = GenerateTrace(spec, c.wl_pkts);
+  if (c.pkts.empty()) {
+    return tr.packets;
+  }
+  std::vector<Packet> out;
+  for (uint32_t i : c.pkts) {
+    if (i < tr.packets.size()) {
+      out.push_back(tr.packets[i]);
+    }
+  }
+  return out;
+}
+
+// A case "fails" if the differential run diverges (setup failures are not
+// interesting shrink targets: the shrunk program must still lower).
+bool CaseFails(const Program& p, const std::vector<Packet>& pkts) {
+  DiffResult r = RunDifferential(p, pkts);
+  return !r.ok && !r.setup_failed;
+}
+
+// ---- delta debugging ----
+
+// Classic ddmin over the kept-packet index list.
+std::vector<uint32_t> DdminPackets(const Program& p, const std::vector<Packet>& trace,
+                                   std::vector<uint32_t> indices) {
+  auto subset_fails = [&](const std::vector<uint32_t>& idxs) {
+    std::vector<Packet> pkts;
+    for (uint32_t i : idxs) {
+      pkts.push_back(trace[i]);
+    }
+    return CaseFails(p, pkts);
+  };
+  size_t n = 2;
+  while (indices.size() >= 2) {
+    size_t chunk = (indices.size() + n - 1) / n;
+    bool reduced = false;
+    for (size_t start = 0; start < indices.size(); start += chunk) {
+      // Complement of [start, start+chunk).
+      std::vector<uint32_t> rest;
+      for (size_t i = 0; i < indices.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          rest.push_back(indices[i]);
+        }
+      }
+      if (!rest.empty() && subset_fails(rest)) {
+        indices = rest;
+        n = n > 2 ? n - 1 : 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= indices.size()) {
+        break;
+      }
+      n = std::min(indices.size(), n * 2);
+    }
+  }
+  return indices;
+}
+
+// Greedy statement pruning to a 1-minimal keep-set: repeatedly try dropping
+// each kept statement (subtrees go with their parent) while the case still
+// fails and still lowers.
+std::set<int> MinimizeStmts(const Program& p, const std::vector<Packet>& pkts) {
+  int total = CountStmts(p.body);
+  std::set<int> keep;
+  for (int i = 0; i < total; ++i) {
+    keep.insert(i);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = total - 1; i >= 0; --i) {
+      if (keep.count(i) == 0) {
+        continue;
+      }
+      std::set<int> cand = keep;
+      cand.erase(i);
+      if (CaseFails(PruneProgram(p, cand), pkts)) {
+        keep = std::move(cand);
+        changed = true;
+      }
+    }
+  }
+  return keep;
+}
+
+// ---- case file I/O ----
+
+std::string JoinU32(const std::vector<uint32_t>& v) {
+  std::ostringstream oss;
+  for (size_t i = 0; i < v.size(); ++i) {
+    oss << (i ? "," : "") << v[i];
+  }
+  return oss.str();
+}
+
+std::string JoinInt(const std::vector<int>& v) {
+  std::ostringstream oss;
+  for (size_t i = 0; i < v.size(); ++i) {
+    oss << (i ? "," : "") << v[i];
+  }
+  return oss.str();
+}
+
+bool WriteCaseFile(const FuzzCase& c, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "# clara_fuzz regression case (replay: clara_fuzz --replay=<this file>)\n";
+  out << "seed=" << c.seed << "\n";
+  out << "index=" << c.index << "\n";
+  out << "profile=" << c.profile << "\n";
+  out << "wl_seed=" << c.wl_seed << "\n";
+  out << "wl_flows=" << c.wl_flows << "\n";
+  out << "wl_pkts=" << c.wl_pkts << "\n";
+  if (!c.pkts.empty()) {
+    out << "pkts=" << JoinU32(c.pkts) << "\n";
+  }
+  if (c.has_keep) {
+    out << "keep=" << JoinInt(c.keep) << "\n";
+  }
+  if (!c.note.empty()) {
+    out << "note=" << c.note << "\n";
+  }
+  return true;
+}
+
+bool ParseCaseFile(const std::string& path, FuzzCase* c) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "clara_fuzz: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    std::string key = line.substr(0, eq);
+    std::string val = line.substr(eq + 1);
+    auto parse_list_u32 = [](const std::string& s) {
+      std::vector<uint32_t> v;
+      std::stringstream ss(s);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        if (!tok.empty()) {
+          v.push_back(static_cast<uint32_t>(std::stoul(tok)));
+        }
+      }
+      return v;
+    };
+    if (key == "seed") {
+      c->seed = std::stoull(val);
+    } else if (key == "index") {
+      c->index = std::stoi(val);
+    } else if (key == "profile") {
+      c->profile = val;
+    } else if (key == "wl_seed") {
+      c->wl_seed = std::stoull(val);
+    } else if (key == "wl_flows") {
+      c->wl_flows = static_cast<uint32_t>(std::stoul(val));
+    } else if (key == "wl_pkts") {
+      c->wl_pkts = static_cast<uint32_t>(std::stoul(val));
+    } else if (key == "pkts") {
+      c->pkts = parse_list_u32(val);
+    } else if (key == "keep") {
+      c->has_keep = true;
+      for (uint32_t k : parse_list_u32(val)) {
+        c->keep.push_back(static_cast<int>(k));
+      }
+    } else if (key == "note") {
+      c->note = val;
+    }
+  }
+  return true;
+}
+
+// ---- modes ----
+
+int ReplayPath(const std::string& path, bool dump) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    for (const auto& e : std::filesystem::directory_iterator(path)) {
+      if (e.path().extension() == ".case") {
+        files.push_back(e.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+  } else {
+    files.push_back(path);
+  }
+  int failures = 0;
+  for (const std::string& f : files) {
+    FuzzCase c;
+    if (!ParseCaseFile(f, &c)) {
+      ++failures;
+      continue;
+    }
+    Program p = GenProgram(c);
+    std::vector<Packet> pkts = GenPackets(c);
+    if (dump) {
+      std::printf("---- %s: program ----\n%s\n", f.c_str(), ToSource(p).c_str());
+      NfInstance inst(CloneProgram(p), 1);
+      if (inst.ok()) {
+        std::printf("---- lowered IR ----\n%s\n", ToString(inst.module()).c_str());
+      }
+    }
+    DiffResult r = RunDifferential(p, pkts);
+    if (r.ok) {
+      std::printf("[ OK ] %s (%llu packets)\n", f.c_str(),
+                  static_cast<unsigned long long>(r.packets_run));
+    } else {
+      ++failures;
+      std::printf("[FAIL] %s: %s (packet %d)\n", f.c_str(), r.detail.c_str(),
+                  r.packet_index);
+    }
+  }
+  std::printf("clara_fuzz replay: %zu case(s), %d failure(s)\n", files.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int Fuzz(uint64_t seed, int iters, uint32_t pkts, const std::string& corpus_out) {
+  const char* profiles[] = {"default", "uniform", "generic"};
+  int failures = 0;
+  uint64_t total_packets = 0;
+  for (int i = 0; i < iters; ++i) {
+    FuzzCase c;
+    c.seed = seed + static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+    c.index = i;
+    c.profile = profiles[i % 3];
+    c.wl_seed = seed ^ (0xc2b2ae3d27d4eb4fULL + i);
+    c.wl_flows = 4 + static_cast<uint32_t>(i % 61);
+    c.wl_pkts = pkts;
+    Program prog = GenProgram(c);
+    std::vector<Packet> trace = GenPackets(c);
+    DiffResult r = RunDifferential(prog, trace);
+    total_packets += r.packets_run;
+    if (r.ok) {
+      continue;
+    }
+    ++failures;
+    std::printf("[MISMATCH] iter=%d seed=%llu profile=%s: %s (packet %d)\n", i,
+                static_cast<unsigned long long>(c.seed), c.profile.c_str(),
+                r.detail.c_str(), r.packet_index);
+    if (r.setup_failed) {
+      continue;  // synthesizer/lowering bug; nothing to shrink
+    }
+    // Shrink: packets first (cheapest), then statements.
+    std::vector<uint32_t> all;
+    for (uint32_t k = 0; k < trace.size(); ++k) {
+      all.push_back(k);
+    }
+    c.pkts = DdminPackets(prog, trace, all);
+    std::vector<Packet> small;
+    for (uint32_t k : c.pkts) {
+      small.push_back(trace[k]);
+    }
+    std::set<int> keep = MinimizeStmts(prog, small);
+    if (static_cast<int>(keep.size()) < CountStmts(prog.body)) {
+      c.has_keep = true;
+      c.keep.assign(keep.begin(), keep.end());
+    }
+    c.note = r.detail;
+    std::printf("  shrunk to %zu packet(s), %zu statement(s)\n", c.pkts.size(),
+                keep.size());
+    if (!corpus_out.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(corpus_out, ec);
+      std::ostringstream name;
+      name << corpus_out << "/case_" << c.seed << "_" << c.index << ".case";
+      if (WriteCaseFile(c, name.str())) {
+        std::printf("  wrote %s\n", name.str().c_str());
+      }
+    }
+  }
+  std::printf(
+      "clara_fuzz: %d iteration(s), %llu packet(s) cross-checked, %d "
+      "mismatch(es)\n",
+      iters, static_cast<unsigned long long>(total_packets), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace clara
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  int iters = 0;
+  uint32_t pkts = 32;
+  bool dump = false;
+  std::string replay, corpus_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto val = [&a](const char* pfx) { return a.substr(std::strlen(pfx)); };
+    if (a == "--dump") {
+      dump = true;
+    } else if (a.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(val("--seed="));
+    } else if (a.rfind("--iters=", 0) == 0) {
+      iters = std::stoi(val("--iters="));
+    } else if (a.rfind("--pkts=", 0) == 0) {
+      pkts = static_cast<uint32_t>(std::stoul(val("--pkts=")));
+    } else if (a.rfind("--replay=", 0) == 0) {
+      replay = val("--replay=");
+    } else if (a.rfind("--corpus-out=", 0) == 0) {
+      corpus_out = val("--corpus-out=");
+    } else {
+      std::fprintf(stderr,
+                   "usage: clara_fuzz [--iters=N] [--seed=S] [--pkts=M]\n"
+                   "                  [--corpus-out=DIR] [--replay=FILE|DIR]\n");
+      return 2;
+    }
+  }
+  if (!replay.empty()) {
+    return clara::ReplayPath(replay, dump);
+  }
+  if (iters == 0) {
+    const char* env = std::getenv("CLARA_FUZZ_ITERS");
+    iters = env != nullptr ? std::atoi(env) : 200;
+    if (iters <= 0) {
+      iters = 200;
+    }
+  }
+  return clara::Fuzz(seed, iters, pkts, corpus_out);
+}
