@@ -1,0 +1,138 @@
+// Serving-path latency: cold in-process training vs warm artifact loading,
+// and serve-cache hits vs misses.
+//
+// The train-once/serve-many split only earns its keep if (a) loading a
+// bundle is much cheaper than retraining and (b) a cache hit is much cheaper
+// than a full analysis. This bench measures both and *enforces* them: it
+// exits nonzero if the warm path is not faster, so the tier-1 ctest run
+// gates the speedup directly.
+//
+// JSON rows (BENCH_serve_latency.json) report the speedups capped at 5x:
+// the raw ratios are enormous (seconds vs microseconds) and noisy, while
+// "at least 5x" is stable across machines, which keeps tools/bench_diff.py
+// meaningful as a regression gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/analyzer.h"
+#include "src/serve/artifact.h"
+#include "src/serve/proto.h"
+#include "src/serve/server.h"
+
+namespace clara {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+AnalyzerOptions SmallOptions() {
+  AnalyzerOptions options;
+  options.predictor.train_programs = 24;
+  options.predictor.lstm.epochs = 2;
+  options.scaleout.train_programs = 16;
+  options.colocation.train_nfs = 8;
+  options.colocation.train_groups = 16;
+  options.algo_corpus_per_class = 6;
+  return options;
+}
+
+serve::InsightRequest Request(uint64_t id, const char* element) {
+  serve::InsightRequest req;
+  req.id = id;
+  req.element = element;
+  req.workload = WorkloadSpec::SmallFlows();
+  return req;
+}
+
+int Run() {
+  // Cold path: full in-process training (the small corpus used by CI).
+  Clock::time_point t0 = Clock::now();
+  ClaraAnalyzer analyzer(SmallOptions());
+  {
+    std::vector<Program> corpus;
+    for (const auto& info : ElementRegistry()) {
+      corpus.push_back(info.make());
+    }
+    std::vector<const Program*> ptrs;
+    for (const auto& p : corpus) {
+      ptrs.push_back(&p);
+    }
+    analyzer.Train(ptrs);
+  }
+  double cold_train_ms = MsSince(t0);
+
+  // Warm path: deserialize the artifact and build an analyzer around it.
+  std::string artifact = serve::SerializeBundle(analyzer.ExportTrained());
+  t0 = Clock::now();
+  TrainedBundle bundle;
+  std::string error;
+  if (!serve::DeserializeBundle(artifact, &bundle, &error)) {
+    std::fprintf(stderr, "serve_latency: %s\n", error.c_str());
+    return 1;
+  }
+  serve::ServeOptions opts;
+  opts.profile_packets = 400;
+  serve::ServeEngine engine(std::move(bundle), opts);
+  double warm_load_ms = MsSince(t0);
+
+  // Cache miss vs hit: first request analyzes, repeats replay cached bytes.
+  t0 = Clock::now();
+  serve::InsightResponse miss = engine.Handle(Request(1, "aggcounter"));
+  double miss_ms = MsSince(t0);
+  if (miss.error != serve::ErrorCode::kOk) {
+    std::fprintf(stderr, "serve_latency: miss failed: %s\n", miss.error_message.c_str());
+    return 1;
+  }
+  constexpr int kHits = 50;
+  t0 = Clock::now();
+  for (int i = 0; i < kHits; ++i) {
+    serve::InsightResponse hit = engine.Handle(Request(2 + i, "aggcounter"));
+    if (hit.error != serve::ErrorCode::kOk) {
+      std::fprintf(stderr, "serve_latency: hit failed: %s\n", hit.error_message.c_str());
+      return 1;
+    }
+  }
+  double hit_ms = MsSince(t0) / kHits;
+
+  double train_speedup = warm_load_ms > 0 ? cold_train_ms / warm_load_ms : 0;
+  double cache_speedup = hit_ms > 0 ? miss_ms / hit_ms : 0;
+  std::printf("%-28s %12s %12s %10s\n", "phase", "cold/miss ms", "warm/hit ms", "speedup");
+  std::printf("%-28s %12.2f %12.2f %9.1fx\n", "train vs artifact load", cold_train_ms,
+              warm_load_ms, train_speedup);
+  std::printf("%-28s %12.3f %12.3f %9.1fx\n", "analysis vs cache hit", miss_ms, hit_ms,
+              cache_speedup);
+
+  JsonRows json("serve_latency");
+  json.Row()
+      .Str("phase", "cold_train_vs_warm_load")
+      .Num("speedup_capped", std::min(train_speedup, 5.0));
+  json.Row()
+      .Str("phase", "cache_hit_vs_miss")
+      .Num("speedup_capped", std::min(cache_speedup, 5.0));
+
+  // The acceptance gate: warm serving must beat cold training, cache hits
+  // must beat full analysis.
+  if (train_speedup <= 1.0 || cache_speedup <= 1.0) {
+    std::fprintf(stderr, "serve_latency: warm path is not faster (train %.1fx, cache %.1fx)\n",
+                 train_speedup, cache_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace clara
+
+int main(int argc, char** argv) {
+  clara::bench::InitBenchThreads(argc, argv);
+  return clara::bench::Run();
+}

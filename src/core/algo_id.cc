@@ -7,8 +7,52 @@
 #include "src/ir/cfg.h"
 #include "src/ir/classify.h"
 #include "src/lang/lower.h"
+#include "src/util/binio.h"
 
 namespace clara {
+
+void AlgorithmIdentifier::SaveTo(BinWriter& w) const {
+  w.U16(0x4149);  // "AI"
+  w.Bool(trained_);
+  w.U32(static_cast<uint32_t>(patterns_.size()));
+  for (const auto& pat : patterns_) {
+    w.VecStr(pat);
+  }
+  w.VecStr(feature_names_);
+  svm_.SaveTo(w);
+}
+
+bool AlgorithmIdentifier::LoadFrom(BinReader& r) {
+  if (r.U16() != 0x4149) {
+    r.Fail("algo-id: bad section tag");
+    return false;
+  }
+  bool trained = r.Bool();
+  uint32_t num_patterns = r.U32();
+  if (!r.ok() || static_cast<uint64_t>(num_patterns) * 4 > r.remaining()) {
+    r.Fail("algo-id: pattern count exceeds remaining bytes");
+    return false;
+  }
+  std::vector<std::vector<std::string>> patterns;
+  patterns.reserve(num_patterns);
+  for (uint32_t i = 0; i < num_patterns && r.ok(); ++i) {
+    std::vector<std::string> pat;
+    r.VecStr(&pat);
+    patterns.push_back(std::move(pat));
+  }
+  std::vector<std::string> names;
+  r.VecStr(&names);
+  LinearSvm svm;
+  if (!r.ok() || !svm.LoadFrom(r)) {
+    return false;
+  }
+  trained_ = trained;
+  patterns_ = std::move(patterns);
+  feature_names_ = std::move(names);
+  svm_ = std::move(svm);
+  dataset_ = TabularDataset{};
+  return true;
+}
 namespace {
 
 using BlockFilter = std::vector<bool>;  // per block: include in extraction?

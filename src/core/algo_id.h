@@ -48,6 +48,11 @@ class AlgorithmIdentifier {
   // PCA (Figures 9, 10a) use identical inputs.
   const TabularDataset& dataset() const { return dataset_; }
 
+  // Artifact serialization of the inference state (mined patterns, feature
+  // names, SVM weights); the training dataset is not persisted.
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   AlgoIdOptions opts_;
   std::vector<std::vector<std::string>> patterns_;  // mined opcode n-grams

@@ -7,6 +7,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
+#include "src/util/binio.h"
 #include "src/workload/workload.h"
 
 namespace clara {
@@ -44,8 +45,48 @@ std::string OffloadingInsights::ToString(const NicConfig& cfg) const {
   return os.str();
 }
 
+void TrainedBundle::SaveTo(BinWriter& w) const {
+  w.U16(0x5442);  // "TB"
+  SaveSynthProfile(w, synth_profile);
+  predictor.SaveTo(w);
+  algo_id.SaveTo(w);
+  scaleout.SaveTo(w);
+  colocation.SaveTo(w);
+}
+
+bool TrainedBundle::LoadFrom(BinReader& r) {
+  if (r.U16() != 0x5442) {
+    r.Fail("trained bundle: bad section tag");
+    return false;
+  }
+  return LoadSynthProfile(r, &synth_profile) && predictor.LoadFrom(r) &&
+         algo_id.LoadFrom(r) && scaleout.LoadFrom(r) && colocation.LoadFrom(r);
+}
+
 ClaraAnalyzer::ClaraAnalyzer(AnalyzerOptions opts)
     : opts_(std::move(opts)), perf_model_(opts_.nic) {}
+
+ClaraAnalyzer::ClaraAnalyzer(AnalyzerOptions opts, TrainedBundle bundle)
+    : opts_(std::move(opts)),
+      perf_model_(opts_.nic),
+      synth_profile_(std::move(bundle.synth_profile)),
+      predictor_(std::move(bundle.predictor)),
+      algo_id_(std::move(bundle.algo_id)),
+      scaleout_(std::move(bundle.scaleout)),
+      colocation_(std::move(bundle.colocation)) {
+  trained_ = predictor_.trained() && algo_id_.trained() && scaleout_.trained() &&
+             colocation_.trained();
+}
+
+TrainedBundle ClaraAnalyzer::ExportTrained() const {
+  TrainedBundle b;
+  b.synth_profile = synth_profile_;
+  b.predictor = predictor_;
+  b.algo_id = algo_id_;
+  b.scaleout = scaleout_;
+  b.colocation = colocation_;
+  return b;
+}
 
 void ClaraAnalyzer::Train(const std::vector<const Program*>& click_corpus) {
   obs::StageTimer train_timer("core.analyzer.train", "core.analyzer.stage_ms.train");
@@ -85,6 +126,11 @@ void ClaraAnalyzer::Train(const std::vector<const Program*>& click_corpus) {
 }
 
 OffloadingInsights ClaraAnalyzer::Analyze(Program program, const WorkloadSpec& workload) const {
+  return Analyze(std::move(program), workload, nullptr);
+}
+
+OffloadingInsights ClaraAnalyzer::Analyze(Program program, const WorkloadSpec& workload,
+                                          const NfPrediction* precomputed) const {
   obs::StageTimer analyze_timer("core.analyzer.analyze", "core.analyzer.stage_ms.analyze");
   OffloadingInsights out;
   out.nf_name = program.name;
@@ -107,7 +153,9 @@ OffloadingInsights ClaraAnalyzer::Analyze(Program program, const WorkloadSpec& w
   }
   const Module& m = nf.module();
 
-  {
+  if (precomputed != nullptr) {
+    out.prediction = *precomputed;
+  } else {
     obs::StageTimer t("core.analyzer.predict", "core.analyzer.stage_ms.predict");
     out.prediction = predictor_.PredictNf(m);
   }

@@ -49,9 +49,33 @@ struct AnalyzerOptions {
   uint64_t seed = 2024;
 };
 
+// Everything ClaraAnalyzer::Analyze needs, detached from training: the
+// trained components plus the measured synthesis profile. This is the unit
+// the artifact store (src/serve/artifact.h) persists, enabling the
+// train-once/serve-many split.
+struct TrainedBundle {
+  SynthProfile synth_profile;
+  InstructionPredictor predictor;
+  AlgorithmIdentifier algo_id;
+  ScaleOutAdvisor scaleout;
+  ColocationRanker colocation;
+
+  bool trained() const {
+    return predictor.trained() && algo_id.trained() && scaleout.trained() &&
+           colocation.trained();
+  }
+
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+};
+
 class ClaraAnalyzer {
  public:
   explicit ClaraAnalyzer(AnalyzerOptions opts = AnalyzerOptions{});
+
+  // Constructs an analyzer from pre-trained components (loaded from the
+  // artifact store) — no Train() call needed before Analyze().
+  ClaraAnalyzer(AnalyzerOptions opts, TrainedBundle bundle);
 
   // Trains every learned component. `click_corpus` (real elements) guides
   // the data-synthesis engine's AST distribution (§3.2, Table 1).
@@ -59,9 +83,19 @@ class ClaraAnalyzer {
 
   bool trained() const { return trained_; }
 
+  // Copies the trained components out for persistence.
+  TrainedBundle ExportTrained() const;
+
   // Full analysis of an unported NF under a workload. Takes the program by
   // value (analysis owns and annotates it).
   OffloadingInsights Analyze(Program program, const WorkloadSpec& workload) const;
+
+  // Analyze with an externally computed instruction prediction (the serving
+  // engine micro-batches per-block LSTM inference across requests and feeds
+  // the assembled predictions here). `precomputed` must match the lowered
+  // module of `program`; passing nullptr falls back to inline prediction.
+  OffloadingInsights Analyze(Program program, const WorkloadSpec& workload,
+                             const NfPrediction* precomputed) const;
 
   const PerfModel& perf_model() const { return perf_model_; }
   const InstructionPredictor& predictor() const { return predictor_; }

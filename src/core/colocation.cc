@@ -6,9 +6,31 @@
 #include "src/lang/interp.h"
 #include "src/nic/backend.h"
 #include "src/nic/demand.h"
+#include "src/util/binio.h"
 #include "src/util/parallel.h"
 
 namespace clara {
+
+void ColocationRanker::SaveTo(BinWriter& w) const {
+  w.U16(0x4352);  // "CR"
+  w.Bool(trained_);
+  ranker_.SaveTo(w);
+}
+
+bool ColocationRanker::LoadFrom(BinReader& r) {
+  if (r.U16() != 0x4352) {
+    r.Fail("colocation: bad section tag");
+    return false;
+  }
+  bool trained = r.Bool();
+  GbdtRanker ranker;
+  if (!ranker.LoadFrom(r)) {
+    return false;
+  }
+  trained_ = trained;
+  ranker_ = std::move(ranker);
+  return true;
+}
 
 const char* RankObjectiveName(RankObjective o) {
   switch (o) {

@@ -69,6 +69,9 @@ class ColocationRanker {
 
   static FeatureVec PairFeatures(const NfDemand& a, const NfDemand& b);
 
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   ColocationOptions opts_;
   GbdtRanker ranker_;

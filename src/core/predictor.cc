@@ -4,9 +4,43 @@
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
+#include "src/util/binio.h"
 #include "src/util/parallel.h"
 
 namespace clara {
+
+void InstructionPredictor::SaveTo(BinWriter& w) const {
+  w.U16(0x4950);  // "IP"
+  w.Bool(trained_);
+  // PredictBlock re-encodes blocks under the trained abstraction mode.
+  w.U8(static_cast<uint8_t>(opts_.abstraction));
+  vocab_.SaveTo(w);
+  lstm_.SaveTo(w);
+}
+
+bool InstructionPredictor::LoadFrom(BinReader& r) {
+  if (r.U16() != 0x4950) {
+    r.Fail("predictor: bad section tag");
+    return false;
+  }
+  bool trained = r.Bool();
+  uint8_t mode = r.U8();
+  if (r.ok() && mode > static_cast<uint8_t>(AbstractionMode::kRaw)) {
+    r.Fail("predictor: unknown abstraction mode");
+    return false;
+  }
+  Vocabulary vocab;
+  LstmRegressor lstm;
+  if (!vocab.LoadFrom(r) || !lstm.LoadFrom(r)) {
+    return false;
+  }
+  trained_ = trained;
+  opts_.abstraction = static_cast<AbstractionMode>(mode);
+  vocab_ = std::move(vocab);
+  lstm_ = std::move(lstm);
+  dataset_ = SeqDataset{};
+  return true;
+}
 
 std::vector<BlockTruth> CompileGroundTruth(const Module& m, const NicBackendOptions& opts) {
   NicProgram prog = CompileToNic(m, opts);

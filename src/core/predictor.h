@@ -62,6 +62,12 @@ class InstructionPredictor {
   const LstmRegressor& model() const { return lstm_; }
   const PredictorOptions& options() const { return opts_; }
 
+  // Artifact serialization of the inference state (vocabulary, LSTM weights,
+  // abstraction mode). The training dataset is deliberately not persisted, so
+  // dataset() is empty on a loaded predictor.
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   PredictorOptions opts_;
   Vocabulary vocab_;

@@ -5,10 +5,40 @@
 
 #include "src/lang/interp.h"
 #include "src/nic/backend.h"
+#include "src/util/binio.h"
 #include "src/util/parallel.h"
 #include "src/workload/workload.h"
 
 namespace clara {
+
+void ScaleOutAdvisor::SaveTo(BinWriter& w) const {
+  w.U16(0x534F);  // "SO"
+  w.Bool(trained_);
+  w.I32(num_cores_);
+  gbdt_.SaveTo(w);
+}
+
+bool ScaleOutAdvisor::LoadFrom(BinReader& r) {
+  if (r.U16() != 0x534F) {
+    r.Fail("scale-out: bad section tag");
+    return false;
+  }
+  bool trained = r.Bool();
+  int num_cores = r.I32();
+  if (r.ok() && num_cores <= 0) {
+    r.Fail("scale-out: non-positive core count");
+    return false;
+  }
+  GbdtRegressor gbdt;
+  if (!gbdt.LoadFrom(r)) {
+    return false;
+  }
+  trained_ = trained;
+  num_cores_ = num_cores;
+  gbdt_ = std::move(gbdt);
+  dataset_ = TabularDataset{};
+  return true;
+}
 
 FeatureVec ScaleOutAdvisor::Features(const NfDemand& d) {
   double state_accesses = d.TotalStateAccesses();

@@ -43,6 +43,11 @@ class ScaleOutAdvisor {
 
   const TabularDataset& dataset() const { return dataset_; }
 
+  // Artifact serialization of the inference state (core-count clamp + GBDT);
+  // the training dataset is not persisted.
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   ScaleOutOptions opts_;
   int num_cores_ = 60;

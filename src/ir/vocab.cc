@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "src/util/binio.h"
+
 namespace clara {
 namespace {
 
@@ -109,6 +111,41 @@ std::vector<int> Vocabulary::Encode(const BasicBlock& block, const Module& m,
     out.push_back(frozen_ ? Lookup(word) : Intern(word));
   }
   return out;
+}
+
+void Vocabulary::SaveTo(BinWriter& w) const {
+  w.U16(0x564F);  // "VO"
+  w.VecStr(words_);
+  w.Bool(frozen_);
+}
+
+bool Vocabulary::LoadFrom(BinReader& r) {
+  if (r.U16() != 0x564F) {
+    r.Fail("vocabulary: bad section tag");
+    return false;
+  }
+  std::vector<std::string> words;
+  r.VecStr(&words);
+  bool frozen = r.Bool();
+  if (!r.ok()) {
+    return false;
+  }
+  if (words.empty() || words[0] != "<unk>") {
+    r.Fail("vocabulary: word 0 must be <unk>");
+    return false;
+  }
+  std::unordered_map<std::string, int> by_word;
+  by_word.reserve(words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (!by_word.emplace(words[i], static_cast<int>(i)).second) {
+      r.Fail("vocabulary: duplicate word '" + words[i] + "'");
+      return false;
+    }
+  }
+  words_ = std::move(words);
+  id_by_word_ = std::move(by_word);
+  frozen_ = frozen;
+  return true;
 }
 
 std::vector<double> Vocabulary::Histogram(const std::vector<int>& tokens) const {

@@ -19,6 +19,9 @@
 
 namespace clara {
 
+class BinWriter;
+class BinReader;
+
 enum class AbstractionMode { kCompacted, kRaw };
 
 // Renders one instruction as an abstract word.
@@ -54,6 +57,9 @@ class Vocabulary {
   // Word-count histogram over a token sequence, normalized to sum 1 when
   // non-empty. Bag-of-words features for the DNN baseline.
   std::vector<double> Histogram(const std::vector<int>& tokens) const;
+
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
 
  private:
   std::unordered_map<std::string, int> id_by_word_;

@@ -1,0 +1,670 @@
+#include "src/lang/parse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace clara {
+namespace {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,   // also keywords; text carries the spelling
+  kNumber,  // unsigned decimal
+  kPunct,   // operators and delimiters, text carries the spelling
+  kComment, // text after "//", trimmed
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  uint64_t number = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Token Next() {
+    SkipSpace();
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) {
+      return t;
+    }
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '_')) {
+        ++pos_;
+      }
+      t.kind = Tok::kIdent;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t v = 0;
+      while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        v = v * 10 + static_cast<uint64_t>(src_[pos_] - '0');
+        ++pos_;
+      }
+      t.kind = Tok::kNumber;
+      t.number = v;
+      return t;
+    }
+    if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+      pos_ += 2;
+      size_t start = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '\n') {
+        ++pos_;
+      }
+      std::string_view body = src_.substr(start, pos_ - start);
+      while (!body.empty() && body.front() == ' ') {
+        body.remove_prefix(1);
+      }
+      t.kind = Tok::kComment;
+      t.text = std::string(body);
+      return t;
+    }
+    // Multi-character operators first.
+    static const char* kTwoChar[] = {"->", "<<", ">>", "==", "!=", "<=", ">=", "++", "::"};
+    for (const char* op : kTwoChar) {
+      if (src_.substr(pos_).substr(0, 2) == op) {
+        t.kind = Tok::kPunct;
+        t.text = op;
+        pos_ += 2;
+        return t;
+      }
+    }
+    t.kind = Tok::kPunct;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+      }
+      ++pos_;
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool TypeFromWord(const std::string& w, Type* out) {
+  if (w == "bool") { *out = Type::kI1; return true; }
+  if (w == "u8") { *out = Type::kI8; return true; }
+  if (w == "u16") { *out = Type::kI16; return true; }
+  if (w == "u32") { *out = Type::kI32; return true; }
+  if (w == "u64") { *out = Type::kI64; return true; }
+  return false;
+}
+
+// Greedy decomposition of a byte total into field types (largest first) —
+// the surface syntax only records key/value byte totals.
+std::vector<Type> TypesForBytes(uint32_t bytes) {
+  std::vector<Type> out;
+  while (bytes >= 8) { out.push_back(Type::kI64); bytes -= 8; }
+  while (bytes >= 4) { out.push_back(Type::kI32); bytes -= 4; }
+  while (bytes >= 2) { out.push_back(Type::kI16); bytes -= 2; }
+  while (bytes >= 1) { out.push_back(Type::kI8); bytes -= 1; }
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) { Advance(); }
+
+  ParseResult Run() {
+    ParseResult res;
+    res.program = ParseTop();
+    res.ok = error_.empty();
+    res.error = error_;
+    if (!res.ok) {
+      res.program = Program{};
+    }
+    return res;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+
+  void Advance() {
+    cur_ = std::move(next_valid_ ? next_ : lex_.Next());
+    next_valid_ = false;
+    // Comments are insignificant except for map capacities, which peek for
+    // them explicitly before the comment is skipped here.
+    while (cur_.kind == Tok::kComment && !keep_comment_) {
+      cur_ = lex_.Next();
+    }
+  }
+
+  const Token& Peek() {
+    if (!next_valid_) {
+      next_ = lex_.Next();
+      while (next_.kind == Tok::kComment && !keep_comment_) {
+        next_ = lex_.Next();
+      }
+      next_valid_ = true;
+    }
+    return next_;
+  }
+
+  void Error(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = "line " + std::to_string(cur_.line) + ": " + msg;
+    }
+  }
+
+  bool IsPunct(const char* p) const { return cur_.kind == Tok::kPunct && cur_.text == p; }
+  bool IsIdent(const char* w) const { return cur_.kind == Tok::kIdent && cur_.text == w; }
+
+  bool ExpectPunct(const char* p) {
+    if (!IsPunct(p)) {
+      Error(std::string("expected '") + p + "', got '" + Spelling() + "'");
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  bool ExpectIdent(const char* w) {
+    if (!IsIdent(w)) {
+      Error(std::string("expected '") + w + "', got '" + Spelling() + "'");
+      return false;
+    }
+    Advance();
+    return true;
+  }
+
+  std::string TakeIdent(const char* what) {
+    if (cur_.kind != Tok::kIdent) {
+      Error(std::string("expected ") + what + ", got '" + Spelling() + "'");
+      return std::string();
+    }
+    std::string s = cur_.text;
+    Advance();
+    return s;
+  }
+
+  std::string Spelling() const {
+    switch (cur_.kind) {
+      case Tok::kEof: return "<eof>";
+      case Tok::kNumber: return std::to_string(cur_.number);
+      default: return cur_.text;
+    }
+  }
+
+  bool Dead() const { return !error_.empty(); }
+
+  // --- grammar ------------------------------------------------------------
+
+  Program ParseTop() {
+    Program p;
+    ExpectIdent("class");
+    p.name = TakeIdent("element name");
+    ExpectPunct(":");
+    ExpectIdent("public");
+    ExpectIdent("Element");
+    ExpectPunct("{");
+    while (!Dead() && !IsIdent("void")) {
+      if (cur_.kind == Tok::kEof) {
+        Error("unexpected end of input in state declarations");
+        break;
+      }
+      StateDecl s = ParseStateDecl();
+      if (!Dead()) {
+        p.state.push_back(std::move(s));
+      }
+    }
+    for (const auto& s : p.state) {
+      state_[s.name] = &s;
+    }
+    ExpectIdent("void");
+    ExpectIdent("simple_action");
+    ExpectPunct("(");
+    ExpectIdent("Packet");
+    ExpectPunct("*");
+    ExpectIdent("pkt");
+    ExpectPunct(")");
+    ExpectPunct("{");
+    p.body = ParseBody();
+    ExpectPunct("}");
+    ExpectPunct("}");
+    ExpectPunct(";");
+    return p;
+  }
+
+  StateDecl ParseStateDecl() {
+    StateDecl s;
+    if (IsIdent("HashMap") || IsIdent("NicHashMap")) {
+      s.kind = StateKind::kMap;
+      s.impl = IsIdent("HashMap") ? MapImpl::kHostLinearProbe : MapImpl::kNicFixedBucket;
+      Advance();
+      ExpectPunct("<");
+      std::string key_word = TakeIdent("key spec");
+      uint32_t key_bytes = 0;
+      if (key_word.rfind("key", 0) != 0 ||
+          (key_bytes = static_cast<uint32_t>(std::atoi(key_word.c_str() + 3))) == 0) {
+        Error("expected keyN spec, got '" + key_word + "'");
+        return s;
+      }
+      ExpectPunct(",");
+      std::string val_word = TakeIdent("value spec");
+      uint32_t value_bytes = 0;
+      if (val_word.rfind("value", 0) != 0 ||
+          (value_bytes = static_cast<uint32_t>(std::atoi(val_word.c_str() + 5))) == 0) {
+        Error("expected valueN spec, got '" + val_word + "'");
+        return s;
+      }
+      ExpectPunct(">");
+      s.name = TakeIdent("map name");
+      s.key_fields = TypesForBytes(key_bytes);
+      int vi = 0;
+      for (Type t : TypesForBytes(value_bytes)) {
+        s.value_fields.push_back(ValueField{"v" + std::to_string(vi++), t});
+      }
+      // The capacity rides in a trailing "// cap N" comment.
+      keep_comment_ = true;
+      ExpectPunct(";");
+      keep_comment_ = false;
+      if (cur_.kind == Tok::kComment && cur_.text.rfind("cap ", 0) == 0) {
+        s.capacity = static_cast<uint32_t>(std::atoi(cur_.text.c_str() + 4));
+        Advance();
+      } else {
+        Error("map declaration missing '// cap N' capacity comment");
+      }
+      return s;
+    }
+    if (!TypeFromWord(cur_.text, &s.elem_type)) {
+      Error("expected state type, got '" + Spelling() + "'");
+      return s;
+    }
+    Advance();
+    s.name = TakeIdent("state name");
+    if (IsPunct("[")) {
+      Advance();
+      s.kind = StateKind::kArray;
+      if (cur_.kind != Tok::kNumber) {
+        Error("expected array length");
+        return s;
+      }
+      s.length = static_cast<uint32_t>(cur_.number);
+      Advance();
+      ExpectPunct("]");
+    }
+    ExpectPunct(";");
+    return s;
+  }
+
+  std::vector<StmtPtr> ParseBody() {
+    std::vector<StmtPtr> body;
+    while (!Dead() && !IsPunct("}")) {
+      if (cur_.kind == Tok::kEof) {
+        Error("unexpected end of input in statement block");
+        break;
+      }
+      StmtPtr s = ParseStmt();
+      if (s != nullptr) {
+        body.push_back(std::move(s));
+      }
+    }
+    return body;
+  }
+
+  StmtPtr ParseStmt() {
+    if (cur_.kind != Tok::kIdent) {
+      Error("expected statement, got '" + Spelling() + "'");
+      return nullptr;
+    }
+    Type t;
+    if (IsIdent("if")) {
+      return ParseIf();
+    }
+    if (IsIdent("for")) {
+      return ParseFor();
+    }
+    if (IsIdent("return")) {
+      Advance();
+      ExpectPunct(";");
+      return Return();
+    }
+    if (IsIdent("pkt")) {
+      return ParsePktStmt();
+    }
+    if (TypeFromWord(cur_.text, &t)) {
+      Advance();
+      std::string name = TakeIdent("local name");
+      ExpectPunct("=");
+      ExprPtr init = ParseExpr();
+      ExpectPunct(";");
+      return Dead() ? nullptr : Decl(name, t, std::move(init));
+    }
+    std::string name = TakeIdent("identifier");
+    if (IsPunct(".")) {
+      Advance();
+      std::string method = TakeIdent("map method");
+      std::vector<ExprPtr> args = ParseArgList();
+      ExpectPunct(";");
+      if (Dead()) {
+        return nullptr;
+      }
+      if (method == "insert") {
+        // args = keys then values; split by the declared geometry.
+        auto it = state_.find(name);
+        size_t keys = it != state_.end() ? it->second->key_fields.size() : args.size();
+        std::vector<ExprPtr> key_args;
+        std::vector<ExprPtr> val_args;
+        for (size_t i = 0; i < args.size(); ++i) {
+          (i < keys ? key_args : val_args).push_back(std::move(args[i]));
+        }
+        return MapInsert(name, std::move(key_args), std::move(val_args));
+      }
+      if (method == "erase") {
+        return MapErase(name, std::move(args));
+      }
+      Error("unknown map method '" + method + "'");
+      return nullptr;
+    }
+    if (IsPunct("(")) {
+      std::vector<ExprPtr> args = ParseArgList();
+      ExpectPunct(";");
+      return Dead() ? nullptr : Api(name, std::move(args));
+    }
+    if (IsPunct("[")) {
+      Advance();
+      ExprPtr index = ParseExpr();
+      ExpectPunct("]");
+      ExpectPunct("=");
+      ExprPtr value = ParseExpr();
+      ExpectPunct(";");
+      return Dead() ? nullptr : AssignStateAt(name, std::move(index), std::move(value));
+    }
+    ExpectPunct("=");
+    // `f = m.find(keys) -> {outs};` versus a plain assignment.
+    if (cur_.kind == Tok::kIdent && Peek().kind == Tok::kPunct && Peek().text == "." &&
+        state_.count(cur_.text) > 0) {
+      std::string map = TakeIdent("map name");
+      ExpectPunct(".");
+      ExpectIdent("find");
+      std::vector<ExprPtr> keys = ParseArgList();
+      std::vector<std::string> outs;
+      if (IsPunct("->")) {
+        Advance();
+        ExpectPunct("{");
+        while (!Dead() && !IsPunct("}")) {
+          outs.push_back(TakeIdent("value destination"));
+          if (IsPunct(",")) {
+            Advance();
+          }
+        }
+        ExpectPunct("}");
+      }
+      ExpectPunct(";");
+      return Dead() ? nullptr : MapFind(map, std::move(keys), name, std::move(outs));
+    }
+    ExprPtr value = ParseExpr();
+    ExpectPunct(";");
+    if (Dead()) {
+      return nullptr;
+    }
+    auto it = state_.find(name);
+    if (it != state_.end() && it->second->kind == StateKind::kScalar) {
+      return AssignState(name, std::move(value));
+    }
+    return Assign(name, std::move(value));
+  }
+
+  StmtPtr ParseIf() {
+    Advance();  // if
+    ExprPtr cond = ParseExpr();
+    ExpectPunct("{");
+    std::vector<StmtPtr> then_body = ParseBody();
+    ExpectPunct("}");
+    std::vector<StmtPtr> else_body;
+    if (IsIdent("else")) {
+      Advance();
+      ExpectPunct("{");
+      else_body = ParseBody();
+      ExpectPunct("}");
+    }
+    return Dead() ? nullptr : If(std::move(cond), std::move(then_body), std::move(else_body));
+  }
+
+  StmtPtr ParseFor() {
+    Advance();  // for
+    ExpectPunct("(");
+    std::string var = TakeIdent("loop variable");
+    ExpectPunct("=");
+    ExprPtr lo = ParseExpr();
+    ExpectPunct(";");
+    std::string var2 = TakeIdent("loop variable");
+    if (!Dead() && var2 != var) {
+      Error("loop condition must test '" + var + "'");
+    }
+    ExpectPunct("<");
+    ExprPtr hi = ParseExpr();
+    ExpectPunct(";");
+    ExpectPunct("++");
+    std::string var3 = TakeIdent("loop variable");
+    if (!Dead() && var3 != var) {
+      Error("loop increment must bump '" + var + "'");
+    }
+    ExpectPunct(")");
+    ExpectPunct("{");
+    std::vector<StmtPtr> body = ParseBody();
+    ExpectPunct("}");
+    return Dead() ? nullptr : For(var, std::move(lo), std::move(hi), std::move(body));
+  }
+
+  StmtPtr ParsePktStmt() {
+    Advance();  // pkt
+    ExpectPunct("->");
+    if (IsIdent("kill")) {
+      Advance();
+      ExpectPunct("(");
+      ExpectPunct(")");
+      ExpectPunct(";");
+      return Dead() ? nullptr : Drop();
+    }
+    if (IsIdent("send")) {
+      Advance();
+      ExpectPunct("(");
+      ExprPtr port;
+      if (!IsPunct(")")) {
+        port = ParseExpr();
+      }
+      ExpectPunct(")");
+      ExpectPunct(";");
+      return Dead() ? nullptr : Send(std::move(port));
+    }
+    if (IsIdent("payload")) {
+      Advance();
+      ExpectPunct("[");
+      ExprPtr index = ParseExpr();
+      ExpectPunct("]");
+      ExpectPunct("=");
+      ExprPtr value = ParseExpr();
+      ExpectPunct(";");
+      return Dead() ? nullptr : AssignPayload(std::move(index), std::move(value));
+    }
+    std::string field = ParseFieldName();
+    ExpectPunct("=");
+    ExprPtr value = ParseExpr();
+    ExpectPunct(";");
+    return Dead() ? nullptr : AssignPkt(field, std::move(value));
+  }
+
+  // Dotted packet field name ("ip.src").
+  std::string ParseFieldName() {
+    std::string field = TakeIdent("packet field");
+    while (IsPunct(".")) {
+      Advance();
+      field += "." + TakeIdent("packet field");
+    }
+    return field;
+  }
+
+  // --- expressions --------------------------------------------------------
+
+  static int Precedence(const std::string& op) {
+    if (op == "*" || op == "/" || op == "%") return 5;
+    if (op == "+" || op == "-") return 4;
+    if (op == "<<" || op == ">>") return 3;
+    if (op == "&" || op == "^" || op == "|") return 2;
+    if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" || op == ">=") {
+      return 1;
+    }
+    return 0;
+  }
+
+  static bool OpcodeFor(const std::string& op, Opcode* out, bool* compare) {
+    *compare = false;
+    if (op == "+") { *out = Opcode::kAdd; return true; }
+    if (op == "-") { *out = Opcode::kSub; return true; }
+    if (op == "*") { *out = Opcode::kMul; return true; }
+    if (op == "/") { *out = Opcode::kUDiv; return true; }
+    if (op == "%") { *out = Opcode::kURem; return true; }
+    if (op == "&") { *out = Opcode::kAnd; return true; }
+    if (op == "|") { *out = Opcode::kOr; return true; }
+    if (op == "^") { *out = Opcode::kXor; return true; }
+    if (op == "<<") { *out = Opcode::kShl; return true; }
+    if (op == ">>") { *out = Opcode::kLShr; return true; }
+    *compare = true;
+    if (op == "==") { *out = Opcode::kIcmpEq; return true; }
+    if (op == "!=") { *out = Opcode::kIcmpNe; return true; }
+    if (op == "<") { *out = Opcode::kIcmpUlt; return true; }
+    if (op == "<=") { *out = Opcode::kIcmpUle; return true; }
+    if (op == ">") { *out = Opcode::kIcmpUgt; return true; }
+    if (op == ">=") { *out = Opcode::kIcmpUge; return true; }
+    return false;
+  }
+
+  ExprPtr ParseExpr() { return ParseBinary(1); }
+
+  ExprPtr ParseBinary(int min_prec) {
+    ExprPtr lhs = ParsePrimary();
+    while (!Dead() && cur_.kind == Tok::kPunct) {
+      int prec = Precedence(cur_.text);
+      if (prec < min_prec) {
+        break;
+      }
+      Opcode op;
+      bool compare;
+      if (!OpcodeFor(cur_.text, &op, &compare)) {
+        break;
+      }
+      Advance();
+      ExprPtr rhs = ParseBinary(prec + 1);
+      if (Dead()) {
+        return nullptr;
+      }
+      lhs = compare ? Cmp(op, std::move(lhs), std::move(rhs))
+                    : Bin(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr ParsePrimary() {
+    if (Dead()) {
+      return nullptr;
+    }
+    if (cur_.kind == Tok::kNumber) {
+      uint64_t v = cur_.number;
+      Advance();
+      return Lit(v);
+    }
+    if (IsPunct("(")) {
+      // Either a cast "(u32)x" or a parenthesized expression.
+      Type t;
+      if (Peek().kind == Tok::kIdent && TypeFromWord(Peek().text, &t)) {
+        Advance();  // (
+        Advance();  // type word
+        ExpectPunct(")");
+        ExprPtr inner = ParsePrimary();
+        return Dead() ? nullptr : CastTo(t, std::move(inner));
+      }
+      Advance();
+      ExprPtr inner = ParseExpr();
+      ExpectPunct(")");
+      return Dead() ? nullptr : std::move(inner);
+    }
+    if (IsIdent("pkt")) {
+      Advance();
+      ExpectPunct("->");
+      if (IsIdent("payload")) {
+        Advance();
+        ExpectPunct("[");
+        ExprPtr index = ParseExpr();
+        ExpectPunct("]");
+        return Dead() ? nullptr : PayloadAt(std::move(index));
+      }
+      std::string field = ParseFieldName();
+      return Dead() ? nullptr : PktField(field);
+    }
+    if (cur_.kind == Tok::kIdent) {
+      std::string name = TakeIdent("identifier");
+      if (IsPunct("(")) {
+        std::vector<ExprPtr> args = ParseArgList();
+        return Dead() ? nullptr : CallExpr(name, std::move(args), Type::kI32);
+      }
+      auto it = state_.find(name);
+      if (it != state_.end()) {
+        if (it->second->kind == StateKind::kArray) {
+          ExpectPunct("[");
+          ExprPtr index = ParseExpr();
+          ExpectPunct("]");
+          return Dead() ? nullptr : StateAt(name, std::move(index));
+        }
+        if (it->second->kind == StateKind::kScalar) {
+          return StateRef(name);
+        }
+        Error("map '" + name + "' used as a value");
+        return nullptr;
+      }
+      return Local(name);
+    }
+    Error("expected expression, got '" + Spelling() + "'");
+    return nullptr;
+  }
+
+  std::vector<ExprPtr> ParseArgList() {
+    std::vector<ExprPtr> args;
+    ExpectPunct("(");
+    while (!Dead() && !IsPunct(")")) {
+      args.push_back(ParseExpr());
+      if (IsPunct(",")) {
+        Advance();
+      } else {
+        break;
+      }
+    }
+    ExpectPunct(")");
+    return args;
+  }
+
+  Lexer lex_;
+  Token cur_;
+  Token next_;
+  bool next_valid_ = false;
+  bool keep_comment_ = false;
+  std::string error_;
+  std::unordered_map<std::string, const StateDecl*> state_;
+};
+
+}  // namespace
+
+ParseResult ParseProgram(std::string_view source) { return Parser(source).Run(); }
+
+}  // namespace clara

@@ -1,0 +1,31 @@
+// Recursive-descent parser for the mini-Click surface syntax emitted by
+// ToSource (src/lang/printer.h) — the inverse of the printer, up to the
+// information the surface syntax carries (map key/value geometry is kept as
+// byte totals, so a parsed map re-prints identically but its fields are
+// re-derived greedily).
+//
+// The serving daemon (src/serve/) accepts inline mini-Click source in
+// requests; this parser turns it back into a Program, with structured errors
+// (line-numbered, never throwing) for malformed input. Parsed programs are
+// still subject to CheckProgram (src/lang/check.h) before analysis.
+#ifndef SRC_LANG_PARSE_H_
+#define SRC_LANG_PARSE_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/lang/ast.h"
+
+namespace clara {
+
+struct ParseResult {
+  bool ok = false;
+  Program program;
+  std::string error;  // first failure, with a 1-based line number
+};
+
+ParseResult ParseProgram(std::string_view source);
+
+}  // namespace clara
+
+#endif  // SRC_LANG_PARSE_H_

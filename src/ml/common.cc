@@ -2,7 +2,32 @@
 
 #include <cmath>
 
+#include "src/util/binio.h"
+
 namespace clara {
+
+namespace {
+constexpr uint16_t kStandardizerTag = 0x5354;  // "ST"
+}  // namespace
+
+void Standardizer::SaveTo(BinWriter& w) const {
+  w.U16(kStandardizerTag);
+  w.VecF64(mean_);
+  w.VecF64(inv_std_);
+}
+
+bool Standardizer::LoadFrom(BinReader& r) {
+  if (r.U16() != kStandardizerTag) {
+    r.Fail("standardizer: bad section tag");
+    return false;
+  }
+  r.VecF64(&mean_);
+  r.VecF64(&inv_std_);
+  if (r.ok() && mean_.size() != inv_std_.size()) {
+    r.Fail("standardizer: mean/std dimension mismatch");
+  }
+  return r.ok();
+}
 
 void Standardizer::Fit(const std::vector<FeatureVec>& x) {
   if (x.empty()) {

@@ -14,6 +14,13 @@
 
 namespace clara {
 
+// Binary artifact serialization (src/util/binio.h). Every trained model
+// implements SaveTo/LoadFrom against these; LoadFrom returns false (and
+// poisons the reader) on truncated, corrupted, or dimensionally inconsistent
+// input, and loaded models predict bit-identically to the saved ones.
+class BinWriter;
+class BinReader;
+
 using FeatureVec = std::vector<double>;
 
 struct TabularDataset {
@@ -66,6 +73,9 @@ class Standardizer {
   FeatureVec Apply(const FeatureVec& x) const;
   std::vector<FeatureVec> ApplyAll(const std::vector<FeatureVec>& x) const;
   bool fitted() const { return !mean_.empty(); }
+
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
 
  private:
   FeatureVec mean_;

@@ -4,7 +4,44 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/util/binio.h"
+
 namespace clara {
+namespace {
+
+constexpr uint16_t kGbdtTag = 0x4742;    // "GB"
+constexpr uint16_t kForestTag = 0x5246;  // "RF"
+constexpr uint16_t kOvrTag = 0x4F56;     // "OV"
+constexpr uint16_t kRankerTag = 0x524B;  // "RK"
+
+// Reads a tree count written by SaveTrees below, rejecting counts that cannot
+// possibly fit in the remaining bytes (each serialized tree is >= 6 bytes).
+bool LoadTrees(BinReader& r, std::vector<RegressionTree>* trees, const char* what) {
+  uint32_t count = r.U32();
+  if (!r.ok() || static_cast<uint64_t>(count) * 6 > r.remaining()) {
+    r.Fail(std::string(what) + ": tree count exceeds remaining bytes");
+    return false;
+  }
+  trees->clear();
+  trees->reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    RegressionTree tree;
+    if (!tree.LoadFrom(r)) {
+      return false;
+    }
+    trees->push_back(std::move(tree));
+  }
+  return r.ok();
+}
+
+void SaveTrees(BinWriter& w, const std::vector<RegressionTree>& trees) {
+  w.U32(static_cast<uint32_t>(trees.size()));
+  for (const auto& t : trees) {
+    t.SaveTo(w);
+  }
+}
+
+}  // namespace
 
 void GbdtRegressor::Fit(const TabularDataset& data) {
   trees_.clear();
@@ -28,6 +65,25 @@ void GbdtRegressor::Fit(const TabularDataset& data) {
     }
     trees_.push_back(std::move(tree));
   }
+}
+
+void GbdtRegressor::SaveTo(BinWriter& w) const {
+  w.U16(kGbdtTag);
+  // Predict() scales each tree by the learning rate, so it is part of the
+  // trained model, not just a fit-time hyperparameter.
+  w.F64(opts_.learning_rate);
+  w.F64(base_);
+  SaveTrees(w, trees_);
+}
+
+bool GbdtRegressor::LoadFrom(BinReader& r) {
+  if (r.U16() != kGbdtTag) {
+    r.Fail("gbdt: bad section tag");
+    return false;
+  }
+  opts_.learning_rate = r.F64();
+  base_ = r.F64();
+  return LoadTrees(r, &trees_, "gbdt");
 }
 
 double GbdtRegressor::Predict(const FeatureVec& x) const {
@@ -61,6 +117,19 @@ void RandomForestRegressor::Fit(const TabularDataset& data) {
   }
 }
 
+void RandomForestRegressor::SaveTo(BinWriter& w) const {
+  w.U16(kForestTag);
+  SaveTrees(w, trees_);
+}
+
+bool RandomForestRegressor::LoadFrom(BinReader& r) {
+  if (r.U16() != kForestTag) {
+    r.Fail("random forest: bad section tag");
+    return false;
+  }
+  return LoadTrees(r, &trees_, "random forest");
+}
+
 double RandomForestRegressor::Predict(const FeatureVec& x) const {
   if (trees_.empty()) {
     return 0;
@@ -85,6 +154,36 @@ void GbdtClassifier::Fit(const TabularDataset& data, int num_classes) {
     reg.Fit(binary);
     per_class_.push_back(std::move(reg));
   }
+}
+
+void GbdtClassifier::SaveTo(BinWriter& w) const {
+  w.U16(kOvrTag);
+  w.U32(static_cast<uint32_t>(per_class_.size()));
+  for (const auto& reg : per_class_) {
+    reg.SaveTo(w);
+  }
+}
+
+bool GbdtClassifier::LoadFrom(BinReader& r) {
+  if (r.U16() != kOvrTag) {
+    r.Fail("gbdt classifier: bad section tag");
+    return false;
+  }
+  uint32_t count = r.U32();
+  if (!r.ok() || static_cast<uint64_t>(count) * 6 > r.remaining()) {
+    r.Fail("gbdt classifier: class count exceeds remaining bytes");
+    return false;
+  }
+  per_class_.clear();
+  per_class_.reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    GbdtRegressor reg;
+    if (!reg.LoadFrom(r)) {
+      return false;
+    }
+    per_class_.push_back(std::move(reg));
+  }
+  return r.ok();
 }
 
 int GbdtClassifier::Predict(const FeatureVec& x) const {
@@ -142,6 +241,21 @@ void GbdtRanker::Fit(const std::vector<RankGroup>& groups) {
     }
     trees_.push_back(std::move(tree));
   }
+}
+
+void GbdtRanker::SaveTo(BinWriter& w) const {
+  w.U16(kRankerTag);
+  w.F64(opts_.learning_rate);
+  SaveTrees(w, trees_);
+}
+
+bool GbdtRanker::LoadFrom(BinReader& r) {
+  if (r.U16() != kRankerTag) {
+    r.Fail("gbdt ranker: bad section tag");
+    return false;
+  }
+  opts_.learning_rate = r.F64();
+  return LoadTrees(r, &trees_, "gbdt ranker");
 }
 
 double GbdtRanker::Score(const FeatureVec& x) const {

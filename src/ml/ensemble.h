@@ -27,6 +27,9 @@ class GbdtRegressor : public Regressor {
   double Predict(const FeatureVec& x) const override;
   std::string Describe() const override { return "gbdt"; }
 
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   GbdtOptions opts_;
   double base_ = 0;
@@ -48,6 +51,9 @@ class RandomForestRegressor : public Regressor {
   double Predict(const FeatureVec& x) const override;
   std::string Describe() const override { return "random-forest"; }
 
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   ForestOptions opts_;
   std::vector<RegressionTree> trees_;
@@ -61,6 +67,9 @@ class GbdtClassifier : public Classifier {
   void Fit(const TabularDataset& data, int num_classes) override;
   int Predict(const FeatureVec& x) const override;
   std::string Describe() const override { return "gbdt-ovr"; }
+
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
 
  private:
   GbdtOptions opts_;
@@ -83,6 +92,9 @@ class GbdtRanker {
   void Fit(const std::vector<RankGroup>& groups);
   double Score(const FeatureVec& x) const;
   std::string Describe() const { return "gbdt-pairwise-ranker"; }
+
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
 
  private:
   GbdtOptions opts_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/util/binio.h"
 #include "src/util/rng.h"
 
 namespace clara {
@@ -110,6 +111,36 @@ int ChooseKByElbow(const std::vector<FeatureVec>& x, int max_k, double min_gain,
     }
   }
   return max_k;
+}
+
+void SaveKMeansResult(BinWriter& w, const KMeansResult& res) {
+  w.U16(0x4B4D);  // "KM"
+  w.MatF64(res.centroids);
+  w.VecI32(res.assignment);
+  w.F64(res.inertia);
+}
+
+bool LoadKMeansResult(BinReader& r, KMeansResult* out) {
+  if (r.U16() != 0x4B4D) {
+    r.Fail("kmeans: bad section tag");
+    return false;
+  }
+  KMeansResult res;
+  r.MatF64(&res.centroids);
+  r.VecI32(&res.assignment);
+  res.inertia = r.F64();
+  if (!r.ok()) {
+    return false;
+  }
+  // Assignments index into centroids.
+  for (int a : res.assignment) {
+    if (a < 0 || a >= static_cast<int>(res.centroids.size())) {
+      r.Fail("kmeans: assignment out of centroid range");
+      return false;
+    }
+  }
+  *out = std::move(res);
+  return true;
 }
 
 }  // namespace clara

@@ -23,6 +23,11 @@ KMeansResult KMeans(const std::vector<FeatureVec>& x, int k, int iters = 50,
 int ChooseKByElbow(const std::vector<FeatureVec>& x, int max_k, double min_gain = 0.15,
                    uint64_t seed = 17);
 
+// Artifact serialization for a clustering result (free functions since
+// KMeansResult is a plain struct).
+void SaveKMeansResult(BinWriter& w, const KMeansResult& res);
+bool LoadKMeansResult(BinReader& r, KMeansResult* out);
+
 }  // namespace clara
 
 #endif  // SRC_ML_KMEANS_H_

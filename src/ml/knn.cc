@@ -4,7 +4,103 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/util/binio.h"
+
 namespace clara {
+namespace {
+constexpr uint16_t kKnnClsTag = 0x4B43;  // "KC"
+constexpr uint16_t kKnnRegTag = 0x4B52;  // "KR"
+}  // namespace
+
+void KnnClassifier::SaveTo(BinWriter& w) const {
+  w.U16(kKnnClsTag);
+  w.I32(opts_.k);
+  w.I32(num_classes_);
+  std_.SaveTo(w);
+  w.MatF64(x_);
+  w.VecI32(y_);
+}
+
+bool KnnClassifier::LoadFrom(BinReader& r) {
+  if (r.U16() != kKnnClsTag) {
+    r.Fail("knn classifier: bad section tag");
+    return false;
+  }
+  int k = r.I32();
+  int num_classes = r.I32();
+  if (r.ok() && (k <= 0 || num_classes <= 0)) {
+    r.Fail("knn classifier: non-positive k or class count");
+    return false;
+  }
+  Standardizer std;
+  if (!std.LoadFrom(r)) {
+    return false;
+  }
+  std::vector<FeatureVec> x;
+  std::vector<int> y;
+  r.MatF64(&x);
+  r.VecI32(&y);
+  if (!r.ok()) {
+    return false;
+  }
+  if (x.size() != y.size()) {
+    r.Fail("knn classifier: corpus row/label count mismatch");
+    return false;
+  }
+  // Predict() indexes votes[y_[i]] without bounds checks.
+  for (int label : y) {
+    if (label < 0 || label >= num_classes) {
+      r.Fail("knn classifier: label out of class range");
+      return false;
+    }
+  }
+  opts_.k = k;
+  num_classes_ = num_classes;
+  std_ = std;
+  x_ = std::move(x);
+  y_ = std::move(y);
+  return true;
+}
+
+void KnnRegressor::SaveTo(BinWriter& w) const {
+  w.U16(kKnnRegTag);
+  w.I32(opts_.k);
+  std_.SaveTo(w);
+  w.MatF64(x_);
+  w.VecF64(y_);
+}
+
+bool KnnRegressor::LoadFrom(BinReader& r) {
+  if (r.U16() != kKnnRegTag) {
+    r.Fail("knn regressor: bad section tag");
+    return false;
+  }
+  int k = r.I32();
+  if (r.ok() && k <= 0) {
+    r.Fail("knn regressor: non-positive k");
+    return false;
+  }
+  Standardizer std;
+  if (!std.LoadFrom(r)) {
+    return false;
+  }
+  std::vector<FeatureVec> x;
+  std::vector<double> y;
+  r.MatF64(&x);
+  r.VecF64(&y);
+  if (!r.ok()) {
+    return false;
+  }
+  if (x.size() != y.size()) {
+    r.Fail("knn regressor: corpus row/target count mismatch");
+    return false;
+  }
+  opts_.k = k;
+  std_ = std;
+  x_ = std::move(x);
+  y_ = std::move(y);
+  return true;
+}
 
 std::vector<size_t> NearestNeighbors(const std::vector<FeatureVec>& data, const FeatureVec& q,
                                      int k) {

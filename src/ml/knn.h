@@ -20,6 +20,9 @@ class KnnClassifier : public Classifier {
   int Predict(const FeatureVec& x) const override;
   std::string Describe() const override { return "knn-classifier"; }
 
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   KnnOptions opts_;
   int num_classes_ = 2;
@@ -34,6 +37,9 @@ class KnnRegressor : public Regressor {
   void Fit(const TabularDataset& data) override;
   double Predict(const FeatureVec& x) const override;
   std::string Describe() const override { return "knn-regressor"; }
+
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
 
  private:
   KnnOptions opts_;

@@ -3,9 +3,54 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/binio.h"
 #include "src/util/rng.h"
 
 namespace clara {
+
+namespace {
+constexpr uint16_t kSvmTag = 0x5356;  // "SV"
+}  // namespace
+
+void LinearSvm::SaveTo(BinWriter& w) const {
+  w.U16(kSvmTag);
+  std_.SaveTo(w);
+  w.U32(static_cast<uint32_t>(w_.size()));
+  for (const auto& row : w_) {
+    w.VecF64(row);
+  }
+}
+
+bool LinearSvm::LoadFrom(BinReader& r) {
+  if (r.U16() != kSvmTag) {
+    r.Fail("svm: bad section tag");
+    return false;
+  }
+  if (!std_.LoadFrom(r)) {
+    return false;
+  }
+  uint32_t classes = r.U32();
+  if (!r.ok() || static_cast<uint64_t>(classes) * 4 > r.remaining()) {
+    r.Fail("svm: class count exceeds remaining bytes");
+    return false;
+  }
+  w_.clear();
+  w_.reserve(classes);
+  for (uint32_t c = 0; c < classes && r.ok(); ++c) {
+    std::vector<double> row;
+    r.VecF64(&row);
+    // Margin() reads row[row.size()-1] as the bias and expects every class to
+    // share a dimension.
+    if (r.ok() && (row.empty() || (!w_.empty() && row.size() != w_[0].size()))) {
+      r.Fail("svm: inconsistent weight row dimensions");
+    }
+    if (!r.ok()) {
+      return false;
+    }
+    w_.push_back(std::move(row));
+  }
+  return r.ok();
+}
 
 void LinearSvm::Fit(const TabularDataset& data, int num_classes) {
   w_.assign(num_classes, std::vector<double>(data.dim() + 1, 0.0));

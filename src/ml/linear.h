@@ -29,6 +29,9 @@ class LinearSvm : public Classifier {
   // Learned weights for inspection (one row per class; last entry is bias).
   const std::vector<std::vector<double>>& weights() const { return w_; }
 
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   SvmOptions opts_;
   Standardizer std_;

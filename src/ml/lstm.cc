@@ -9,10 +9,13 @@
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
+#include "src/util/binio.h"
 #include "src/util/parallel.h"
 
 namespace clara {
 namespace {
+
+constexpr uint16_t kLstmTag = 0x4C53;  // "LS"
 
 double Sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
 
@@ -387,6 +390,73 @@ void LstmRegressor::Fit(const SeqDataset& data) {
     pred[i] = Predict(data.examples[i].tokens);
   });
   train_wmape_ = Wmape(truth, pred);
+}
+
+void LstmRegressor::SaveTo(BinWriter& w) const {
+  w.U16(kLstmTag);
+  // Forward() needs the architecture dims and max_seq_len, not just weights.
+  w.I32(opts_.hidden);
+  w.I32(opts_.fc_hidden);
+  w.I32(opts_.max_seq_len);
+  w.I32(vocab_);
+  w.F64(y_scale_);
+  w.VecF64(p_.wx);
+  w.VecF64(p_.wh);
+  w.VecF64(p_.b);
+  w.VecF64(p_.w1);
+  w.VecF64(p_.b1);
+  w.VecF64(p_.w2);
+  w.F64(p_.b2);
+}
+
+bool LstmRegressor::LoadFrom(BinReader& r) {
+  if (r.U16() != kLstmTag) {
+    r.Fail("lstm: bad section tag");
+    return false;
+  }
+  int hidden = r.I32();
+  int fc_hidden = r.I32();
+  int max_seq_len = r.I32();
+  int vocab = r.I32();
+  double y_scale = r.F64();
+  Params p;
+  r.VecF64(&p.wx);
+  r.VecF64(&p.wh);
+  r.VecF64(&p.b);
+  r.VecF64(&p.w1);
+  r.VecF64(&p.b1);
+  r.VecF64(&p.w2);
+  p.b2 = r.F64();
+  if (!r.ok()) {
+    return false;
+  }
+  if (hidden <= 0 || fc_hidden <= 0 || max_seq_len <= 0 || vocab < 0) {
+    r.Fail("lstm: non-positive architecture dimensions");
+    return false;
+  }
+  // Forward() indexes the weight buffers by these exact shapes. An untrained
+  // model (vocab == 0, Predict short-circuits to 0) carries empty buffers.
+  size_t h = static_cast<size_t>(hidden);
+  size_t f = static_cast<size_t>(fc_hidden);
+  size_t v = static_cast<size_t>(vocab);
+  bool shapes_ok =
+      vocab == 0
+          ? p.wx.empty() && p.wh.empty() && p.b.empty() && p.w1.empty() &&
+                p.b1.empty() && p.w2.empty()
+          : p.wx.size() == 4 * h * v && p.wh.size() == 4 * h * h &&
+                p.b.size() == 4 * h && p.w1.size() == f * h &&
+                p.b1.size() == f && p.w2.size() == f;
+  if (!shapes_ok) {
+    r.Fail("lstm: weight shapes inconsistent with architecture dims");
+    return false;
+  }
+  opts_.hidden = hidden;
+  opts_.fc_hidden = fc_hidden;
+  opts_.max_seq_len = max_seq_len;
+  vocab_ = vocab;
+  y_scale_ = y_scale;
+  p_ = std::move(p);
+  return true;
 }
 
 double LstmRegressor::Predict(const std::vector<int>& tokens) const {

@@ -46,6 +46,9 @@ class LstmRegressor : public SeqRegressor {
   // Training-set WMAPE after the last Fit (convergence diagnostic).
   double train_wmape() const { return train_wmape_; }
 
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   struct Params {
     std::vector<double> wx;  // 4H x V (row-major)

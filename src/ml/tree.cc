@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
+
+#include "src/util/binio.h"
 
 namespace clara {
 namespace {
@@ -118,6 +121,56 @@ int RegressionTree::Build(const std::vector<FeatureVec>& x, const std::vector<do
   nodes_[node_id].left = l;
   nodes_[node_id].right = r;
   return node_id;
+}
+
+void RegressionTree::SaveTo(BinWriter& w) const {
+  w.U16(0x5254);  // "RT"
+  w.U32(static_cast<uint32_t>(nodes_.size()));
+  for (const Node& n : nodes_) {
+    w.I32(n.feature);
+    w.F64(n.threshold);
+    w.F64(n.value);
+    w.I32(n.left);
+    w.I32(n.right);
+  }
+}
+
+bool RegressionTree::LoadFrom(BinReader& r) {
+  if (r.U16() != 0x5254) {
+    r.Fail("regression tree: bad section tag");
+    return false;
+  }
+  uint32_t count = r.U32();
+  // Each node costs 24 bytes on the wire; an impossible count means a
+  // corrupted stream, not a huge tree.
+  if (!r.ok() || static_cast<uint64_t>(count) * 24 > r.remaining()) {
+    r.Fail("regression tree: node count exceeds remaining bytes");
+    return false;
+  }
+  nodes_.clear();
+  nodes_.reserve(count);
+  for (uint32_t i = 0; i < count && r.ok(); ++i) {
+    Node n;
+    n.feature = r.I32();
+    n.threshold = r.F64();
+    n.value = r.F64();
+    n.left = r.I32();
+    n.right = r.I32();
+    // Predict() walks child links without bounds checks; a well-formed tree
+    // (pre-order Build) always points strictly forward, so anything else is
+    // rejected here to keep traversal finite and in-bounds.
+    bool leaf = n.feature < 0;
+    bool links_ok = leaf ? true
+                         : n.left > static_cast<int>(i) && n.right > static_cast<int>(i) &&
+                               n.left < static_cast<int>(count) &&
+                               n.right < static_cast<int>(count);
+    if (!links_ok) {
+      r.Fail("regression tree: invalid child links at node " + std::to_string(i));
+      return false;
+    }
+    nodes_.push_back(n);
+  }
+  return r.ok();
 }
 
 double RegressionTree::Predict(const FeatureVec& x) const {

@@ -31,6 +31,9 @@ class RegressionTree : public Regressor {
   double Predict(const FeatureVec& x) const override;
   std::string Describe() const override { return "regression-tree"; }
 
+  void SaveTo(BinWriter& w) const;
+  bool LoadFrom(BinReader& r);
+
  private:
   struct Node {
     int feature = -1;  // -1 = leaf

@@ -1,0 +1,216 @@
+#include "src/serve/proto.h"
+
+#include <cstring>
+
+#include "src/util/binio.h"
+
+namespace clara {
+namespace serve {
+namespace {
+
+constexpr uint16_t kRequestTag = 0x5251;   // "RQ"
+constexpr uint16_t kResponseTag = 0x5250;  // "RP"
+
+void EncodeWorkload(BinWriter& w, const WorkloadSpec& spec) {
+  w.Str(spec.name);
+  w.U32(spec.num_flows);
+  w.F64(spec.zipf_s);
+  w.U16(spec.pkt_size);
+  w.F64(spec.syn_ratio);
+  w.F64(spec.udp_fraction);
+  w.U64(spec.seed);
+}
+
+bool DecodeWorkload(BinReader& r, WorkloadSpec* spec) {
+  spec->name = r.Str();
+  spec->num_flows = r.U32();
+  spec->zipf_s = r.F64();
+  spec->pkt_size = r.U16();
+  spec->syn_ratio = r.F64();
+  spec->udp_fraction = r.F64();
+  spec->seed = r.U64();
+  return r.ok();
+}
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kParseError: return "parse-error";
+    case ErrorCode::kCheckFailed: return "check-failed";
+    case ErrorCode::kUnknownElement: return "unknown-element";
+    case ErrorCode::kQueueFull: return "queue-full";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kOversized: return "oversized-frame";
+    case ErrorCode::kShutdown: return "shutdown";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string EncodeRequest(const InsightRequest& req) {
+  BinWriter w;
+  w.U16(kRequestTag);
+  w.U64(req.id);
+  w.Str(req.element);
+  w.Str(req.source);
+  EncodeWorkload(w, req.workload);
+  w.U32(req.deadline_ms);
+  return w.Take();
+}
+
+bool ParseRequest(std::string_view payload, InsightRequest* out, std::string* error) {
+  BinReader r(payload);
+  if (r.U16() != kRequestTag) {
+    *error = "request: bad message tag";
+    return false;
+  }
+  InsightRequest req;
+  req.id = r.U64();
+  req.element = r.Str();
+  req.source = r.Str();
+  if (!DecodeWorkload(r, &req.workload)) {
+    *error = "request: " + r.error();
+    return false;
+  }
+  req.deadline_ms = r.U32();
+  if (!r.ok()) {
+    *error = "request: " + r.error();
+    return false;
+  }
+  if (r.remaining() != 0) {
+    *error = "request: " + std::to_string(r.remaining()) + " trailing bytes";
+    return false;
+  }
+  if (req.element.empty() && req.source.empty()) {
+    *error = "request: neither element name nor inline source given";
+    return false;
+  }
+  *out = std::move(req);
+  return true;
+}
+
+std::string EncodeResponseBody(const InsightResponse& resp) {
+  BinWriter w;
+  w.U8(static_cast<uint8_t>(resp.error));
+  w.Str(resp.error_message);
+  w.Str(resp.nf_name);
+  w.Str(resp.accelerator);
+  w.I32(resp.suggested_cores);
+  w.F64(resp.total_compute);
+  w.U32(resp.total_mem_state);
+  w.F64(resp.naive_mpps);
+  w.F64(resp.naive_us);
+  w.F64(resp.tuned_mpps);
+  w.F64(resp.tuned_us);
+  w.Str(resp.rendered);
+  return w.Take();
+}
+
+std::string EncodeResponseWithBody(uint64_t id, std::string_view body) {
+  BinWriter w;
+  w.U16(kResponseTag);
+  w.U64(id);
+  w.Bytes(body.data(), body.size());
+  return w.Take();
+}
+
+std::string EncodeResponse(const InsightResponse& resp) {
+  return EncodeResponseWithBody(resp.id, EncodeResponseBody(resp));
+}
+
+bool ParseResponse(std::string_view payload, InsightResponse* out, std::string* error) {
+  BinReader r(payload);
+  if (r.U16() != kResponseTag) {
+    *error = "response: bad message tag";
+    return false;
+  }
+  InsightResponse resp;
+  resp.id = r.U64();
+  uint8_t code = r.U8();
+  if (r.ok() && code > static_cast<uint8_t>(ErrorCode::kInternal)) {
+    *error = "response: unknown error code " + std::to_string(code);
+    return false;
+  }
+  resp.error = static_cast<ErrorCode>(code);
+  resp.error_message = r.Str();
+  resp.nf_name = r.Str();
+  resp.accelerator = r.Str();
+  resp.suggested_cores = r.I32();
+  resp.total_compute = r.F64();
+  resp.total_mem_state = r.U32();
+  resp.naive_mpps = r.F64();
+  resp.naive_us = r.F64();
+  resp.tuned_mpps = r.F64();
+  resp.tuned_us = r.F64();
+  resp.rendered = r.Str();
+  if (!r.ok()) {
+    *error = "response: " + r.error();
+    return false;
+  }
+  *out = std::move(resp);
+  return true;
+}
+
+uint64_t HashWorkload(const WorkloadSpec& spec) {
+  BinWriter w;
+  EncodeWorkload(w, spec);
+  return Fnv1a64(w.data());
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  char len[4];
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    len[i] = static_cast<char>((n >> (8 * i)) & 0xff);
+  }
+  out->append(len, 4);
+  out->append(payload.data(), payload.size());
+}
+
+void FrameReader::Feed(const void* data, size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+bool FrameReader::Next(std::string* frame) {
+  for (;;) {
+    if (skip_ > 0) {
+      size_t take = std::min(skip_, buf_.size());
+      buf_.erase(0, take);
+      skip_ -= take;
+      if (skip_ > 0) {
+        return false;  // still discarding the oversized frame
+      }
+    }
+    if (buf_.size() < 4) {
+      return false;
+    }
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[i])) << (8 * i);
+    }
+    if (len > kMaxFrameBytes) {
+      ++oversized_;
+      buf_.erase(0, 4);
+      skip_ = len;
+      continue;  // discard and look for the next frame
+    }
+    if (buf_.size() < 4 + static_cast<size_t>(len)) {
+      return false;
+    }
+    frame->assign(buf_, 4, len);
+    buf_.erase(0, 4 + static_cast<size_t>(len));
+    return true;
+  }
+}
+
+size_t FrameReader::TakeOversized() {
+  size_t n = oversized_;
+  oversized_ = 0;
+  return n;
+}
+
+}  // namespace serve
+}  // namespace clara

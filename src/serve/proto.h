@@ -1,0 +1,113 @@
+// Length-prefixed wire format for the Clara insight-serving daemon.
+//
+// Transport framing: each message is a u32 little-endian payload length
+// followed by the payload, capped at kMaxFrameBytes. FrameReader consumes an
+// arbitrary byte stream incrementally and yields whole payloads; an oversized
+// length prefix poisons only that frame (the bytes are skipped and the
+// overflow is reported) so one bad client message cannot wedge the stream.
+//
+// Payload encoding rides on src/util/binio.h: requests carry either a
+// registry element name or inline mini-Click source plus a workload spec and
+// optional deadline; responses carry a structured error or the offloading
+// insights. Parsing is fully bounds-checked and never throws — malformed
+// payloads come back as (false, error message).
+#ifndef SRC_SERVE_PROTO_H_
+#define SRC_SERVE_PROTO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/analyzer.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+namespace serve {
+
+inline constexpr size_t kMaxFrameBytes = 1 << 20;  // 1 MiB
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,        // undecodable request payload
+  kParseError = 2,        // inline source failed to parse
+  kCheckFailed = 3,       // parsed program failed the type checker
+  kUnknownElement = 4,    // element name not in the registry
+  kQueueFull = 5,         // admission control rejected the request
+  kDeadlineExceeded = 6,  // request expired before dispatch
+  kOversized = 7,         // frame exceeded kMaxFrameBytes
+  kShutdown = 8,          // engine stopped before the request ran
+  kInternal = 9,
+};
+
+const char* ErrorCodeName(ErrorCode c);
+
+struct InsightRequest {
+  uint64_t id = 0;
+  // Exactly one of these: a registry element name, or inline mini-Click
+  // source (takes precedence when non-empty).
+  std::string element;
+  std::string source;
+  WorkloadSpec workload;
+  uint32_t deadline_ms = 0;  // 0 = no deadline
+};
+
+// The response payload. `id` echoes the request. On error, `error` is set
+// and the insight fields are defaults. The serve cache stores the encoded
+// body *after* the id, so cached and uncached responses to an identical
+// (program, workload) are byte-equal modulo the echoed id.
+struct InsightResponse {
+  uint64_t id = 0;
+  ErrorCode error = ErrorCode::kOk;
+  std::string error_message;
+
+  std::string nf_name;
+  std::string accelerator;
+  int suggested_cores = 1;
+  double total_compute = 0;
+  uint32_t total_mem_state = 0;
+  double naive_mpps = 0;
+  double naive_us = 0;
+  double tuned_mpps = 0;
+  double tuned_us = 0;
+  std::string rendered;  // human-readable insight text
+};
+
+// ---- payload codecs ----
+std::string EncodeRequest(const InsightRequest& req);
+bool ParseRequest(std::string_view payload, InsightRequest* out, std::string* error);
+
+std::string EncodeResponse(const InsightResponse& resp);
+// The portion of the encoding after the id — the serve cache's unit.
+std::string EncodeResponseBody(const InsightResponse& resp);
+std::string EncodeResponseWithBody(uint64_t id, std::string_view body);
+bool ParseResponse(std::string_view payload, InsightResponse* out, std::string* error);
+
+// Content hashes for the serve cache key.
+uint64_t HashWorkload(const WorkloadSpec& spec);
+
+// ---- transport framing ----
+void AppendFrame(std::string* out, std::string_view payload);
+
+class FrameReader {
+ public:
+  // Appends raw bytes from the transport.
+  void Feed(const void* data, size_t n);
+
+  // Pops the next complete payload into *frame; false when no complete
+  // frame is buffered. Oversized frames are consumed (skipped) and counted,
+  // never returned.
+  bool Next(std::string* frame);
+
+  // Oversized frames consumed since the last call (resets the count).
+  size_t TakeOversized();
+
+ private:
+  std::string buf_;
+  size_t skip_ = 0;       // bytes of an oversized frame left to discard
+  size_t oversized_ = 0;  // frames dropped
+};
+
+}  // namespace serve
+}  // namespace clara
+
+#endif  // SRC_SERVE_PROTO_H_

@@ -1,0 +1,390 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/elements/elements.h"
+#include "src/lang/check.h"
+#include "src/lang/interp.h"
+#include "src/lang/parse.h"
+#include "src/lang/printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/synth/algorithm_corpus.h"
+#include "src/util/binio.h"
+#include "src/util/parallel.h"
+
+namespace clara {
+namespace serve {
+namespace {
+
+uint64_t MixKey(uint64_t program_hash, uint64_t workload_hash) {
+  return program_hash ^ (workload_hash * 0x9E3779B97F4A7C15ULL);
+}
+
+obs::Histogram& LatencyHist() {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      "serve.latency_us", obs::Histogram::ExponentialBuckets(1, 2, 32));
+}
+
+obs::Histogram& BatchHist() {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      "serve.batch.size", obs::Histogram::LinearBuckets(1, 1, 16));
+}
+
+InsightResponse ErrorResponse(uint64_t id, ErrorCode code, std::string message) {
+  InsightResponse resp;
+  resp.id = id;
+  resp.error = code;
+  resp.error_message = std::move(message);
+  return resp;
+}
+
+AnalyzerOptions MakeAnalyzerOptions(const ServeOptions& opts) {
+  AnalyzerOptions a;
+  a.nic = opts.nic;
+  a.profile_packets = opts.profile_packets;
+  return a;
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(TrainedBundle bundle, ServeOptions opts)
+    : opts_(opts), analyzer_(MakeAnalyzerOptions(opts), std::move(bundle)) {}
+
+ServeEngine::~ServeEngine() { Stop(); }
+
+void ServeEngine::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return;
+  }
+  stop_ = false;
+  running_ = true;
+  dispatcher_ = std::thread([this] { Loop(); });
+}
+
+void ServeEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+    leftovers.swap(queue_);
+  }
+  for (auto& p : leftovers) {
+    p.promise.set_value(
+        ErrorResponse(p.req.id, ErrorCode::kShutdown, "engine stopped before dispatch"));
+  }
+}
+
+std::future<InsightResponse> ServeEngine::Submit(InsightRequest req) {
+  Pending p;
+  p.req = std::move(req);
+  p.enqueued = Clock::now();
+  if (p.req.deadline_ms > 0) {
+    p.has_deadline = true;
+    p.deadline = p.enqueued + std::chrono::milliseconds(p.req.deadline_ms);
+  }
+  std::future<InsightResponse> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= opts_.queue_capacity) {
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global().GetCounter("serve.queue.rejected").Add(1);
+      }
+      p.promise.set_value(ErrorResponse(
+          p.req.id, ErrorCode::kQueueFull,
+          "queue at capacity (" + std::to_string(opts_.queue_capacity) + ")"));
+      return fut;
+    }
+    queue_.push_back(std::move(p));
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetGauge("serve.queue.depth")
+          .Set(static_cast<double>(queue_.size()));
+    }
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+InsightResponse ServeEngine::Handle(InsightRequest req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      // Inline single-request path (no dispatcher): still exercises the full
+      // batch pipeline.
+      Pending p;
+      p.req = std::move(req);
+      p.enqueued = Clock::now();
+      if (p.req.deadline_ms > 0) {
+        p.has_deadline = true;
+        p.deadline = p.enqueued + std::chrono::milliseconds(p.req.deadline_ms);
+      }
+      std::future<InsightResponse> fut = p.promise.get_future();
+      std::vector<Pending> batch;
+      batch.push_back(std::move(p));
+      ProcessBatch(std::move(batch));
+      return fut.get();
+    }
+  }
+  return Submit(std::move(req)).get();
+}
+
+std::string ServeEngine::HandlePayload(std::string_view payload) {
+  InsightRequest req;
+  std::string err;
+  if (!ParseRequest(payload, &req, &err)) {
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global().GetCounter("serve.requests.malformed").Add(1);
+    }
+    return EncodeResponse(ErrorResponse(0, ErrorCode::kBadRequest, err));
+  }
+  return EncodeResponse(Handle(std::move(req)));
+}
+
+std::string ServeEngine::EncodeTransportError(ErrorCode code, const std::string& message) {
+  return EncodeResponse(ErrorResponse(0, code, message));
+}
+
+void ServeEngine::Loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) {
+        return;  // leftovers answered by Stop()
+      }
+      size_t take = std::min(opts_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global()
+            .GetGauge("serve.queue.depth")
+            .Set(static_cast<double>(queue_.size()));
+      }
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void ServeEngine::Fulfill(Pending& p, InsightResponse resp) {
+  Clock::time_point now = Clock::now();
+  if (obs::Enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("serve.requests").Add(1);
+    if (resp.error != ErrorCode::kOk) {
+      reg.GetCounter("serve.errors").Add(1);
+    }
+    double us = std::chrono::duration_cast<std::chrono::nanoseconds>(now - p.enqueued)
+                    .count() /
+                1e3;
+    LatencyHist().Observe(us);
+    if (p.has_deadline && now > p.deadline && resp.error == ErrorCode::kOk) {
+      reg.GetCounter("serve.deadline.overruns").Add(1);
+    }
+  }
+  p.promise.set_value(std::move(resp));
+}
+
+void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
+  if (obs::Enabled()) {
+    BatchHist().Observe(static_cast<double>(batch.size()));
+  }
+
+  // Per-slot resolution: program + cache lookup. Slots that error out or hit
+  // the cache are fulfilled immediately and excluded from inference.
+  struct Slot {
+    Pending* pending = nullptr;
+    Program program;
+    std::unique_ptr<NfInstance> lowered;
+    NfPrediction prediction;
+    uint64_t program_hash = 0;
+    uint64_t workload_hash = 0;
+  };
+  std::vector<Slot> live;
+  live.reserve(batch.size());
+
+  for (auto& p : batch) {
+    if (p.has_deadline && Clock::now() > p.deadline) {
+      Fulfill(p, ErrorResponse(p.req.id, ErrorCode::kDeadlineExceeded,
+                               "deadline expired before dispatch"));
+      continue;
+    }
+    Slot slot;
+    slot.pending = &p;
+    if (!p.req.source.empty()) {
+      ParseResult parsed = ParseProgram(p.req.source);
+      if (!parsed.ok) {
+        Fulfill(p, ErrorResponse(p.req.id, ErrorCode::kParseError, parsed.error));
+        continue;
+      }
+      CheckResult check = CheckProgram(parsed.program);
+      if (!check.ok) {
+        std::string msg = "program failed type check:";
+        for (const auto& e : check.errors) {
+          msg += " " + e + ";";
+        }
+        Fulfill(p, ErrorResponse(p.req.id, ErrorCode::kCheckFailed, msg));
+        continue;
+      }
+      slot.program = std::move(parsed.program);
+    } else {
+      const ElementInfo* info = nullptr;
+      for (const auto& e : ElementRegistry()) {
+        if (e.name == p.req.element) {
+          info = &e;
+          break;
+        }
+      }
+      if (info == nullptr) {
+        Fulfill(p, ErrorResponse(p.req.id, ErrorCode::kUnknownElement,
+                                 "element '" + p.req.element + "' not in registry"));
+        continue;
+      }
+      slot.program = info->make();
+    }
+
+    slot.program_hash = Fnv1a64(ToSource(slot.program));
+    slot.workload_hash = HashWorkload(p.req.workload);
+    std::string cached = CacheGet(slot.program_hash, slot.workload_hash);
+    if (!cached.empty()) {
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global().GetCounter("serve.cache.hits").Add(1);
+      }
+      // Byte-identical replay of the cached body; only the id envelope
+      // differs per request.
+      std::string payload = EncodeResponseWithBody(p.req.id, cached);
+      InsightResponse resp;
+      std::string err;
+      if (ParseResponse(payload, &resp, &err)) {
+        Fulfill(p, std::move(resp));
+      } else {
+        Fulfill(p, ErrorResponse(p.req.id, ErrorCode::kInternal, "cache decode: " + err));
+      }
+      continue;
+    }
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global().GetCounter("serve.cache.misses").Add(1);
+    }
+
+    slot.lowered = std::make_unique<NfInstance>(CloneProgram(slot.program));
+    if (!slot.lowered->ok()) {
+      Fulfill(p, ErrorResponse(p.req.id, ErrorCode::kCheckFailed,
+                               "lowering failed: " + slot.lowered->error()));
+      continue;
+    }
+    live.push_back(std::move(slot));
+  }
+  if (live.empty()) {
+    return;
+  }
+
+  // Micro-batched inference: one flattened (slot, block) parallel map across
+  // the whole batch, mirroring InstructionPredictor::PredictNf per slot.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t s = 0; s < live.size(); ++s) {
+    const Module& m = live[s].lowered->module();
+    size_t blocks = m.functions.at(0).blocks.size();
+    for (size_t b = 0; b < blocks; ++b) {
+      pairs.emplace_back(s, b);
+    }
+  }
+  const InstructionPredictor& predictor = analyzer_.predictor();
+  std::vector<BlockPrediction> block_preds = ParallelMap<BlockPrediction>(pairs.size(), [&](size_t i) {
+    const auto& [s, b] = pairs[i];
+    const Module& m = live[s].lowered->module();
+    return predictor.PredictBlock(m, m.functions.at(0).blocks[b]);
+  });
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    NfPrediction& pred = live[pairs[i].first].prediction;
+    const BlockPrediction& bp = block_preds[i];
+    pred.total_compute += bp.compute;
+    pred.total_mem_state += bp.mem_state;
+    pred.blocks.push_back(bp);
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram("serve.batch.blocks", obs::Histogram::ExponentialBuckets(1, 2, 16))
+        .Observe(static_cast<double>(pairs.size()));
+  }
+
+  // Full analysis per live slot with the precomputed predictions.
+  for (auto& slot : live) {
+    Pending& p = *slot.pending;
+    OffloadingInsights insights =
+        analyzer_.Analyze(std::move(slot.program), p.req.workload, &slot.prediction);
+    InsightResponse resp;
+    resp.id = p.req.id;
+    resp.nf_name = insights.nf_name;
+    resp.accelerator = AccelClassName(insights.accelerator);
+    resp.suggested_cores = insights.suggested_cores;
+    resp.total_compute = insights.prediction.total_compute;
+    resp.total_mem_state = insights.prediction.total_mem_state;
+    resp.naive_mpps = insights.naive_perf.throughput_mpps;
+    resp.naive_us = insights.naive_perf.latency_us;
+    resp.tuned_mpps = insights.tuned_perf.throughput_mpps;
+    resp.tuned_us = insights.tuned_perf.latency_us;
+    resp.rendered = insights.ToString(opts_.nic);
+    CachePut(slot.program_hash, slot.workload_hash, EncodeResponseBody(resp));
+    Fulfill(p, std::move(resp));
+  }
+}
+
+std::string ServeEngine::CacheGet(uint64_t program_hash, uint64_t workload_hash) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(MixKey(program_hash, workload_hash));
+  if (it == cache_.end() || it->second->key_hi != program_hash ||
+      it->second->key_lo != workload_hash) {
+    return std::string();
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+  return it->second->body;
+}
+
+void ServeEngine::CachePut(uint64_t program_hash, uint64_t workload_hash, std::string body) {
+  if (opts_.cache_capacity == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  uint64_t key = MixKey(program_hash, workload_hash);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second->body = std::move(body);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(CacheEntry{program_hash, workload_hash, std::move(body)});
+  cache_[key] = lru_.begin();
+  while (lru_.size() > opts_.cache_capacity) {
+    const CacheEntry& victim = lru_.back();
+    cache_.erase(MixKey(victim.key_hi, victim.key_lo));
+    lru_.pop_back();
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.cache.entries")
+        .Set(static_cast<double>(lru_.size()));
+  }
+}
+
+size_t ServeEngine::cache_entries() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return lru_.size();
+}
+
+}  // namespace serve
+}  // namespace clara

@@ -1,0 +1,133 @@
+// The Clara insight-serving engine: a long-lived, in-process service that
+// answers insight requests from a pre-trained bundle — the train-once /
+// serve-many split.
+//
+// Architecture:
+//   * Bounded request queue with admission control: Submit() fails fast with
+//     kQueueFull instead of queueing unboundedly.
+//   * Per-request deadlines: a request that expires while queued is answered
+//     with kDeadlineExceeded without being dispatched; one that finishes late
+//     still succeeds but bumps the serve.deadline.overruns counter.
+//   * Micro-batching: the dispatcher drains up to max_batch requests and
+//     runs per-block LSTM inference for the whole batch as one flattened
+//     (request, block) parallel map over the shared thread pool, then feeds
+//     the assembled per-request predictions into ClaraAnalyzer::Analyze.
+//   * LRU result cache keyed by (program content hash, workload hash); a hit
+//     replays the cached encoded response body byte-for-byte (only the
+//     echoed request id differs), skipping analysis entirely.
+//   * Instrumented via src/obs: serve.queue.depth, serve.batch.size,
+//     serve.cache.{hits,misses}, serve.latency_us (p50/p99), and error/
+//     overrun counters, all visible in `clara_cli report`.
+//
+// Malformed requests, unknown elements, expired deadlines, and engine
+// shutdown all degrade to structured error responses — the engine never
+// crashes on bad input.
+#ifndef SRC_SERVE_SERVER_H_
+#define SRC_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/analyzer.h"
+#include "src/serve/proto.h"
+
+namespace clara {
+namespace serve {
+
+struct ServeOptions {
+  NicConfig nic;
+  size_t queue_capacity = 64;
+  size_t max_batch = 8;
+  size_t cache_capacity = 128;
+  // Packets interpreted per request for workload-specific profiling (smaller
+  // than the offline default: serving favors latency).
+  size_t profile_packets = 2000;
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(TrainedBundle bundle, ServeOptions opts = ServeOptions{});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  // Starts the dispatcher thread. Idempotent.
+  void Start();
+  // Stops the dispatcher; queued-but-unprocessed requests are answered with
+  // kShutdown. Idempotent; also called by the destructor.
+  void Stop();
+
+  // Asynchronous submission. The future always yields a response — errors
+  // included — and resolves immediately with kQueueFull when the bounded
+  // queue is at capacity.
+  std::future<InsightResponse> Submit(InsightRequest req);
+
+  // Synchronous convenience: Submit + wait. Works without Start() (processes
+  // inline as a batch of one).
+  InsightResponse Handle(InsightRequest req);
+
+  // Decode a raw request payload, handle it, and encode the response —
+  // transport front ends (pipe/socket) call this per frame.
+  std::string HandlePayload(std::string_view payload);
+
+  // Structured error response for transport-level failures (e.g. an
+  // oversized frame that never yielded a payload).
+  static std::string EncodeTransportError(ErrorCode code, const std::string& message);
+
+  bool running() const { return running_; }
+  size_t cache_entries() const;
+  const ClaraAnalyzer& analyzer() const { return analyzer_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    InsightRequest req;
+    std::promise<InsightResponse> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // only meaningful when has_deadline
+    bool has_deadline = false;
+  };
+
+  void Loop();
+  void ProcessBatch(std::vector<Pending> batch);
+  // Fulfills one pending slot, recording latency/error/overrun metrics.
+  void Fulfill(Pending& p, InsightResponse resp);
+
+  std::string CacheGet(uint64_t program_hash, uint64_t workload_hash);
+  void CachePut(uint64_t program_hash, uint64_t workload_hash, std::string body);
+
+  ServeOptions opts_;
+  ClaraAnalyzer analyzer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread dispatcher_;
+
+  // LRU cache: list front = most recent; map values point into the list.
+  struct CacheEntry {
+    uint64_t key_hi;
+    uint64_t key_lo;
+    std::string body;
+  };
+  mutable std::mutex cache_mu_;
+  std::list<CacheEntry> lru_;
+  std::unordered_map<uint64_t, std::list<CacheEntry>::iterator> cache_;
+};
+
+}  // namespace serve
+}  // namespace clara
+
+#endif  // SRC_SERVE_SERVER_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "src/util/binio.h"
+
 namespace clara {
 namespace {
 
@@ -591,6 +593,56 @@ std::vector<Program> SynthesizeCorpus(size_t n, const SynthOptions& opts, uint64
     out.push_back(SynthesizeProgram(rng, opts, static_cast<int>(i)));
   }
   return out;
+}
+
+void SaveSynthProfile(BinWriter& w, const SynthProfile& p) {
+  w.U16(0x5350);  // "SP"
+  w.VecF64(p.stmt_weights);
+  w.VecF64(p.op_weights);
+  w.VecF64(p.field_weights);
+  w.F64(p.avg_body_len);
+  w.F64(p.nest_prob);
+  w.F64(p.scalar_state_avg);
+  w.F64(p.array_state_prob);
+  w.F64(p.map_state_prob);
+  w.F64(p.stateful_prob);
+  w.F64(p.scalar_i64_frac);
+  w.F64(p.local_leaf_prob);
+  w.F64(p.mask_test_prob);
+  w.F64(p.mul_bigconst_prob);
+  w.Bool(p.click_shaped);
+}
+
+bool LoadSynthProfile(BinReader& r, SynthProfile* out) {
+  if (r.U16() != 0x5350) {
+    r.Fail("synth profile: bad section tag");
+    return false;
+  }
+  SynthProfile p;
+  r.VecF64(&p.stmt_weights);
+  r.VecF64(&p.op_weights);
+  r.VecF64(&p.field_weights);
+  p.avg_body_len = r.F64();
+  p.nest_prob = r.F64();
+  p.scalar_state_avg = r.F64();
+  p.array_state_prob = r.F64();
+  p.map_state_prob = r.F64();
+  p.stateful_prob = r.F64();
+  p.scalar_i64_frac = r.F64();
+  p.local_leaf_prob = r.F64();
+  p.mask_test_prob = r.F64();
+  p.mul_bigconst_prob = r.F64();
+  p.click_shaped = r.Bool();
+  if (!r.ok()) {
+    return false;
+  }
+  if (p.stmt_weights.size() != static_cast<size_t>(kNumSynthStmts) ||
+      p.op_weights.size() != 9) {
+    r.Fail("synth profile: unexpected weight vector dimensions");
+    return false;
+  }
+  *out = std::move(p);
+  return true;
 }
 
 }  // namespace clara

@@ -16,6 +16,9 @@
 
 namespace clara {
 
+class BinWriter;
+class BinReader;
+
 // Statement categories tracked by the profile (coarser than StmtKind).
 enum class SynthStmt : uint8_t {
   kArith = 0,      // local decl/assign with an arithmetic expression
@@ -63,6 +66,10 @@ SynthProfile UniformProfile();
 // The Table 1 baseline: a generic program generator that ignores Click's
 // AST distribution altogether (plain arithmetic/branch/loop programs).
 SynthProfile GenericProfile();
+
+// Artifact serialization (SynthProfile is a plain struct, so free functions).
+void SaveSynthProfile(BinWriter& w, const SynthProfile& p);
+bool LoadSynthProfile(BinReader& r, SynthProfile* out);
 
 struct SynthOptions {
   SynthProfile profile;

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving subsystem: train a small bundle with
+# clara_cli, run the pipe-mode daemon over a stream that mixes good requests
+# with a malformed frame, check every request gets a structured answer, then
+# exercise socket mode and a SIGTERM shutdown.
+#
+# Usage: serve_smoke.sh [build-dir]   (defaults to the current directory)
+set -euo pipefail
+
+BUILD_DIR="${1:-$(pwd)}"
+CLI="$BUILD_DIR/tools/clara_cli"
+SERVE="$BUILD_DIR/tools/clara_serve"
+CLIENT="$BUILD_DIR/tools/clara_client"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== train a small bundle =="
+"$CLI" train --fast --model-dir="$WORK/models"
+test -f "$WORK/models/clara_bundle.bin"
+
+echo "== pipe daemon: 4 requests, one malformed =="
+{
+  "$CLIENT" --emit --element=aggcounter --count=2
+  "$CLIENT" --emit-malformed
+  "$CLIENT" --emit --element=heavyhitter
+} > "$WORK/requests.bin"
+"$SERVE" --pipe --model-dir="$WORK/models" < "$WORK/requests.bin" \
+  > "$WORK/responses.bin"
+
+set +e
+"$CLIENT" --decode < "$WORK/responses.bin" > "$WORK/decoded.txt"
+decode_rc=$?
+set -e
+cat "$WORK/decoded.txt"
+# The malformed frame must produce an error response (decode exits 1), but
+# all four frames must still be answered -- the daemon never drops or dies.
+test "$decode_rc" -eq 1
+responses=$(grep -c '^\[' "$WORK/decoded.txt")
+errors=$(grep -c 'ERROR' "$WORK/decoded.txt")
+test "$responses" -eq 4
+test "$errors" -eq 1
+
+echo "== socket daemon: concurrent clients + SIGTERM shutdown =="
+"$SERVE" --socket="$WORK/clara.sock" --model-dir="$WORK/models" \
+  2> "$WORK/serve.log" &
+pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$WORK/clara.sock" ] && break
+  sleep 0.1
+done
+test -S "$WORK/clara.sock"
+"$CLIENT" --socket="$WORK/clara.sock" --element=udpcount
+"$CLIENT" --socket="$WORK/clara.sock" --element=udpcount
+kill -TERM "$pid"
+wait "$pid"
+grep -q 'shut down cleanly' "$WORK/serve.log"
+
+echo "serve_smoke: PASS"

@@ -1,0 +1,560 @@
+// The serving subsystem (src/serve/): artifact store round-trips, corrupted
+// artifact rejection, wire-protocol codecs, the mini-Click parser used for
+// inline-source requests, and the batched serving engine (cache byte
+// equality, admission control, deadlines, concurrency).
+//
+// Runs as one ctest entry (clara_test_whole): the trained bundle fixture is
+// shared across every test in the binary.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/core/analyzer.h"
+#include "src/elements/elements.h"
+#include "src/lang/lower.h"
+#include "src/lang/parse.h"
+#include "src/lang/printer.h"
+#include "src/ml/ensemble.h"
+#include "src/ml/kmeans.h"
+#include "src/ml/knn.h"
+#include "src/ml/linear.h"
+#include "src/ml/tree.h"
+#include "src/serve/artifact.h"
+#include "src/serve/proto.h"
+#include "src/serve/server.h"
+#include "src/util/binio.h"
+#include "src/util/rng.h"
+#include "src/workload/workload.h"
+
+namespace clara {
+namespace {
+
+// ---- shared trained fixture (small corpus; trained once per process) ----
+
+AnalyzerOptions SmallOptions() {
+  AnalyzerOptions options;
+  options.predictor.train_programs = 24;
+  options.predictor.lstm.epochs = 2;
+  options.scaleout.train_programs = 16;
+  options.colocation.train_nfs = 8;
+  options.colocation.train_groups = 16;
+  options.algo_corpus_per_class = 6;
+  return options;
+}
+
+const ClaraAnalyzer& TrainedAnalyzer() {
+  static const ClaraAnalyzer* analyzer = [] {
+    auto* a = new ClaraAnalyzer(SmallOptions());
+    std::vector<Program> corpus;
+    for (const auto& info : ElementRegistry()) {
+      corpus.push_back(info.make());
+    }
+    std::vector<const Program*> ptrs;
+    for (const auto& p : corpus) {
+      ptrs.push_back(&p);
+    }
+    a->Train(ptrs);
+    return a;
+  }();
+  return *analyzer;
+}
+
+const std::string& SerializedBundle() {
+  static const std::string* bytes =
+      new std::string(serve::SerializeBundle(TrainedAnalyzer().ExportTrained()));
+  return *bytes;
+}
+
+TrainedBundle ReloadedBundle() {
+  TrainedBundle bundle;
+  std::string error;
+  EXPECT_TRUE(serve::DeserializeBundle(SerializedBundle(), &bundle, &error)) << error;
+  return bundle;
+}
+
+Module LowerElement(const std::string& name) {
+  Program program = MakeElementByName(name);
+  LowerResult lr = LowerProgram(program);
+  EXPECT_TRUE(lr.ok) << lr.error;
+  return std::move(lr.module);
+}
+
+// ---- artifact store: bit-identical round trips ----
+
+TEST(Artifact, SerializeDeserializeIsAFixedPoint) {
+  TrainedBundle reloaded = ReloadedBundle();
+  EXPECT_TRUE(reloaded.trained());
+  // Byte-level fixed point covers every serialized model at once: any lossy
+  // field would change the second serialization.
+  EXPECT_EQ(serve::SerializeBundle(reloaded), SerializedBundle());
+}
+
+TEST(Artifact, ReloadedPredictorIsBitIdentical) {
+  TrainedBundle reloaded = ReloadedBundle();
+  for (const char* name : {"aggcounter", "heavyhitter", "iplookup"}) {
+    Module m = LowerElement(name);
+    NfPrediction a = TrainedAnalyzer().predictor().PredictNf(m);
+    NfPrediction b = reloaded.predictor.PredictNf(m);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    EXPECT_EQ(a.total_mem_state, b.total_mem_state);
+    // Exact double equality: the LSTM+FC weights must reload bit-for-bit.
+    for (size_t i = 0; i < a.blocks.size(); ++i) {
+      EXPECT_EQ(a.blocks[i].compute, b.blocks[i].compute) << name << " block " << i;
+    }
+    EXPECT_EQ(a.total_compute, b.total_compute) << name;
+  }
+}
+
+TEST(Artifact, ReloadedAlgoIdAndAdvisorsMatch) {
+  TrainedBundle reloaded = ReloadedBundle();
+  for (const char* name : {"aggcounter", "iprewriter", "cmsketch"}) {
+    Module m = LowerElement(name);
+    EXPECT_EQ(TrainedAnalyzer().algo_id().Classify(m), reloaded.algo_id.Classify(m));
+    FeatureVec fa = TrainedAnalyzer().algo_id().ExtractFeatures(m);
+    FeatureVec fb = reloaded.algo_id.ExtractFeatures(m);
+    EXPECT_EQ(fa, fb) << name;
+  }
+}
+
+TEST(Artifact, ReloadedAnalyzerProducesIdenticalInsights) {
+  ClaraAnalyzer warm(SmallOptions(), ReloadedBundle());
+  WorkloadSpec wl = WorkloadSpec::SmallFlows();
+  OffloadingInsights a = TrainedAnalyzer().Analyze(MakeElementByName("aggcounter"), wl);
+  OffloadingInsights b = warm.Analyze(MakeElementByName("aggcounter"), wl);
+  EXPECT_EQ(a.accelerator, b.accelerator);
+  EXPECT_EQ(a.suggested_cores, b.suggested_cores);
+  EXPECT_EQ(a.prediction.total_compute, b.prediction.total_compute);
+  EXPECT_EQ(a.ToString(NicConfig{}), b.ToString(NicConfig{}));
+}
+
+// ---- artifact store: corruption rejection ----
+
+TEST(Artifact, RejectsBadMagic) {
+  std::string bytes = SerializedBundle();
+  bytes[0] = 'X';
+  TrainedBundle b;
+  std::string error;
+  EXPECT_FALSE(serve::DeserializeBundle(bytes, &b, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(Artifact, RejectsVersionBump) {
+  std::string bytes = SerializedBundle();
+  bytes[4] = static_cast<char>(serve::kArtifactVersion + 1);  // u16 LE at offset 4
+  TrainedBundle b;
+  std::string error;
+  EXPECT_FALSE(serve::DeserializeBundle(bytes, &b, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(Artifact, RejectsTruncation) {
+  std::string bytes = SerializedBundle();
+  for (size_t keep : {bytes.size() - 1, bytes.size() / 2, size_t{10}, size_t{0}}) {
+    TrainedBundle b;
+    std::string error;
+    EXPECT_FALSE(serve::DeserializeBundle(bytes.substr(0, keep), &b, &error))
+        << "kept " << keep << " bytes";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Artifact, RejectsPayloadCorruption) {
+  std::string bytes = SerializedBundle();
+  bytes[bytes.size() / 2] ^= 0x40;
+  TrainedBundle b;
+  std::string error;
+  EXPECT_FALSE(serve::DeserializeBundle(bytes, &b, &error));
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+// ---- standalone model round trips (every family in the bundle or store) --
+
+template <typename T>
+T RoundTrip(const T& model) {
+  BinWriter w;
+  model.SaveTo(w);
+  BinReader r(w.data());
+  T out;
+  EXPECT_TRUE(out.LoadFrom(r)) << r.error();
+  EXPECT_EQ(r.remaining(), 0u);
+  return out;
+}
+
+TabularDataset RegData(size_t n, uint64_t seed) {
+  TabularDataset d;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = rng.NextDouble() * 10, x1 = rng.NextDouble() * 4;
+    d.x.push_back({x0, x1});
+    d.y.push_back(x0 * 1.5 - x1 + rng.NextGaussian(0.1));
+  }
+  return d;
+}
+
+TabularDataset ClsData(size_t n, int classes, uint64_t seed) {
+  TabularDataset d;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    int c = static_cast<int>(rng.NextBounded(classes));
+    d.x.push_back({c * 3.0 + rng.NextGaussian(0.4), (c % 2) * 3.0 + rng.NextGaussian(0.4)});
+    d.y.push_back(c);
+  }
+  return d;
+}
+
+std::vector<FeatureVec> Probes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVec> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({rng.NextDouble() * 10, rng.NextDouble() * 4});
+  }
+  return out;
+}
+
+TEST(ModelRoundTrip, RegressionTree) {
+  RegressionTree tree(TreeOptions{5, 2, 0});
+  tree.Fit(RegData(200, 3));
+  RegressionTree loaded = RoundTrip(tree);
+  for (const auto& p : Probes(50, 4)) {
+    EXPECT_EQ(tree.Predict(p), loaded.Predict(p));
+  }
+}
+
+TEST(ModelRoundTrip, GbdtRegressor) {
+  GbdtRegressor gbdt;
+  gbdt.Fit(RegData(300, 5));
+  GbdtRegressor loaded = RoundTrip(gbdt);
+  for (const auto& p : Probes(50, 6)) {
+    EXPECT_EQ(gbdt.Predict(p), loaded.Predict(p));
+  }
+}
+
+TEST(ModelRoundTrip, RandomForestRegressor) {
+  RandomForestRegressor forest;
+  forest.Fit(RegData(300, 7));
+  RandomForestRegressor loaded = RoundTrip(forest);
+  for (const auto& p : Probes(50, 8)) {
+    EXPECT_EQ(forest.Predict(p), loaded.Predict(p));
+  }
+}
+
+TEST(ModelRoundTrip, GbdtClassifier) {
+  GbdtClassifier cls;
+  cls.Fit(ClsData(300, 3, 9), 3);
+  GbdtClassifier loaded = RoundTrip(cls);
+  for (const auto& p : Probes(50, 10)) {
+    EXPECT_EQ(cls.Predict(p), loaded.Predict(p));
+  }
+}
+
+TEST(ModelRoundTrip, GbdtRanker) {
+  Rng rng(11);
+  std::vector<RankGroup> groups;
+  for (int g = 0; g < 20; ++g) {
+    RankGroup grp;
+    for (int i = 0; i < 4; ++i) {
+      double x0 = rng.NextDouble(), x1 = rng.NextDouble();
+      grp.items.push_back({x0, x1});
+      grp.relevance.push_back(x0 * 2 - x1);
+    }
+    groups.push_back(std::move(grp));
+  }
+  GbdtRanker ranker;
+  ranker.Fit(groups);
+  GbdtRanker loaded = RoundTrip(ranker);
+  for (const auto& p : Probes(50, 12)) {
+    EXPECT_EQ(ranker.Score({p[0] / 10, p[1] / 4}), loaded.Score({p[0] / 10, p[1] / 4}));
+  }
+}
+
+TEST(ModelRoundTrip, LinearSvm) {
+  LinearSvm svm;
+  svm.Fit(ClsData(300, 3, 13), 3);
+  LinearSvm loaded = RoundTrip(svm);
+  for (const auto& p : Probes(50, 14)) {
+    EXPECT_EQ(svm.Predict(p), loaded.Predict(p));
+  }
+}
+
+TEST(ModelRoundTrip, KnnClassifierAndRegressor) {
+  KnnClassifier cls;
+  cls.Fit(ClsData(150, 3, 15), 3);
+  KnnClassifier cls_loaded = RoundTrip(cls);
+  KnnRegressor reg;
+  reg.Fit(RegData(150, 16));
+  KnnRegressor reg_loaded = RoundTrip(reg);
+  for (const auto& p : Probes(50, 17)) {
+    EXPECT_EQ(cls.Predict(p), cls_loaded.Predict(p));
+    EXPECT_EQ(reg.Predict(p), reg_loaded.Predict(p));
+  }
+}
+
+TEST(ModelRoundTrip, KMeansResultRoundTrips) {
+  std::vector<FeatureVec> x;
+  Rng rng(18);
+  for (int i = 0; i < 120; ++i) {
+    int c = i % 3;
+    x.push_back({c * 5.0 + rng.NextGaussian(0.3), c * 2.0 + rng.NextGaussian(0.3)});
+  }
+  KMeansResult res = KMeans(x, 3);
+  BinWriter w;
+  SaveKMeansResult(w, res);
+  BinReader r(w.data());
+  KMeansResult loaded;
+  ASSERT_TRUE(LoadKMeansResult(r, &loaded)) << r.error();
+  EXPECT_EQ(res.centroids, loaded.centroids);
+  EXPECT_EQ(res.assignment, loaded.assignment);
+  EXPECT_EQ(res.inertia, loaded.inertia);
+}
+
+TEST(ModelRoundTrip, CorruptedTreeLinksRejected) {
+  RegressionTree tree(TreeOptions{4, 2, 0});
+  tree.Fit(RegData(200, 19));
+  BinWriter w;
+  tree.SaveTo(w);
+  std::string bytes = w.data();
+  // Corrupt a child-link field to a backward reference: LoadFrom must reject
+  // it (Predict traversal would loop otherwise). Node 0's `left` i32 sits at
+  // tag(2) + count(4) + feature(4) + threshold(8) + value(8).
+  bytes[2 + 4 + 4 + 8 + 8] = 0;
+  BinReader r(bytes);
+  RegressionTree loaded;
+  EXPECT_FALSE(loaded.LoadFrom(r));
+  EXPECT_FALSE(r.error().empty());
+}
+
+// ---- wire protocol ----
+
+TEST(Proto, RequestRoundTrips) {
+  serve::InsightRequest req;
+  req.id = 42;
+  req.element = "aggcounter";
+  req.source = "class X : public Element {};";
+  req.workload = WorkloadSpec::LargeFlows();
+  req.deadline_ms = 250;
+  serve::InsightRequest out;
+  std::string error;
+  ASSERT_TRUE(serve::ParseRequest(serve::EncodeRequest(req), &out, &error)) << error;
+  EXPECT_EQ(out.id, req.id);
+  EXPECT_EQ(out.element, req.element);
+  EXPECT_EQ(out.source, req.source);
+  EXPECT_EQ(out.workload.name, req.workload.name);
+  EXPECT_EQ(out.workload.num_flows, req.workload.num_flows);
+  EXPECT_EQ(out.workload.zipf_s, req.workload.zipf_s);
+  EXPECT_EQ(out.deadline_ms, req.deadline_ms);
+}
+
+TEST(Proto, ResponseRoundTrips) {
+  serve::InsightResponse resp;
+  resp.id = 7;
+  resp.nf_name = "aggcounter";
+  resp.accelerator = "none";
+  resp.suggested_cores = 12;
+  resp.total_compute = 17.25;
+  resp.total_mem_state = 6;
+  resp.naive_mpps = 33.5;
+  resp.tuned_us = 0.75;
+  resp.rendered = "=== insights ===\n";
+  serve::InsightResponse out;
+  std::string error;
+  ASSERT_TRUE(serve::ParseResponse(serve::EncodeResponse(resp), &out, &error)) << error;
+  EXPECT_EQ(out.id, resp.id);
+  EXPECT_EQ(out.nf_name, resp.nf_name);
+  EXPECT_EQ(out.suggested_cores, resp.suggested_cores);
+  EXPECT_EQ(out.total_compute, resp.total_compute);
+  EXPECT_EQ(out.rendered, resp.rendered);
+}
+
+TEST(Proto, MalformedRequestRejected) {
+  serve::InsightRequest out;
+  std::string error;
+  EXPECT_FALSE(serve::ParseRequest("not a request", &out, &error));
+  EXPECT_FALSE(error.empty());
+  // Neither element nor source.
+  serve::InsightRequest empty;
+  EXPECT_FALSE(serve::ParseRequest(serve::EncodeRequest(empty), &out, &error));
+  EXPECT_NE(error.find("neither"), std::string::npos) << error;
+}
+
+TEST(Proto, FrameReaderReassemblesSplitFrames) {
+  std::string stream;
+  serve::AppendFrame(&stream, "alpha");
+  serve::AppendFrame(&stream, "");
+  serve::AppendFrame(&stream, "gamma");
+  serve::FrameReader reader;
+  std::vector<std::string> frames;
+  std::string frame;
+  for (size_t i = 0; i < stream.size(); ++i) {  // worst case: byte at a time
+    reader.Feed(stream.data() + i, 1);
+    while (reader.Next(&frame)) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "alpha");
+  EXPECT_EQ(frames[1], "");
+  EXPECT_EQ(frames[2], "gamma");
+  EXPECT_EQ(reader.TakeOversized(), 0u);
+}
+
+TEST(Proto, FrameReaderSkipsOversizedFrames) {
+  std::string stream;
+  // A length prefix over the cap, followed by that many junk bytes, then a
+  // well-formed frame.
+  uint32_t big = serve::kMaxFrameBytes + 5;
+  for (int i = 0; i < 4; ++i) {
+    stream.push_back(static_cast<char>((big >> (8 * i)) & 0xff));
+  }
+  stream.append(big, 'x');
+  serve::AppendFrame(&stream, "survivor");
+  serve::FrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  std::string frame;
+  ASSERT_TRUE(reader.Next(&frame));
+  EXPECT_EQ(frame, "survivor");
+  EXPECT_EQ(reader.TakeOversized(), 1u);
+}
+
+// ---- mini-Click parser (inline-source requests) ----
+
+TEST(Parse, EveryRegistryElementRoundTripsThroughSource) {
+  for (const auto& info : ElementRegistry()) {
+    Program original = info.make();
+    std::string source = ToSource(original);
+    ParseResult parsed = ParseProgram(source);
+    ASSERT_TRUE(parsed.ok) << info.name << ": " << parsed.error;
+    // Printing the parsed program must reproduce the source exactly — the
+    // parser is the printer's inverse on printer output.
+    EXPECT_EQ(ToSource(parsed.program), source) << info.name;
+  }
+}
+
+TEST(Parse, ReportsErrorsWithLineNumbers) {
+  ParseResult r = ParseProgram("class Broken : public Element {\n  int;\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line"), std::string::npos) << r.error;
+}
+
+// ---- serving engine ----
+
+serve::InsightRequest ElementRequest(uint64_t id, const std::string& element) {
+  serve::InsightRequest req;
+  req.id = id;
+  req.element = element;
+  req.workload = WorkloadSpec::SmallFlows();
+  return req;
+}
+
+serve::ServeOptions FastServeOptions() {
+  serve::ServeOptions opts;
+  opts.profile_packets = 400;
+  return opts;
+}
+
+TEST(Engine, CachedAndUncachedResponsesAreByteEqual) {
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  serve::InsightResponse first = engine.Handle(ElementRequest(1, "aggcounter"));
+  ASSERT_EQ(first.error, serve::ErrorCode::kOk) << first.error_message;
+  EXPECT_EQ(engine.cache_entries(), 1u);
+  serve::InsightResponse second = engine.Handle(ElementRequest(2, "aggcounter"));
+  ASSERT_EQ(second.error, serve::ErrorCode::kOk);
+  // Identical (program, workload) ⇒ identical encoded body; only the echoed
+  // id differs.
+  EXPECT_EQ(serve::EncodeResponseBody(first), serve::EncodeResponseBody(second));
+  EXPECT_EQ(engine.cache_entries(), 1u);
+}
+
+TEST(Engine, InlineSourceHitsTheSameCacheEntryAsTheElement) {
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  serve::InsightResponse by_name = engine.Handle(ElementRequest(1, "aggcounter"));
+  ASSERT_EQ(by_name.error, serve::ErrorCode::kOk) << by_name.error_message;
+  serve::InsightRequest req;
+  req.id = 2;
+  req.source = ToSource(MakeElementByName("aggcounter"));
+  req.workload = WorkloadSpec::SmallFlows();
+  serve::InsightResponse by_source = engine.Handle(std::move(req));
+  ASSERT_EQ(by_source.error, serve::ErrorCode::kOk) << by_source.error_message;
+  // Same content hash ⇒ served from the cache, byte-equal bodies.
+  EXPECT_EQ(engine.cache_entries(), 1u);
+  EXPECT_EQ(serve::EncodeResponseBody(by_name), serve::EncodeResponseBody(by_source));
+}
+
+TEST(Engine, ConcurrentRequestsAreAnswered) {
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  engine.Start();
+  std::vector<std::future<serve::InsightResponse>> futures;
+  const char* elements[] = {"aggcounter", "heavyhitter", "aggcounter", "iplookup"};
+  for (uint64_t i = 0; i < 4; ++i) {
+    futures.push_back(engine.Submit(ElementRequest(i + 1, elements[i])));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    serve::InsightResponse resp = futures[i].get();
+    EXPECT_EQ(resp.error, serve::ErrorCode::kOk) << resp.error_message;
+    EXPECT_EQ(resp.id, i + 1);
+  }
+  engine.Stop();
+}
+
+TEST(Engine, AdmissionControlRejectsWhenQueueIsFull) {
+  serve::ServeOptions opts = FastServeOptions();
+  opts.queue_capacity = 1;
+  serve::ServeEngine engine(ReloadedBundle(), opts);
+  // Not started: the queue cannot drain, so the second submit must be
+  // rejected immediately.
+  std::future<serve::InsightResponse> queued = engine.Submit(ElementRequest(1, "aggcounter"));
+  std::future<serve::InsightResponse> rejected =
+      engine.Submit(ElementRequest(2, "aggcounter"));
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(rejected.get().error, serve::ErrorCode::kQueueFull);
+  engine.Start();  // drain the queued request
+  EXPECT_EQ(queued.get().error, serve::ErrorCode::kOk);
+  engine.Stop();
+}
+
+TEST(Engine, ExpiredDeadlineIsRejectedAtDispatch) {
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  serve::InsightRequest req = ElementRequest(1, "aggcounter");
+  req.deadline_ms = 1;
+  std::future<serve::InsightResponse> fut = engine.Submit(std::move(req));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.Start();
+  EXPECT_EQ(fut.get().error, serve::ErrorCode::kDeadlineExceeded);
+  engine.Stop();
+}
+
+TEST(Engine, StructuredErrorsNeverCrash) {
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  serve::InsightResponse unknown = engine.Handle(ElementRequest(1, "nosuchelement"));
+  EXPECT_EQ(unknown.error, serve::ErrorCode::kUnknownElement);
+  serve::InsightRequest bad_source;
+  bad_source.id = 2;
+  bad_source.source = "class Broken : public Element { int;";
+  bad_source.workload = WorkloadSpec::SmallFlows();
+  serve::InsightResponse parse_err = engine.Handle(std::move(bad_source));
+  EXPECT_EQ(parse_err.error, serve::ErrorCode::kParseError);
+  EXPECT_FALSE(parse_err.error_message.empty());
+  // Undecodable payload through the transport entry point.
+  std::string encoded = engine.HandlePayload("garbage payload");
+  serve::InsightResponse decoded;
+  std::string error;
+  ASSERT_TRUE(serve::ParseResponse(encoded, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.error, serve::ErrorCode::kBadRequest);
+}
+
+TEST(Engine, StopAnswersQueuedRequestsWithShutdown) {
+  serve::ServeOptions opts = FastServeOptions();
+  serve::ServeEngine engine(ReloadedBundle(), opts);
+  std::future<serve::InsightResponse> fut = engine.Submit(ElementRequest(1, "aggcounter"));
+  engine.Start();
+  engine.Stop();
+  // Either the dispatcher got to it before Stop (kOk) or Stop drained it
+  // (kShutdown) — never a hang or a broken promise.
+  serve::ErrorCode code = fut.get().error;
+  EXPECT_TRUE(code == serve::ErrorCode::kOk || code == serve::ErrorCode::kShutdown);
+}
+
+}  // namespace
+}  // namespace clara

@@ -6,25 +6,37 @@
 //   ir <element>                  full lowered IR dump
 //   asm <element>                 simulated NIC machine code per block
 //   profile <element> [small|large]   trace-driven workload profile
-//   insights <element> [small|large]  full Clara analysis (trains models)
+//   insights <element> [small|large]  full Clara analysis (trains models,
+//                                 or loads a bundle with --model-dir)
+//   train                         train all models once and save the bundle
+//                                 to --model-dir (artifact store)
 //   report [element...]           telemetry report: per-region utilization,
 //                                 bottleneck attribution, backend rule
-//                                 firings (defaults to the whole registry)
+//                                 firings (defaults to the whole registry);
+//                                 with --model-dir also exercises the serve
+//                                 engine so serve.* metrics appear
 //
 // Global flags (any command):
 //   --trace=out.json        emit a Chrome-trace (chrome://tracing) span file
 //   --trace-jsonl=out.jsonl same events, one JSON object per line
 //   --metrics-json=out.json dump the metrics registry as JSON on exit
+//   --model-dir=DIR         model artifact directory (train writes, insights/
+//                           report read)
 //
 // Examples:
 //   clara_cli list
 //   clara_cli asm aggcounter
 //   clara_cli profile aggcounter --trace=trace.json
 //   clara_cli report aggcounter heavyhitter mazunat
-//   clara_cli insights mazunat small
+//   clara_cli train --model-dir=models/
+//   clara_cli insights mazunat small --model-dir=models/
+#include <sys/stat.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <vector>
 
@@ -41,6 +53,8 @@
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
+#include "src/serve/artifact.h"
+#include "src/serve/server.h"
 #include "src/util/parallel.h"
 #include "src/workload/workload.h"
 
@@ -57,11 +71,21 @@ int Usage() {
                "  asm <element>              simulated NIC machine code\n"
                "  profile <element> [small|large]\n"
                "  insights <element> [small|large]\n"
+               "  train                      train all models, save bundle to --model-dir\n"
+               "                             (--fast: small CI-sized training corpus)\n"
                "  report [element...]        telemetry report (default: all)\n"
                "flags:\n"
                "  --trace=FILE               Chrome-trace JSON (chrome://tracing)\n"
                "  --trace-jsonl=FILE         trace events as JSONL\n"
                "  --metrics-json=FILE        metrics registry dump as JSON\n"
+               "  --model-dir=DIR            model artifact directory. `train` writes a\n"
+               "                             checksummed bundle there once; `insights`\n"
+               "                             then loads it and skips in-process training\n"
+               "                             entirely (typically 10-100x faster end to\n"
+               "                             end; see bench/baselines/BENCH_serve_latency\n"
+               "                             .json for measured cold-vs-warm numbers).\n"
+               "                             `report` uses it to run the serve engine so\n"
+               "                             serve.* metrics show up in the registry.\n"
                "  --threads=N                worker threads for parallel phases\n"
                "                             (default: CLARA_THREADS or all cores)\n");
   return 2;
@@ -224,7 +248,7 @@ int CmdProfile(const std::string& name, const WorkloadSpec& workload) {
   return 0;
 }
 
-int CmdInsights(const std::string& name, const WorkloadSpec& workload) {
+AnalyzerOptions CliAnalyzerOptions() {
   AnalyzerOptions options;
   options.predictor.train_programs = 150;
   options.predictor.lstm.epochs = 10;
@@ -232,7 +256,11 @@ int CmdInsights(const std::string& name, const WorkloadSpec& workload) {
   options.colocation.train_nfs = 24;
   options.colocation.train_groups = 60;
   options.algo_corpus_per_class = 25;
-  ClaraAnalyzer analyzer(options);
+  return options;
+}
+
+ClaraAnalyzer TrainAnalyzer(AnalyzerOptions options = CliAnalyzerOptions()) {
+  ClaraAnalyzer analyzer(std::move(options));
   std::printf("training Clara (one-time)...\n");
   std::vector<Program> corpus;
   for (const auto& info : ElementRegistry()) {
@@ -243,6 +271,65 @@ int CmdInsights(const std::string& name, const WorkloadSpec& workload) {
     ptrs.push_back(&p);
   }
   analyzer.Train(ptrs);
+  return analyzer;
+}
+
+bool LoadBundle(const std::string& model_dir, TrainedBundle* bundle) {
+  std::string error;
+  if (!serve::LoadBundleFile(serve::BundlePath(model_dir), bundle, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Much smaller training corpus for CI smoke tests: the bundle is lower
+// quality but exercises the identical artifact/serving paths in seconds.
+AnalyzerOptions FastAnalyzerOptions() {
+  AnalyzerOptions options;
+  options.predictor.train_programs = 24;
+  options.predictor.lstm.epochs = 2;
+  options.scaleout.train_programs = 16;
+  options.colocation.train_nfs = 8;
+  options.colocation.train_groups = 16;
+  options.algo_corpus_per_class = 6;
+  return options;
+}
+
+int CmdTrain(const std::string& model_dir, bool fast) {
+  if (model_dir.empty()) {
+    std::fprintf(stderr, "error: train requires --model-dir=DIR\n");
+    return 2;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  ClaraAnalyzer analyzer = TrainAnalyzer(fast ? FastAnalyzerOptions() : CliAnalyzerOptions());
+  double train_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ::mkdir(model_dir.c_str(), 0755);  // fopen below reports any real failure
+  std::string path = serve::BundlePath(model_dir);
+  std::string error;
+  if (!serve::SaveBundleFile(path, analyzer.ExportTrained(), &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("trained in %.1fs; bundle saved to %s\n", train_s, path.c_str());
+  std::printf("serve it:  clara_serve --model-dir=%s --pipe\n", model_dir.c_str());
+  std::printf("reuse it:  clara_cli insights <element> --model-dir=%s\n", model_dir.c_str());
+  return 0;
+}
+
+int CmdInsights(const std::string& name, const WorkloadSpec& workload,
+                const std::string& model_dir) {
+  if (!model_dir.empty()) {
+    TrainedBundle bundle;
+    if (!LoadBundle(model_dir, &bundle)) {
+      return 1;
+    }
+    ClaraAnalyzer analyzer(CliAnalyzerOptions(), std::move(bundle));
+    OffloadingInsights insights = analyzer.Analyze(MakeElementByName(name), workload);
+    std::printf("%s", insights.ToString(analyzer.perf_model().config()).c_str());
+    return 0;
+  }
+  ClaraAnalyzer analyzer = TrainAnalyzer();
   OffloadingInsights insights = analyzer.Analyze(MakeElementByName(name), workload);
   std::printf("%s", insights.ToString(analyzer.perf_model().config()).c_str());
   return 0;
@@ -331,7 +418,45 @@ int ReportOne(const std::string& name, const WorkloadSpec& workload, const NicCo
   return 0;
 }
 
-int CmdReport(std::vector<std::string> names, const WorkloadSpec& workload) {
+// Runs the named elements through the serve engine (each twice, so the
+// result cache gets both misses and hits) purely to populate the serve.*
+// metrics that the report renders below.
+int ReportServe(const std::vector<std::string>& names, const WorkloadSpec& workload,
+                const std::string& model_dir) {
+  TrainedBundle bundle;
+  if (!LoadBundle(model_dir, &bundle)) {
+    return 1;
+  }
+  serve::ServeEngine engine(std::move(bundle));
+  engine.Start();
+  uint64_t id = 0;
+  std::vector<std::future<serve::InsightResponse>> futures;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& name : names) {
+      serve::InsightRequest req;
+      req.id = ++id;
+      req.element = ElementName(name);
+      req.workload = workload;
+      futures.push_back(engine.Submit(std::move(req)));
+    }
+  }
+  int errors = 0;
+  for (auto& f : futures) {
+    serve::InsightResponse resp = f.get();
+    if (resp.error != serve::ErrorCode::kOk) {
+      std::fprintf(stderr, "serve error: %s: %s\n", serve::ErrorCodeName(resp.error),
+                   resp.error_message.c_str());
+      ++errors;
+    }
+  }
+  engine.Stop();
+  std::printf("=== serve (%zu requests, %zu cached results) ===\n", futures.size(),
+              engine.cache_entries());
+  return errors == 0 ? 0 : 1;
+}
+
+int CmdReport(std::vector<std::string> names, const WorkloadSpec& workload,
+              const std::string& model_dir) {
   obs::SetEnabled(true);
   if (names.empty()) {
     for (const auto& info : ElementRegistry()) {
@@ -342,6 +467,9 @@ int CmdReport(std::vector<std::string> names, const WorkloadSpec& workload) {
   int rc = 0;
   for (const auto& name : names) {
     rc |= ReportOne(ElementName(name), workload, cfg);
+  }
+  if (!model_dir.empty()) {
+    rc |= ReportServe(names, workload, model_dir);
   }
   std::printf("=== metrics registry ===\n%s",
               obs::MetricsRegistry::Global().Render().c_str());
@@ -354,15 +482,21 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string jsonl_path;
   std::string metrics_path;
+  std::string model_dir;
+  bool fast = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--trace=", 0) == 0) {
+    if (a == "--fast") {
+      fast = true;
+    } else if (a.rfind("--trace=", 0) == 0) {
       trace_path = a.substr(strlen("--trace="));
     } else if (a.rfind("--trace-jsonl=", 0) == 0) {
       jsonl_path = a.substr(strlen("--trace-jsonl="));
     } else if (a.rfind("--metrics-json=", 0) == 0) {
       metrics_path = a.substr(strlen("--metrics-json="));
+    } else if (a.rfind("--model-dir=", 0) == 0) {
+      model_dir = a.substr(strlen("--model-dir="));
     } else if (a.rfind("--threads=", 0) == 0) {
       clara::SetNumThreads(std::atoi(a.c_str() + strlen("--threads=")));
     } else if (a.rfind("--", 0) == 0) {
@@ -389,9 +523,11 @@ int main(int argc, char** argv) {
     const std::string& cmd = args[0];
     if (cmd == "list") {
       rc = CmdList();
+    } else if (cmd == "train") {
+      rc = CmdTrain(model_dir, fast);
     } else if (cmd == "report") {
       rc = CmdReport(std::vector<std::string>(args.begin() + 1, args.end()),
-                     WorkloadSpec::SmallFlows());
+                     WorkloadSpec::SmallFlows(), model_dir);
     } else if (args.size() < 2) {
       rc = Usage();
     } else {
@@ -405,7 +541,7 @@ int main(int argc, char** argv) {
       } else if (cmd == "profile") {
         rc = CmdProfile(element, PickWorkload(args, 2));
       } else if (cmd == "insights") {
-        rc = CmdInsights(element, PickWorkload(args, 2));
+        rc = CmdInsights(element, PickWorkload(args, 2), model_dir);
       } else {
         rc = Usage();
       }

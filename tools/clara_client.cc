@@ -1,0 +1,264 @@
+// clara_client — client / codec utility for the clara_serve wire protocol.
+//
+// Modes:
+//   --emit             write request frame(s) to stdout (pipe into clara_serve)
+//   --emit-malformed   write a deliberately undecodable frame (error-path test)
+//   --decode           read response frames from stdin, print them readably
+//   --socket=PATH      connect to a clara_serve Unix socket, send the
+//                      requests, and decode the responses in one step
+//
+// Request flags (for --emit / --socket):
+//   --element=NAME     registry element to analyze
+//   --source-file=F    inline mini-Click source instead ("-" = stdin)
+//   --workload=small|large
+//   --deadline-ms=N    per-request deadline (0 = none)
+//   --count=N          emit N copies with ids 1..N (default 1)
+//   --full             (--decode) print the rendered insight text too
+//
+// Example round trip:
+//   clara_client --emit --element=aggcounter --count=2 \
+//     | clara_serve --model-dir=models/ --pipe | clara_client --decode
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/serve/proto.h"
+
+namespace {
+
+using namespace clara;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: clara_client --emit|--emit-malformed|--decode|--socket=PATH\n"
+               "         [--element=NAME | --source-file=F] [--workload=small|large]\n"
+               "         [--deadline-ms=N] [--count=N] [--full]\n");
+  return 2;
+}
+
+bool ReadAll(std::FILE* f, std::string* out) {
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  return std::ferror(f) == 0;
+}
+
+std::string BuildRequests(const std::string& element, const std::string& source,
+                          const WorkloadSpec& workload, uint32_t deadline_ms, int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    serve::InsightRequest req;
+    req.id = static_cast<uint64_t>(i) + 1;
+    req.element = element;
+    req.source = source;
+    req.workload = workload;
+    req.deadline_ms = deadline_ms;
+    serve::AppendFrame(&out, serve::EncodeRequest(req));
+  }
+  return out;
+}
+
+void PrintResponse(const serve::InsightResponse& resp, bool full) {
+  if (resp.error != serve::ErrorCode::kOk) {
+    std::printf("[%llu] ERROR %s: %s\n", static_cast<unsigned long long>(resp.id),
+                serve::ErrorCodeName(resp.error), resp.error_message.c_str());
+    return;
+  }
+  std::printf("[%llu] %s: accel=%s cores=%d compute=%.1f state=%u "
+              "naive=%.2fMpps/%.2fus tuned=%.2fMpps/%.2fus\n",
+              static_cast<unsigned long long>(resp.id), resp.nf_name.c_str(),
+              resp.accelerator.c_str(), resp.suggested_cores, resp.total_compute,
+              resp.total_mem_state, resp.naive_mpps, resp.naive_us, resp.tuned_mpps,
+              resp.tuned_us);
+  if (full && !resp.rendered.empty()) {
+    std::printf("%s", resp.rendered.c_str());
+  }
+}
+
+// Decodes every response frame in `data`; returns the count of frames that
+// carried a serve-level error (malformed frames count too).
+int DecodeStream(const std::string& data, bool full, int* errors) {
+  serve::FrameReader reader;
+  reader.Feed(data.data(), data.size());
+  std::string frame;
+  int frames = 0;
+  while (reader.Next(&frame)) {
+    ++frames;
+    serve::InsightResponse resp;
+    std::string err;
+    if (!serve::ParseResponse(frame, &resp, &err)) {
+      std::printf("[?] undecodable response: %s\n", err.c_str());
+      ++*errors;
+      continue;
+    }
+    if (resp.error != serve::ErrorCode::kOk) {
+      ++*errors;
+    }
+    PrintResponse(resp, full);
+  }
+  return frames;
+}
+
+int RunSocket(const std::string& path, const std::string& requests, bool full) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "clara_client: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "clara_client: socket path too long\n");
+    ::close(fd);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "clara_client: connect %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  size_t off = 0;
+  while (off < requests.size()) {
+    ssize_t n = ::write(fd, requests.data() + off, requests.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      std::fprintf(stderr, "clara_client: write: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      std::fprintf(stderr, "clara_client: read: %s\n", std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    if (n == 0) {
+      break;
+    }
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  int errors = 0;
+  DecodeStream(data, full, &errors);
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kNone, kEmit, kEmitMalformed, kDecode, kSocket };
+  Mode mode = Mode::kNone;
+  std::string socket_path;
+  std::string element;
+  std::string source_file;
+  std::string workload_name = "small";
+  uint32_t deadline_ms = 0;
+  int count = 1;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--emit") {
+      mode = Mode::kEmit;
+    } else if (a == "--emit-malformed") {
+      mode = Mode::kEmitMalformed;
+    } else if (a == "--decode") {
+      mode = Mode::kDecode;
+    } else if (a.rfind("--socket=", 0) == 0) {
+      mode = Mode::kSocket;
+      socket_path = a.substr(std::strlen("--socket="));
+    } else if (a.rfind("--element=", 0) == 0) {
+      element = a.substr(std::strlen("--element="));
+    } else if (a.rfind("--source-file=", 0) == 0) {
+      source_file = a.substr(std::strlen("--source-file="));
+    } else if (a.rfind("--workload=", 0) == 0) {
+      workload_name = a.substr(std::strlen("--workload="));
+    } else if (a.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = static_cast<uint32_t>(
+          std::strtoul(a.c_str() + std::strlen("--deadline-ms="), nullptr, 10));
+    } else if (a.rfind("--count=", 0) == 0) {
+      count = std::atoi(a.c_str() + std::strlen("--count="));
+    } else if (a == "--full") {
+      full = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (mode == Mode::kNone || count < 1) {
+    return Usage();
+  }
+
+  if (mode == Mode::kEmitMalformed) {
+    // A frame whose payload is not a request message — the daemon must answer
+    // with a structured kBadRequest, not crash.
+    std::string out;
+    serve::AppendFrame(&out, "definitely not a clara request");
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+  }
+  if (mode == Mode::kDecode) {
+    std::string data;
+    if (!ReadAll(stdin, &data)) {
+      std::fprintf(stderr, "clara_client: read error on stdin\n");
+      return 1;
+    }
+    int errors = 0;
+    int frames = DecodeStream(data, full, &errors);
+    std::fprintf(stderr, "clara_client: %d response(s), %d error(s)\n", frames, errors);
+    return errors == 0 ? 0 : 1;
+  }
+
+  std::string source;
+  if (!source_file.empty()) {
+    if (source_file == "-") {
+      if (!ReadAll(stdin, &source)) {
+        std::fprintf(stderr, "clara_client: read error on stdin\n");
+        return 1;
+      }
+    } else {
+      std::FILE* f = std::fopen(source_file.c_str(), "rb");
+      if (f == nullptr || !ReadAll(f, &source)) {
+        std::fprintf(stderr, "clara_client: cannot read %s\n", source_file.c_str());
+        if (f != nullptr) {
+          std::fclose(f);
+        }
+        return 1;
+      }
+      std::fclose(f);
+    }
+  }
+  if (element.empty() && source.empty()) {
+    std::fprintf(stderr, "clara_client: need --element=NAME or --source-file=F\n");
+    return Usage();
+  }
+  WorkloadSpec workload =
+      workload_name == "large" ? WorkloadSpec::LargeFlows() : WorkloadSpec::SmallFlows();
+  std::string requests = BuildRequests(element, source, workload, deadline_ms, count);
+  if (mode == Mode::kSocket) {
+    return RunSocket(socket_path, requests, full);
+  }
+  std::fwrite(requests.data(), 1, requests.size(), stdout);
+  return 0;
+}

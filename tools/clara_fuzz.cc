@@ -11,10 +11,18 @@
 // corpus directory as a replayable .case file. CI replays the committed
 // corpus (tests/corpus) on every run, so once-broken cases stay fixed.
 //
+// A second mode fuzzes the serving subsystem's parsers: --serve-fuzz mutates
+// valid wire-protocol payloads (requests, responses), model-bundle artifacts,
+// and framed byte streams, then checks that every parser either rejects the
+// bytes with an error or accepts them canonically (accepted bytes must
+// re-encode to a stable fixed point) — and never crashes. Violations are
+// written as kind=serve .case files replayable with --replay.
+//
 // Usage:
 //   clara_fuzz [--iters=N] [--seed=S] [--pkts=M]
 //              [--corpus-out=DIR]      write shrunk failures here
 //              [--replay=FILE|DIR]     replay .case file(s) instead of fuzzing
+//              [--serve-fuzz]          fuzz wire/artifact parsers instead
 //
 // CLARA_FUZZ_ITERS overrides the default iteration count (the nightly CI
 // job raises it without touching ctest definitions). Exit code is nonzero
@@ -31,12 +39,16 @@
 #include <string>
 #include <vector>
 
+#include "src/core/analyzer.h"
 #include "src/lang/ast.h"
 #include "src/lang/interp.h"
 #include "src/lang/printer.h"
 #include "src/ir/printer.h"
 #include "src/nic/diff.h"
+#include "src/serve/artifact.h"
+#include "src/serve/proto.h"
 #include "src/synth/synth.h"
+#include "src/util/binio.h"
 #include "src/util/rng.h"
 #include "src/workload/workload.h"
 
@@ -45,6 +57,10 @@ namespace {
 
 // Everything needed to regenerate one fuzz case deterministically.
 struct FuzzCase {
+  // kind "diff" (default): differential executor case regenerated from the
+  // synthesis seeds below. kind "serve": raw bytes for a serving-layer
+  // parser, stored directly in `hex`.
+  std::string kind = "diff";
   uint64_t seed = 1;       // synthesis RNG seed
   int index = 0;           // synthesis program index
   std::string profile = "default";  // default | uniform | generic
@@ -54,6 +70,8 @@ struct FuzzCase {
   std::vector<uint32_t> pkts;  // kept trace indices (empty = all)
   std::vector<int> keep;       // kept pre-order statement indices (empty = all)
   bool has_keep = false;
+  std::string target;  // serve cases: request | response | artifact | frame
+  std::string hex;     // serve cases: the input bytes, hex-encoded
   std::string note;
 };
 
@@ -232,12 +250,54 @@ std::string JoinInt(const std::vector<int>& v) {
   return oss.str();
 }
 
+std::string HexEncode(const std::string& bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(const std::string& hex, std::string* bytes) {
+  if (hex.size() % 2 != 0) {
+    return false;
+  }
+  auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  bytes->clear();
+  bytes->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nib(hex[i]), lo = nib(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    bytes->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
 bool WriteCaseFile(const FuzzCase& c, const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     return false;
   }
   out << "# clara_fuzz regression case (replay: clara_fuzz --replay=<this file>)\n";
+  if (c.kind == "serve") {
+    out << "kind=serve\n";
+    out << "target=" << c.target << "\n";
+    out << "hex=" << c.hex << "\n";
+    if (!c.note.empty()) {
+      out << "note=" << c.note << "\n";
+    }
+    return true;
+  }
   out << "seed=" << c.seed << "\n";
   out << "index=" << c.index << "\n";
   out << "profile=" << c.profile << "\n";
@@ -284,7 +344,13 @@ bool ParseCaseFile(const std::string& path, FuzzCase* c) {
       }
       return v;
     };
-    if (key == "seed") {
+    if (key == "kind") {
+      c->kind = val;
+    } else if (key == "target") {
+      c->target = val;
+    } else if (key == "hex") {
+      c->hex = val;
+    } else if (key == "seed") {
       c->seed = std::stoull(val);
     } else if (key == "index") {
       c->index = std::stoi(val);
@@ -310,6 +376,202 @@ bool ParseCaseFile(const std::string& path, FuzzCase* c) {
   return true;
 }
 
+// ---- serve-layer parser fuzzing ----
+
+// Parsers for untrusted bytes must either reject with an error or accept
+// canonically: accepted bytes re-encode to a stable fixed point. (Crashes
+// and hangs fail the process itself.)
+bool CheckServeBytes(const std::string& target, const std::string& bytes,
+                     std::string* why) {
+  std::string err;
+  if (target == "request") {
+    serve::InsightRequest req;
+    if (!serve::ParseRequest(bytes, &req, &err)) {
+      return true;  // graceful rejection
+    }
+    std::string e1 = serve::EncodeRequest(req);
+    serve::InsightRequest r2;
+    if (!serve::ParseRequest(e1, &r2, &err)) {
+      *why = "accepted request failed to re-parse: " + err;
+      return false;
+    }
+    if (serve::EncodeRequest(r2) != e1) {
+      *why = "request re-encoding is not a fixed point";
+      return false;
+    }
+    return true;
+  }
+  if (target == "response") {
+    serve::InsightResponse resp;
+    if (!serve::ParseResponse(bytes, &resp, &err)) {
+      return true;
+    }
+    std::string e1 = serve::EncodeResponse(resp);
+    serve::InsightResponse r2;
+    if (!serve::ParseResponse(e1, &r2, &err)) {
+      *why = "accepted response failed to re-parse: " + err;
+      return false;
+    }
+    if (serve::EncodeResponse(r2) != e1) {
+      *why = "response re-encoding is not a fixed point";
+      return false;
+    }
+    return true;
+  }
+  if (target == "artifact") {
+    TrainedBundle bundle;
+    if (!serve::DeserializeBundle(bytes, &bundle, &err)) {
+      return true;
+    }
+    std::string e1 = serve::SerializeBundle(bundle);
+    TrainedBundle b2;
+    if (!serve::DeserializeBundle(e1, &b2, &err)) {
+      *why = "accepted bundle failed to round-trip: " + err;
+      return false;
+    }
+    return true;
+  }
+  if (target == "frame") {
+    // Feed in deterministic uneven chunks; every yielded frame must respect
+    // the size cap and total consumption must terminate.
+    serve::FrameReader reader;
+    Rng chunks(Fnv1a64(bytes) | 1);
+    size_t off = 0;
+    std::string frame;
+    size_t frames = 0;
+    while (off < bytes.size()) {
+      size_t n = std::min<size_t>(bytes.size() - off,
+                                  1 + chunks.NextBounded(4096));
+      reader.Feed(bytes.data() + off, n);
+      off += n;
+      while (reader.Next(&frame)) {
+        ++frames;
+        if (frame.size() > serve::kMaxFrameBytes) {
+          *why = "frame reader yielded an oversized frame";
+          return false;
+        }
+      }
+    }
+    reader.TakeOversized();
+    (void)frames;
+    return true;
+  }
+  *why = "unknown serve target: " + target;
+  return false;
+}
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string s(rng.NextBounded(max_len + 1), '\0');
+  for (char& c : s) {
+    c = static_cast<char>(rng.NextU64() & 0xff);
+  }
+  return s;
+}
+
+// One valid base input per target, then mutated below.
+std::string BaseServeBytes(Rng& rng, const std::string& target,
+                           const std::string& artifact_bytes) {
+  if (target == "request") {
+    serve::InsightRequest req;
+    req.id = rng.NextU64();
+    req.element = RandomBytes(rng, 24);
+    req.source = RandomBytes(rng, 120);
+    req.workload.num_flows = static_cast<uint32_t>(rng.NextU64());
+    req.workload.zipf_s = rng.NextDouble();
+    req.workload.seed = rng.NextU64();
+    req.deadline_ms = static_cast<uint32_t>(rng.NextBounded(5000));
+    return serve::EncodeRequest(req);
+  }
+  if (target == "response") {
+    serve::InsightResponse resp;
+    resp.id = rng.NextU64();
+    resp.error = static_cast<serve::ErrorCode>(rng.NextBounded(10));
+    resp.error_message = RandomBytes(rng, 64);
+    resp.nf_name = RandomBytes(rng, 24);
+    resp.accelerator = RandomBytes(rng, 16);
+    resp.suggested_cores = static_cast<int>(rng.NextInt(-4, 64));
+    resp.total_compute = rng.NextDouble() * 1000;
+    resp.naive_mpps = rng.NextDouble() * 100;
+    resp.rendered = RandomBytes(rng, 200);
+    return serve::EncodeResponse(resp);
+  }
+  if (target == "artifact") {
+    return artifact_bytes;
+  }
+  std::string stream;
+  size_t n = 1 + rng.NextBounded(3);
+  for (size_t i = 0; i < n; ++i) {
+    serve::AppendFrame(&stream, RandomBytes(rng, 300));
+  }
+  return stream;
+}
+
+void Mutate(Rng& rng, std::string* bytes) {
+  size_t edits = 1 + rng.NextBounded(8);
+  for (size_t e = 0; e < edits; ++e) {
+    if (bytes->empty()) {
+      bytes->push_back(static_cast<char>(rng.NextU64() & 0xff));
+      continue;
+    }
+    switch (rng.NextBounded(4)) {
+      case 0:  // flip a byte
+        (*bytes)[rng.NextBounded(bytes->size())] ^=
+            static_cast<char>(1 + rng.NextBounded(255));
+        break;
+      case 1:  // truncate
+        bytes->resize(rng.NextBounded(bytes->size()));
+        break;
+      case 2:  // insert a byte
+        bytes->insert(bytes->begin() + rng.NextBounded(bytes->size() + 1),
+                      static_cast<char>(rng.NextU64() & 0xff));
+        break;
+      default:  // append garbage
+        bytes->append(RandomBytes(rng, 8));
+        break;
+    }
+  }
+}
+
+int ServeFuzz(uint64_t seed, int iters, const std::string& corpus_out) {
+  const char* targets[] = {"request", "response", "artifact", "frame"};
+  // A default-constructed (untrained) bundle serializes quickly and still
+  // exercises every section parser.
+  std::string artifact_bytes = serve::SerializeBundle(TrainedBundle{});
+  Rng rng(seed);
+  int failures = 0;
+  for (int i = 0; i < iters; ++i) {
+    std::string target = targets[i % 4];
+    std::string bytes = BaseServeBytes(rng, target, artifact_bytes);
+    if (rng.NextBounded(8) != 0) {  // 1-in-8 stays unmutated (accept path)
+      Mutate(rng, &bytes);
+    }
+    std::string why;
+    if (CheckServeBytes(target, bytes, &why)) {
+      continue;
+    }
+    ++failures;
+    std::printf("[SERVE-MISMATCH] iter=%d target=%s: %s\n", i, target.c_str(),
+                why.c_str());
+    if (!corpus_out.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(corpus_out, ec);
+      FuzzCase c;
+      c.kind = "serve";
+      c.target = target;
+      c.hex = HexEncode(bytes);
+      c.note = why;
+      std::ostringstream name;
+      name << corpus_out << "/serve_" << seed << "_" << i << ".case";
+      if (WriteCaseFile(c, name.str())) {
+        std::printf("  wrote %s\n", name.str().c_str());
+      }
+    }
+  }
+  std::printf("clara_fuzz --serve-fuzz: %d iteration(s), %d violation(s)\n", iters,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
 // ---- modes ----
 
 int ReplayPath(const std::string& path, bool dump) {
@@ -330,6 +592,20 @@ int ReplayPath(const std::string& path, bool dump) {
     FuzzCase c;
     if (!ParseCaseFile(f, &c)) {
       ++failures;
+      continue;
+    }
+    if (c.kind == "serve") {
+      std::string bytes, why;
+      if (!HexDecode(c.hex, &bytes)) {
+        ++failures;
+        std::printf("[FAIL] %s: bad hex payload\n", f.c_str());
+      } else if (CheckServeBytes(c.target, bytes, &why)) {
+        std::printf("[ OK ] %s (%s, %zu bytes)\n", f.c_str(), c.target.c_str(),
+                    bytes.size());
+      } else {
+        ++failures;
+        std::printf("[FAIL] %s: %s\n", f.c_str(), why.c_str());
+      }
       continue;
     }
     Program p = GenProgram(c);
@@ -425,12 +701,15 @@ int main(int argc, char** argv) {
   int iters = 0;
   uint32_t pkts = 32;
   bool dump = false;
+  bool serve_fuzz = false;
   std::string replay, corpus_out;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     auto val = [&a](const char* pfx) { return a.substr(std::strlen(pfx)); };
     if (a == "--dump") {
       dump = true;
+    } else if (a == "--serve-fuzz") {
+      serve_fuzz = true;
     } else if (a.rfind("--seed=", 0) == 0) {
       seed = std::stoull(val("--seed="));
     } else if (a.rfind("--iters=", 0) == 0) {
@@ -444,7 +723,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: clara_fuzz [--iters=N] [--seed=S] [--pkts=M]\n"
-                   "                  [--corpus-out=DIR] [--replay=FILE|DIR]\n");
+                   "                  [--corpus-out=DIR] [--replay=FILE|DIR]\n"
+                   "                  [--serve-fuzz]\n");
       return 2;
     }
   }
@@ -457,6 +737,9 @@ int main(int argc, char** argv) {
     if (iters <= 0) {
       iters = 200;
     }
+  }
+  if (serve_fuzz) {
+    return clara::ServeFuzz(seed, iters, corpus_out);
   }
   return clara::Fuzz(seed, iters, pkts, corpus_out);
 }

@@ -1,0 +1,234 @@
+// clara_serve — the Clara insight-serving daemon.
+//
+// Loads a pre-trained model bundle from the artifact store (written by
+// `clara_cli train --model-dir=DIR`) and answers insight requests over a
+// length-prefixed wire protocol (src/serve/proto.h) without ever retraining.
+//
+// Transports:
+//   --pipe          read request frames from stdin, write response frames to
+//                   stdout (the default; composes with clara_client --emit)
+//   --socket=PATH   listen on a Unix domain socket; serves connections one
+//                   at a time, each carrying any number of frames
+//
+// All requests buffered at once are micro-batched through the serving
+// engine, so N concurrent insight requests share one parallel per-block
+// inference pass. Malformed payloads and oversized frames get structured
+// error responses; SIGINT/SIGTERM shut the daemon down cleanly.
+//
+// Usage:
+//   clara_cli train --model-dir=models/
+//   clara_client --emit --element=aggcounter --count=4 \
+//     | clara_serve --model-dir=models/ --pipe \
+//     | clara_client --decode
+#include <errno.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/serve/artifact.h"
+#include "src/serve/server.h"
+
+namespace {
+
+using namespace clara;
+
+volatile sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+void InstallSignalHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSignal;
+  // No SA_RESTART: blocking read()/accept() must return EINTR so the main
+  // loop can observe g_stop.
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Serves one byte stream (pipe or accepted socket connection) until EOF or
+// shutdown. Frames buffered together are submitted together, so the engine
+// micro-batches them; responses are written back in request order.
+int ServeStream(serve::ServeEngine& engine, int in_fd, int out_fd) {
+  serve::FrameReader reader;
+  char buf[1 << 16];
+  while (g_stop == 0) {
+    ssize_t n = ::read(in_fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      std::fprintf(stderr, "clara_serve: read: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (n == 0) {
+      break;  // EOF
+    }
+    reader.Feed(buf, static_cast<size_t>(n));
+
+    std::vector<std::future<serve::InsightResponse>> futures;
+    std::string frame;
+    std::string out;
+    while (reader.Next(&frame)) {
+      serve::InsightRequest req;
+      std::string err;
+      if (!serve::ParseRequest(frame, &req, &err)) {
+        serve::AppendFrame(&out, serve::ServeEngine::EncodeTransportError(
+                                     serve::ErrorCode::kBadRequest, err));
+        continue;
+      }
+      futures.push_back(engine.Submit(std::move(req)));
+    }
+    for (size_t i = reader.TakeOversized(); i > 0; --i) {
+      serve::AppendFrame(&out, serve::ServeEngine::EncodeTransportError(
+                                   serve::ErrorCode::kOversized,
+                                   "frame exceeds the 1 MiB limit"));
+    }
+    for (auto& f : futures) {
+      serve::AppendFrame(&out, serve::EncodeResponse(f.get()));
+    }
+    if (!out.empty() && !WriteAll(out_fd, out)) {
+      std::fprintf(stderr, "clara_serve: write: %s\n", std::strerror(errno));
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int ServeSocket(serve::ServeEngine& engine, const std::string& path) {
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::fprintf(stderr, "clara_serve: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "clara_serve: socket path too long: %s\n", path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(listener, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 8) < 0) {
+    std::fprintf(stderr, "clara_serve: bind/listen %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "clara_serve: listening on %s\n", path.c_str());
+  int rc = 0;
+  while (g_stop == 0) {
+    int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      std::fprintf(stderr, "clara_serve: accept: %s\n", std::strerror(errno));
+      rc = 1;
+      break;
+    }
+    rc |= ServeStream(engine, conn, conn);
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return rc;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: clara_serve --model-dir=DIR [--pipe | --socket=PATH]\n"
+               "                   [--queue=N] [--batch=N] [--cache=N]\n"
+               "                   [--metrics-json=FILE]\n"
+               "Serves Clara offloading insights from a pre-trained bundle\n"
+               "(create one with `clara_cli train --model-dir=DIR`).\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_dir;
+  std::string socket_path;
+  std::string metrics_path;
+  serve::ServeOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--model-dir=", 0) == 0) {
+      model_dir = a.substr(std::strlen("--model-dir="));
+    } else if (a == "--pipe") {
+      // default transport
+    } else if (a.rfind("--socket=", 0) == 0) {
+      socket_path = a.substr(std::strlen("--socket="));
+    } else if (a.rfind("--queue=", 0) == 0) {
+      opts.queue_capacity = std::strtoul(a.c_str() + std::strlen("--queue="), nullptr, 10);
+    } else if (a.rfind("--batch=", 0) == 0) {
+      opts.max_batch = std::strtoul(a.c_str() + std::strlen("--batch="), nullptr, 10);
+    } else if (a.rfind("--cache=", 0) == 0) {
+      opts.cache_capacity = std::strtoul(a.c_str() + std::strlen("--cache="), nullptr, 10);
+    } else if (a.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = a.substr(std::strlen("--metrics-json="));
+    } else {
+      return Usage();
+    }
+  }
+  if (model_dir.empty() || opts.queue_capacity == 0 || opts.max_batch == 0) {
+    return Usage();
+  }
+
+  TrainedBundle bundle;
+  std::string error;
+  if (!serve::LoadBundleFile(serve::BundlePath(model_dir), &bundle, &error)) {
+    std::fprintf(stderr, "clara_serve: %s\n", error.c_str());
+    return 1;
+  }
+  obs::SetEnabled(true);
+  InstallSignalHandlers();
+
+  serve::ServeEngine engine(std::move(bundle), opts);
+  engine.Start();
+  int rc = socket_path.empty() ? ServeStream(engine, STDIN_FILENO, STDOUT_FILENO)
+                               : ServeSocket(engine, socket_path);
+  engine.Stop();
+
+  if (!metrics_path.empty()) {
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f != nullptr) {
+      std::string json = obs::MetricsRegistry::Global().ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "clara_serve: cannot write %s\n", metrics_path.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  std::fprintf(stderr, "clara_serve: shut down cleanly\n");
+  return rc;
+}
