@@ -19,6 +19,8 @@
 
 #include "bench/bench_util.h"
 #include "src/core/analyzer.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/serve/artifact.h"
 #include "src/serve/proto.h"
 #include "src/serve/server.h"
@@ -91,24 +93,69 @@ int Run() {
     std::fprintf(stderr, "serve_latency: miss failed: %s\n", miss.error_message.c_str());
     return 1;
   }
-  constexpr int kHits = 50;
-  t0 = Clock::now();
-  for (int i = 0; i < kHits; ++i) {
-    serve::InsightResponse hit = engine.Handle(Request(2 + i, "aggcounter"));
-    if (hit.error != serve::ErrorCode::kOk) {
-      std::fprintf(stderr, "serve_latency: hit failed: %s\n", hit.error_message.c_str());
+  // Cache hits are single-digit microseconds, so a single timed loop is
+  // dominated by scheduler noise. Measure traced and untraced hits in
+  // interleaved rounds (so machine-load drift hits both equally) and take
+  // the per-mode minimum: the ratio of two best-of runs is far more stable
+  // than the ratio of two single runs.
+  constexpr int kHits = 200;
+  constexpr int kRounds = 5;
+  uint64_t next_id = 2;
+  obs::TraceSink trace_sink;
+  auto hit_round_ms = [&](bool traced) -> double {
+    // Tracing on means the full telemetry plane: global trace sink attached,
+    // per-request trace ids minted, per-stage spans and breakdowns recorded.
+    obs::SetGlobalTrace(traced ? &trace_sink : nullptr);
+    obs::SetEnabled(traced);
+    Clock::time_point start = Clock::now();
+    for (int i = 0; i < kHits; ++i) {
+      serve::InsightRequest req = Request(next_id, "aggcounter");
+      if (traced) {
+        req.trace_id = next_id;
+      }
+      ++next_id;
+      serve::InsightResponse hit = engine.Handle(std::move(req));
+      if (hit.error != serve::ErrorCode::kOk) {
+        std::fprintf(stderr, "serve_latency: hit failed: %s\n",
+                     hit.error_message.c_str());
+        return -1;
+      }
+    }
+    double ms = MsSince(start) / kHits;
+    obs::SetEnabled(false);
+    obs::SetGlobalTrace(nullptr);
+    return ms;
+  };
+  double hit_ms = -1;
+  double traced_hit_ms = -1;
+  for (int round = 0; round < kRounds + 1; ++round) {
+    double plain = hit_round_ms(/*traced=*/false);
+    double traced = hit_round_ms(/*traced=*/true);
+    if (plain < 0 || traced < 0) {
       return 1;
     }
+    if (round == 0) {
+      continue;  // warmup round: caches, allocator, branch predictors
+    }
+    if (hit_ms < 0 || plain < hit_ms) {
+      hit_ms = plain;
+    }
+    if (traced_hit_ms < 0 || traced < traced_hit_ms) {
+      traced_hit_ms = traced;
+    }
   }
-  double hit_ms = MsSince(t0) / kHits;
 
   double train_speedup = warm_load_ms > 0 ? cold_train_ms / warm_load_ms : 0;
   double cache_speedup = hit_ms > 0 ? miss_ms / hit_ms : 0;
+  double tracing_ratio = hit_ms > 0 ? traced_hit_ms / hit_ms : 1.0;
+  double tracing_ratio_clamped = std::min(std::max(tracing_ratio, 1.0), 1.5);
   std::printf("%-28s %12s %12s %10s\n", "phase", "cold/miss ms", "warm/hit ms", "speedup");
   std::printf("%-28s %12.2f %12.2f %9.1fx\n", "train vs artifact load", cold_train_ms,
               warm_load_ms, train_speedup);
   std::printf("%-28s %12.3f %12.3f %9.1fx\n", "analysis vs cache hit", miss_ms, hit_ms,
               cache_speedup);
+  std::printf("%-28s %12.3f %12.3f %9.2fx\n", "cache hit with tracing on", hit_ms,
+              traced_hit_ms, tracing_ratio);
 
   JsonRows json("serve_latency");
   json.Row()
@@ -117,12 +164,20 @@ int Run() {
   json.Row()
       .Str("phase", "cache_hit_vs_miss")
       .Num("speedup_capped", std::min(cache_speedup, 5.0));
+  json.Row()
+      .Str("phase", "tracing_on_vs_off")
+      .Num("tracing_overhead_latency_ratio", tracing_ratio_clamped);
 
   // The acceptance gate: warm serving must beat cold training, cache hits
-  // must beat full analysis.
+  // must beat full analysis, and full tracing must not blow up the warm path.
   if (train_speedup <= 1.0 || cache_speedup <= 1.0) {
     std::fprintf(stderr, "serve_latency: warm path is not faster (train %.1fx, cache %.1fx)\n",
                  train_speedup, cache_speedup);
+    return 1;
+  }
+  if (tracing_ratio > 1.5) {
+    std::fprintf(stderr, "serve_latency: tracing overhead too high (%.2fx warm hit latency)\n",
+                 tracing_ratio);
     return 1;
   }
   return 0;

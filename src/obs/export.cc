@@ -1,0 +1,71 @@
+#include "src/obs/export.h"
+
+#include "src/obs/metrics.h"
+
+namespace clara {
+namespace obs {
+
+PeriodicJsonlExporter::PeriodicJsonlExporter(std::string path,
+                                             std::chrono::milliseconds interval)
+    : path_(std::move(path)),
+      interval_(std::max(interval, std::chrono::milliseconds(1))) {}
+
+PeriodicJsonlExporter::~PeriodicJsonlExporter() { Stop(); }
+
+bool PeriodicJsonlExporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return true;
+  }
+  file_ = std::fopen(path_.c_str(), "a");
+  if (file_ == nullptr) {
+    return false;
+  }
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void PeriodicJsonlExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  WriteSample();  // final snapshot, so short runs export at least one line
+  std::fclose(file_);
+  file_ = nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void PeriodicJsonlExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    WriteSample();
+    lock.lock();
+  }
+}
+
+void PeriodicJsonlExporter::WriteSample() {
+  int64_t ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+  std::string line = "{\"ts_ms\":" + std::to_string(ts_ms) +
+                     ",\"seq\":" + std::to_string(seq_++) +
+                     ",\"metrics\":" + MetricsRegistry::Global().ToJson() + "}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace obs
+}  // namespace clara

@@ -1,0 +1,57 @@
+// Periodic JSONL metrics export: a background thread that appends one
+// timestamped metrics-registry snapshot per interval to a file, so a
+// long-running daemon produces a time series instead of a single snapshot at
+// shutdown. Each line is a self-contained JSON object:
+//
+//   {"ts_ms":<unix epoch ms>,"seq":<line number>,"metrics":{...}}
+//
+// Stop() (and the destructor) writes one final line so short runs still
+// export at least one sample.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace clara {
+namespace obs {
+
+class PeriodicJsonlExporter {
+ public:
+  PeriodicJsonlExporter(std::string path, std::chrono::milliseconds interval);
+  ~PeriodicJsonlExporter();
+
+  PeriodicJsonlExporter(const PeriodicJsonlExporter&) = delete;
+  PeriodicJsonlExporter& operator=(const PeriodicJsonlExporter&) = delete;
+
+  // Opens the file (append) and starts the export thread. Returns false when
+  // the file cannot be opened. Idempotent.
+  bool Start();
+  // Writes a final sample and joins the thread. Idempotent.
+  void Stop();
+
+  uint64_t samples_written() const { return seq_; }
+
+ private:
+  void Loop();
+  void WriteSample();
+
+  std::string path_;
+  std::chrono::milliseconds interval_;
+  std::FILE* file_ = nullptr;
+  uint64_t seq_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace clara
+
+#endif  // SRC_OBS_EXPORT_H_

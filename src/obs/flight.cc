@@ -1,0 +1,80 @@
+#include "src/obs/flight.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/obs/json_util.h"
+
+namespace clara {
+namespace obs {
+
+FlightRecorder::FlightRecorder(size_t capacity) : capacity_(std::max<size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::Record(FlightRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[next_] = std::move(rec);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: insertion order is already oldest-first
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::string FlightRecorder::ToJson() const {
+  std::vector<FlightRecord> records = Snapshot();
+  uint64_t total = recorded();
+  std::ostringstream os;
+  os << "{\"capacity\":" << capacity_ << ",\"recorded\":" << total << ",\"records\":[";
+  bool first = true;
+  for (const FlightRecord& r : records) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"id\":" << r.id << ",\"trace_id\":" << r.trace_id << ",\"label\":\""
+       << JsonEscape(r.label) << "\",\"outcome\":" << static_cast<int>(r.outcome)
+       << ",\"cache_hit\":" << (r.cache_hit ? "true" : "false")
+       << ",\"done_us\":" << r.done_us << ",\"request_bytes\":" << r.request_bytes
+       << ",\"queue_us\":" << r.queue_us << ",\"parse_us\":" << r.parse_us
+       << ",\"infer_us\":" << r.infer_us << ",\"analyze_us\":" << r.analyze_us
+       << ",\"encode_us\":" << r.encode_us << ",\"total_us\":" << r.total_us << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+}  // namespace obs
+}  // namespace clara

@@ -1,0 +1,64 @@
+// Flight recorder: a fixed-size ring buffer of recent per-request records
+// (ids, sizes, stage timings, outcome) that costs a mutexed struct copy per
+// request and is dumped only on demand — the `Dump` control frame, SIGUSR1,
+// or automatically on the first internal serving error. The last N requests
+// are exactly what a post-mortem needs when a daemon misbehaves and the
+// aggregate metrics have already averaged the incident away.
+#ifndef SRC_OBS_FLIGHT_H_
+#define SRC_OBS_FLIGHT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clara {
+namespace obs {
+
+struct FlightRecord {
+  uint64_t id = 0;        // request id (echoed from the client)
+  uint64_t trace_id = 0;  // 0 = request carried no trace id
+  std::string label;      // element name, "<inline>", or error site
+  uint8_t outcome = 0;    // serve::ErrorCode numeric value
+  bool cache_hit = false;
+  int64_t done_us = 0;  // completion time, recorder-owner timeline
+  uint32_t request_bytes = 0;
+  // Per-stage latencies (microseconds). Stages that did not run stay 0.
+  uint32_t queue_us = 0;
+  uint32_t parse_us = 0;
+  uint32_t infer_us = 0;
+  uint32_t analyze_us = 0;
+  uint32_t encode_us = 0;
+  uint32_t total_us = 0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 128);
+
+  void Record(FlightRecord rec);
+
+  // Records oldest-first; at most `capacity` of them.
+  std::vector<FlightRecord> Snapshot() const;
+
+  // {"capacity":N,"recorded":M,"records":[{...},...]} — records oldest-first.
+  std::string ToJson() const;
+
+  void Clear();
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  // Total records ever written (size() saturates at capacity, this does not).
+  uint64_t recorded() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FlightRecord> ring_;
+  size_t next_ = 0;  // ring slot for the next record
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace obs
+}  // namespace clara
+
+#endif  // SRC_OBS_FLIGHT_H_

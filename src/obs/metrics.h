@@ -31,6 +31,15 @@ class Counter {
 class Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  // Atomic increments for depth-style gauges (queue occupancy, live
+  // connections): concurrent Add/Sub never lose updates, unlike the racy
+  // read-modify-Set() pattern they replace.
+  void Add(double d = 1) {
+    double old = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(old, old + d, std::memory_order_relaxed)) {
+    }
+  }
+  void Sub(double d = 1) { Add(-d); }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 

@@ -1,0 +1,135 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/metrics.h"
+
+namespace clara {
+namespace obs {
+namespace {
+
+// Exponential latency buckets: bucket i covers (2^(i-1), 2^i] microseconds,
+// bucket 0 covers (0, 1]. 40 buckets reach ~9 minutes, far past any serve
+// deadline.
+constexpr int kBuckets = 40;
+
+int BucketFor(double latency_us) {
+  if (latency_us <= 1.0) {
+    return 0;
+  }
+  int idx = static_cast<int>(std::ceil(std::log2(latency_us)));
+  return std::min(idx, kBuckets - 1);
+}
+
+double BucketUpper(int idx) { return std::ldexp(1.0, idx); }  // 2^idx
+
+}  // namespace
+
+SloTracker::SloTracker(Options opts) : opts_(opts) {
+  opts_.slices = std::max(opts_.slices, 1);
+  opts_.window_us = std::max<int64_t>(opts_.window_us, opts_.slices);
+  slice_us_ = opts_.window_us / opts_.slices;
+  slices_.resize(static_cast<size_t>(opts_.slices));
+  for (auto& s : slices_) {
+    s.buckets.assign(kBuckets, 0);
+  }
+}
+
+void SloTracker::Advance(int64_t now_us) {
+  Slice& cur = slices_[cur_];
+  if (cur.start_us < 0) {
+    cur.start_us = now_us - now_us % slice_us_;
+    return;
+  }
+  // Step forward one slice at a time, clearing each ring slot as it is
+  // reused. A long idle gap rotates through the whole ring at most once.
+  int64_t steps = (now_us - cur.start_us) / slice_us_;
+  if (steps <= 0) {
+    return;
+  }
+  steps = std::min<int64_t>(steps, opts_.slices);
+  int64_t base = now_us - now_us % slice_us_;
+  for (int64_t i = 0; i < steps; ++i) {
+    cur_ = (cur_ + 1) % slices_.size();
+    Slice& s = slices_[cur_];
+    std::fill(s.buckets.begin(), s.buckets.end(), 0);
+    s.count = s.errors = s.overruns = 0;
+    s.max_us = 0;
+    s.start_us = base - (steps - 1 - i) * slice_us_;
+  }
+}
+
+void SloTracker::Record(int64_t now_us, double latency_us, bool error, bool overrun) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Advance(now_us);
+  Slice& s = slices_[cur_];
+  s.buckets[static_cast<size_t>(BucketFor(latency_us))] += 1;
+  s.count += 1;
+  s.errors += error ? 1 : 0;
+  s.overruns += overrun ? 1 : 0;
+  s.max_us = std::max(s.max_us, latency_us);
+}
+
+double SloTracker::MergedQuantile(const std::vector<uint64_t>& counts, uint64_t total,
+                                  double q, double max_us) {
+  if (total == 0) {
+    return 0;
+  }
+  double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
+  double cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    double next = cum + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      double lo = i == 0 ? 0.0 : BucketUpper(static_cast<int>(i) - 1);
+      double hi = BucketUpper(static_cast<int>(i));
+      double frac = (target - cum) / static_cast<double>(counts[i]);
+      return std::min(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), max_us);
+    }
+    cum = next;
+  }
+  return max_us;
+}
+
+SloTracker::Window SloTracker::Snapshot(int64_t now_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> merged(kBuckets, 0);
+  Window w;
+  int64_t oldest = now_us - opts_.window_us;
+  for (const Slice& s : slices_) {
+    if (s.start_us < 0 || s.start_us + slice_us_ <= oldest || s.start_us > now_us) {
+      continue;
+    }
+    for (int i = 0; i < kBuckets; ++i) {
+      merged[static_cast<size_t>(i)] += s.buckets[static_cast<size_t>(i)];
+    }
+    w.count += s.count;
+    w.errors += s.errors;
+    w.overruns += s.overruns;
+    w.max_us = std::max(w.max_us, s.max_us);
+  }
+  w.p50_us = MergedQuantile(merged, w.count, 0.50, w.max_us);
+  w.p90_us = MergedQuantile(merged, w.count, 0.90, w.max_us);
+  w.p99_us = MergedQuantile(merged, w.count, 0.99, w.max_us);
+  if (w.count > 0) {
+    w.error_rate = static_cast<double>(w.errors) / static_cast<double>(w.count);
+    w.overrun_rate = static_cast<double>(w.overruns) / static_cast<double>(w.count);
+  }
+  w.degraded = opts_.p99_threshold_us > 0 && w.count > 0 && w.p99_us > opts_.p99_threshold_us;
+  return w;
+}
+
+void SloTracker::ExportGauges(int64_t now_us) const {
+  Window w = Snapshot(now_us);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetGauge("serve.slo.p50_us").Set(w.p50_us);
+  reg.GetGauge("serve.slo.p90_us").Set(w.p90_us);
+  reg.GetGauge("serve.slo.p99_us").Set(w.p99_us);
+  reg.GetGauge("serve.slo.error_rate").Set(w.error_rate);
+  reg.GetGauge("serve.slo.overrun_rate").Set(w.overrun_rate);
+  reg.GetGauge("serve.slo.window_requests").Set(static_cast<double>(w.count));
+  reg.GetGauge("serve.slo.degraded").Set(w.degraded ? 1.0 : 0.0);
+}
+
+}  // namespace obs
+}  // namespace clara

@@ -1,0 +1,86 @@
+// Rolling-window SLO tracker: sliding-window latency quantiles plus error /
+// deadline-overrun burn rates, for gating a serving daemon on "p99 over the
+// last minute" instead of process-lifetime aggregates.
+//
+// The window is a ring of fixed-duration slices, each holding exponential
+// latency buckets and error/overrun counts. Recording touches only the
+// current slice; reading merges the slices still inside the window, so a
+// burst that happened two windows ago ages out instead of polluting the
+// quantiles forever (the failure mode of the cumulative obs::Histogram).
+//
+// All timestamps are caller-supplied microseconds on one monotonic timeline
+// (the serving engine passes its own steady-clock offsets), which keeps the
+// tracker deterministic under test.
+#ifndef SRC_OBS_SLO_H_
+#define SRC_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clara {
+namespace obs {
+
+class SloTracker {
+ public:
+  struct Options {
+    int64_t window_us = 60LL * 1000 * 1000;  // one minute
+    int slices = 12;                         // 5 s granularity at the default
+    // p99 latency threshold in microseconds; 0 disables the degraded signal.
+    double p99_threshold_us = 0;
+  };
+
+  // Merged view of every slice still inside the window.
+  struct Window {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    uint64_t overruns = 0;
+    double p50_us = 0;
+    double p90_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+    double error_rate = 0;    // errors / count
+    double overrun_rate = 0;  // overruns / count
+    bool degraded = false;    // p99 over threshold (threshold > 0, count > 0)
+  };
+
+  SloTracker() : SloTracker(Options()) {}
+  explicit SloTracker(Options opts);
+
+  void Record(int64_t now_us, double latency_us, bool error, bool overrun);
+
+  Window Snapshot(int64_t now_us) const;
+
+  // Publishes the window as serve.slo.* gauges in the global registry
+  // (p50/p90/p99_us, error_rate, overrun_rate, window_requests, degraded).
+  void ExportGauges(int64_t now_us) const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  struct Slice {
+    int64_t start_us = -1;  // -1 = never used
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    uint64_t overruns = 0;
+    double max_us = 0;
+  };
+
+  // Rotates the ring forward so slices_[cur_] covers now_us.
+  void Advance(int64_t now_us);
+  static double MergedQuantile(const std::vector<uint64_t>& counts, uint64_t total,
+                               double q, double max_us);
+
+  Options opts_;
+  int64_t slice_us_;
+  mutable std::mutex mu_;
+  std::vector<Slice> slices_;
+  size_t cur_ = 0;
+};
+
+}  // namespace obs
+}  // namespace clara
+
+#endif  // SRC_OBS_SLO_H_

@@ -22,6 +22,9 @@ void AppendEventJson(std::ostringstream& os, const TraceEvent& e) {
      << "\",\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts_us << ",\"pid\":1,\"tid\":" << e.tid;
   if (e.ph == 'X') {
     os << ",\"dur\":" << e.dur_us;
+    if (e.trace_id != 0) {
+      os << ",\"args\":{\"trace_id\":" << e.trace_id << "}";
+    }
   }
   if (e.ph == 'C') {
     os << ",\"args\":{\"value\":" << JsonNumber(e.value) << "}";
@@ -58,6 +61,37 @@ void TraceSink::AddComplete(const std::string& name, const std::string& cat, int
   e.tid = CurrentTid();
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(e));
+}
+
+void TraceSink::AddCompleteForTrace(const std::string& name, const std::string& cat,
+                                    int64_t ts_us, int64_t dur_us, uint64_t trace_id) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  // One track per traced request: nesting stays visually intact even though
+  // queue wait and dispatch run on different threads.
+  e.tid = static_cast<uint32_t>(trace_id % 100000);
+  e.trace_id = trace_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::AddEvents(std::vector<TraceEvent>&& events) {
+  if (events.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.empty()) {
+    events_ = std::move(events);
+    return;
+  }
+  // No reserve(): exact-fit reallocation on every batch would make repeated
+  // appends quadratic; insert keeps the usual geometric growth.
+  events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                 std::make_move_iterator(events.end()));
 }
 
 void TraceSink::AddCounter(const std::string& name, double value) {

@@ -24,6 +24,10 @@ struct TraceEvent {
   int64_t dur_us = 0;  // span duration ('X' only)
   uint32_t tid = 0;
   double value = 0;    // counter value ('C' only)
+  // Request correlation: spans belonging to one traced request share a
+  // nonzero trace_id, emitted as args.trace_id in the Chrome JSON so
+  // chrome://tracing / check_trace.py can group nested per-stage spans.
+  uint64_t trace_id = 0;
 };
 
 class TraceSink {
@@ -37,6 +41,14 @@ class TraceSink {
 
   void AddComplete(const std::string& name, const std::string& cat, int64_t ts_us,
                    int64_t dur_us);
+  // Complete span correlated to a request: trace_id lands in args.trace_id.
+  // `tid` overrides the calling thread's id so every span of one request
+  // renders on the same track regardless of which thread recorded it.
+  void AddCompleteForTrace(const std::string& name, const std::string& cat,
+                           int64_t ts_us, int64_t dur_us, uint64_t trace_id);
+  // Append a pre-built batch under one lock. The serving hot path emits a
+  // whole request span tree at once; per-event locking there is measurable.
+  void AddEvents(std::vector<TraceEvent>&& events);
   void AddCounter(const std::string& name, double value);
   void AddInstant(const std::string& name, const std::string& cat);
 

@@ -10,6 +10,9 @@ namespace {
 
 constexpr uint16_t kRequestTag = 0x5251;   // "RQ"
 constexpr uint16_t kResponseTag = 0x5250;  // "RP"
+// Optional trailing sections (telemetry extensions, see proto.h).
+constexpr uint16_t kTraceSectionTag = 0x4954;      // "TI" — request trace id
+constexpr uint16_t kBreakdownSectionTag = 0x4244;  // "DB" — latency breakdown
 
 void EncodeWorkload(BinWriter& w, const WorkloadSpec& spec) {
   w.Str(spec.name);
@@ -33,6 +36,32 @@ bool DecodeWorkload(BinReader& r, WorkloadSpec* spec) {
 }
 
 }  // namespace
+
+MsgType PeekType(std::string_view payload) {
+  if (payload.size() < 2) {
+    return MsgType::kUnknown;
+  }
+  uint16_t tag = static_cast<uint16_t>(static_cast<uint8_t>(payload[0])) |
+                 static_cast<uint16_t>(static_cast<uint8_t>(payload[1])) << 8;
+  switch (static_cast<MsgType>(tag)) {
+    case MsgType::kInsightRequest:
+    case MsgType::kInsightResponse:
+    case MsgType::kControlRequest:
+    case MsgType::kControlResponse:
+      return static_cast<MsgType>(tag);
+    default:
+      return MsgType::kUnknown;
+  }
+}
+
+const char* ControlOpName(ControlOp op) {
+  switch (op) {
+    case ControlOp::kStats: return "stats";
+    case ControlOp::kHealth: return "health";
+    case ControlOp::kDump: return "dump";
+  }
+  return "?";
+}
 
 const char* ErrorCodeName(ErrorCode c) {
   switch (c) {
@@ -58,6 +87,12 @@ std::string EncodeRequest(const InsightRequest& req) {
   w.Str(req.source);
   EncodeWorkload(w, req.workload);
   w.U32(req.deadline_ms);
+  if (req.trace_id != 0) {
+    // Optional trailing trace section: v1 decoders never see it because v1
+    // encoders never write it, and the parser below treats absence as 0.
+    w.U16(kTraceSectionTag);
+    w.U64(req.trace_id);
+  }
   return w.Take();
 }
 
@@ -79,6 +114,18 @@ bool ParseRequest(std::string_view payload, InsightRequest* out, std::string* er
   if (!r.ok()) {
     *error = "request: " + r.error();
     return false;
+  }
+  if (r.remaining() != 0) {
+    // Optional trace section (absent in v1 frames).
+    if (r.U16() != kTraceSectionTag) {
+      *error = "request: bad trailing section tag";
+      return false;
+    }
+    req.trace_id = r.U64();
+    if (!r.ok()) {
+      *error = "request: " + r.error();
+      return false;
+    }
   }
   if (r.remaining() != 0) {
     *error = "request: " + std::to_string(r.remaining()) + " trailing bytes";
@@ -109,16 +156,30 @@ std::string EncodeResponseBody(const InsightResponse& resp) {
   return w.Take();
 }
 
-std::string EncodeResponseWithBody(uint64_t id, std::string_view body) {
+std::string EncodeResponseWithBody(uint64_t id, std::string_view body,
+                                   const LatencyBreakdown& breakdown) {
   BinWriter w;
   w.U16(kResponseTag);
   w.U64(id);
   w.Bytes(body.data(), body.size());
+  if (breakdown.valid) {
+    // Appended after the cached body so byte-equal cache replays stay
+    // byte-equal while each response still carries its own stage timings.
+    w.U16(kBreakdownSectionTag);
+    w.U64(breakdown.trace_id);
+    w.Bool(breakdown.cache_hit);
+    w.U32(breakdown.queue_us);
+    w.U32(breakdown.parse_us);
+    w.U32(breakdown.infer_us);
+    w.U32(breakdown.analyze_us);
+    w.U32(breakdown.encode_us);
+    w.U32(breakdown.total_us);
+  }
   return w.Take();
 }
 
 std::string EncodeResponse(const InsightResponse& resp) {
-  return EncodeResponseWithBody(resp.id, EncodeResponseBody(resp));
+  return EncodeResponseWithBody(resp.id, EncodeResponseBody(resp), resp.breakdown);
 }
 
 bool ParseResponse(std::string_view payload, InsightResponse* out, std::string* error) {
@@ -148,6 +209,100 @@ bool ParseResponse(std::string_view payload, InsightResponse* out, std::string* 
   resp.rendered = r.Str();
   if (!r.ok()) {
     *error = "response: " + r.error();
+    return false;
+  }
+  if (r.remaining() != 0) {
+    // Optional latency-breakdown section (absent in v1 frames).
+    if (r.U16() != kBreakdownSectionTag) {
+      *error = "response: bad trailing section tag";
+      return false;
+    }
+    resp.breakdown.valid = true;
+    resp.breakdown.trace_id = r.U64();
+    resp.breakdown.cache_hit = r.Bool();
+    resp.breakdown.queue_us = r.U32();
+    resp.breakdown.parse_us = r.U32();
+    resp.breakdown.infer_us = r.U32();
+    resp.breakdown.analyze_us = r.U32();
+    resp.breakdown.encode_us = r.U32();
+    resp.breakdown.total_us = r.U32();
+    if (!r.ok()) {
+      *error = "response: " + r.error();
+      return false;
+    }
+    if (r.remaining() != 0) {
+      *error = "response: " + std::to_string(r.remaining()) + " trailing bytes";
+      return false;
+    }
+  }
+  *out = std::move(resp);
+  return true;
+}
+
+std::string EncodeControlRequest(const ControlRequest& req) {
+  BinWriter w;
+  w.U16(static_cast<uint16_t>(MsgType::kControlRequest));
+  w.U8(static_cast<uint8_t>(req.op));
+  return w.Take();
+}
+
+bool ParseControlRequest(std::string_view payload, ControlRequest* out,
+                         std::string* error) {
+  BinReader r(payload);
+  if (r.U16() != static_cast<uint16_t>(MsgType::kControlRequest)) {
+    *error = "control request: bad message tag";
+    return false;
+  }
+  uint8_t op = r.U8();
+  if (r.ok() && op > static_cast<uint8_t>(ControlOp::kDump)) {
+    *error = "control request: unknown op " + std::to_string(op);
+    return false;
+  }
+  if (!r.ok()) {
+    *error = "control request: " + r.error();
+    return false;
+  }
+  if (r.remaining() != 0) {
+    *error = "control request: " + std::to_string(r.remaining()) + " trailing bytes";
+    return false;
+  }
+  out->op = static_cast<ControlOp>(op);
+  return true;
+}
+
+std::string EncodeControlResponse(const ControlResponse& resp) {
+  BinWriter w;
+  w.U16(static_cast<uint16_t>(MsgType::kControlResponse));
+  w.U8(static_cast<uint8_t>(resp.op));
+  w.Bool(resp.ok);
+  w.Str(resp.error);
+  w.Str(resp.json);
+  return w.Take();
+}
+
+bool ParseControlResponse(std::string_view payload, ControlResponse* out,
+                          std::string* error) {
+  BinReader r(payload);
+  if (r.U16() != static_cast<uint16_t>(MsgType::kControlResponse)) {
+    *error = "control response: bad message tag";
+    return false;
+  }
+  ControlResponse resp;
+  uint8_t op = r.U8();
+  if (r.ok() && op > static_cast<uint8_t>(ControlOp::kDump)) {
+    *error = "control response: unknown op " + std::to_string(op);
+    return false;
+  }
+  resp.op = static_cast<ControlOp>(op);
+  resp.ok = r.Bool();
+  resp.error = r.Str();
+  resp.json = r.Str();
+  if (!r.ok()) {
+    *error = "control response: " + r.error();
+    return false;
+  }
+  if (r.remaining() != 0) {
+    *error = "control response: " + std::to_string(r.remaining()) + " trailing bytes";
     return false;
   }
   *out = std::move(resp);

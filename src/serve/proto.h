@@ -11,6 +11,18 @@
 // optional deadline; responses carry a structured error or the offloading
 // insights. Parsing is fully bounds-checked and never throws — malformed
 // payloads come back as (false, error message).
+//
+// Telemetry extensions are backward compatible in both directions: requests
+// may append an optional trace section (trace id for end-to-end request
+// tracing) and responses an optional per-stage latency breakdown, each
+// introduced by its own tag *after* all v1 fields. A v1 frame simply ends
+// where the optional section would begin, and encoders omit the section when
+// it carries nothing, so v1 bytes round-trip unchanged.
+//
+// Besides insight request/response, the protocol carries control-plane
+// messages (MsgType::kControlRequest/kControlResponse): Stats, Health and
+// Dump queries that a daemon answers immediately from its telemetry state
+// without going through the request queue.
 #ifndef SRC_SERVE_PROTO_H_
 #define SRC_SERVE_PROTO_H_
 
@@ -25,6 +37,20 @@ namespace clara {
 namespace serve {
 
 inline constexpr size_t kMaxFrameBytes = 1 << 20;  // 1 MiB
+
+// Leading u16 of every payload. The two insight values predate this enum and
+// keep their original byte patterns ("QR"/"PR" on the wire).
+enum class MsgType : uint16_t {
+  kUnknown = 0,
+  kInsightRequest = 0x5251,
+  kInsightResponse = 0x5250,
+  kControlRequest = 0x5143,
+  kControlResponse = 0x5043,
+};
+
+// Classifies a payload by its tag without decoding it (kUnknown when the
+// payload is too short or the tag is not one of ours).
+MsgType PeekType(std::string_view payload);
 
 enum class ErrorCode : uint8_t {
   kOk = 0,
@@ -49,6 +75,25 @@ struct InsightRequest {
   std::string source;
   WorkloadSpec workload;
   uint32_t deadline_ms = 0;  // 0 = no deadline
+  // End-to-end tracing: every span recorded while serving this request
+  // carries this id, and the response echoes it in the latency breakdown.
+  // 0 = untraced (the server assigns one when a trace sink is live). Encoded
+  // as an optional trailing section, invisible to v1 decoders when 0.
+  uint64_t trace_id = 0;
+};
+
+// Per-stage latency breakdown attached to a response *outside* the cached
+// body (stage timings differ per request even on byte-equal cache replays).
+struct LatencyBreakdown {
+  bool valid = false;  // present on the wire only when true
+  uint64_t trace_id = 0;
+  bool cache_hit = false;
+  uint32_t queue_us = 0;    // submit -> batch drain
+  uint32_t parse_us = 0;    // program resolution (parse/check or registry)
+  uint32_t infer_us = 0;    // this request's share of batched LSTM inference
+  uint32_t analyze_us = 0;  // full insight analysis
+  uint32_t encode_us = 0;   // response-body encoding + cache store
+  uint32_t total_us = 0;    // submit -> fulfill
 };
 
 // The response payload. `id` echoes the request. On error, `error` is set
@@ -70,16 +115,47 @@ struct InsightResponse {
   double tuned_mpps = 0;
   double tuned_us = 0;
   std::string rendered;  // human-readable insight text
+
+  // Not part of the cached body: appended per response when valid.
+  LatencyBreakdown breakdown;
 };
+
+// ---- control plane ----
+enum class ControlOp : uint8_t {
+  kStats = 0,   // metrics registry snapshot as JSON
+  kHealth = 1,  // queue depth, cache hit rate, artifact version, uptime, SLO
+  kDump = 2,    // flight-recorder contents
+};
+
+const char* ControlOpName(ControlOp op);
+
+struct ControlRequest {
+  ControlOp op = ControlOp::kStats;
+};
+
+struct ControlResponse {
+  ControlOp op = ControlOp::kStats;
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::string json;   // the answer document (empty when !ok)
+};
+
+std::string EncodeControlRequest(const ControlRequest& req);
+bool ParseControlRequest(std::string_view payload, ControlRequest* out, std::string* error);
+std::string EncodeControlResponse(const ControlResponse& resp);
+bool ParseControlResponse(std::string_view payload, ControlResponse* out,
+                          std::string* error);
 
 // ---- payload codecs ----
 std::string EncodeRequest(const InsightRequest& req);
 bool ParseRequest(std::string_view payload, InsightRequest* out, std::string* error);
 
 std::string EncodeResponse(const InsightResponse& resp);
-// The portion of the encoding after the id — the serve cache's unit.
+// The portion of the encoding after the id — the serve cache's unit. Never
+// includes the latency breakdown (cached replays must stay byte-equal).
 std::string EncodeResponseBody(const InsightResponse& resp);
-std::string EncodeResponseWithBody(uint64_t id, std::string_view body);
+std::string EncodeResponseWithBody(uint64_t id, std::string_view body,
+                                   const LatencyBreakdown& breakdown = LatencyBreakdown{});
 bool ParseResponse(std::string_view payload, InsightResponse* out, std::string* error);
 
 // Content hashes for the serve cache key.

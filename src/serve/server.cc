@@ -1,6 +1,7 @@
 #include "src/serve/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "src/elements/elements.h"
@@ -8,8 +9,11 @@
 #include "src/lang/interp.h"
 #include "src/lang/parse.h"
 #include "src/lang/printer.h"
+#include "src/obs/json_util.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
+#include "src/serve/artifact.h"
 #include "src/synth/algorithm_corpus.h"
 #include "src/util/binio.h"
 #include "src/util/parallel.h"
@@ -22,14 +26,35 @@ uint64_t MixKey(uint64_t program_hash, uint64_t workload_hash) {
   return program_hash ^ (workload_hash * 0x9E3779B97F4A7C15ULL);
 }
 
+obs::SloTracker::Options SloOptionsFrom(const ServeOptions& opts) {
+  obs::SloTracker::Options slo;
+  slo.window_us = std::max<int64_t>(opts.slo_window_ms, 1) * 1000;
+  slo.p99_threshold_us = opts.slo_p99_us;
+  return slo;
+}
+
+uint32_t ClampUs(int64_t us) {
+  return static_cast<uint32_t>(std::clamp<int64_t>(us, 0, UINT32_MAX));
+}
+
+int64_t SpanUs(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(b - a).count();
+}
+
+// Registry handles are stable for the process lifetime (Reset() zeroes but
+// keeps registrations), so look each one up once: the by-name map walk and
+// the bucket-vector construction are too heavy for the per-request hot path.
 obs::Histogram& LatencyHist() {
-  return obs::MetricsRegistry::Global().GetHistogram(
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
       "serve.latency_us", obs::Histogram::ExponentialBuckets(1, 2, 32));
+  return h;
 }
 
 obs::Histogram& BatchHist() {
-  return obs::MetricsRegistry::Global().GetHistogram(
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
       "serve.batch.size", obs::Histogram::LinearBuckets(1, 1, 16));
+  return h;
 }
 
 InsightResponse ErrorResponse(uint64_t id, ErrorCode code, std::string message) {
@@ -50,7 +75,10 @@ AnalyzerOptions MakeAnalyzerOptions(const ServeOptions& opts) {
 }  // namespace
 
 ServeEngine::ServeEngine(TrainedBundle bundle, ServeOptions opts)
-    : opts_(opts), analyzer_(MakeAnalyzerOptions(opts), std::move(bundle)) {}
+    : opts_(opts),
+      analyzer_(MakeAnalyzerOptions(opts), std::move(bundle)),
+      slo_(SloOptionsFrom(opts)),
+      flight_(opts.flight_capacity) {}
 
 ServeEngine::~ServeEngine() { Stop(); }
 
@@ -80,15 +108,22 @@ void ServeEngine::Stop() {
     running_ = false;
     leftovers.swap(queue_);
   }
+  if (obs::Enabled() && !leftovers.empty()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.queue.depth")
+        .Sub(static_cast<double>(leftovers.size()));
+  }
   for (auto& p : leftovers) {
     p.promise.set_value(
         ErrorResponse(p.req.id, ErrorCode::kShutdown, "engine stopped before dispatch"));
   }
 }
 
-std::future<InsightResponse> ServeEngine::Submit(InsightRequest req) {
+std::future<InsightResponse> ServeEngine::Submit(InsightRequest req,
+                                                 uint32_t request_bytes) {
   Pending p;
   p.req = std::move(req);
+  p.request_bytes = request_bytes;
   p.enqueued = Clock::now();
   if (p.req.deadline_ms > 0) {
     p.has_deadline = true;
@@ -108,16 +143,14 @@ std::future<InsightResponse> ServeEngine::Submit(InsightRequest req) {
     }
     queue_.push_back(std::move(p));
     if (obs::Enabled()) {
-      obs::MetricsRegistry::Global()
-          .GetGauge("serve.queue.depth")
-          .Set(static_cast<double>(queue_.size()));
+      obs::MetricsRegistry::Global().GetGauge("serve.queue.depth").Add(1);
     }
   }
   cv_.notify_one();
   return fut;
 }
 
-InsightResponse ServeEngine::Handle(InsightRequest req) {
+InsightResponse ServeEngine::Handle(InsightRequest req, uint32_t request_bytes) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) {
@@ -125,6 +158,7 @@ InsightResponse ServeEngine::Handle(InsightRequest req) {
       // batch pipeline.
       Pending p;
       p.req = std::move(req);
+      p.request_bytes = request_bytes;
       p.enqueued = Clock::now();
       if (p.req.deadline_ms > 0) {
         p.has_deadline = true;
@@ -137,7 +171,7 @@ InsightResponse ServeEngine::Handle(InsightRequest req) {
       return fut.get();
     }
   }
-  return Submit(std::move(req)).get();
+  return Submit(std::move(req), request_bytes).get();
 }
 
 std::string ServeEngine::HandlePayload(std::string_view payload) {
@@ -149,7 +183,7 @@ std::string ServeEngine::HandlePayload(std::string_view payload) {
     }
     return EncodeResponse(ErrorResponse(0, ErrorCode::kBadRequest, err));
   }
-  return EncodeResponse(Handle(std::move(req)));
+  return EncodeResponse(Handle(std::move(req), static_cast<uint32_t>(payload.size())));
 }
 
 std::string ServeEngine::EncodeTransportError(ErrorCode code, const std::string& message) {
@@ -171,36 +205,149 @@ void ServeEngine::Loop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      if (obs::Enabled()) {
+      if (obs::Enabled() && take > 0) {
         obs::MetricsRegistry::Global()
             .GetGauge("serve.queue.depth")
-            .Set(static_cast<double>(queue_.size()));
+            .Sub(static_cast<double>(take));
       }
     }
     ProcessBatch(std::move(batch));
   }
 }
 
+int64_t ServeEngine::NowUs() const { return SpanUs(started_, Clock::now()); }
+
 void ServeEngine::Fulfill(Pending& p, InsightResponse resp) {
   Clock::time_point now = Clock::now();
+  bool error = resp.error != ErrorCode::kOk;
+  bool overrun = p.has_deadline && now > p.deadline && !error;
+  double us = std::chrono::duration_cast<std::chrono::nanoseconds>(now - p.enqueued)
+                  .count() /
+              1e3;
+
+  // Trace id: honor the client's, otherwise mint one while a sink is live so
+  // the trace file is still fully correlated.
+  uint64_t trace_id = p.req.trace_id;
+  obs::TraceSink* sink = obs::GlobalTrace();
+  if (trace_id == 0 && sink != nullptr) {
+    trace_id = trace_id_gen_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Per-stage latency breakdown, echoed to the client in the response.
+  LatencyBreakdown& bd = resp.breakdown;
+  bd.valid = true;
+  bd.trace_id = trace_id;
+  bd.cache_hit = p.cache_hit;
+  Clock::time_point drained =
+      p.drained.time_since_epoch().count() != 0 ? p.drained : p.enqueued;
+  bd.queue_us = ClampUs(SpanUs(p.enqueued, drained));
+  for (const StageSpan& s : p.spans) {
+    uint32_t stage_us = ClampUs(SpanUs(s.start, s.end));
+    if (std::string_view(s.name) == "serve.parse") {
+      bd.parse_us += stage_us;
+    } else if (std::string_view(s.name) == "serve.infer") {
+      bd.infer_us += stage_us;
+    } else if (std::string_view(s.name) == "serve.analyze") {
+      bd.analyze_us += stage_us;
+    } else if (std::string_view(s.name) == "serve.encode") {
+      bd.encode_us += stage_us;
+    }
+  }
+  bd.total_us = ClampUs(SpanUs(p.enqueued, now));
+
+  // Emit the request's span tree: one root covering submit->fulfill, a queue
+  // wait child, then the recorded processing stages — all on one track, all
+  // tagged with the trace id.
+  if (sink != nullptr) {
+    int64_t now_sink_us = sink->NowUs();
+    auto to_sink_us = [&](Clock::time_point tp) {
+      return now_sink_us - SpanUs(tp, now);
+    };
+    uint32_t track = static_cast<uint32_t>(trace_id % 100000);
+    auto span_event = [&](const char* name, int64_t ts_us, int64_t dur_us) {
+      obs::TraceEvent e;
+      e.name = name;
+      e.cat = "serve";
+      e.ts_us = ts_us;
+      e.dur_us = dur_us;
+      e.tid = track;
+      e.trace_id = trace_id;
+      return e;
+    };
+    std::vector<obs::TraceEvent> tree;
+    tree.reserve(2 + p.spans.size());
+    tree.push_back(span_event("serve.request", to_sink_us(p.enqueued),
+                              SpanUs(p.enqueued, now)));
+    tree.push_back(span_event("serve.queue_wait", to_sink_us(p.enqueued),
+                              SpanUs(p.enqueued, drained)));
+    for (const StageSpan& s : p.spans) {
+      tree.push_back(span_event(s.name, to_sink_us(s.start), SpanUs(s.start, s.end)));
+    }
+    sink->AddEvents(std::move(tree));
+  }
+
+  // Rolling SLO window + flight recorder run regardless of the global obs
+  // switch: Health/Dump must answer truthfully on an un-instrumented daemon.
+  int64_t now_us = NowUs();
+  slo_.Record(now_us, us, error, overrun);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (error) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  (p.cache_hit ? cache_hits_ : cache_misses_).fetch_add(1, std::memory_order_relaxed);
+
+  obs::FlightRecord rec;
+  rec.id = p.req.id;
+  rec.trace_id = trace_id;
+  rec.label = !p.req.source.empty() ? std::string("<inline>") : p.req.element;
+  rec.outcome = static_cast<uint8_t>(resp.error);
+  rec.cache_hit = p.cache_hit;
+  rec.done_us = now_us;
+  rec.request_bytes = p.request_bytes;
+  rec.queue_us = bd.queue_us;
+  rec.parse_us = bd.parse_us;
+  rec.infer_us = bd.infer_us;
+  rec.analyze_us = bd.analyze_us;
+  rec.encode_us = bd.encode_us;
+  rec.total_us = bd.total_us;
+  flight_.Record(std::move(rec));
+
+  // First internal error: dump the flight recorder once, automatically — the
+  // context that led up to it is exactly what the ring still holds.
+  if (resp.error == ErrorCode::kInternal &&
+      !flight_dumped_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr, "serve: first internal error (request %llu); flight recorder:\n%s\n",
+                 static_cast<unsigned long long>(p.req.id), flight_.ToJson().c_str());
+  }
+
   if (obs::Enabled()) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-    reg.GetCounter("serve.requests").Add(1);
-    if (resp.error != ErrorCode::kOk) {
+    static obs::Counter& requests_counter = reg.GetCounter("serve.requests");
+    requests_counter.Add(1);
+    if (error) {
       reg.GetCounter("serve.errors").Add(1);
     }
-    double us = std::chrono::duration_cast<std::chrono::nanoseconds>(now - p.enqueued)
-                    .count() /
-                1e3;
     LatencyHist().Observe(us);
-    if (p.has_deadline && now > p.deadline && resp.error == ErrorCode::kOk) {
+    if (overrun) {
       reg.GetCounter("serve.deadline.overruns").Add(1);
+    }
+    // Refresh the serve.slo.* gauges at most every 100 ms: snapshotting the
+    // window merges every slice, too heavy for the per-request hot path.
+    int64_t last = last_slo_export_us_.load(std::memory_order_relaxed);
+    if (now_us - last >= 100000 &&
+        last_slo_export_us_.compare_exchange_strong(last, now_us,
+                                                    std::memory_order_relaxed)) {
+      slo_.ExportGauges(now_us);
     }
   }
   p.promise.set_value(std::move(resp));
 }
 
 void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
+  Clock::time_point drained = Clock::now();
+  for (auto& p : batch) {
+    p.drained = drained;  // end of queue wait for every member of this batch
+  }
   if (obs::Enabled()) {
     BatchHist().Observe(static_cast<double>(batch.size()));
   }
@@ -226,6 +373,7 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
     }
     Slot slot;
     slot.pending = &p;
+    StageSpan parse_span{"serve.parse", Clock::now(), {}};
     if (!p.req.source.empty()) {
       ParseResult parsed = ParseProgram(p.req.source);
       if (!parsed.ok) {
@@ -257,6 +405,8 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
       }
       slot.program = info->make();
     }
+    parse_span.end = Clock::now();
+    p.spans.push_back(parse_span);
 
     slot.program_hash = Fnv1a64(ToSource(slot.program));
     slot.workload_hash = HashWorkload(p.req.workload);
@@ -267,10 +417,15 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
       }
       // Byte-identical replay of the cached body; only the id envelope
       // differs per request.
+      p.cache_hit = true;
+      StageSpan encode_span{"serve.encode", Clock::now(), {}};
       std::string payload = EncodeResponseWithBody(p.req.id, cached);
       InsightResponse resp;
       std::string err;
-      if (ParseResponse(payload, &resp, &err)) {
+      bool ok = ParseResponse(payload, &resp, &err);
+      encode_span.end = Clock::now();
+      p.spans.push_back(encode_span);
+      if (ok) {
         Fulfill(p, std::move(resp));
       } else {
         Fulfill(p, ErrorResponse(p.req.id, ErrorCode::kInternal, "cache decode: " + err));
@@ -304,11 +459,18 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
     }
   }
   const InstructionPredictor& predictor = analyzer_.predictor();
+  Clock::time_point infer_start = Clock::now();
   std::vector<BlockPrediction> block_preds = ParallelMap<BlockPrediction>(pairs.size(), [&](size_t i) {
     const auto& [s, b] = pairs[i];
     const Module& m = live[s].lowered->module();
     return predictor.PredictBlock(m, m.functions.at(0).blocks[b]);
   });
+  Clock::time_point infer_end = Clock::now();
+  // Inference is batch-wide: attribute the shared interval to every live slot
+  // (each request's LSTM work overlapped the whole parallel map).
+  for (auto& slot : live) {
+    slot.pending->spans.push_back(StageSpan{"serve.infer", infer_start, infer_end});
+  }
   for (size_t i = 0; i < pairs.size(); ++i) {
     NfPrediction& pred = live[pairs[i].first].prediction;
     const BlockPrediction& bp = block_preds[i];
@@ -325,6 +487,7 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
   // Full analysis per live slot with the precomputed predictions.
   for (auto& slot : live) {
     Pending& p = *slot.pending;
+    StageSpan analyze_span{"serve.analyze", Clock::now(), {}};
     OffloadingInsights insights =
         analyzer_.Analyze(std::move(slot.program), p.req.workload, &slot.prediction);
     InsightResponse resp;
@@ -339,7 +502,12 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
     resp.tuned_mpps = insights.tuned_perf.throughput_mpps;
     resp.tuned_us = insights.tuned_perf.latency_us;
     resp.rendered = insights.ToString(opts_.nic);
+    analyze_span.end = Clock::now();
+    p.spans.push_back(analyze_span);
+    StageSpan encode_span{"serve.encode", analyze_span.end, {}};
     CachePut(slot.program_hash, slot.workload_hash, EncodeResponseBody(resp));
+    encode_span.end = Clock::now();
+    p.spans.push_back(encode_span);
     Fulfill(p, std::move(resp));
   }
 }
@@ -384,6 +552,83 @@ void ServeEngine::CachePut(uint64_t program_hash, uint64_t workload_hash, std::s
 size_t ServeEngine::cache_entries() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return lru_.size();
+}
+
+obs::SloTracker::Window ServeEngine::SloWindow() const { return slo_.Snapshot(NowUs()); }
+
+std::string ServeEngine::StatsJson() const {
+  return obs::MetricsRegistry::Global().ToJson();
+}
+
+std::string ServeEngine::HealthJson() const {
+  uint64_t requests = requests_.load(std::memory_order_relaxed);
+  uint64_t errors = errors_.load(std::memory_order_relaxed);
+  uint64_t hits = cache_hits_.load(std::memory_order_relaxed);
+  uint64_t misses = cache_misses_.load(std::memory_order_relaxed);
+  size_t depth = 0;
+  bool running = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = queue_.size();
+    running = running_;
+  }
+  obs::SloTracker::Window slo = SloWindow();
+  double hit_rate = hits + misses > 0
+                        ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                        : 0.0;
+  std::string j = "{";
+  j += "\"status\":\"" + std::string(slo.degraded ? "degraded" : "ok") + "\",";
+  j += "\"running\":" + std::string(running ? "true" : "false") + ",";
+  j += "\"uptime_ms\":" + std::to_string(NowUs() / 1000) + ",";
+  j += "\"artifact_version\":" + std::to_string(kArtifactVersion) + ",";
+  j += "\"queue_depth\":" + std::to_string(depth) + ",";
+  j += "\"queue_capacity\":" + std::to_string(opts_.queue_capacity) + ",";
+  j += "\"requests\":" + std::to_string(requests) + ",";
+  j += "\"errors\":" + std::to_string(errors) + ",";
+  j += "\"cache\":{\"entries\":" + std::to_string(cache_entries()) +
+       ",\"capacity\":" + std::to_string(opts_.cache_capacity) +
+       ",\"hits\":" + std::to_string(hits) + ",\"misses\":" + std::to_string(misses) +
+       ",\"hit_rate\":" + obs::JsonNumber(hit_rate) + "},";
+  j += "\"slo\":{\"window_requests\":" + std::to_string(slo.count) +
+       ",\"p50_us\":" + obs::JsonNumber(slo.p50_us) +
+       ",\"p90_us\":" + obs::JsonNumber(slo.p90_us) +
+       ",\"p99_us\":" + obs::JsonNumber(slo.p99_us) +
+       ",\"p99_threshold_us\":" + obs::JsonNumber(opts_.slo_p99_us) +
+       ",\"error_rate\":" + obs::JsonNumber(slo.error_rate) +
+       ",\"overrun_rate\":" + obs::JsonNumber(slo.overrun_rate) +
+       ",\"degraded\":" + std::string(slo.degraded ? "true" : "false") + "}";
+  j += "}";
+  return j;
+}
+
+std::string ServeEngine::DumpJson() const { return flight_.ToJson(); }
+
+std::string ServeEngine::HandleControl(std::string_view payload) {
+  ControlRequest req;
+  std::string err;
+  ControlResponse resp;
+  if (!ParseControlRequest(payload, &req, &err)) {
+    resp.ok = false;
+    resp.error = err;
+    return EncodeControlResponse(resp);
+  }
+  resp.op = req.op;
+  resp.ok = true;
+  switch (req.op) {
+    case ControlOp::kStats:
+      resp.json = StatsJson();
+      break;
+    case ControlOp::kHealth:
+      resp.json = HealthJson();
+      break;
+    case ControlOp::kDump:
+      resp.json = DumpJson();
+      break;
+  }
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter("serve.control.requests").Add(1);
+  }
+  return EncodeControlResponse(resp);
 }
 
 }  // namespace serve

@@ -18,6 +18,13 @@
 //   * Instrumented via src/obs: serve.queue.depth, serve.batch.size,
 //     serve.cache.{hits,misses}, serve.latency_us (p50/p99), and error/
 //     overrun counters, all visible in `clara_cli report`.
+//   * Telemetry plane: every request is traced end to end — per-stage spans
+//     (queue wait, program resolution, batched inference, analysis, encode)
+//     share the request's trace id in the global Chrome-trace sink, and the
+//     response carries a per-stage latency breakdown. A rolling-window SLO
+//     tracker (serve.slo.* gauges, --slo-p99-us gate) and a flight recorder
+//     of recent requests feed the control-plane Stats/Health/Dump frames,
+//     which HandleControl() answers immediately without queueing.
 //
 // Malformed requests, unknown elements, expired deadlines, and engine
 // shutdown all degrade to structured error responses — the engine never
@@ -25,6 +32,7 @@
 #ifndef SRC_SERVE_SERVER_H_
 #define SRC_SERVE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -37,6 +45,8 @@
 #include <vector>
 
 #include "src/core/analyzer.h"
+#include "src/obs/flight.h"
+#include "src/obs/slo.h"
 #include "src/serve/proto.h"
 
 namespace clara {
@@ -50,6 +60,12 @@ struct ServeOptions {
   // Packets interpreted per request for workload-specific profiling (smaller
   // than the offline default: serving favors latency).
   size_t profile_packets = 2000;
+  // Rolling-window SLO: when slo_p99_us > 0 and the window p99 exceeds it,
+  // Health reports status "degraded" (and serve.slo.degraded flips to 1).
+  double slo_p99_us = 0;
+  int64_t slo_window_ms = 60000;
+  // Flight recorder depth (most recent request records kept for Dump).
+  size_t flight_capacity = 128;
 };
 
 class ServeEngine {
@@ -68,12 +84,14 @@ class ServeEngine {
 
   // Asynchronous submission. The future always yields a response — errors
   // included — and resolves immediately with kQueueFull when the bounded
-  // queue is at capacity.
-  std::future<InsightResponse> Submit(InsightRequest req);
+  // queue is at capacity. request_bytes is the wire payload size when the
+  // request arrived over a transport (0 for in-process callers); it only
+  // feeds the flight recorder.
+  std::future<InsightResponse> Submit(InsightRequest req, uint32_t request_bytes = 0);
 
   // Synchronous convenience: Submit + wait. Works without Start() (processes
   // inline as a batch of one).
-  InsightResponse Handle(InsightRequest req);
+  InsightResponse Handle(InsightRequest req, uint32_t request_bytes = 0);
 
   // Decode a raw request payload, handle it, and encode the response —
   // transport front ends (pipe/socket) call this per frame.
@@ -83,31 +101,75 @@ class ServeEngine {
   // oversized frame that never yielded a payload).
   static std::string EncodeTransportError(ErrorCode code, const std::string& message);
 
+  // ---- control plane (answered immediately, never queued) ----
+  // Metrics registry snapshot as one JSON object.
+  std::string StatsJson() const;
+  // Queue depth, cache hit rate, artifact version, uptime, SLO window state.
+  std::string HealthJson() const;
+  // Flight-recorder contents (most recent requests, oldest first).
+  std::string DumpJson() const;
+  // Decode a control-request payload and encode the answer; undecodable
+  // payloads come back as an ok=false control response.
+  std::string HandleControl(std::string_view payload);
+
   bool running() const { return running_; }
   size_t cache_entries() const;
   const ClaraAnalyzer& analyzer() const { return analyzer_; }
+  const obs::FlightRecorder& flight() const { return flight_; }
+  // Rolling SLO window as of now (degraded flag included).
+  obs::SloTracker::Window SloWindow() const;
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  // One named sub-interval of a request's lifetime, recorded while the batch
+  // is processed and emitted as a child trace span at fulfillment.
+  struct StageSpan {
+    const char* name;
+    Clock::time_point start;
+    Clock::time_point end;
+  };
 
   struct Pending {
     InsightRequest req;
     std::promise<InsightResponse> promise;
     Clock::time_point enqueued;
+    Clock::time_point drained;   // when the dispatcher picked it up
     Clock::time_point deadline;  // only meaningful when has_deadline
     bool has_deadline = false;
+    bool cache_hit = false;
+    uint32_t request_bytes = 0;  // wire payload size (0 for in-process calls)
+    std::vector<StageSpan> spans;
   };
 
   void Loop();
   void ProcessBatch(std::vector<Pending> batch);
-  // Fulfills one pending slot, recording latency/error/overrun metrics.
+  // Fulfills one pending slot: records latency/error/overrun metrics, the
+  // SLO window sample and the flight record, attaches the latency breakdown
+  // to the response, and emits the request's trace spans.
   void Fulfill(Pending& p, InsightResponse resp);
+
+  // Microseconds since engine construction (the SLO/flight timeline).
+  int64_t NowUs() const;
 
   std::string CacheGet(uint64_t program_hash, uint64_t workload_hash);
   void CachePut(uint64_t program_hash, uint64_t workload_hash, std::string body);
 
   ServeOptions opts_;
   ClaraAnalyzer analyzer_;
+
+  // Telemetry plane. Engine-local atomics shadow the obs counters so Health
+  // stays correct even when the global obs switch is off.
+  Clock::time_point started_ = Clock::now();
+  obs::SloTracker slo_;
+  obs::FlightRecorder flight_;
+  std::atomic<uint64_t> trace_id_gen_{1};
+  std::atomic<int64_t> last_slo_export_us_{0};
+  std::atomic<bool> flight_dumped_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

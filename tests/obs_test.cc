@@ -4,15 +4,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/obs/bottleneck.h"
+#include "src/obs/export.h"
+#include "src/obs/flight.h"
 #include "src/obs/json_util.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 
 namespace clara {
@@ -354,6 +359,201 @@ TEST(MetricsRegistry, RenderAndJsonContainAllMetrics) {
   EXPECT_NE(json.find("\"x.hist\""), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
+}
+
+// ---- Gauge atomic increments ----
+
+TEST(Gauge, AddSubAreAtomicIncrements) {
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("depth");
+  g.Add(3);
+  g.Add();  // default +1
+  g.Sub();  // default -1
+  g.Sub(2);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST(Gauge, ConcurrentAddSubNetsToZero) {
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("queue.depth");
+  constexpr int kThreads = 8;
+  constexpr int kOps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kOps; ++i) {
+        g.Add(1);
+        g.Sub(1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // Read-modify-Set() would lose updates here; CAS-based Add/Sub must not.
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// ---- SLO tracker ----
+
+TEST(SloTracker, QuantilesAndRatesOverOneWindow) {
+  SloTracker::Options opts;
+  opts.window_us = 1000000;  // 1 s window, 10 slices
+  opts.slices = 10;
+  SloTracker slo(opts);
+  for (int i = 1; i <= 100; ++i) {
+    // Latencies 1..100us, every 10th an error, every 20th an overrun.
+    slo.Record(i * 1000, static_cast<double>(i), i % 10 == 0, i % 20 == 0);
+  }
+  SloTracker::Window w = slo.Snapshot(100 * 1000);
+  EXPECT_EQ(w.count, 100u);
+  EXPECT_EQ(w.errors, 10u);
+  EXPECT_EQ(w.overruns, 5u);
+  EXPECT_DOUBLE_EQ(w.error_rate, 0.1);
+  EXPECT_DOUBLE_EQ(w.overrun_rate, 0.05);
+  EXPECT_DOUBLE_EQ(w.max_us, 100.0);
+  // Exponential buckets: coarse but ordered and within the observed range.
+  EXPECT_GT(w.p50_us, 0.0);
+  EXPECT_LE(w.p50_us, w.p90_us);
+  EXPECT_LE(w.p90_us, w.p99_us);
+  EXPECT_LE(w.p99_us, w.max_us);
+  EXPECT_FALSE(w.degraded);  // no threshold configured
+}
+
+TEST(SloTracker, OldSamplesAgeOutOfTheWindow) {
+  SloTracker::Options opts;
+  opts.window_us = 1000000;
+  opts.slices = 10;
+  SloTracker slo(opts);
+  for (int i = 0; i < 50; ++i) {
+    slo.Record(1000, 10.0, true, false);  // a burst of errors at t=1ms
+  }
+  SloTracker::Window during = slo.Snapshot(2000);
+  EXPECT_EQ(during.count, 50u);
+  EXPECT_DOUBLE_EQ(during.error_rate, 1.0);
+  // Two full windows later the burst has aged out entirely.
+  SloTracker::Window after = slo.Snapshot(3000000);
+  EXPECT_EQ(after.count, 0u);
+  EXPECT_DOUBLE_EQ(after.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(after.p99_us, 0.0);
+}
+
+TEST(SloTracker, DegradedTracksTheP99Threshold) {
+  SloTracker::Options opts;
+  opts.window_us = 1000000;
+  opts.slices = 4;
+  opts.p99_threshold_us = 100;
+  SloTracker slo(opts);
+  slo.Record(1000, 10.0, false, false);
+  EXPECT_FALSE(slo.Snapshot(2000).degraded);
+  for (int i = 0; i < 100; ++i) {
+    slo.Record(3000, 5000.0, false, false);  // sustained 5ms latencies
+  }
+  SloTracker::Window w = slo.Snapshot(4000);
+  EXPECT_GT(w.p99_us, 100.0);
+  EXPECT_TRUE(w.degraded);
+  // An empty window is never degraded, whatever the threshold.
+  EXPECT_FALSE(slo.Snapshot(5000000).degraded);
+}
+
+TEST(SloTracker, ExportGaugesPublishesServeSloMetrics) {
+  SloTracker::Options opts;
+  opts.p99_threshold_us = 1;
+  SloTracker slo(opts);
+  slo.Record(1000, 500.0, false, false);
+  slo.ExportGauges(2000);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_DOUBLE_EQ(reg.GetGauge("serve.slo.window_requests").value(), 1.0);
+  EXPECT_GT(reg.GetGauge("serve.slo.p99_us").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("serve.slo.degraded").value(), 1.0);
+}
+
+// ---- flight recorder ----
+
+TEST(FlightRecorder, SnapshotIsOldestFirstAndBounded) {
+  FlightRecorder flight(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    FlightRecord rec;
+    rec.id = i;
+    rec.label = "req" + std::to_string(i);
+    flight.Record(std::move(rec));
+  }
+  EXPECT_EQ(flight.size(), 3u);
+  EXPECT_EQ(flight.recorded(), 5u);
+  std::vector<FlightRecord> recent = flight.Snapshot();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].id, 3u);  // 1 and 2 were overwritten
+  EXPECT_EQ(recent[2].id, 5u);
+
+  flight.Clear();
+  EXPECT_EQ(flight.size(), 0u);
+  EXPECT_TRUE(flight.Snapshot().empty());
+}
+
+TEST(FlightRecorder, ToJsonIsWellFormed) {
+  FlightRecorder flight(4);
+  FlightRecord rec;
+  rec.id = 7;
+  rec.trace_id = 99;
+  rec.label = "agg\"counter";  // must be escaped
+  rec.outcome = 4;
+  rec.cache_hit = true;
+  rec.total_us = 123;
+  flight.Record(std::move(rec));
+  std::string json = flight.ToJson();
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"recorded\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\":99"), std::string::npos) << json;
+  EXPECT_NE(json.find("agg\\\"counter"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_us\":123"), std::string::npos) << json;
+}
+
+// ---- periodic JSONL export ----
+
+TEST(PeriodicJsonlExporter, WritesTimestampedSamples) {
+  std::string path = ::testing::TempDir() + "/metrics_export_test.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry::Global().GetCounter("export.test.counter").Add(42);
+  {
+    PeriodicJsonlExporter exporter(path, std::chrono::milliseconds(20));
+    ASSERT_TRUE(exporter.Start());
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    exporter.Stop();
+    EXPECT_GE(exporter.samples_written(), 2u);  // periodic + final
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  // Every line is one JSON object with the expected envelope fields.
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = content.substr(start, end - start);
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos);
+    EXPECT_NE(line.find("\"seq\":" + std::to_string(lines)), std::string::npos);
+    EXPECT_NE(line.find("\"metrics\":"), std::string::npos);
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_GE(lines, 2u);
+  EXPECT_NE(content.find("export.test.counter"), std::string::npos);
+}
+
+TEST(PeriodicJsonlExporter, StartFailsOnUnwritablePath) {
+  PeriodicJsonlExporter exporter("/nonexistent-dir/metrics.jsonl",
+                                 std::chrono::milliseconds(10));
+  EXPECT_FALSE(exporter.Start());
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 # End-to-end smoke test for the serving subsystem: train a small bundle with
 # clara_cli, run the pipe-mode daemon over a stream that mixes good requests
 # with a malformed frame, check every request gets a structured answer, then
-# exercise socket mode and a SIGTERM shutdown.
+# exercise socket mode (including the stats/health/dump control plane, the
+# SIGUSR1 flight dump, and request tracing) and a SIGTERM shutdown.
 #
 # Usage: serve_smoke.sh [build-dir]   (defaults to the current directory)
 set -euo pipefail
@@ -11,8 +12,17 @@ BUILD_DIR="${1:-$(pwd)}"
 CLI="$BUILD_DIR/tools/clara_cli"
 SERVE="$BUILD_DIR/tools/clara_serve"
 CLIENT="$BUILD_DIR/tools/clara_client"
+CHECK_TRACE="$(dirname "$0")/../tools/check_trace.py"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
+
+# Asserts that stdin is one well-formed JSON document.
+assert_json() {
+  python3 -c 'import json,sys; json.load(sys.stdin)' || {
+    echo "serve_smoke: $1 is not valid JSON" >&2
+    return 1
+  }
+}
 
 echo "== train a small bundle =="
 "$CLI" train --fast --model-dir="$WORK/models"
@@ -40,8 +50,10 @@ errors=$(grep -c 'ERROR' "$WORK/decoded.txt")
 test "$responses" -eq 4
 test "$errors" -eq 1
 
-echo "== socket daemon: concurrent clients + SIGTERM shutdown =="
+echo "== socket daemon: clients, control plane, tracing, SIGTERM shutdown =="
 "$SERVE" --socket="$WORK/clara.sock" --model-dir="$WORK/models" \
+  --trace="$WORK/serve_trace.json" --slo-p99-us=1000000 \
+  --metrics-jsonl="$WORK/metrics.jsonl" --metrics-interval=200 \
   2> "$WORK/serve.log" &
 pid=$!
 for _ in $(seq 1 100); do
@@ -50,9 +62,50 @@ for _ in $(seq 1 100); do
 done
 test -S "$WORK/clara.sock"
 "$CLIENT" --socket="$WORK/clara.sock" --element=udpcount
-"$CLIENT" --socket="$WORK/clara.sock" --element=udpcount
+"$CLIENT" --socket="$WORK/clara.sock" --element=udpcount --trace-id=7 --full \
+  | tee "$WORK/traced.txt"
+grep -q 'trace=7 cache-hit' "$WORK/traced.txt"
+
+echo "== control plane: stats/health/dump return well-formed JSON =="
+"$CLIENT" stats --socket="$WORK/clara.sock" | tee "$WORK/stats.json" \
+  | assert_json stats
+grep -q 'serve.requests' "$WORK/stats.json"
+"$CLIENT" health --socket="$WORK/clara.sock" | tee "$WORK/health.json" \
+  | assert_json health
+grep -q '"status":"ok"' "$WORK/health.json"
+grep -q '"artifact_version"' "$WORK/health.json"
+"$CLIENT" dump --socket="$WORK/clara.sock" | tee "$WORK/dump.json" \
+  | assert_json dump
+grep -q '"records"' "$WORK/dump.json"
+grep -q 'udpcount' "$WORK/dump.json"
+
+echo "== SIGUSR1 dumps the flight recorder to stderr =="
+kill -USR1 "$pid"
+# The dump is written when the accept loop next wakes; poke it with a query.
+for _ in $(seq 1 50); do
+  "$CLIENT" health --socket="$WORK/clara.sock" > /dev/null
+  grep -q 'flight recorder dump' "$WORK/serve.log" && break
+  sleep 0.1
+done
+grep -q 'flight recorder dump' "$WORK/serve.log"
+
 kill -TERM "$pid"
 wait "$pid"
 grep -q 'shut down cleanly' "$WORK/serve.log"
+
+echo "== emitted trace has nested per-request serve spans =="
+python3 "$CHECK_TRACE" --serve-trace "$WORK/serve_trace.json"
+
+echo "== periodic metrics export is JSONL time series =="
+test -s "$WORK/metrics.jsonl"
+python3 - "$WORK/metrics.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "metrics.jsonl is empty"
+for line in lines:
+    doc = json.loads(line)
+    assert "ts_ms" in doc and "seq" in doc and "metrics" in doc, doc.keys()
+print(f"serve_smoke: {len(lines)} metrics sample(s)")
+EOF
 
 echo "serve_smoke: PASS"

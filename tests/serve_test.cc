@@ -22,6 +22,7 @@
 #include "src/ml/knn.h"
 #include "src/ml/linear.h"
 #include "src/ml/tree.h"
+#include "src/obs/trace.h"
 #include "src/serve/artifact.h"
 #include "src/serve/proto.h"
 #include "src/serve/server.h"
@@ -542,6 +543,303 @@ TEST(Engine, StructuredErrorsNeverCrash) {
   std::string error;
   ASSERT_TRUE(serve::ParseResponse(encoded, &decoded, &error)) << error;
   EXPECT_EQ(decoded.error, serve::ErrorCode::kBadRequest);
+}
+
+// ---- telemetry wire extensions ----
+
+TEST(Proto, TraceIdRoundTripsAndZeroIsOmitted) {
+  serve::InsightRequest req;
+  req.id = 9;
+  req.element = "aggcounter";
+  req.workload = WorkloadSpec::SmallFlows();
+  std::string v1_bytes = serve::EncodeRequest(req);  // trace_id == 0: no section
+  req.trace_id = 0xDEADBEEFCAFEF00DULL;
+  std::string traced_bytes = serve::EncodeRequest(req);
+  EXPECT_GT(traced_bytes.size(), v1_bytes.size());
+
+  serve::InsightRequest out;
+  std::string error;
+  ASSERT_TRUE(serve::ParseRequest(traced_bytes, &out, &error)) << error;
+  EXPECT_EQ(out.trace_id, req.trace_id);
+  // A frame with no trailing section decodes exactly as before (v1 compat).
+  ASSERT_TRUE(serve::ParseRequest(v1_bytes, &out, &error)) << error;
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.element, "aggcounter");
+}
+
+TEST(Proto, TruncatedTraceSectionRejected) {
+  serve::InsightRequest req;
+  req.id = 1;
+  req.element = "aggcounter";
+  req.workload = WorkloadSpec::SmallFlows();
+  req.trace_id = 77;
+  std::string bytes = serve::EncodeRequest(req);
+  serve::InsightRequest out;
+  std::string error;
+  // Chop into the trailing section: tag present but id truncated.
+  EXPECT_FALSE(serve::ParseRequest(bytes.substr(0, bytes.size() - 3), &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Proto, BreakdownRoundTripsAndStaysOutOfTheBody) {
+  serve::InsightResponse resp;
+  resp.id = 3;
+  resp.nf_name = "aggcounter";
+  resp.rendered = "text";
+  std::string body_plain = serve::EncodeResponseBody(resp);
+  resp.breakdown.valid = true;
+  resp.breakdown.trace_id = 55;
+  resp.breakdown.cache_hit = true;
+  resp.breakdown.queue_us = 10;
+  resp.breakdown.parse_us = 1;
+  resp.breakdown.infer_us = 200;
+  resp.breakdown.analyze_us = 300;
+  resp.breakdown.encode_us = 4;
+  resp.breakdown.total_us = 515;
+  // The cached unit is unchanged by the breakdown: cache replays stay
+  // byte-equal across requests with different stage timings.
+  EXPECT_EQ(serve::EncodeResponseBody(resp), body_plain);
+
+  serve::InsightResponse out;
+  std::string error;
+  ASSERT_TRUE(serve::ParseResponse(serve::EncodeResponse(resp), &out, &error)) << error;
+  ASSERT_TRUE(out.breakdown.valid);
+  EXPECT_EQ(out.breakdown.trace_id, 55u);
+  EXPECT_TRUE(out.breakdown.cache_hit);
+  EXPECT_EQ(out.breakdown.infer_us, 200u);
+  EXPECT_EQ(out.breakdown.total_us, 515u);
+
+  // And a v1 response (no section) still decodes, breakdown invalid.
+  resp.breakdown.valid = false;
+  ASSERT_TRUE(serve::ParseResponse(serve::EncodeResponse(resp), &out, &error)) << error;
+  EXPECT_FALSE(out.breakdown.valid);
+}
+
+TEST(Proto, ControlMessagesRoundTrip) {
+  for (serve::ControlOp op : {serve::ControlOp::kStats, serve::ControlOp::kHealth,
+                              serve::ControlOp::kDump}) {
+    serve::ControlRequest req;
+    req.op = op;
+    serve::ControlRequest req_out;
+    std::string error;
+    ASSERT_TRUE(
+        serve::ParseControlRequest(serve::EncodeControlRequest(req), &req_out, &error))
+        << error;
+    EXPECT_EQ(req_out.op, op);
+
+    serve::ControlResponse resp;
+    resp.op = op;
+    resp.ok = true;
+    resp.json = "{\"k\":1}";
+    serve::ControlResponse resp_out;
+    ASSERT_TRUE(
+        serve::ParseControlResponse(serve::EncodeControlResponse(resp), &resp_out, &error))
+        << error;
+    EXPECT_EQ(resp_out.op, op);
+    EXPECT_TRUE(resp_out.ok);
+    EXPECT_EQ(resp_out.json, resp.json);
+  }
+}
+
+TEST(Proto, ControlParserRejectsBadOpAndTrailingBytes) {
+  serve::ControlRequest req;
+  std::string bytes = serve::EncodeControlRequest(req);
+  serve::ControlRequest out;
+  std::string error;
+  std::string bad_op = bytes;
+  bad_op[2] = 9;  // op byte past kDump
+  EXPECT_FALSE(serve::ParseControlRequest(bad_op, &out, &error));
+  EXPECT_NE(error.find("op"), std::string::npos) << error;
+  EXPECT_FALSE(serve::ParseControlRequest(bytes + "x", &out, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(Proto, PeekTypeClassifiesPayloads) {
+  serve::InsightRequest req;
+  req.element = "aggcounter";
+  EXPECT_EQ(serve::PeekType(serve::EncodeRequest(req)), serve::MsgType::kInsightRequest);
+  EXPECT_EQ(serve::PeekType(serve::EncodeResponse(serve::InsightResponse{})),
+            serve::MsgType::kInsightResponse);
+  EXPECT_EQ(serve::PeekType(serve::EncodeControlRequest(serve::ControlRequest{})),
+            serve::MsgType::kControlRequest);
+  EXPECT_EQ(serve::PeekType(serve::EncodeControlResponse(serve::ControlResponse{})),
+            serve::MsgType::kControlResponse);
+  EXPECT_EQ(serve::PeekType(""), serve::MsgType::kUnknown);
+  EXPECT_EQ(serve::PeekType("z"), serve::MsgType::kUnknown);
+  EXPECT_EQ(serve::PeekType("zz"), serve::MsgType::kUnknown);
+}
+
+TEST(Proto, FrameReaderInterleavesControlAndInsightFrames) {
+  serve::InsightRequest req;
+  req.id = 1;
+  req.element = "aggcounter";
+  req.workload = WorkloadSpec::SmallFlows();
+  req.trace_id = 11;
+  serve::ControlRequest ctl;
+  ctl.op = serve::ControlOp::kHealth;
+
+  std::string stream;
+  serve::AppendFrame(&stream, serve::EncodeRequest(req));
+  serve::AppendFrame(&stream, serve::EncodeControlRequest(ctl));
+  // An oversized control-plane frame: skipped like any other oversized frame.
+  uint32_t big = serve::kMaxFrameBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    stream.push_back(static_cast<char>((big >> (8 * i)) & 0xff));
+  }
+  stream.append(big, 'c');
+  serve::AppendFrame(&stream, serve::EncodeControlRequest(serve::ControlRequest{}));
+
+  serve::FrameReader reader;
+  std::vector<serve::MsgType> types;
+  std::string frame;
+  for (size_t i = 0; i < stream.size(); i += 7) {  // uneven chunks
+    reader.Feed(stream.data() + i, std::min<size_t>(7, stream.size() - i));
+    while (reader.Next(&frame)) {
+      types.push_back(serve::PeekType(frame));
+    }
+  }
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_EQ(types[0], serve::MsgType::kInsightRequest);
+  EXPECT_EQ(types[1], serve::MsgType::kControlRequest);
+  EXPECT_EQ(types[2], serve::MsgType::kControlRequest);
+  EXPECT_EQ(reader.TakeOversized(), 1u);
+}
+
+// ---- engine telemetry plane ----
+
+TEST(Engine, ResponsesCarryLatencyBreakdowns) {
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  serve::InsightResponse miss = engine.Handle(ElementRequest(1, "aggcounter"));
+  ASSERT_EQ(miss.error, serve::ErrorCode::kOk) << miss.error_message;
+  ASSERT_TRUE(miss.breakdown.valid);
+  EXPECT_FALSE(miss.breakdown.cache_hit);
+  EXPECT_GT(miss.breakdown.total_us, 0u);
+  EXPECT_GT(miss.breakdown.analyze_us, 0u);
+
+  serve::InsightResponse hit = engine.Handle(ElementRequest(2, "aggcounter"));
+  ASSERT_EQ(hit.error, serve::ErrorCode::kOk);
+  ASSERT_TRUE(hit.breakdown.valid);
+  EXPECT_TRUE(hit.breakdown.cache_hit);
+  // Bodies stay byte-equal even though the breakdowns differ.
+  EXPECT_EQ(serve::EncodeResponseBody(miss), serve::EncodeResponseBody(hit));
+}
+
+TEST(Engine, ControlPlaneAnswersStatsHealthDump) {
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  serve::InsightResponse resp = engine.Handle(ElementRequest(1, "aggcounter"));
+  ASSERT_EQ(resp.error, serve::ErrorCode::kOk) << resp.error_message;
+
+  std::string health = engine.HealthJson();
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"requests\":1"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"artifact_version\":"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"queue_capacity\":64"), std::string::npos) << health;
+
+  std::string dump = engine.DumpJson();
+  EXPECT_NE(dump.find("\"recorded\":1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"label\":\"aggcounter\""), std::string::npos) << dump;
+
+  for (serve::ControlOp op : {serve::ControlOp::kStats, serve::ControlOp::kHealth,
+                              serve::ControlOp::kDump}) {
+    serve::ControlRequest creq;
+    creq.op = op;
+    std::string encoded = engine.HandleControl(serve::EncodeControlRequest(creq));
+    serve::ControlResponse cresp;
+    std::string error;
+    ASSERT_TRUE(serve::ParseControlResponse(encoded, &cresp, &error)) << error;
+    EXPECT_TRUE(cresp.ok) << cresp.error;
+    EXPECT_EQ(cresp.op, op);
+    EXPECT_FALSE(cresp.json.empty());
+    EXPECT_EQ(cresp.json.front(), '{');
+  }
+
+  // An undecodable control payload gets a structured !ok answer, not a crash.
+  std::string bad = engine.HandleControl("junk");
+  serve::ControlResponse cresp;
+  std::string error;
+  ASSERT_TRUE(serve::ParseControlResponse(bad, &cresp, &error)) << error;
+  EXPECT_FALSE(cresp.ok);
+  EXPECT_FALSE(cresp.error.empty());
+}
+
+TEST(Engine, SloTrackerFlipsHealthToDegraded) {
+  serve::ServeOptions opts = FastServeOptions();
+  opts.slo_p99_us = 0.5;  // microsecond-scale: any real request busts it
+  serve::ServeEngine engine(ReloadedBundle(), opts);
+  serve::InsightResponse resp = engine.Handle(ElementRequest(1, "aggcounter"));
+  ASSERT_EQ(resp.error, serve::ErrorCode::kOk) << resp.error_message;
+  obs::SloTracker::Window w = engine.SloWindow();
+  EXPECT_EQ(w.count, 1u);
+  EXPECT_TRUE(w.degraded);
+  EXPECT_NE(engine.HealthJson().find("\"status\":\"degraded\""), std::string::npos);
+}
+
+TEST(Engine, FlightRecorderKeepsRecentRequests) {
+  serve::ServeOptions opts = FastServeOptions();
+  opts.flight_capacity = 2;
+  serve::ServeEngine engine(ReloadedBundle(), opts);
+  engine.Handle(ElementRequest(1, "aggcounter"));
+  engine.Handle(ElementRequest(2, "aggcounter"));
+  engine.Handle(ElementRequest(3, "nosuchelement"));  // error outcome recorded too
+  const obs::FlightRecorder& flight = engine.flight();
+  EXPECT_EQ(flight.recorded(), 3u);
+  std::vector<obs::FlightRecord> recent = flight.Snapshot();
+  ASSERT_EQ(recent.size(), 2u);  // capacity bounds the ring
+  EXPECT_EQ(recent[0].id, 2u);
+  EXPECT_EQ(recent[1].id, 3u);
+  EXPECT_EQ(recent[1].outcome, static_cast<uint8_t>(serve::ErrorCode::kUnknownElement));
+  EXPECT_TRUE(recent[0].cache_hit);
+}
+
+TEST(Engine, TraceSinkReceivesNestedRequestSpans) {
+  obs::TraceSink sink;
+  obs::SetGlobalTrace(&sink);
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  serve::InsightRequest req = ElementRequest(1, "aggcounter");
+  req.trace_id = 4242;
+  serve::InsightResponse resp = engine.Handle(std::move(req));
+  obs::SetGlobalTrace(nullptr);
+  ASSERT_EQ(resp.error, serve::ErrorCode::kOk) << resp.error_message;
+  EXPECT_EQ(resp.breakdown.trace_id, 4242u);
+
+  const obs::TraceEvent* root = nullptr;
+  std::vector<const obs::TraceEvent*> children;
+  std::vector<obs::TraceEvent> events = sink.Events();
+  for (const obs::TraceEvent& e : events) {
+    if (e.trace_id != 4242) {
+      continue;
+    }
+    if (e.name == "serve.request") {
+      root = &e;
+    } else {
+      children.push_back(&e);
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  ASSERT_GE(children.size(), 3u);  // queue_wait + parse + analyze + encode
+  bool saw_queue_wait = false;
+  for (const obs::TraceEvent* c : children) {
+    saw_queue_wait |= c->name == "serve.queue_wait";
+    EXPECT_EQ(c->tid, root->tid) << c->name;
+    // Children nest inside the root interval (1us slack for clock rounding).
+    EXPECT_GE(c->ts_us + 1, root->ts_us) << c->name;
+    EXPECT_LE(c->ts_us + c->dur_us, root->ts_us + root->dur_us + 1) << c->name;
+  }
+  EXPECT_TRUE(saw_queue_wait);
+}
+
+TEST(Engine, ServerAssignsTraceIdsWhenSinkIsLive) {
+  obs::TraceSink sink;
+  obs::SetGlobalTrace(&sink);
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  serve::InsightResponse a = engine.Handle(ElementRequest(1, "aggcounter"));
+  serve::InsightResponse b = engine.Handle(ElementRequest(2, "aggcounter"));
+  obs::SetGlobalTrace(nullptr);
+  ASSERT_EQ(a.error, serve::ErrorCode::kOk);
+  ASSERT_EQ(b.error, serve::ErrorCode::kOk);
+  EXPECT_NE(a.breakdown.trace_id, 0u);
+  EXPECT_NE(b.breakdown.trace_id, 0u);
+  EXPECT_NE(a.breakdown.trace_id, b.breakdown.trace_id);
 }
 
 TEST(Engine, StopAnswersQueuedRequestsWithShutdown) {

@@ -7,6 +7,12 @@ the expected pipeline-stage spans are present with sane fields. Wired into
 ctest as `check_trace` (see tools/CMakeLists.txt).
 
 Usage: check_trace.py <path-to-clara_cli> [element]
+   or: check_trace.py --serve-trace <trace.json>
+
+The second form validates a trace written by `clara_serve --trace=FILE`:
+every traced request must have a `serve.request` root span, and every
+per-stage span sharing that request's trace id must nest inside the root's
+interval on the same track.
 """
 import json
 import subprocess
@@ -23,7 +29,19 @@ REQUIRED_SPANS = {
     "cli.pipeline",
 }
 
+# Serve-stage spans that may appear under a serve.request root.
+SERVE_STAGE_SPANS = {
+    "serve.queue_wait",
+    "serve.parse",
+    "serve.infer",
+    "serve.analyze",
+    "serve.encode",
+}
+
 VALID_PHASES = {"X", "C", "i"}
+
+# Clock-rounding slack when checking span containment, in microseconds.
+NEST_SLACK_US = 2
 
 
 def fail(msg):
@@ -31,9 +49,70 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_serve_trace(path):
+    """Validate parent/child nesting of serve-stage spans in a daemon trace."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"serve trace is not valid JSON: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    # Group complete spans by trace id (spans without one are not request
+    # spans and are ignored here).
+    by_trace = {}
+    for i, ev in enumerate(events):
+        if ev.get("ph") != "X":
+            continue
+        trace_id = ev.get("args", {}).get("trace_id")
+        if trace_id is None:
+            continue
+        if ev.get("name") not in SERVE_STAGE_SPANS | {"serve.request"}:
+            fail(f"event {i} has a trace_id but unknown serve span "
+                 f"name {ev.get('name')!r}")
+        by_trace.setdefault(trace_id, []).append(ev)
+    if not by_trace:
+        fail("no spans carry args.trace_id — requests were not traced")
+
+    for trace_id, spans in by_trace.items():
+        roots = [s for s in spans if s["name"] == "serve.request"]
+        if len(roots) != 1:
+            fail(f"trace_id {trace_id}: expected exactly one serve.request "
+             f"root span, got {len(roots)}")
+        root = roots[0]
+        children = [s for s in spans if s is not root]
+        if not children:
+            fail(f"trace_id {trace_id}: root span has no stage children")
+        child_names = {s["name"] for s in children}
+        if "serve.queue_wait" not in child_names:
+            fail(f"trace_id {trace_id}: missing serve.queue_wait child "
+                 f"(got {sorted(child_names)})")
+        lo = root["ts"] - NEST_SLACK_US
+        hi = root["ts"] + root["dur"] + NEST_SLACK_US
+        for s in children:
+            if s["tid"] != root["tid"]:
+                fail(f"trace_id {trace_id}: child {s['name']} on track "
+                     f"{s['tid']} but root on {root['tid']}")
+            if s["ts"] < lo or s["ts"] + s["dur"] > hi:
+                fail(f"trace_id {trace_id}: child {s['name']} "
+                     f"[{s['ts']}, {s['ts'] + s['dur']}] escapes root "
+                     f"[{root['ts']}, {root['ts'] + root['dur']}]")
+
+    n_spans = sum(len(v) for v in by_trace.values())
+    print(f"check_trace: OK ({len(by_trace)} traced request(s), "
+          f"{n_spans} serve spans, nesting valid)")
+
+
 def main():
     if len(sys.argv) < 2:
-        fail("usage: check_trace.py <clara_cli> [element]")
+        fail("usage: check_trace.py <clara_cli> [element] | --serve-trace <trace.json>")
+    if sys.argv[1] == "--serve-trace":
+        if len(sys.argv) != 3:
+            fail("usage: check_trace.py --serve-trace <trace.json>")
+        check_serve_trace(sys.argv[2])
+        return
     cli = sys.argv[1]
     element = sys.argv[2] if len(sys.argv) > 2 else "aggcounter"
 

@@ -452,6 +452,8 @@ int ReportServe(const std::vector<std::string>& names, const WorkloadSpec& workl
   engine.Stop();
   std::printf("=== serve (%zu requests, %zu cached results) ===\n", futures.size(),
               engine.cache_entries());
+  // The same health document a live daemon serves for `clara_client health`.
+  std::printf("health: %s\n", engine.HealthJson().c_str());
   return errors == 0 ? 0 : 1;
 }
 

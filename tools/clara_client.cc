@@ -6,6 +6,8 @@
 //   --decode           read response frames from stdin, print them readably
 //   --socket=PATH      connect to a clara_serve Unix socket, send the
 //                      requests, and decode the responses in one step
+//   stats|health|dump  control-plane query: send one control frame over
+//                      --socket=PATH and print the JSON answer to stdout
 //
 // Request flags (for --emit / --socket):
 //   --element=NAME     registry element to analyze
@@ -13,7 +15,10 @@
 //   --workload=small|large
 //   --deadline-ms=N    per-request deadline (0 = none)
 //   --count=N          emit N copies with ids 1..N (default 1)
-//   --full             (--decode) print the rendered insight text too
+//   --trace-id=N       tag the request(s) for end-to-end tracing (the daemon
+//                      assigns ids itself when 0 and a trace sink is live)
+//   --full             (--decode) print the rendered insight text and the
+//                      per-stage latency breakdown too
 //
 // Example round trip:
 //   clara_client --emit --element=aggcounter --count=2 \
@@ -39,7 +44,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: clara_client --emit|--emit-malformed|--decode|--socket=PATH\n"
                "         [--element=NAME | --source-file=F] [--workload=small|large]\n"
-               "         [--deadline-ms=N] [--count=N] [--full]\n");
+               "         [--deadline-ms=N] [--count=N] [--trace-id=N] [--full]\n"
+               "   or: clara_client stats|health|dump --socket=PATH\n");
   return 2;
 }
 
@@ -53,7 +59,8 @@ bool ReadAll(std::FILE* f, std::string* out) {
 }
 
 std::string BuildRequests(const std::string& element, const std::string& source,
-                          const WorkloadSpec& workload, uint32_t deadline_ms, int count) {
+                          const WorkloadSpec& workload, uint32_t deadline_ms, int count,
+                          uint64_t trace_id) {
   std::string out;
   for (int i = 0; i < count; ++i) {
     serve::InsightRequest req;
@@ -62,6 +69,8 @@ std::string BuildRequests(const std::string& element, const std::string& source,
     req.source = source;
     req.workload = workload;
     req.deadline_ms = deadline_ms;
+    // Distinct trace id per copy so traced requests stay distinguishable.
+    req.trace_id = trace_id == 0 ? 0 : trace_id + static_cast<uint64_t>(i);
     serve::AppendFrame(&out, serve::EncodeRequest(req));
   }
   return out;
@@ -79,6 +88,15 @@ void PrintResponse(const serve::InsightResponse& resp, bool full) {
               resp.accelerator.c_str(), resp.suggested_cores, resp.total_compute,
               resp.total_mem_state, resp.naive_mpps, resp.naive_us, resp.tuned_mpps,
               resp.tuned_us);
+  if (full && resp.breakdown.valid) {
+    const serve::LatencyBreakdown& b = resp.breakdown;
+    std::printf("[%llu]   trace=%llu %s queue=%uus parse=%uus infer=%uus "
+                "analyze=%uus encode=%uus total=%uus\n",
+                static_cast<unsigned long long>(resp.id),
+                static_cast<unsigned long long>(b.trace_id),
+                b.cache_hit ? "cache-hit" : "cache-miss", b.queue_us, b.parse_us,
+                b.infer_us, b.analyze_us, b.encode_us, b.total_us);
+  }
   if (full && !resp.rendered.empty()) {
     std::printf("%s", resp.rendered.c_str());
   }
@@ -108,11 +126,14 @@ int DecodeStream(const std::string& data, bool full, int* errors) {
   return frames;
 }
 
-int RunSocket(const std::string& path, const std::string& requests, bool full) {
+// One socket round trip: connect, send all of `requests`, half-close, read
+// the reply stream until the daemon closes. False on any transport error.
+bool SocketExchange(const std::string& path, const std::string& requests,
+                    std::string* reply) {
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     std::fprintf(stderr, "clara_client: socket: %s\n", std::strerror(errno));
-    return 1;
+    return false;
   }
   struct sockaddr_un addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -120,14 +141,14 @@ int RunSocket(const std::string& path, const std::string& requests, bool full) {
   if (path.size() >= sizeof(addr.sun_path)) {
     std::fprintf(stderr, "clara_client: socket path too long\n");
     ::close(fd);
-    return 1;
+    return false;
   }
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
     std::fprintf(stderr, "clara_client: connect %s: %s\n", path.c_str(),
                  std::strerror(errno));
     ::close(fd);
-    return 1;
+    return false;
   }
   size_t off = 0;
   while (off < requests.size()) {
@@ -138,12 +159,11 @@ int RunSocket(const std::string& path, const std::string& requests, bool full) {
       }
       std::fprintf(stderr, "clara_client: write: %s\n", std::strerror(errno));
       ::close(fd);
-      return 1;
+      return false;
     }
     off += static_cast<size_t>(n);
   }
   ::shutdown(fd, SHUT_WR);
-  std::string data;
   char buf[1 << 16];
   for (;;) {
     ssize_t n = ::read(fd, buf, sizeof(buf));
@@ -153,29 +173,76 @@ int RunSocket(const std::string& path, const std::string& requests, bool full) {
       }
       std::fprintf(stderr, "clara_client: read: %s\n", std::strerror(errno));
       ::close(fd);
-      return 1;
+      return false;
     }
     if (n == 0) {
       break;
     }
-    data.append(buf, static_cast<size_t>(n));
+    reply->append(buf, static_cast<size_t>(n));
   }
   ::close(fd);
+  return true;
+}
+
+int RunSocket(const std::string& path, const std::string& requests, bool full) {
+  std::string data;
+  if (!SocketExchange(path, requests, &data)) {
+    return 1;
+  }
   int errors = 0;
   DecodeStream(data, full, &errors);
   return errors == 0 ? 0 : 1;
 }
 
+// Control-plane query: one control frame out, one JSON document back.
+int RunControl(const std::string& path, serve::ControlOp op) {
+  if (path.empty()) {
+    std::fprintf(stderr, "clara_client: %s needs --socket=PATH\n",
+                 serve::ControlOpName(op));
+    return Usage();
+  }
+  std::string out;
+  serve::ControlRequest req;
+  req.op = op;
+  serve::AppendFrame(&out, serve::EncodeControlRequest(req));
+  std::string data;
+  if (!SocketExchange(path, out, &data)) {
+    return 1;
+  }
+  serve::FrameReader reader;
+  reader.Feed(data.data(), data.size());
+  std::string frame;
+  if (!reader.Next(&frame)) {
+    std::fprintf(stderr, "clara_client: no control response frame\n");
+    return 1;
+  }
+  serve::ControlResponse resp;
+  std::string err;
+  if (!serve::ParseControlResponse(frame, &resp, &err)) {
+    std::fprintf(stderr, "clara_client: %s\n", err.c_str());
+    return 1;
+  }
+  if (!resp.ok) {
+    std::fprintf(stderr, "clara_client: %s failed: %s\n", serve::ControlOpName(resp.op),
+                 resp.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", resp.json.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kNone, kEmit, kEmitMalformed, kDecode, kSocket };
+  enum class Mode { kNone, kEmit, kEmitMalformed, kDecode, kSocket, kControl };
   Mode mode = Mode::kNone;
+  serve::ControlOp control_op = serve::ControlOp::kStats;
   std::string socket_path;
   std::string element;
   std::string source_file;
   std::string workload_name = "small";
   uint32_t deadline_ms = 0;
+  uint64_t trace_id = 0;
   int count = 1;
   bool full = false;
   for (int i = 1; i < argc; ++i) {
@@ -186,9 +253,18 @@ int main(int argc, char** argv) {
       mode = Mode::kEmitMalformed;
     } else if (a == "--decode") {
       mode = Mode::kDecode;
+    } else if (a == "stats" || a == "health" || a == "dump") {
+      mode = Mode::kControl;
+      control_op = a == "stats"   ? serve::ControlOp::kStats
+                   : a == "health" ? serve::ControlOp::kHealth
+                                   : serve::ControlOp::kDump;
     } else if (a.rfind("--socket=", 0) == 0) {
-      mode = Mode::kSocket;
+      if (mode != Mode::kControl) {
+        mode = Mode::kSocket;
+      }
       socket_path = a.substr(std::strlen("--socket="));
+    } else if (a.rfind("--trace-id=", 0) == 0) {
+      trace_id = std::strtoull(a.c_str() + std::strlen("--trace-id="), nullptr, 10);
     } else if (a.rfind("--element=", 0) == 0) {
       element = a.substr(std::strlen("--element="));
     } else if (a.rfind("--source-file=", 0) == 0) {
@@ -210,6 +286,9 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  if (mode == Mode::kControl) {
+    return RunControl(socket_path, control_op);
+  }
   if (mode == Mode::kEmitMalformed) {
     // A frame whose payload is not a request message — the daemon must answer
     // with a structured kBadRequest, not crash.
@@ -255,7 +334,8 @@ int main(int argc, char** argv) {
   }
   WorkloadSpec workload =
       workload_name == "large" ? WorkloadSpec::LargeFlows() : WorkloadSpec::SmallFlows();
-  std::string requests = BuildRequests(element, source, workload, deadline_ms, count);
+  std::string requests =
+      BuildRequests(element, source, workload, deadline_ms, count, trace_id);
   if (mode == Mode::kSocket) {
     return RunSocket(socket_path, requests, full);
   }

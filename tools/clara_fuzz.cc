@@ -431,6 +431,37 @@ bool CheckServeBytes(const std::string& target, const std::string& bytes,
     }
     return true;
   }
+  if (target == "control") {
+    serve::ControlRequest creq;
+    if (serve::ParseControlRequest(bytes, &creq, &err)) {
+      std::string e1 = serve::EncodeControlRequest(creq);
+      serve::ControlRequest c2;
+      if (!serve::ParseControlRequest(e1, &c2, &err)) {
+        *why = "accepted control request failed to re-parse: " + err;
+        return false;
+      }
+      if (serve::EncodeControlRequest(c2) != e1) {
+        *why = "control request re-encoding is not a fixed point";
+        return false;
+      }
+      return true;
+    }
+    serve::ControlResponse cresp;
+    if (!serve::ParseControlResponse(bytes, &cresp, &err)) {
+      return true;  // neither message; graceful rejection
+    }
+    std::string e1 = serve::EncodeControlResponse(cresp);
+    serve::ControlResponse c2;
+    if (!serve::ParseControlResponse(e1, &c2, &err)) {
+      *why = "accepted control response failed to re-parse: " + err;
+      return false;
+    }
+    if (serve::EncodeControlResponse(c2) != e1) {
+      *why = "control response re-encoding is not a fixed point";
+      return false;
+    }
+    return true;
+  }
   if (target == "frame") {
     // Feed in deterministic uneven chunks; every yielded frame must respect
     // the size cap and total consumption must terminate.
@@ -480,6 +511,9 @@ std::string BaseServeBytes(Rng& rng, const std::string& target,
     req.workload.zipf_s = rng.NextDouble();
     req.workload.seed = rng.NextU64();
     req.deadline_ms = static_cast<uint32_t>(rng.NextBounded(5000));
+    if (rng.NextBounded(2) == 0) {  // half traced: exercises the optional section
+      req.trace_id = rng.NextU64();
+    }
     return serve::EncodeRequest(req);
   }
   if (target == "response") {
@@ -493,10 +527,31 @@ std::string BaseServeBytes(Rng& rng, const std::string& target,
     resp.total_compute = rng.NextDouble() * 1000;
     resp.naive_mpps = rng.NextDouble() * 100;
     resp.rendered = RandomBytes(rng, 200);
+    if (rng.NextBounded(2) == 0) {  // half carry the optional breakdown section
+      resp.breakdown.valid = true;
+      resp.breakdown.trace_id = rng.NextU64();
+      resp.breakdown.cache_hit = rng.NextBounded(2) == 0;
+      resp.breakdown.queue_us = static_cast<uint32_t>(rng.NextU64());
+      resp.breakdown.infer_us = static_cast<uint32_t>(rng.NextU64());
+      resp.breakdown.total_us = static_cast<uint32_t>(rng.NextU64());
+    }
     return serve::EncodeResponse(resp);
   }
   if (target == "artifact") {
     return artifact_bytes;
+  }
+  if (target == "control") {
+    if (rng.NextBounded(2) == 0) {
+      serve::ControlRequest creq;
+      creq.op = static_cast<serve::ControlOp>(rng.NextBounded(3));
+      return serve::EncodeControlRequest(creq);
+    }
+    serve::ControlResponse cresp;
+    cresp.op = static_cast<serve::ControlOp>(rng.NextBounded(3));
+    cresp.ok = rng.NextBounded(2) == 0;
+    cresp.error = RandomBytes(rng, 32);
+    cresp.json = RandomBytes(rng, 160);
+    return serve::EncodeControlResponse(cresp);
   }
   std::string stream;
   size_t n = 1 + rng.NextBounded(3);
@@ -533,14 +588,14 @@ void Mutate(Rng& rng, std::string* bytes) {
 }
 
 int ServeFuzz(uint64_t seed, int iters, const std::string& corpus_out) {
-  const char* targets[] = {"request", "response", "artifact", "frame"};
+  const char* targets[] = {"request", "response", "artifact", "frame", "control"};
   // A default-constructed (untrained) bundle serializes quickly and still
   // exercises every section parser.
   std::string artifact_bytes = serve::SerializeBundle(TrainedBundle{});
   Rng rng(seed);
   int failures = 0;
   for (int i = 0; i < iters; ++i) {
-    std::string target = targets[i % 4];
+    std::string target = targets[i % 5];
     std::string bytes = BaseServeBytes(rng, target, artifact_bytes);
     if (rng.NextBounded(8) != 0) {  // 1-in-8 stays unmutated (accept path)
       Mutate(rng, &bytes);

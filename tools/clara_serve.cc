@@ -15,6 +15,18 @@
 // inference pass. Malformed payloads and oversized frames get structured
 // error responses; SIGINT/SIGTERM shut the daemon down cleanly.
 //
+// Telemetry plane:
+//   * Control frames (stats/health/dump) are answered immediately, without
+//     entering the request queue — `clara_client stats --socket=PATH` etc.
+//   * --trace=FILE records every request's per-stage span tree and writes a
+//     Chrome trace (chrome://tracing / Perfetto) at shutdown.
+//   * --slo-p99-us=X flips Health to "degraded" when the rolling-window p99
+//     exceeds X microseconds (--slo-window-ms sizes the window).
+//   * --metrics-jsonl=FILE appends a metrics snapshot every
+//     --metrics-interval=MS milliseconds — a time series, not just the
+//     shutdown snapshot.
+//   * SIGUSR1 dumps the flight recorder (recent requests) to stderr.
+//
 // Usage:
 //   clara_cli train --model-dir=models/
 //   clara_client --emit --element=aggcounter --count=4 \
@@ -32,8 +44,10 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/obs/trace.h"
 #include "src/serve/artifact.h"
 #include "src/serve/server.h"
 
@@ -42,17 +56,32 @@ namespace {
 using namespace clara;
 
 volatile sig_atomic_t g_stop = 0;
+volatile sig_atomic_t g_dump_flight = 0;
 
 void OnSignal(int) { g_stop = 1; }
+
+void OnDumpSignal(int) { g_dump_flight = 1; }
 
 void InstallSignalHandlers() {
   struct sigaction sa;
   std::memset(&sa, 0, sizeof(sa));
   sa.sa_handler = OnSignal;
   // No SA_RESTART: blocking read()/accept() must return EINTR so the main
-  // loop can observe g_stop.
+  // loop can observe g_stop (and g_dump_flight).
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  sa.sa_handler = OnDumpSignal;
+  sigaction(SIGUSR1, &sa, nullptr);
+}
+
+// SIGUSR1: operator asked for the flight recorder. Checked from the serve
+// loops whenever a blocking call returns.
+void MaybeDumpFlight(serve::ServeEngine& engine) {
+  if (g_dump_flight != 0) {
+    g_dump_flight = 0;
+    std::string dump = engine.DumpJson();
+    std::fprintf(stderr, "clara_serve: flight recorder dump:\n%s\n", dump.c_str());
+  }
 }
 
 bool WriteAll(int fd, const std::string& data) {
@@ -77,6 +106,7 @@ int ServeStream(serve::ServeEngine& engine, int in_fd, int out_fd) {
   serve::FrameReader reader;
   char buf[1 << 16];
   while (g_stop == 0) {
+    MaybeDumpFlight(engine);
     ssize_t n = ::read(in_fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) {
@@ -94,6 +124,12 @@ int ServeStream(serve::ServeEngine& engine, int in_fd, int out_fd) {
     std::string frame;
     std::string out;
     while (reader.Next(&frame)) {
+      // Control-plane frames bypass the request queue entirely: stats/health
+      // stay responsive even when the queue is saturated.
+      if (serve::PeekType(frame) == serve::MsgType::kControlRequest) {
+        serve::AppendFrame(&out, engine.HandleControl(frame));
+        continue;
+      }
       serve::InsightRequest req;
       std::string err;
       if (!serve::ParseRequest(frame, &req, &err)) {
@@ -101,7 +137,7 @@ int ServeStream(serve::ServeEngine& engine, int in_fd, int out_fd) {
                                      serve::ErrorCode::kBadRequest, err));
         continue;
       }
-      futures.push_back(engine.Submit(std::move(req)));
+      futures.push_back(engine.Submit(std::move(req), static_cast<uint32_t>(frame.size())));
     }
     for (size_t i = reader.TakeOversized(); i > 0; --i) {
       serve::AppendFrame(&out, serve::ServeEngine::EncodeTransportError(
@@ -145,6 +181,7 @@ int ServeSocket(serve::ServeEngine& engine, const std::string& path) {
   std::fprintf(stderr, "clara_serve: listening on %s\n", path.c_str());
   int rc = 0;
   while (g_stop == 0) {
+    MaybeDumpFlight(engine);
     int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {
       if (errno == EINTR) {
@@ -166,9 +203,13 @@ int Usage() {
   std::fprintf(stderr,
                "usage: clara_serve --model-dir=DIR [--pipe | --socket=PATH]\n"
                "                   [--queue=N] [--batch=N] [--cache=N]\n"
-               "                   [--metrics-json=FILE]\n"
+               "                   [--metrics-json=FILE] [--trace=FILE]\n"
+               "                   [--slo-p99-us=X] [--slo-window-ms=N] [--flight=N]\n"
+               "                   [--metrics-jsonl=FILE] [--metrics-interval=MS]\n"
                "Serves Clara offloading insights from a pre-trained bundle\n"
-               "(create one with `clara_cli train --model-dir=DIR`).\n");
+               "(create one with `clara_cli train --model-dir=DIR`).\n"
+               "SIGUSR1 dumps the flight recorder to stderr; clara_client\n"
+               "stats|health|dump query a --socket daemon live.\n");
   return 2;
 }
 
@@ -178,6 +219,9 @@ int main(int argc, char** argv) {
   std::string model_dir;
   std::string socket_path;
   std::string metrics_path;
+  std::string trace_path;
+  std::string metrics_jsonl_path;
+  int64_t metrics_interval_ms = 1000;
   serve::ServeOptions opts;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -195,11 +239,26 @@ int main(int argc, char** argv) {
       opts.cache_capacity = std::strtoul(a.c_str() + std::strlen("--cache="), nullptr, 10);
     } else if (a.rfind("--metrics-json=", 0) == 0) {
       metrics_path = a.substr(std::strlen("--metrics-json="));
+    } else if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(std::strlen("--trace="));
+    } else if (a.rfind("--slo-p99-us=", 0) == 0) {
+      opts.slo_p99_us = std::strtod(a.c_str() + std::strlen("--slo-p99-us="), nullptr);
+    } else if (a.rfind("--slo-window-ms=", 0) == 0) {
+      opts.slo_window_ms =
+          std::strtoll(a.c_str() + std::strlen("--slo-window-ms="), nullptr, 10);
+    } else if (a.rfind("--flight=", 0) == 0) {
+      opts.flight_capacity = std::strtoul(a.c_str() + std::strlen("--flight="), nullptr, 10);
+    } else if (a.rfind("--metrics-jsonl=", 0) == 0) {
+      metrics_jsonl_path = a.substr(std::strlen("--metrics-jsonl="));
+    } else if (a.rfind("--metrics-interval=", 0) == 0) {
+      metrics_interval_ms =
+          std::strtoll(a.c_str() + std::strlen("--metrics-interval="), nullptr, 10);
     } else {
       return Usage();
     }
   }
-  if (model_dir.empty() || opts.queue_capacity == 0 || opts.max_batch == 0) {
+  if (model_dir.empty() || opts.queue_capacity == 0 || opts.max_batch == 0 ||
+      opts.slo_window_ms <= 0 || metrics_interval_ms <= 0) {
     return Usage();
   }
 
@@ -212,12 +271,34 @@ int main(int argc, char** argv) {
   obs::SetEnabled(true);
   InstallSignalHandlers();
 
+  obs::TraceSink sink;
+  if (!trace_path.empty()) {
+    obs::SetGlobalTrace(&sink);
+  }
+  obs::PeriodicJsonlExporter exporter(metrics_jsonl_path,
+                                      std::chrono::milliseconds(metrics_interval_ms));
+  if (!metrics_jsonl_path.empty() && !exporter.Start()) {
+    std::fprintf(stderr, "clara_serve: cannot open %s\n", metrics_jsonl_path.c_str());
+    return 1;
+  }
+
   serve::ServeEngine engine(std::move(bundle), opts);
   engine.Start();
   int rc = socket_path.empty() ? ServeStream(engine, STDIN_FILENO, STDOUT_FILENO)
                                : ServeSocket(engine, socket_path);
   engine.Stop();
 
+  exporter.Stop();
+  if (!trace_path.empty()) {
+    obs::SetGlobalTrace(nullptr);
+    if (sink.WriteChromeJson(trace_path)) {
+      std::fprintf(stderr, "clara_serve: wrote %zu trace event(s) to %s\n", sink.size(),
+                   trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "clara_serve: cannot write %s\n", trace_path.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
   if (!metrics_path.empty()) {
     std::FILE* f = std::fopen(metrics_path.c_str(), "w");
     if (f != nullptr) {
