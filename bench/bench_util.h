@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -155,6 +156,7 @@ class JsonRows {
       return;
     }
     flushed_ = true;
+    Dedupe();
     FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", path_.c_str());
@@ -174,6 +176,44 @@ class JsonRows {
   }
 
  private:
+  // Identifying fragments of a row: every string-valued field plus the
+  // numeric fields that name a configuration ("threads", "variant") rather
+  // than a measurement. Benches that emit the same configuration twice (e.g.
+  // a {1, hw_concurrency} sweep on a 1-core host) would otherwise write
+  // duplicate rows that differ only in measurement noise.
+  static std::string RowKey(const std::vector<std::string>& row) {
+    std::string key;
+    for (const auto& frag : row) {
+      size_t colon = frag.find(':');
+      bool string_valued = colon != std::string::npos && colon + 1 < frag.size() &&
+                           frag[colon + 1] == '"';
+      if (string_valued || frag.compare(0, colon, "\"threads\"") == 0 ||
+          frag.compare(0, colon, "\"variant\"") == 0) {
+        key += frag;
+        key += '\x1f';
+      }
+    }
+    return key;
+  }
+
+  // Keeps one row per key — the last emitted (a re-run overwrites), at the
+  // key's first-seen position.
+  void Dedupe() {
+    std::map<std::string, size_t> slot;
+    std::vector<std::vector<std::string>> out;
+    for (auto& row : rows_) {
+      std::string key = RowKey(row);
+      auto it = slot.find(key);
+      if (it == slot.end()) {
+        slot.emplace(std::move(key), out.size());
+        out.push_back(std::move(row));
+      } else {
+        out[it->second] = std::move(row);
+      }
+    }
+    rows_ = std::move(out);
+  }
+
   std::string path_;
   std::vector<std::vector<std::string>> rows_;
   bool flushed_ = false;

@@ -97,6 +97,12 @@ class ClaraAnalyzer {
   OffloadingInsights Analyze(Program program, const WorkloadSpec& workload,
                              const NfPrediction* precomputed) const;
 
+  // Selects the LSTM inference backend for all subsequent Analyze calls
+  // (src/ml/infer.h); the serve engine applies ServeOptions.infer_backend
+  // through this.
+  void SetInferBackend(InferBackend backend) { predictor_.SetInferBackend(backend); }
+  InferBackend infer_backend() const { return predictor_.infer_backend(); }
+
   const PerfModel& perf_model() const { return perf_model_; }
   const InstructionPredictor& predictor() const { return predictor_; }
   const AlgorithmIdentifier& algo_id() const { return algo_id_; }

@@ -383,6 +383,13 @@ void LstmRegressor::Fit(const SeqDataset& data) {
     }
   }
 
+  // New weights invalidate any attached quantized frame and packed engine.
+  quant_ = Int8LstmParams{};
+  engine_.reset();
+  if (backend_ != InferBackend::kF64) {
+    BuildEngine();
+  }
+
   std::vector<double> truth(data.examples.size());
   std::vector<double> pred(data.examples.size());
   ParallelFor(data.examples.size(), [&](size_t i) {
@@ -456,6 +463,11 @@ bool LstmRegressor::LoadFrom(BinReader& r) {
   vocab_ = vocab;
   y_scale_ = y_scale;
   p_ = std::move(p);
+  quant_ = Int8LstmParams{};
+  engine_.reset();
+  if (backend_ != InferBackend::kF64) {
+    BuildEngine();
+  }
   return true;
 }
 
@@ -463,8 +475,67 @@ double LstmRegressor::Predict(const std::vector<int>& tokens) const {
   if (vocab_ == 0) {
     return 0;
   }
-  double y = Forward(tokens, nullptr) * y_scale_;
-  return std::max(0.0, y);
+  double y;
+  if (backend_ == InferBackend::kF32 && engine_ != nullptr) {
+    y = engine_->PredictF32(tokens);
+  } else if (backend_ == InferBackend::kInt8 && engine_ != nullptr) {
+    y = engine_->PredictInt8(tokens);
+  } else {
+    y = Forward(tokens, nullptr);
+  }
+  return std::max(0.0, y * y_scale_);
+}
+
+LstmF64View LstmRegressor::View() const {
+  LstmF64View v;
+  v.hidden = opts_.hidden;
+  v.fc_hidden = opts_.fc_hidden;
+  v.max_seq_len = opts_.max_seq_len;
+  v.vocab = vocab_;
+  v.y_scale = y_scale_;
+  v.wx = &p_.wx;
+  v.wh = &p_.wh;
+  v.b = &p_.b;
+  v.w1 = &p_.w1;
+  v.b1 = &p_.b1;
+  v.w2 = &p_.w2;
+  v.b2 = p_.b2;
+  return v;
+}
+
+void LstmRegressor::BuildEngine() {
+  if (vocab_ == 0) {
+    engine_.reset();
+    return;
+  }
+  engine_ = std::make_shared<const LstmInferEngine>(View(), quant_);
+}
+
+void LstmRegressor::SetInferBackend(InferBackend backend) {
+  backend_ = backend;
+  if (backend_ == InferBackend::kF64) {
+    engine_.reset();
+  } else if (engine_ == nullptr) {
+    BuildEngine();
+  }
+}
+
+Int8LstmParams LstmRegressor::QuantizedParams() const {
+  if (!quant_.empty()) {
+    return quant_;
+  }
+  return QuantizeLstm(View());
+}
+
+bool LstmRegressor::AttachQuantized(Int8LstmParams quant, std::string* error) {
+  if (!quant.Validate(opts_.hidden, opts_.fc_hidden, vocab_, error)) {
+    return false;
+  }
+  quant_ = std::move(quant);
+  if (engine_ != nullptr) {
+    BuildEngine();  // the engine must serve the attached weights
+  }
+  return true;
 }
 
 }  // namespace clara

@@ -15,9 +15,12 @@
 #ifndef SRC_ML_LSTM_H_
 #define SRC_ML_LSTM_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "src/ml/common.h"
+#include "src/ml/infer.h"
 #include "src/util/rng.h"
 
 namespace clara {
@@ -49,6 +52,20 @@ class LstmRegressor : public SeqRegressor {
   void SaveTo(BinWriter& w) const;
   bool LoadFrom(BinReader& r);
 
+  // Selects the inference backend for Predict(). kF64 (the default) is the
+  // training-time double path; kF32/kInt8 build the packed inference engine
+  // on first use (no-op while untrained). Copies share the immutable engine.
+  void SetInferBackend(InferBackend backend);
+  InferBackend infer_backend() const { return backend_; }
+
+  // Quantized weights for artifact serialization: the attached frame when
+  // one was loaded, otherwise computed deterministically from the double
+  // weights (the two are byte-identical for the same model).
+  Int8LstmParams QuantizedParams() const;
+  // Adopts a quantized frame loaded from an artifact; rejects dimension or
+  // shape mismatches against the f64 model.
+  bool AttachQuantized(Int8LstmParams quant, std::string* error);
+
  private:
   struct Params {
     std::vector<double> wx;  // 4H x V (row-major)
@@ -68,11 +85,17 @@ class LstmRegressor : public SeqRegressor {
   // Backprop for one example into ws.grads (zeroed first); returns the loss.
   double ExampleGradient(const SeqExample& ex, Workspace& ws) const;
 
+  LstmF64View View() const;
+  void BuildEngine();
+
   LstmOptions opts_;
   int vocab_ = 0;
   double y_scale_ = 1;
   Params p_;
   double train_wmape_ = 0;
+  InferBackend backend_ = InferBackend::kF64;
+  Int8LstmParams quant_;  // attached artifact frame (empty unless loaded)
+  std::shared_ptr<const LstmInferEngine> engine_;
 };
 
 }  // namespace clara

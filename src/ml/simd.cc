@@ -1,0 +1,54 @@
+#include "src/ml/simd.h"
+
+namespace clara {
+namespace simd {
+namespace {
+
+#if defined(CLARA_SIMD_ENABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CLARA_SIMD_X86 1
+#else
+#define CLARA_SIMD_X86 0
+#endif
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+
+  CpuFeatures() {
+#if CLARA_SIMD_X86
+    avx2 = __builtin_cpu_supports("avx2");
+    fma = __builtin_cpu_supports("fma");
+#endif
+  }
+};
+
+const CpuFeatures& Features() {
+  static const CpuFeatures f;
+  return f;
+}
+
+}  // namespace
+
+bool CompiledWithSimd() { return CLARA_SIMD_X86 != 0; }
+
+bool HasAvx2() { return Features().avx2; }
+
+bool HasFma() { return Features().fma; }
+
+std::string FeatureString() {
+  std::string s;
+  if (HasAvx2()) {
+    s = "avx2";
+  }
+  if (HasFma()) {
+    s += s.empty() ? "fma" : ",fma";
+  }
+  if (s.empty()) {
+    s = "none";
+  }
+  return s;
+}
+
+}  // namespace simd
+}  // namespace clara

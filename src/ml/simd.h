@@ -1,0 +1,33 @@
+// Runtime CPU-feature detection for the SIMD inference kernels.
+//
+// The build always contains both the scalar reference kernels and (on x86-64
+// with CLARA_SIMD=ON) the AVX2 kernels compiled in a separate translation
+// unit with a per-function target attribute. Which implementation runs is
+// decided once at startup from CPUID, never by build flags alone, so one
+// binary serves every machine and falls back to scalar code on CPUs without
+// AVX2.
+#ifndef SRC_ML_SIMD_H_
+#define SRC_ML_SIMD_H_
+
+#include <string>
+
+namespace clara {
+namespace simd {
+
+// True when the binary was built with the AVX2 kernels compiled in
+// (-DCLARA_SIMD=ON and an x86-64 target).
+bool CompiledWithSimd();
+
+// Runtime CPUID checks (false when CompiledWithSimd() is false so callers
+// never dispatch to code that does not exist in the binary).
+bool HasAvx2();
+bool HasFma();
+
+// Human-readable feature summary for stats/health reporting, e.g.
+// "avx2,fma", "avx2", or "none".
+std::string FeatureString();
+
+}  // namespace simd
+}  // namespace clara
+
+#endif  // SRC_ML_SIMD_H_

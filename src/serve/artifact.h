@@ -7,6 +7,20 @@
 //   "CLRB" magic | u16 format version | u32 CRC-32 of payload | u32 payload
 //   size | payload (TrainedBundle::SaveTo encoding)
 //
+// followed by an optional quantized-weights frame (same shape, emitted by
+// default since the int8 serve path landed):
+//
+//   "CLRQ" magic | u16 frame version | u32 CRC-32 of payload | u32 payload
+//   size | payload (Int8LstmParams::SaveTo encoding)
+//
+// The quantized frame is backward/forward compatible: pre-frame artifacts
+// (nothing after the main payload) still load, and the server quantizes the
+// f64 weights at SetInferBackend time instead — deterministically, so the
+// result is byte-identical to what the frame would have carried. When the
+// frame IS present it must be complete and CRC-clean; a truncated or
+// corrupted trailer rejects the whole artifact rather than silently serving
+// different weights.
+//
 // Loading verifies magic, version, size, and checksum before touching the
 // payload, and the payload decoder is fully bounds-checked — truncated,
 // corrupted, or version-bumped artifacts are rejected with a descriptive
@@ -25,12 +39,17 @@ namespace serve {
 
 inline constexpr char kArtifactMagic[4] = {'C', 'L', 'R', 'B'};
 inline constexpr uint16_t kArtifactVersion = 1;
+inline constexpr char kQuantMagic[4] = {'C', 'L', 'R', 'Q'};
+inline constexpr uint16_t kQuantVersion = 1;
 
 // Artifact file name inside a --model-dir.
 std::string BundlePath(const std::string& model_dir);
 
 // Serializes the bundle with the artifact frame (magic/version/CRC).
+// `include_quantized` == false reproduces the pre-frame (legacy) format;
+// tests use it to pin backward compatibility.
 std::string SerializeBundle(const TrainedBundle& bundle);
+std::string SerializeBundle(const TrainedBundle& bundle, bool include_quantized);
 
 // Verifies the frame and decodes the payload. On failure returns false and
 // sets *error; *bundle is left untouched.

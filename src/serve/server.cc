@@ -12,6 +12,7 @@
 #include "src/obs/json_util.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/ml/simd.h"
 #include "src/obs/trace.h"
 #include "src/serve/artifact.h"
 #include "src/synth/algorithm_corpus.h"
@@ -78,7 +79,11 @@ ServeEngine::ServeEngine(TrainedBundle bundle, ServeOptions opts)
     : opts_(opts),
       analyzer_(MakeAnalyzerOptions(opts), std::move(bundle)),
       slo_(SloOptionsFrom(opts)),
-      flight_(opts.flight_capacity) {}
+      flight_(opts.flight_capacity) {
+  // Builds the packed f32/int8 engine once, before the first request; every
+  // ProcessBatch prediction then runs through the selected backend.
+  analyzer_.SetInferBackend(opts_.infer_backend);
+}
 
 ServeEngine::~ServeEngine() { Stop(); }
 
@@ -557,7 +562,14 @@ size_t ServeEngine::cache_entries() const {
 obs::SloTracker::Window ServeEngine::SloWindow() const { return slo_.Snapshot(NowUs()); }
 
 std::string ServeEngine::StatsJson() const {
-  return obs::MetricsRegistry::Global().ToJson();
+  // Envelope so load tests can verify which inference path they measured;
+  // the metrics registry dump keeps its shape under "metrics".
+  std::string j = "{";
+  j += "\"infer\":\"" + std::string(InferBackendName(analyzer_.infer_backend())) + "\",";
+  j += "\"simd\":\"" + simd::FeatureString() + "\",";
+  j += "\"metrics\":" + obs::MetricsRegistry::Global().ToJson();
+  j += "}";
+  return j;
 }
 
 std::string ServeEngine::HealthJson() const {
@@ -581,6 +593,8 @@ std::string ServeEngine::HealthJson() const {
   j += "\"running\":" + std::string(running ? "true" : "false") + ",";
   j += "\"uptime_ms\":" + std::to_string(NowUs() / 1000) + ",";
   j += "\"artifact_version\":" + std::to_string(kArtifactVersion) + ",";
+  j += "\"infer\":\"" + std::string(InferBackendName(analyzer_.infer_backend())) + "\",";
+  j += "\"simd\":\"" + simd::FeatureString() + "\",";
   j += "\"queue_depth\":" + std::to_string(depth) + ",";
   j += "\"queue_capacity\":" + std::to_string(opts_.queue_capacity) + ",";
   j += "\"requests\":" + std::to_string(requests) + ",";

@@ -60,6 +60,9 @@ struct ServeOptions {
   // Packets interpreted per request for workload-specific profiling (smaller
   // than the offline default: serving favors latency).
   size_t profile_packets = 2000;
+  // LSTM inference backend for batched prediction (src/ml/infer.h). kF64 is
+  // the training-time double path; kF32/kInt8 run the packed SIMD engine.
+  InferBackend infer_backend = InferBackend::kF64;
   // Rolling-window SLO: when slo_p99_us > 0 and the window p99 exceeds it,
   // Health reports status "degraded" (and serve.slo.degraded flips to 1).
   double slo_p99_us = 0;

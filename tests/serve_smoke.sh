@@ -34,7 +34,7 @@ echo "== pipe daemon: 4 requests, one malformed =="
   "$CLIENT" --emit-malformed
   "$CLIENT" --emit --element=heavyhitter
 } > "$WORK/requests.bin"
-"$SERVE" --pipe --model-dir="$WORK/models" < "$WORK/requests.bin" \
+"$SERVE" --pipe --model-dir="$WORK/models" --infer=int8 < "$WORK/requests.bin" \
   > "$WORK/responses.bin"
 
 set +e
@@ -52,7 +52,7 @@ test "$errors" -eq 1
 
 echo "== socket daemon: clients, control plane, tracing, SIGTERM shutdown =="
 "$SERVE" --socket="$WORK/clara.sock" --model-dir="$WORK/models" \
-  --trace="$WORK/serve_trace.json" --slo-p99-us=1000000 \
+  --infer=int8 --trace="$WORK/serve_trace.json" --slo-p99-us=1000000 \
   --metrics-jsonl="$WORK/metrics.jsonl" --metrics-interval=200 \
   2> "$WORK/serve.log" &
 pid=$!
@@ -70,10 +70,12 @@ echo "== control plane: stats/health/dump return well-formed JSON =="
 "$CLIENT" stats --socket="$WORK/clara.sock" | tee "$WORK/stats.json" \
   | assert_json stats
 grep -q 'serve.requests' "$WORK/stats.json"
+grep -q '"infer":"int8"' "$WORK/stats.json"
 "$CLIENT" health --socket="$WORK/clara.sock" | tee "$WORK/health.json" \
   | assert_json health
 grep -q '"status":"ok"' "$WORK/health.json"
 grep -q '"artifact_version"' "$WORK/health.json"
+grep -q '"infer":"int8"' "$WORK/health.json"
 "$CLIENT" dump --socket="$WORK/clara.sock" | tee "$WORK/dump.json" \
   | assert_json dump
 grep -q '"records"' "$WORK/dump.json"

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
@@ -82,6 +83,10 @@ Module LowerElement(const std::string& name) {
   EXPECT_TRUE(lr.ok) << lr.error;
   return std::move(lr.module);
 }
+
+// Defined with the serve-engine tests below.
+serve::ServeOptions FastServeOptions();
+serve::InsightRequest ElementRequest(uint64_t id, const std::string& element);
 
 // ---- artifact store: bit-identical round trips ----
 
@@ -169,6 +174,85 @@ TEST(Artifact, RejectsPayloadCorruption) {
   std::string error;
   EXPECT_FALSE(serve::DeserializeBundle(bytes, &b, &error));
   EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+// ---- artifact store: optional quantized-weights frame ----
+
+// Byte offset where the trailing CLRQ frame starts: magic(4) + version(2) +
+// crc(4) + size(4) + main payload.
+size_t QuantFrameStart(const std::string& bytes) {
+  uint32_t payload_size;
+  std::memcpy(&payload_size, bytes.data() + 10, 4);
+  return 14 + payload_size;
+}
+
+TEST(Artifact, LegacyArtifactWithoutQuantFrameLoadsAndServes) {
+  // include_quantized=false reproduces the pre-frame format byte-for-byte.
+  std::string legacy = serve::SerializeBundle(TrainedAnalyzer().ExportTrained(),
+                                              /*include_quantized=*/false);
+  ASSERT_LT(legacy.size(), SerializedBundle().size());
+  EXPECT_EQ(legacy, SerializedBundle().substr(0, legacy.size()));
+
+  TrainedBundle bundle;
+  std::string error;
+  ASSERT_TRUE(serve::DeserializeBundle(legacy, &bundle, &error)) << error;
+  EXPECT_TRUE(bundle.trained());
+
+  // An engine asked for int8 quantizes at load and still serves.
+  serve::ServeOptions opts = FastServeOptions();
+  opts.infer_backend = InferBackend::kInt8;
+  serve::ServeEngine engine(std::move(bundle), opts);
+  serve::InsightResponse resp = engine.Handle(ElementRequest(1, "aggcounter"));
+  EXPECT_EQ(serve::ErrorCode::kOk, resp.error);
+  EXPECT_NE(engine.HealthJson().find("\"infer\":\"int8\""), std::string::npos);
+}
+
+TEST(Artifact, RejectsQuantFrameTruncation) {
+  const std::string& bytes = SerializedBundle();
+  size_t start = QuantFrameStart(bytes);
+  ASSERT_LT(start, bytes.size());
+  // Cut inside the frame header and inside its payload.
+  for (size_t keep : {start + 5, bytes.size() - 3}) {
+    TrainedBundle b;
+    std::string error;
+    EXPECT_FALSE(serve::DeserializeBundle(bytes.substr(0, keep), &b, &error))
+        << "kept " << keep << " of " << bytes.size();
+    EXPECT_NE(error.find("quantized"), std::string::npos) << error;
+  }
+}
+
+TEST(Artifact, RejectsQuantFrameCorruption) {
+  std::string bytes = SerializedBundle();
+  size_t start = QuantFrameStart(bytes);
+  // Flip a byte inside the frame payload (past its 14-byte header).
+  bytes[start + 14 + 2] ^= 0x20;
+  TrainedBundle b;
+  std::string error;
+  EXPECT_FALSE(serve::DeserializeBundle(bytes, &b, &error));
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+TEST(Artifact, AttachedQuantFrameMatchesRequantization) {
+  // Quantization is deterministic, so int8 predictions from the attached
+  // frame and from quantize-at-load of the legacy artifact are identical.
+  TrainedBundle with_frame = ReloadedBundle();
+  std::string legacy = serve::SerializeBundle(TrainedAnalyzer().ExportTrained(),
+                                              /*include_quantized=*/false);
+  TrainedBundle without_frame;
+  std::string error;
+  ASSERT_TRUE(serve::DeserializeBundle(legacy, &without_frame, &error)) << error;
+
+  with_frame.predictor.SetInferBackend(InferBackend::kInt8);
+  without_frame.predictor.SetInferBackend(InferBackend::kInt8);
+  for (const char* name : {"aggcounter", "heavyhitter"}) {
+    Module m = LowerElement(name);
+    NfPrediction a = with_frame.predictor.PredictNf(m);
+    NfPrediction b = without_frame.predictor.PredictNf(m);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (size_t i = 0; i < a.blocks.size(); ++i) {
+      EXPECT_EQ(a.blocks[i].compute, b.blocks[i].compute) << name << " block " << i;
+    }
+  }
 }
 
 // ---- standalone model round trips (every family in the bundle or store) --

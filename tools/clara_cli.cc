@@ -62,6 +62,9 @@ namespace {
 
 using namespace clara;
 
+// --infer= backend for insights/report analysis and the report serve engine.
+InferBackend g_infer = InferBackend::kF64;
+
 int Usage() {
   std::fprintf(stderr,
                "usage: clara_cli [flags] <command> [args]\n"
@@ -87,7 +90,9 @@ int Usage() {
                "                             `report` uses it to run the serve engine so\n"
                "                             serve.* metrics show up in the registry.\n"
                "  --threads=N                worker threads for parallel phases\n"
-               "                             (default: CLARA_THREADS or all cores)\n");
+               "                             (default: CLARA_THREADS or all cores)\n"
+               "  --infer=f64|f32|int8       LSTM inference backend for insights/report\n"
+               "                             (default f64; f32/int8 use the SIMD engine)\n");
   return 2;
 }
 
@@ -325,11 +330,13 @@ int CmdInsights(const std::string& name, const WorkloadSpec& workload,
       return 1;
     }
     ClaraAnalyzer analyzer(CliAnalyzerOptions(), std::move(bundle));
+    analyzer.SetInferBackend(g_infer);
     OffloadingInsights insights = analyzer.Analyze(MakeElementByName(name), workload);
     std::printf("%s", insights.ToString(analyzer.perf_model().config()).c_str());
     return 0;
   }
   ClaraAnalyzer analyzer = TrainAnalyzer();
+  analyzer.SetInferBackend(g_infer);
   OffloadingInsights insights = analyzer.Analyze(MakeElementByName(name), workload);
   std::printf("%s", insights.ToString(analyzer.perf_model().config()).c_str());
   return 0;
@@ -427,7 +434,9 @@ int ReportServe(const std::vector<std::string>& names, const WorkloadSpec& workl
   if (!LoadBundle(model_dir, &bundle)) {
     return 1;
   }
-  serve::ServeEngine engine(std::move(bundle));
+  serve::ServeOptions serve_opts;
+  serve_opts.infer_backend = g_infer;
+  serve::ServeEngine engine(std::move(bundle), serve_opts);
   engine.Start();
   uint64_t id = 0;
   std::vector<std::future<serve::InsightResponse>> futures;
@@ -501,6 +510,12 @@ int main(int argc, char** argv) {
       model_dir = a.substr(strlen("--model-dir="));
     } else if (a.rfind("--threads=", 0) == 0) {
       clara::SetNumThreads(std::atoi(a.c_str() + strlen("--threads=")));
+    } else if (a.rfind("--infer=", 0) == 0) {
+      if (!ParseInferBackend(a.substr(strlen("--infer=")), &g_infer)) {
+        std::fprintf(stderr, "unknown --infer backend: %s\n",
+                     a.c_str() + strlen("--infer="));
+        return Usage();
+      }
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return Usage();

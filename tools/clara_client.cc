@@ -194,6 +194,22 @@ int RunSocket(const std::string& path, const std::string& requests, bool full) {
   return errors == 0 ? 0 : 1;
 }
 
+// Extracts the value of a top-level `"key":"value"` string field from a JSON
+// document (good enough for the engine's own stats envelope; no escapes).
+std::string JsonStringField(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) {
+    return "";
+  }
+  size_t start = pos + needle.size();
+  size_t end = json.find('"', start);
+  if (end == std::string::npos) {
+    return "";
+  }
+  return json.substr(start, end - start);
+}
+
 // Control-plane query: one control frame out, one JSON document back.
 int RunControl(const std::string& path, serve::ControlOp op) {
   if (path.empty()) {
@@ -226,6 +242,16 @@ int RunControl(const std::string& path, serve::ControlOp op) {
     std::fprintf(stderr, "clara_client: %s failed: %s\n", serve::ControlOpName(resp.op),
                  resp.error.c_str());
     return 1;
+  }
+  if (op == serve::ControlOp::kStats) {
+    // One human-readable line on stderr (stdout stays a single JSON document)
+    // so load tests can confirm which inference path they measured.
+    std::string infer = JsonStringField(resp.json, "infer");
+    std::string simd = JsonStringField(resp.json, "simd");
+    if (!infer.empty() || !simd.empty()) {
+      std::fprintf(stderr, "clara_client: infer=%s simd=%s\n", infer.c_str(),
+                   simd.c_str());
+    }
   }
   std::printf("%s\n", resp.json.c_str());
   return 0;

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ml/simd.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
@@ -203,6 +204,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: clara_serve --model-dir=DIR [--pipe | --socket=PATH]\n"
                "                   [--queue=N] [--batch=N] [--cache=N]\n"
+               "                   [--infer=f64|f32|int8]\n"
                "                   [--metrics-json=FILE] [--trace=FILE]\n"
                "                   [--slo-p99-us=X] [--slo-window-ms=N] [--flight=N]\n"
                "                   [--metrics-jsonl=FILE] [--metrics-interval=MS]\n"
@@ -237,6 +239,12 @@ int main(int argc, char** argv) {
       opts.max_batch = std::strtoul(a.c_str() + std::strlen("--batch="), nullptr, 10);
     } else if (a.rfind("--cache=", 0) == 0) {
       opts.cache_capacity = std::strtoul(a.c_str() + std::strlen("--cache="), nullptr, 10);
+    } else if (a.rfind("--infer=", 0) == 0) {
+      if (!ParseInferBackend(a.substr(std::strlen("--infer=")), &opts.infer_backend)) {
+        std::fprintf(stderr, "clara_serve: unknown --infer backend '%s'\n",
+                     a.c_str() + std::strlen("--infer="));
+        return Usage();
+      }
     } else if (a.rfind("--metrics-json=", 0) == 0) {
       metrics_path = a.substr(std::strlen("--metrics-json="));
     } else if (a.rfind("--trace=", 0) == 0) {
@@ -283,6 +291,8 @@ int main(int argc, char** argv) {
   }
 
   serve::ServeEngine engine(std::move(bundle), opts);
+  std::fprintf(stderr, "clara_serve: inference backend %s (simd: %s)\n",
+               InferBackendName(opts.infer_backend), simd::FeatureString().c_str());
   engine.Start();
   int rc = socket_path.empty() ? ServeStream(engine, STDIN_FILENO, STDOUT_FILENO)
                                : ServeSocket(engine, socket_path);
