@@ -305,7 +305,8 @@ double LstmInferEngine::PredictInt8(const std::vector<int>& tokens) const {
   std::vector<float> pre(static_cast<size_t>(4) * h_);
   std::vector<float> tmp(hp_, 0.0f);
   std::vector<uint8_t> q(static_cast<size_t>(std::max(hp_, fp_)));
-  std::vector<int32_t> acc(static_cast<size_t>(4) * h_);
+  std::vector<int32_t> acc(
+      std::max<size_t>(static_cast<size_t>(4) * h_, static_cast<size_t>(f_)));
   RunSteps(tokens, h.data(), c.data(), pre.data(), tmp.data(),
            /*int8_recurrence=*/true, q.data(), acc.data());
   // FC head: int8 GEMV for W1, f32 bias + relu, int8 dot for w2.

@@ -563,8 +563,10 @@ obs::SloTracker::Window ServeEngine::SloWindow() const { return slo_.Snapshot(No
 
 std::string ServeEngine::StatsJson() const {
   // Envelope so load tests can verify which inference path they measured;
-  // the metrics registry dump keeps its shape under "metrics".
+  // the metrics registry dump keeps its shape under "metrics". stats_version
+  // marks the envelope schema: 1 was the bare registry dump, 2 nests it.
   std::string j = "{";
+  j += "\"stats_version\":2,";
   j += "\"infer\":\"" + std::string(InferBackendName(analyzer_.infer_backend())) + "\",";
   j += "\"simd\":\"" + simd::FeatureString() + "\",";
   j += "\"metrics\":" + obs::MetricsRegistry::Global().ToJson();

@@ -367,6 +367,34 @@ TEST(InferEngineTest, BackendsAgreeWithinBoundAndAreDeterministic) {
   }
 }
 
+// Regression: the int8 accumulator buffer must cover the FC head too. With
+// fc_hidden > 4*hidden the head GEMV writes more rows than the LSTM
+// recurrence; sizing acc for the recurrence alone overflowed the heap
+// (caught under ASan with hidden=1, fc_hidden=64).
+TEST(InferEngineTest, Int8WideFcHeadDoesNotOverflowAccumulator) {
+  LstmOptions opts;
+  opts.hidden = 1;
+  opts.fc_hidden = 64;
+  opts.epochs = 2;
+  LstmRegressor model(opts);
+  SeqDataset data;
+  data.vocab = 5;
+  Rng rng(11);
+  for (int i = 0; i < 8; ++i) {
+    SeqExample ex;
+    for (int t = 0; t < 4; ++t) ex.tokens.push_back(static_cast<int>(rng.NextBounded(5)));
+    ex.target = 1.0 + static_cast<double>(i);
+    data.examples.push_back(ex);
+  }
+  model.Fit(data);
+  model.SetInferBackend(InferBackend::kInt8);
+  for (const auto& ex : data.examples) {
+    double y = model.Predict(ex.tokens);
+    EXPECT_GE(y, 0.0);
+    EXPECT_EQ(y, model.Predict(ex.tokens));
+  }
+}
+
 TEST(InferEngineTest, ParseAndNameRoundTrip) {
   InferBackend b = InferBackend::kF64;
   EXPECT_TRUE(ParseInferBackend("f32", &b));

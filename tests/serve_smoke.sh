@@ -70,6 +70,7 @@ echo "== control plane: stats/health/dump return well-formed JSON =="
 "$CLIENT" stats --socket="$WORK/clara.sock" | tee "$WORK/stats.json" \
   | assert_json stats
 grep -q 'serve.requests' "$WORK/stats.json"
+grep -q '"stats_version":2' "$WORK/stats.json"
 grep -q '"infer":"int8"' "$WORK/stats.json"
 "$CLIENT" health --socket="$WORK/clara.sock" | tee "$WORK/health.json" \
   | assert_json health
