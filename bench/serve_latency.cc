@@ -12,10 +12,12 @@
 // "at least 5x" is stable across machines, which keeps tools/bench_diff.py
 // meaningful as a regression gate.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -223,6 +225,89 @@ int Run() {
   double wmape64 = wmape(analyzer.predictor().model());
   double wmape8 = wmape(lstm8);
 
+  // ---- hot reload under load ----
+  //
+  // Swapping the model snapshot mid-traffic must not disturb the serving hot
+  // path: one Reload() fires from another thread halfway through a round of
+  // cache-hit requests, and the round's p99 must stay within 5% of an
+  // undisturbed round. 400 requests per round keeps the single post-reload
+  // cache repopulation (a full analysis, by design — the new model must not
+  // serve the old model's cached bytes) in the top 1%, outside p99; what the
+  // gate sees is pure snapshot-pointer contention.
+  constexpr int kReloadRoundHits = 400;
+  auto reload_round = [&](bool with_reload, std::vector<double>* lat_us) -> bool {
+    std::atomic<bool> go{false};
+    std::thread reloader;
+    TrainedBundle fresh;
+    if (with_reload) {
+      if (!serve::DeserializeBundle(artifact, &fresh, &error)) {
+        std::fprintf(stderr, "serve_latency: %s\n", error.c_str());
+        return false;
+      }
+      reloader = std::thread([&] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        std::string rerr;
+        if (!engine.Reload(std::move(fresh), &rerr)) {
+          std::fprintf(stderr, "serve_latency: reload under load failed: %s\n",
+                       rerr.c_str());
+        }
+      });
+    }
+    bool ok = true;
+    for (int i = 0; i < kReloadRoundHits; ++i) {
+      if (i == kReloadRoundHits / 2) {
+        go.store(true, std::memory_order_release);
+      }
+      Clock::time_point start = Clock::now();
+      serve::InsightResponse hit = engine.Handle(Request(next_id++, "aggcounter"));
+      double us = std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+      if (lat_us != nullptr) {
+        lat_us->push_back(us);
+      }
+      if (hit.error != serve::ErrorCode::kOk) {
+        std::fprintf(stderr, "serve_latency: hit during reload failed: %s\n",
+                     hit.error_message.c_str());
+        ok = false;
+        break;
+      }
+    }
+    go.store(true, std::memory_order_release);
+    if (reloader.joinable()) {
+      reloader.join();
+    }
+    return ok;
+  };
+  // Per-round p99 at the ~10us cache-hit scale is dominated by scheduler
+  // jitter, so pool all samples per mode across interleaved rounds (drift
+  // hits both modes equally) and compare pooled p99s. The comparison gets a
+  // few attempts: the gate asserts reloads CAN run without disturbing the
+  // hot path, and one descheduling storm must not fail the build.
+  constexpr int kReloadRounds = 10;
+  double plain_p99_us = -1, reload_p99_us = -1, reload_p99_ratio = 10.0;
+  auto pooled_p99 = [](std::vector<double>* pool) -> double {
+    std::sort(pool->begin(), pool->end());
+    return (*pool)[static_cast<size_t>(static_cast<double>(pool->size()) * 0.99)];
+  };
+  for (int attempt = 0; attempt < 3 && reload_p99_ratio > 1.05; ++attempt) {
+    std::vector<double> plain_pool, reload_pool;
+    plain_pool.reserve(kReloadRounds * kReloadRoundHits);
+    reload_pool.reserve(kReloadRounds * kReloadRoundHits);
+    if (!reload_round(false, nullptr) || !reload_round(true, nullptr)) {  // warmup
+      return 1;
+    }
+    for (int round = 0; round < kReloadRounds; ++round) {
+      if (!reload_round(false, &plain_pool) || !reload_round(true, &reload_pool)) {
+        return 1;
+      }
+    }
+    plain_p99_us = pooled_p99(&plain_pool);
+    reload_p99_us = pooled_p99(&reload_pool);
+    reload_p99_ratio = plain_p99_us > 0 ? reload_p99_us / plain_p99_us : 1.0;
+  }
+  double reload_p99_ratio_clamped = std::min(std::max(reload_p99_ratio, 1.0), 1.05);
+
   double train_speedup = warm_load_ms > 0 ? cold_train_ms / warm_load_ms : 0;
   double cache_speedup = hit_ms > 0 ? miss_ms / hit_ms : 0;
   double tracing_ratio = hit_ms > 0 ? traced_hit_ms / hit_ms : 1.0;
@@ -237,6 +322,8 @@ int Run() {
   std::printf("%-28s %12.3f %12.3f %9.2fx\n", "miss f64 vs int8 engine", miss64_ms,
               miss8_ms, int8_miss_speedup);
   std::printf("%-28s %12.4f %12.4f\n", "train WMAPE f64 vs int8", wmape64, wmape8);
+  std::printf("%-28s %12.3f %12.3f %9.2fx\n", "cache-hit p99 during reload",
+              plain_p99_us / 1000.0, reload_p99_us / 1000.0, reload_p99_ratio);
 
   JsonRows json("serve_latency");
   json.Row()
@@ -251,6 +338,9 @@ int Run() {
   json.Row()
       .Str("phase", "cache_miss_f64_vs_int8")
       .Num("speedup_capped", std::min(int8_miss_speedup, 5.0));
+  json.Row()
+      .Str("phase", "reload_during_load")
+      .Num("hot_reload_p99_latency_ratio", reload_p99_ratio_clamped);
 
   // The acceptance gate: warm serving must beat cold training, cache hits
   // must beat full analysis, and full tracing must not blow up the warm path.
@@ -274,6 +364,13 @@ int Run() {
                  "serve_latency: int8 engine too slow on cache misses "
                  "(%.2fx, floor %.2fx)\n",
                  int8_miss_speedup, int8_floor);
+    return 1;
+  }
+  if (reload_p99_ratio > 1.05) {
+    std::fprintf(stderr,
+                 "serve_latency: hot reload disturbs the serving path "
+                 "(p99 ratio %.3fx, gate 1.05x)\n",
+                 reload_p99_ratio);
     return 1;
   }
   if (wmape8 > wmape64 * 1.01 + 1e-9) {

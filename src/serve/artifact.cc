@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/util/binio.h"
+#include "src/util/fault.h"
 
 namespace clara {
 namespace serve {
@@ -100,6 +101,12 @@ bool AttachQuantFrame(std::string_view tail, TrainedBundle* bundle,
 }  // namespace
 
 bool DeserializeBundle(std::string_view data, TrainedBundle* bundle, std::string* error) {
+  // Fault site artifact.load: the whole deserialization fails as if the file
+  // were unreadable — hot reload must reject and keep the live model.
+  if (fault::Armed() && fault::ShouldFail(fault::Site::kArtifactLoad)) {
+    *error = "artifact: injected fault (artifact.load)";
+    return false;
+  }
   BinReader r(data);
   char magic[4];
   if (!r.Raw(magic, sizeof(magic)) || std::memcmp(magic, kArtifactMagic, 4) != 0) {
@@ -123,6 +130,11 @@ bool DeserializeBundle(std::string_view data, TrainedBundle* bundle, std::string
   }
   std::string_view payload = data.substr(r.offset(), size);
   uint32_t actual = Crc32(payload);
+  // Fault site artifact.crc: report a checksum mismatch on an intact
+  // payload, exercising the reject-and-keep-serving path.
+  if (fault::Armed() && fault::ShouldFail(fault::Site::kArtifactCrc)) {
+    actual = ~actual;
+  }
   if (actual != crc) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "artifact: CRC mismatch (stored %08x, computed %08x)",

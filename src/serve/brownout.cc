@@ -1,0 +1,36 @@
+#include "src/serve/brownout.h"
+
+namespace clara {
+namespace serve {
+
+bool BrownoutPolicy::Update(int64_t now_us, double p99_us, uint64_t window_count) {
+  if (opts_.enter_threshold_us <= 0 || window_count == 0) {
+    return active_;
+  }
+  if (!active_) {
+    if (p99_us > opts_.enter_threshold_us) {
+      active_ = true;
+      ++entered_;
+      calm_since_us_ = -1;
+    }
+    return active_;
+  }
+  // Active: look for a sustained calm streak below the exit threshold.
+  double exit_below_us = opts_.exit_margin * opts_.enter_threshold_us;
+  if (p99_us >= exit_below_us) {
+    calm_since_us_ = -1;  // streak broken
+    return active_;
+  }
+  if (calm_since_us_ < 0) {
+    calm_since_us_ = now_us;
+  }
+  if (now_us - calm_since_us_ >= opts_.exit_hold_us) {
+    active_ = false;
+    ++exited_;
+    calm_since_us_ = -1;
+  }
+  return active_;
+}
+
+}  // namespace serve
+}  // namespace clara

@@ -1,0 +1,65 @@
+// Hysteretic brownout policy: decides when the serving engine should enter
+// and leave degraded ("brownout") operation based on the SLO tracker's
+// rolling p99.
+//
+// Entering is edge-triggered on the degraded signal (p99 over threshold with
+// a populated window). Leaving is deliberately sticky: the p99 must fall
+// below exit_margin * threshold and *stay* there for exit_hold_us before the
+// policy flips back — a single quiet slice right after shedding started must
+// not bounce the engine straight back into overload (the classic brownout
+// oscillation).
+//
+// All timestamps are caller-supplied microseconds on one monotonic timeline,
+// matching obs::SloTracker, so the policy is deterministic under a fake
+// clock. The class is not thread-safe by design: exactly one owner (the
+// engine's dispatcher) calls Update(); everyone else reads the published
+// `active` flag through the engine's atomic mirror.
+#ifndef SRC_SERVE_BROWNOUT_H_
+#define SRC_SERVE_BROWNOUT_H_
+
+#include <cstdint>
+
+namespace clara {
+namespace serve {
+
+class BrownoutPolicy {
+ public:
+  struct Options {
+    // p99 threshold in microseconds above which the engine browns out.
+    // 0 disables the policy entirely (Update never activates).
+    double enter_threshold_us = 0;
+    // Exit requires p99 < exit_margin * enter_threshold_us ...
+    double exit_margin = 0.8;
+    // ... sustained for this long.
+    int64_t exit_hold_us = 2 * 1000 * 1000;  // 2 s
+    // Backoff hint attached to shedded/rejected responses while active.
+    uint32_t retry_after_ms = 50;
+  };
+
+  BrownoutPolicy() : BrownoutPolicy(Options()) {}
+  explicit BrownoutPolicy(Options opts) : opts_(opts) {}
+
+  // Feeds one SLO observation (window p99 + sample count) at `now_us`.
+  // Returns the post-update active state. A window with zero samples never
+  // changes state in either direction: no evidence, no transition.
+  bool Update(int64_t now_us, double p99_us, uint64_t window_count);
+
+  bool active() const { return active_; }
+  // Lifetime transition counts (for serve.brownout.* metrics).
+  uint64_t entered() const { return entered_; }
+  uint64_t exited() const { return exited_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  bool active_ = false;
+  // Start of the current below-exit-threshold streak; -1 = not in a streak.
+  int64_t calm_since_us_ = -1;
+  uint64_t entered_ = 0;
+  uint64_t exited_ = 0;
+};
+
+}  // namespace serve
+}  // namespace clara
+
+#endif  // SRC_SERVE_BROWNOUT_H_

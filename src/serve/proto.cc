@@ -13,6 +13,8 @@ constexpr uint16_t kResponseTag = 0x5250;  // "RP"
 // Optional trailing sections (telemetry extensions, see proto.h).
 constexpr uint16_t kTraceSectionTag = 0x4954;      // "TI" — request trace id
 constexpr uint16_t kBreakdownSectionTag = 0x4244;  // "DB" — latency breakdown
+constexpr uint16_t kPrioritySectionTag = 0x5051;   // "QP" — shed-class priority
+constexpr uint16_t kRetrySectionTag = 0x4152;      // "RA" — retry-after hint
 
 void EncodeWorkload(BinWriter& w, const WorkloadSpec& spec) {
   w.Str(spec.name);
@@ -59,6 +61,7 @@ const char* ControlOpName(ControlOp op) {
     case ControlOp::kStats: return "stats";
     case ControlOp::kHealth: return "health";
     case ControlOp::kDump: return "dump";
+    case ControlOp::kReload: return "reload";
   }
   return "?";
 }
@@ -75,8 +78,21 @@ const char* ErrorCodeName(ErrorCode c) {
     case ErrorCode::kOversized: return "oversized-frame";
     case ErrorCode::kShutdown: return "shutdown";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kShedded: return "shedded";
   }
   return "?";
+}
+
+bool IsRetryable(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kQueueFull:
+    case ErrorCode::kShedded:
+    case ErrorCode::kShutdown:
+    case ErrorCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string EncodeRequest(const InsightRequest& req) {
@@ -87,11 +103,16 @@ std::string EncodeRequest(const InsightRequest& req) {
   w.Str(req.source);
   EncodeWorkload(w, req.workload);
   w.U32(req.deadline_ms);
+  // Optional trailing sections in canonical order: v1 decoders never see
+  // them because v1 encoders never write them, and the parser below treats
+  // absence as the zero value.
   if (req.trace_id != 0) {
-    // Optional trailing trace section: v1 decoders never see it because v1
-    // encoders never write it, and the parser below treats absence as 0.
     w.U16(kTraceSectionTag);
     w.U64(req.trace_id);
+  }
+  if (req.priority != 0) {
+    w.U16(kPrioritySectionTag);
+    w.U8(req.priority);
   }
   return w.Take();
 }
@@ -115,21 +136,24 @@ bool ParseRequest(std::string_view payload, InsightRequest* out, std::string* er
     *error = "request: " + r.error();
     return false;
   }
-  if (r.remaining() != 0) {
-    // Optional trace section (absent in v1 frames).
-    if (r.U16() != kTraceSectionTag) {
+  // Optional trailing sections (absent in v1 frames), each at most once.
+  bool saw_trace = false, saw_priority = false;
+  while (r.remaining() != 0) {
+    uint16_t tag = r.U16();
+    if (tag == kTraceSectionTag && !saw_trace) {
+      saw_trace = true;
+      req.trace_id = r.U64();
+    } else if (tag == kPrioritySectionTag && !saw_priority) {
+      saw_priority = true;
+      req.priority = r.U8();
+    } else {
       *error = "request: bad trailing section tag";
       return false;
     }
-    req.trace_id = r.U64();
     if (!r.ok()) {
       *error = "request: " + r.error();
       return false;
     }
-  }
-  if (r.remaining() != 0) {
-    *error = "request: " + std::to_string(r.remaining()) + " trailing bytes";
-    return false;
   }
   if (req.element.empty() && req.source.empty()) {
     *error = "request: neither element name nor inline source given";
@@ -157,7 +181,8 @@ std::string EncodeResponseBody(const InsightResponse& resp) {
 }
 
 std::string EncodeResponseWithBody(uint64_t id, std::string_view body,
-                                   const LatencyBreakdown& breakdown) {
+                                   const LatencyBreakdown& breakdown,
+                                   uint32_t retry_after_ms) {
   BinWriter w;
   w.U16(kResponseTag);
   w.U64(id);
@@ -175,11 +200,18 @@ std::string EncodeResponseWithBody(uint64_t id, std::string_view body,
     w.U32(breakdown.encode_us);
     w.U32(breakdown.total_us);
   }
+  if (retry_after_ms != 0) {
+    // Transient-error backoff hint; like the breakdown it stays outside the
+    // cached body (it is per-delivery, not per-answer).
+    w.U16(kRetrySectionTag);
+    w.U32(retry_after_ms);
+  }
   return w.Take();
 }
 
 std::string EncodeResponse(const InsightResponse& resp) {
-  return EncodeResponseWithBody(resp.id, EncodeResponseBody(resp), resp.breakdown);
+  return EncodeResponseWithBody(resp.id, EncodeResponseBody(resp), resp.breakdown,
+                                resp.retry_after_ms);
 }
 
 bool ParseResponse(std::string_view payload, InsightResponse* out, std::string* error) {
@@ -191,7 +223,7 @@ bool ParseResponse(std::string_view payload, InsightResponse* out, std::string* 
   InsightResponse resp;
   resp.id = r.U64();
   uint8_t code = r.U8();
-  if (r.ok() && code > static_cast<uint8_t>(ErrorCode::kInternal)) {
+  if (r.ok() && code > kMaxErrorCode) {
     *error = "response: unknown error code " + std::to_string(code);
     return false;
   }
@@ -211,27 +243,30 @@ bool ParseResponse(std::string_view payload, InsightResponse* out, std::string* 
     *error = "response: " + r.error();
     return false;
   }
-  if (r.remaining() != 0) {
-    // Optional latency-breakdown section (absent in v1 frames).
-    if (r.U16() != kBreakdownSectionTag) {
+  // Optional trailing sections (absent in v1 frames), each at most once.
+  bool saw_breakdown = false, saw_retry = false;
+  while (r.remaining() != 0) {
+    uint16_t tag = r.U16();
+    if (tag == kBreakdownSectionTag && !saw_breakdown) {
+      saw_breakdown = true;
+      resp.breakdown.valid = true;
+      resp.breakdown.trace_id = r.U64();
+      resp.breakdown.cache_hit = r.Bool();
+      resp.breakdown.queue_us = r.U32();
+      resp.breakdown.parse_us = r.U32();
+      resp.breakdown.infer_us = r.U32();
+      resp.breakdown.analyze_us = r.U32();
+      resp.breakdown.encode_us = r.U32();
+      resp.breakdown.total_us = r.U32();
+    } else if (tag == kRetrySectionTag && !saw_retry) {
+      saw_retry = true;
+      resp.retry_after_ms = r.U32();
+    } else {
       *error = "response: bad trailing section tag";
       return false;
     }
-    resp.breakdown.valid = true;
-    resp.breakdown.trace_id = r.U64();
-    resp.breakdown.cache_hit = r.Bool();
-    resp.breakdown.queue_us = r.U32();
-    resp.breakdown.parse_us = r.U32();
-    resp.breakdown.infer_us = r.U32();
-    resp.breakdown.analyze_us = r.U32();
-    resp.breakdown.encode_us = r.U32();
-    resp.breakdown.total_us = r.U32();
     if (!r.ok()) {
       *error = "response: " + r.error();
-      return false;
-    }
-    if (r.remaining() != 0) {
-      *error = "response: " + std::to_string(r.remaining()) + " trailing bytes";
       return false;
     }
   }
@@ -254,7 +289,7 @@ bool ParseControlRequest(std::string_view payload, ControlRequest* out,
     return false;
   }
   uint8_t op = r.U8();
-  if (r.ok() && op > static_cast<uint8_t>(ControlOp::kDump)) {
+  if (r.ok() && op > kMaxControlOp) {
     *error = "control request: unknown op " + std::to_string(op);
     return false;
   }
@@ -289,7 +324,7 @@ bool ParseControlResponse(std::string_view payload, ControlResponse* out,
   }
   ControlResponse resp;
   uint8_t op = r.U8();
-  if (r.ok() && op > static_cast<uint8_t>(ControlOp::kDump)) {
+  if (r.ok() && op > kMaxControlOp) {
     *error = "control response: unknown op " + std::to_string(op);
     return false;
   }

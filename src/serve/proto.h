@@ -63,7 +63,16 @@ enum class ErrorCode : uint8_t {
   kOversized = 7,         // frame exceeded kMaxFrameBytes
   kShutdown = 8,          // engine stopped before the request ran
   kInternal = 9,
+  kShedded = 10,          // brownout load-shedding dropped the request
 };
+
+// Highest ErrorCode value on the wire (parser bound).
+inline constexpr uint8_t kMaxErrorCode = static_cast<uint8_t>(ErrorCode::kShedded);
+
+// True for errors a client may retry with backoff: the condition is
+// transient on the server side (overload, shedding, restart, injected
+// transient fault), not a property of the request bytes.
+bool IsRetryable(ErrorCode c);
 
 const char* ErrorCodeName(ErrorCode c);
 
@@ -80,6 +89,10 @@ struct InsightRequest {
   // 0 = untraced (the server assigns one when a trace sink is live). Encoded
   // as an optional trailing section, invisible to v1 decoders when 0.
   uint64_t trace_id = 0;
+  // Load-shedding class: when the engine browns out it sheds the
+  // lowest-priority queued requests first (higher value = more important).
+  // Encoded as an optional trailing section, omitted when 0.
+  uint8_t priority = 0;
 };
 
 // Per-stage latency breakdown attached to a response *outside* the cached
@@ -118,6 +131,10 @@ struct InsightResponse {
 
   // Not part of the cached body: appended per response when valid.
   LatencyBreakdown breakdown;
+  // Server hint on transient errors (kQueueFull/kShedded/kShutdown): wait at
+  // least this long before retrying. Optional trailing section, omitted when
+  // 0; never part of the cached body.
+  uint32_t retry_after_ms = 0;
 };
 
 // ---- control plane ----
@@ -125,7 +142,11 @@ enum class ControlOp : uint8_t {
   kStats = 0,   // metrics registry snapshot as JSON
   kHealth = 1,  // queue depth, cache hit rate, artifact version, uptime, SLO
   kDump = 2,    // flight-recorder contents
+  kReload = 3,  // hot-reload the artifact from the daemon's model dir
 };
+
+// Highest ControlOp value on the wire (parser bound).
+inline constexpr uint8_t kMaxControlOp = static_cast<uint8_t>(ControlOp::kReload);
 
 const char* ControlOpName(ControlOp op);
 
@@ -155,7 +176,8 @@ std::string EncodeResponse(const InsightResponse& resp);
 // includes the latency breakdown (cached replays must stay byte-equal).
 std::string EncodeResponseBody(const InsightResponse& resp);
 std::string EncodeResponseWithBody(uint64_t id, std::string_view body,
-                                   const LatencyBreakdown& breakdown = LatencyBreakdown{});
+                                   const LatencyBreakdown& breakdown = LatencyBreakdown{},
+                                   uint32_t retry_after_ms = 0);
 bool ParseResponse(std::string_view payload, InsightResponse* out, std::string* error);
 
 // Content hashes for the serve cache key.

@@ -1,0 +1,33 @@
+#include "src/serve/retry.h"
+
+namespace clara {
+namespace serve {
+
+uint64_t RetryPolicy::NextRand() {
+  // splitmix64 — same generator the fault injector uses; tiny and seedable.
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint32_t RetryPolicy::NextDelayMs(int attempt, uint32_t retry_after_ms) {
+  uint64_t delay = opts_.base_ms;
+  for (int i = 0; i < attempt && delay < opts_.max_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > opts_.max_ms) {
+    delay = opts_.max_ms;
+  }
+  // Equal jitter: uniform in [delay/2, delay].
+  uint64_t half = delay / 2;
+  uint64_t span = delay - half + 1;
+  delay = half + (span != 0 ? NextRand() % span : 0);
+  if (delay < retry_after_ms) {
+    delay = retry_after_ms;
+  }
+  return static_cast<uint32_t>(delay);
+}
+
+}  // namespace serve
+}  // namespace clara

@@ -1,0 +1,58 @@
+// Client-side retry schedule: exponential backoff with deterministic seeded
+// jitter, honoring server retry_after_ms hints.
+//
+// The delay for attempt k (0-based) is
+//
+//   base * 2^k, capped at max_ms, then jittered to [delay/2, delay]
+//
+// ("equal jitter" — keeps a floor under the delay so a fleet of clients
+// still spreads out without any of them hammering immediately). When the
+// server supplied a retry_after_ms hint on the failed response, the hint is
+// a *floor*: the computed delay is raised to at least the hint, never
+// lowered — the server knows how long its brownout lasts better than the
+// client's schedule does.
+//
+// Jitter comes from a splitmix64 stream seeded at construction, so tests
+// can pin the whole schedule and assert exact bounds.
+#ifndef SRC_SERVE_RETRY_H_
+#define SRC_SERVE_RETRY_H_
+
+#include <cstdint>
+
+namespace clara {
+namespace serve {
+
+class RetryPolicy {
+ public:
+  struct Options {
+    int max_attempts = 0;       // retries after the first try; 0 = no retries
+    uint32_t base_ms = 25;      // first-retry delay before jitter
+    uint32_t max_ms = 2000;     // cap on the un-jittered delay
+    uint64_t jitter_seed = 1;   // deterministic jitter stream
+  };
+
+  RetryPolicy() : RetryPolicy(Options()) {}
+  explicit RetryPolicy(Options opts) : opts_(opts), state_(opts.jitter_seed) {}
+
+  // True when attempt `attempt` (0-based count of retries already made) is
+  // still within budget.
+  bool ShouldRetry(int attempt) const { return attempt < opts_.max_attempts; }
+
+  // Delay before retry number `attempt` (0-based), honoring the server's
+  // retry_after_ms hint from the failed response (0 = no hint). Advances the
+  // jitter stream.
+  uint32_t NextDelayMs(int attempt, uint32_t retry_after_ms);
+
+  const Options& options() const { return opts_; }
+
+ private:
+  uint64_t NextRand();
+
+  Options opts_;
+  uint64_t state_;
+};
+
+}  // namespace serve
+}  // namespace clara
+
+#endif  // SRC_SERVE_RETRY_H_

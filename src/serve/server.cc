@@ -1,7 +1,9 @@
 #include "src/serve/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "src/elements/elements.h"
@@ -9,6 +11,7 @@
 #include "src/lang/interp.h"
 #include "src/lang/parse.h"
 #include "src/lang/printer.h"
+#include "src/ml/kernels_f32.h"
 #include "src/obs/json_util.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
@@ -17,6 +20,7 @@
 #include "src/serve/artifact.h"
 #include "src/synth/algorithm_corpus.h"
 #include "src/util/binio.h"
+#include "src/util/fault.h"
 #include "src/util/parallel.h"
 
 namespace clara {
@@ -73,16 +77,28 @@ AnalyzerOptions MakeAnalyzerOptions(const ServeOptions& opts) {
   return a;
 }
 
+BrownoutPolicy::Options BrownoutOptionsFrom(const ServeOptions& opts) {
+  BrownoutPolicy::Options b;
+  b.enter_threshold_us = opts.slo_p99_us;  // 0 keeps the policy disabled
+  b.exit_margin = opts.brownout_exit_margin;
+  b.exit_hold_us = opts.brownout_exit_hold_ms * 1000;
+  b.retry_after_ms = opts.brownout_retry_after_ms;
+  return b;
+}
+
 }  // namespace
 
 ServeEngine::ServeEngine(TrainedBundle bundle, ServeOptions opts)
     : opts_(opts),
-      analyzer_(MakeAnalyzerOptions(opts), std::move(bundle)),
+      model_(std::make_shared<ModelSnapshot>(MakeAnalyzerOptions(opts), std::move(bundle),
+                                             /*ver=*/1)),
+      effective_backend_(opts.infer_backend),
+      brownout_(BrownoutOptionsFrom(opts)),
       slo_(SloOptionsFrom(opts)),
       flight_(opts.flight_capacity) {
   // Builds the packed f32/int8 engine once, before the first request; every
   // ProcessBatch prediction then runs through the selected backend.
-  analyzer_.SetInferBackend(opts_.infer_backend);
+  model_->analyzer.SetInferBackend(opts_.infer_backend);
 }
 
 ServeEngine::~ServeEngine() { Stop(); }
@@ -130,26 +146,80 @@ std::future<InsightResponse> ServeEngine::Submit(InsightRequest req,
   p.req = std::move(req);
   p.request_bytes = request_bytes;
   p.enqueued = Clock::now();
+  bool brownout = brownout_active_.load(std::memory_order_relaxed);
   if (p.req.deadline_ms > 0) {
+    // Brownout shrinks the admitted deadline budget: work we cannot finish
+    // in time should fail fast at dispatch instead of occupying a batch slot.
+    uint32_t budget = p.req.deadline_ms;
+    if (brownout) {
+      budget = std::max<uint32_t>(1, budget / 2);
+    }
     p.has_deadline = true;
-    p.deadline = p.enqueued + std::chrono::milliseconds(p.req.deadline_ms);
+    p.deadline = p.enqueued + std::chrono::milliseconds(budget);
   }
   std::future<InsightResponse> fut = p.promise.get_future();
+  // Fault site queue.admit: admission rejects a healthy request exactly the
+  // way a full queue would, with a retry hint so well-behaved clients recover.
+  if (fault::Armed() && fault::ShouldFail(fault::Site::kQueueAdmit)) {
+    InsightResponse resp =
+        ErrorResponse(p.req.id, ErrorCode::kQueueFull, "injected fault (queue.admit)");
+    resp.retry_after_ms = 10;
+    p.promise.set_value(std::move(resp));
+    return fut;
+  }
+  std::vector<Pending> evicted;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // Shutdown has begun (or completed without a restart): answer instead
+      // of racing the dispatcher teardown and stranding the promise.
+      p.promise.set_value(
+          ErrorResponse(p.req.id, ErrorCode::kShutdown, "engine is stopping"));
+      return fut;
+    }
     if (queue_.size() >= opts_.queue_capacity) {
       if (obs::Enabled()) {
         obs::MetricsRegistry::Global().GetCounter("serve.queue.rejected").Add(1);
       }
-      p.promise.set_value(ErrorResponse(
+      InsightResponse resp = ErrorResponse(
           p.req.id, ErrorCode::kQueueFull,
-          "queue at capacity (" + std::to_string(opts_.queue_capacity) + ")"));
+          "queue at capacity (" + std::to_string(opts_.queue_capacity) + ")");
+      if (brownout) {
+        resp.retry_after_ms = brownout_.options().retry_after_ms;
+      }
+      p.promise.set_value(std::move(resp));
       return fut;
+    }
+    if (brownout && queue_.size() >= std::max<size_t>(1, opts_.queue_capacity / 2)) {
+      // Above the brownout watermark admission is priority-competitive: the
+      // newcomer displaces the lowest-priority queued request (newest among
+      // ties) if it outranks one, otherwise it is shed itself.
+      size_t victim = queue_.size();  // sentinel: none below p's priority
+      for (size_t i = queue_.size(); i-- > 0;) {
+        uint8_t bar =
+            victim == queue_.size() ? p.req.priority : queue_[victim].req.priority;
+        if (queue_[i].req.priority < bar) {
+          victim = i;
+        }
+      }
+      if (victim == queue_.size()) {
+        p.promise.set_value(
+            SheddedResponse(p.req.id, "brownout: load shed above queue watermark"));
+        return fut;
+      }
+      evicted.push_back(std::move(queue_[victim]));
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(victim));
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global().GetGauge("serve.queue.depth").Sub(1);
+      }
     }
     queue_.push_back(std::move(p));
     if (obs::Enabled()) {
       obs::MetricsRegistry::Global().GetGauge("serve.queue.depth").Add(1);
     }
+  }
+  for (auto& v : evicted) {
+    Fulfill(v, SheddedResponse(v.req.id, "brownout: displaced by higher priority"));
   }
   cv_.notify_one();
   return fut;
@@ -197,12 +267,19 @@ std::string ServeEngine::EncodeTransportError(ErrorCode code, const std::string&
 
 void ServeEngine::Loop() {
   for (;;) {
+    UpdateBrownout();
     std::vector<Pending> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Bounded wait instead of an open-ended one so brownout exit can make
+      // progress while the daemon idles (the policy needs periodic Updates).
+      cv_.wait_for(lock, std::chrono::milliseconds(100),
+                   [this] { return stop_ || !queue_.empty(); });
       if (stop_) {
         return;  // leftovers answered by Stop()
+      }
+      if (queue_.empty()) {
+        continue;  // timed out: refresh brownout state and wait again
       }
       size_t take = std::min(opts_.max_batch, queue_.size());
       batch.reserve(take);
@@ -349,6 +426,12 @@ void ServeEngine::Fulfill(Pending& p, InsightResponse resp) {
 }
 
 void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
+  // Pin the model for the whole batch: a concurrent Reload() swaps the
+  // engine's pointer but cannot reclaim this snapshot until we drop it, so
+  // every request in the batch is answered by one consistent model.
+  std::shared_ptr<ModelSnapshot> model = Model();
+  const ClaraAnalyzer& analyzer = model->analyzer;
+  bool brownout = brownout_active_.load(std::memory_order_relaxed);
   Clock::time_point drained = Clock::now();
   for (auto& p : batch) {
     p.drained = drained;  // end of queue wait for every member of this batch
@@ -374,6 +457,16 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
     if (p.has_deadline && Clock::now() > p.deadline) {
       Fulfill(p, ErrorResponse(p.req.id, ErrorCode::kDeadlineExceeded,
                                "deadline expired before dispatch"));
+      continue;
+    }
+    // Fault site dispatch: the worker path fails one request with a
+    // transient internal error (retry hint attached) — the rest of the
+    // batch must be unaffected.
+    if (fault::Armed() && fault::ShouldFail(fault::Site::kDispatch)) {
+      InsightResponse resp =
+          ErrorResponse(p.req.id, ErrorCode::kInternal, "injected fault (dispatch)");
+      resp.retry_after_ms = 10;
+      Fulfill(p, std::move(resp));
       continue;
     }
     Slot slot;
@@ -440,6 +533,13 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
     if (obs::Enabled()) {
       obs::MetricsRegistry::Global().GetCounter("serve.cache.misses").Add(1);
     }
+    // Brownout prefers cache hits: a miss from the lowest priority class is
+    // shed instead of spending inference on it, keeping batch slots for
+    // cached replays and prioritized traffic.
+    if (brownout && p.req.priority == 0) {
+      Fulfill(p, SheddedResponse(p.req.id, "brownout: cache miss shed (priority 0)"));
+      continue;
+    }
 
     slot.lowered = std::make_unique<NfInstance>(CloneProgram(slot.program));
     if (!slot.lowered->ok()) {
@@ -463,7 +563,7 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
       pairs.emplace_back(s, b);
     }
   }
-  const InstructionPredictor& predictor = analyzer_.predictor();
+  const InstructionPredictor& predictor = analyzer.predictor();
   Clock::time_point infer_start = Clock::now();
   std::vector<BlockPrediction> block_preds = ParallelMap<BlockPrediction>(pairs.size(), [&](size_t i) {
     const auto& [s, b] = pairs[i];
@@ -494,7 +594,7 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
     Pending& p = *slot.pending;
     StageSpan analyze_span{"serve.analyze", Clock::now(), {}};
     OffloadingInsights insights =
-        analyzer_.Analyze(std::move(slot.program), p.req.workload, &slot.prediction);
+        analyzer.Analyze(std::move(slot.program), p.req.workload, &slot.prediction);
     InsightResponse resp;
     resp.id = p.req.id;
     resp.nf_name = insights.nf_name;
@@ -510,7 +610,8 @@ void ServeEngine::ProcessBatch(std::vector<Pending> batch) {
     analyze_span.end = Clock::now();
     p.spans.push_back(analyze_span);
     StageSpan encode_span{"serve.encode", analyze_span.end, {}};
-    CachePut(slot.program_hash, slot.workload_hash, EncodeResponseBody(resp));
+    CachePut(slot.program_hash, slot.workload_hash, EncodeResponseBody(resp),
+             model->version);
     encode_span.end = Clock::now();
     p.spans.push_back(encode_span);
     Fulfill(p, std::move(resp));
@@ -528,8 +629,14 @@ std::string ServeEngine::CacheGet(uint64_t program_hash, uint64_t workload_hash)
   return it->second->body;
 }
 
-void ServeEngine::CachePut(uint64_t program_hash, uint64_t workload_hash, std::string body) {
+void ServeEngine::CachePut(uint64_t program_hash, uint64_t workload_hash, std::string body,
+                           uint64_t version) {
   if (opts_.cache_capacity == 0) {
+    return;
+  }
+  // A batch that started before a reload finishes on the old model; its
+  // answers must not repopulate the freshly cleared cache.
+  if (version != artifact_version_.load(std::memory_order_acquire)) {
     return;
   }
   std::lock_guard<std::mutex> lock(cache_mu_);
@@ -554,9 +661,166 @@ void ServeEngine::CachePut(uint64_t program_hash, uint64_t workload_hash, std::s
   }
 }
 
+void ServeEngine::CacheClear() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  lru_.clear();
+  cache_.clear();
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetGauge("serve.cache.entries").Set(0);
+  }
+}
+
 size_t ServeEngine::cache_entries() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return lru_.size();
+}
+
+std::shared_ptr<ServeEngine::ModelSnapshot> ServeEngine::Model() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
+}
+
+std::shared_ptr<ServeEngine::ModelSnapshot> ServeEngine::ValidateCandidate(
+    TrainedBundle bundle, std::string* error) {
+  if (!bundle.trained()) {
+    *error = "candidate bundle is not fully trained";
+    return nullptr;
+  }
+  auto cand = std::make_shared<ModelSnapshot>(MakeAnalyzerOptions(opts_),
+                                              std::move(bundle), /*ver=*/0);
+  cand->analyzer.SetInferBackend(effective_backend_.load(std::memory_order_relaxed));
+  // Canary inference: before the candidate may serve traffic it must analyze
+  // a known registry element to a sane insight — a bundle that deserialized
+  // cleanly but predicts garbage is rejected here, off the serving path.
+  const auto& registry = ElementRegistry();
+  if (!registry.empty()) {
+    OffloadingInsights canary =
+        cand->analyzer.Analyze(registry.front().make(), WorkloadSpec::SmallFlows());
+    if (canary.suggested_cores < 1 ||
+        !std::isfinite(canary.prediction.total_compute) ||
+        canary.prediction.total_compute < 0) {
+      *error = "canary inference produced implausible insights";
+      return nullptr;
+    }
+  }
+  return cand;
+}
+
+bool ServeEngine::Reload(TrainedBundle bundle, std::string* error) {
+  std::shared_ptr<ModelSnapshot> cand = ValidateCandidate(std::move(bundle), error);
+  if (cand == nullptr) {
+    reload_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global().GetCounter("serve.reload.rejected").Add(1);
+    }
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    cand->version = artifact_version_.load(std::memory_order_relaxed) + 1;
+    model_ = cand;
+    artifact_version_.store(cand->version, std::memory_order_release);
+  }
+  // The old model's answers are stale the instant the swap is visible.
+  CacheClear();
+  reload_ok_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter("serve.reload.ok").Add(1);
+  }
+  return true;
+}
+
+bool ServeEngine::ReloadFromFile(const std::string& path, std::string* error) {
+  TrainedBundle bundle;
+  if (!LoadBundleFile(path, &bundle, error)) {
+    reload_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global().GetCounter("serve.reload.rejected").Add(1);
+    }
+    return false;
+  }
+  return Reload(std::move(bundle), error);
+}
+
+void ServeEngine::SetReloadPath(std::string path) {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  reload_path_ = std::move(path);
+}
+
+InsightResponse ServeEngine::SheddedResponse(uint64_t id, const std::string& why) {
+  InsightResponse resp = ErrorResponse(id, ErrorCode::kShedded, why);
+  resp.retry_after_ms = brownout_.options().retry_after_ms;
+  shedded_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global().GetCounter("serve.shedded").Add(1);
+  }
+  return resp;
+}
+
+std::vector<ServeEngine::Pending> ServeEngine::ShedLocked(size_t target_depth) {
+  std::vector<Pending> victims;
+  while (queue_.size() > target_depth) {
+    size_t victim = queue_.size() - 1;
+    for (size_t i = queue_.size() - 1; i-- > 0;) {
+      if (queue_[i].req.priority < queue_[victim].req.priority) {
+        victim = i;  // strictly lower only: newest among ties stays victim
+      }
+    }
+    victims.push_back(std::move(queue_[victim]));
+    queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(victim));
+  }
+  if (obs::Enabled() && !victims.empty()) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.queue.depth")
+        .Sub(static_cast<double>(victims.size()));
+  }
+  return victims;
+}
+
+void ServeEngine::UpdateBrownout() {
+  if (opts_.slo_p99_us <= 0) {
+    return;
+  }
+  int64_t now_us = NowUs();
+  if (now_us - last_brownout_us_ < 100000) {
+    return;  // snapshotting the SLO window is too heavy to do per batch
+  }
+  last_brownout_us_ = now_us;
+  obs::SloTracker::Window w = slo_.Snapshot(now_us);
+  bool was = brownout_.active();
+  bool active = brownout_.Update(now_us, w.p99_us, w.count);
+  if (active == was) {
+    return;
+  }
+  brownout_active_.store(active, std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter(active ? "serve.brownout.entered" : "serve.brownout.exited")
+        .Add(1);
+  }
+  std::shared_ptr<ModelSnapshot> model = Model();
+  if (active) {
+    // Degrade inference to int8 when the AVX2 kernels make it the fast
+    // path; without them the quantized engine is slower than f64 and the
+    // switch would deepen the overload.
+    if (opts_.infer_backend != InferBackend::kInt8 &&
+        kernels::Avx2F32Kernels() != nullptr) {
+      model->analyzer.SetInferBackend(InferBackend::kInt8);
+      effective_backend_.store(InferBackend::kInt8, std::memory_order_relaxed);
+    }
+    // Entry shed: cut the backlog to half capacity, lowest priority first.
+    std::vector<Pending> victims;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      victims = ShedLocked(std::max<size_t>(1, opts_.queue_capacity / 2));
+    }
+    for (auto& v : victims) {
+      Fulfill(v, SheddedResponse(v.req.id, "brownout: entry shed"));
+    }
+  } else if (effective_backend_.load(std::memory_order_relaxed) != opts_.infer_backend) {
+    model->analyzer.SetInferBackend(opts_.infer_backend);
+    effective_backend_.store(opts_.infer_backend, std::memory_order_relaxed);
+  }
 }
 
 obs::SloTracker::Window ServeEngine::SloWindow() const { return slo_.Snapshot(NowUs()); }
@@ -567,8 +831,13 @@ std::string ServeEngine::StatsJson() const {
   // marks the envelope schema: 1 was the bare registry dump, 2 nests it.
   std::string j = "{";
   j += "\"stats_version\":2,";
-  j += "\"infer\":\"" + std::string(InferBackendName(analyzer_.infer_backend())) + "\",";
+  j += "\"infer\":\"" +
+       std::string(InferBackendName(effective_backend_.load(std::memory_order_relaxed))) +
+       "\",";
   j += "\"simd\":\"" + simd::FeatureString() + "\",";
+  j += "\"artifact_version\":" + std::to_string(artifact_version()) + ",";
+  j += "\"brownout\":" + std::string(brownout_active() ? "true" : "false") + ",";
+  j += "\"fault\":" + fault::StatsJson() + ",";
   j += "\"metrics\":" + obs::MetricsRegistry::Global().ToJson();
   j += "}";
   return j;
@@ -594,8 +863,11 @@ std::string ServeEngine::HealthJson() const {
   j += "\"status\":\"" + std::string(slo.degraded ? "degraded" : "ok") + "\",";
   j += "\"running\":" + std::string(running ? "true" : "false") + ",";
   j += "\"uptime_ms\":" + std::to_string(NowUs() / 1000) + ",";
-  j += "\"artifact_version\":" + std::to_string(kArtifactVersion) + ",";
-  j += "\"infer\":\"" + std::string(InferBackendName(analyzer_.infer_backend())) + "\",";
+  // Model generation (1 = boot-time bundle, +1 per successful hot reload).
+  j += "\"artifact_version\":" + std::to_string(artifact_version()) + ",";
+  j += "\"infer\":\"" +
+       std::string(InferBackendName(effective_backend_.load(std::memory_order_relaxed))) +
+       "\",";
   j += "\"simd\":\"" + simd::FeatureString() + "\",";
   j += "\"queue_depth\":" + std::to_string(depth) + ",";
   j += "\"queue_capacity\":" + std::to_string(opts_.queue_capacity) + ",";
@@ -612,7 +884,11 @@ std::string ServeEngine::HealthJson() const {
        ",\"p99_threshold_us\":" + obs::JsonNumber(opts_.slo_p99_us) +
        ",\"error_rate\":" + obs::JsonNumber(slo.error_rate) +
        ",\"overrun_rate\":" + obs::JsonNumber(slo.overrun_rate) +
-       ",\"degraded\":" + std::string(slo.degraded ? "true" : "false") + "}";
+       ",\"degraded\":" + std::string(slo.degraded ? "true" : "false") + "},";
+  j += "\"brownout\":" + std::string(brownout_active() ? "true" : "false") + ",";
+  j += "\"shedded\":" + std::to_string(shedded()) + ",";
+  j += "\"reload\":{\"ok\":" + std::to_string(reloads_ok()) +
+       ",\"rejected\":" + std::to_string(reloads_rejected()) + "}";
   j += "}";
   return j;
 }
@@ -640,6 +916,25 @@ std::string ServeEngine::HandleControl(std::string_view payload) {
     case ControlOp::kDump:
       resp.json = DumpJson();
       break;
+    case ControlOp::kReload: {
+      std::string path;
+      {
+        std::lock_guard<std::mutex> lock(model_mu_);
+        path = reload_path_;
+      }
+      std::string why;
+      if (path.empty()) {
+        resp.ok = false;
+        resp.error = "reload: no artifact path configured";
+      } else if (!ReloadFromFile(path, &why)) {
+        resp.ok = false;
+        resp.error = "reload rejected: " + why;
+      } else {
+        resp.json = "{\"reloaded\":true,\"artifact_version\":" +
+                    std::to_string(artifact_version()) + "}";
+      }
+      break;
+    }
   }
   if (obs::Enabled()) {
     obs::MetricsRegistry::Global().GetCounter("serve.control.requests").Add(1);

@@ -21,6 +21,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/util/fault.h"
+
 namespace clara {
 
 class BinWriter {
@@ -93,7 +95,15 @@ class BinWriter {
 class BinReader {
  public:
   BinReader(const void* data, size_t n)
-      : p_(static_cast<const uint8_t*>(data)), n_(n) {}
+      : p_(static_cast<const uint8_t*>(data)), n_(n) {
+    // Fault injection (binio.read site): one decision per reader, taken at
+    // construction so the probability is per decode operation rather than
+    // per field. The injected reader poisons itself on its first read, which
+    // exercises exactly the truncated/corrupt-input error paths.
+    if (fault::Armed() && fault::ShouldFail(fault::Site::kBinioRead)) {
+      inject_fault_ = true;
+    }
+  }
   explicit BinReader(std::string_view s) : BinReader(s.data(), s.size()) {}
 
   bool ok() const { return ok_; }
@@ -125,6 +135,7 @@ class BinReader {
   bool Bool() { return U8() != 0; }
 
   std::string Str() {
+    CheckInjected();
     uint32_t len = U32();
     if (!ok_ || len > remaining()) {
       Fail("string length " + std::to_string(len) + " exceeds remaining bytes");
@@ -137,6 +148,7 @@ class BinReader {
 
   // Reads `n` raw bytes into out; fails when fewer remain.
   bool Raw(void* out, size_t n) {
+    CheckInjected();
     if (!ok_ || n > remaining()) {
       Fail("raw read of " + std::to_string(n) + " bytes exceeds remaining");
       return false;
@@ -181,7 +193,17 @@ class BinReader {
   }
 
  private:
+  // Fires the construction-time fault decision on the first actual read, so
+  // the injected failure flows through the normal poisoned-reader protocol.
+  void CheckInjected() {
+    if (inject_fault_) {
+      inject_fault_ = false;
+      Fail("injected fault (binio.read)");
+    }
+  }
+
   uint64_t GetLe(int bytes, const char* what) {
+    CheckInjected();
     if (!ok_ || static_cast<size_t>(bytes) > remaining()) {
       Fail(std::string("truncated ") + what);
       return 0;
@@ -213,6 +235,7 @@ class BinReader {
   size_t n_;
   size_t off_ = 0;
   bool ok_ = true;
+  bool inject_fault_ = false;
   std::string error_;
 };
 

@@ -1,0 +1,211 @@
+#include "src/util/fault.h"
+
+#include <cstdlib>
+
+#include "src/obs/json_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace clara {
+namespace fault {
+namespace {
+
+// Per-site state. The decision stream is counter-based (splitmix64 of
+// seed ^ draw-index), so concurrent callers each consume a unique index via
+// fetch_add and the aggregate injection rate stays exact and reproducible
+// regardless of thread interleaving.
+struct SiteState {
+  std::atomic<bool> armed{false};
+  std::atomic<uint64_t> threshold{0};  // inject when hash < threshold
+  std::atomic<uint64_t> seed{0};
+  std::atomic<uint64_t> draws{0};
+  std::atomic<uint64_t> evaluated{0};
+  std::atomic<uint64_t> injected{0};
+  double prob = 0;  // written only while (re)configuring
+};
+
+SiteState g_sites[kSiteCount];
+
+constexpr const char* kSiteNames[kSiteCount] = {
+    "binio.read", "artifact.crc",  "artifact.load", "sock.read",
+    "sock.write", "sock.accept",   "queue.admit",   "dispatch",
+};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void RefreshArmedFlag() {
+  bool any = false;
+  for (const SiteState& s : g_sites) {
+    any = any || s.armed.load(std::memory_order_relaxed);
+  }
+  ArmedFlag().store(any, std::memory_order_relaxed);
+}
+
+bool ArmSite(Site site, double prob, uint64_t seed, std::string* error) {
+  if (prob < 0 || prob > 1) {
+    *error = "fault: probability " + std::to_string(prob) + " outside [0,1] for " +
+             SiteName(site);
+    return false;
+  }
+  SiteState& s = g_sites[static_cast<size_t>(site)];
+  s.prob = prob;
+  // prob==1 must always inject; the ladder maps (0,1) onto the u64 range.
+  uint64_t threshold =
+      prob >= 1.0 ? UINT64_MAX
+                  : static_cast<uint64_t>(prob * 18446744073709551615.0);
+  s.threshold.store(threshold, std::memory_order_relaxed);
+  s.seed.store(seed, std::memory_order_relaxed);
+  s.draws.store(0, std::memory_order_relaxed);
+  s.armed.store(prob > 0, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace
+
+const char* SiteName(Site site) {
+  size_t i = static_cast<size_t>(site);
+  return i < kSiteCount ? kSiteNames[i] : "?";
+}
+
+bool SiteFromName(std::string_view name, Site* out) {
+  for (size_t i = 0; i < kSiteCount; ++i) {
+    if (name == kSiteNames[i]) {
+      *out = static_cast<Site>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Configure(std::string_view spec, std::string* error) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string_view entry =
+        spec.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                         : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() : comma + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    size_t c1 = entry.find(':');
+    if (c1 == std::string_view::npos) {
+      *error = "fault: entry '" + std::string(entry) + "' is not site:prob[:seed]";
+      return false;
+    }
+    std::string_view site_name = entry.substr(0, c1);
+    std::string_view rest = entry.substr(c1 + 1);
+    size_t c2 = rest.find(':');
+    std::string prob_str(c2 == std::string_view::npos ? rest : rest.substr(0, c2));
+    uint64_t seed = 1;
+    if (c2 != std::string_view::npos) {
+      seed = std::strtoull(std::string(rest.substr(c2 + 1)).c_str(), nullptr, 10);
+    }
+    char* end = nullptr;
+    double prob = std::strtod(prob_str.c_str(), &end);
+    if (end == prob_str.c_str() || (end != nullptr && *end != '\0')) {
+      *error = "fault: bad probability '" + prob_str + "'";
+      return false;
+    }
+    if (site_name == "all") {
+      for (size_t i = 0; i < kSiteCount; ++i) {
+        // Distinct per-site streams even when armed from one "all" entry.
+        if (!ArmSite(static_cast<Site>(i), prob, seed + i, error)) {
+          return false;
+        }
+      }
+      continue;
+    }
+    Site site;
+    if (!SiteFromName(site_name, &site)) {
+      *error = "fault: unknown site '" + std::string(site_name) + "'";
+      return false;
+    }
+    if (!ArmSite(site, prob, seed, error)) {
+      return false;
+    }
+  }
+  RefreshArmedFlag();
+  return true;
+}
+
+bool ConfigureFromEnv(std::string* error) {
+  const char* spec = std::getenv("CLARA_FAULT");
+  if (spec == nullptr || spec[0] == '\0') {
+    return true;
+  }
+  return Configure(spec, error);
+}
+
+void Reset() {
+  for (SiteState& s : g_sites) {
+    s.armed.store(false, std::memory_order_relaxed);
+    s.threshold.store(0, std::memory_order_relaxed);
+    s.seed.store(0, std::memory_order_relaxed);
+    s.draws.store(0, std::memory_order_relaxed);
+    s.evaluated.store(0, std::memory_order_relaxed);
+    s.injected.store(0, std::memory_order_relaxed);
+    s.prob = 0;
+  }
+  ArmedFlag().store(false, std::memory_order_relaxed);
+}
+
+bool ShouldFail(Site site) {
+  SiteState& s = g_sites[static_cast<size_t>(site)];
+  if (!s.armed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  s.evaluated.fetch_add(1, std::memory_order_relaxed);
+  uint64_t idx = s.draws.fetch_add(1, std::memory_order_relaxed);
+  uint64_t draw = SplitMix64(s.seed.load(std::memory_order_relaxed) ^ (idx * 0xD6E8FEB86659FD93ULL));
+  if (draw >= s.threshold.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  s.injected.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter(std::string("fault.") + SiteName(site) + ".injected")
+        .Add(1);
+  }
+  return true;
+}
+
+uint64_t InjectedCount(Site site) {
+  return g_sites[static_cast<size_t>(site)].injected.load(std::memory_order_relaxed);
+}
+
+uint64_t EvaluatedCount(Site site) {
+  return g_sites[static_cast<size_t>(site)].evaluated.load(std::memory_order_relaxed);
+}
+
+std::string StatsJson() {
+  std::string j = "{\"armed\":";
+  j += Armed() ? "true" : "false";
+  j += ",\"sites\":{";
+  bool first = true;
+  for (size_t i = 0; i < kSiteCount; ++i) {
+    const SiteState& s = g_sites[i];
+    if (!s.armed.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    if (!first) {
+      j += ",";
+    }
+    first = false;
+    j += "\"" + std::string(kSiteNames[i]) + "\":{";
+    j += "\"prob\":" + obs::JsonNumber(s.prob);
+    j += ",\"evaluated\":" + std::to_string(s.evaluated.load(std::memory_order_relaxed));
+    j += ",\"injected\":" + std::to_string(s.injected.load(std::memory_order_relaxed));
+    j += "}";
+  }
+  j += "}}";
+  return j;
+}
+
+}  // namespace fault
+}  // namespace clara

@@ -1,0 +1,81 @@
+// Deterministic, site-registered fault injection.
+//
+// A fault *site* is a named point in the code where a failure can be forced:
+// binio decoding, artifact CRC/load, the daemon's socket syscalls, queue
+// admission, and worker dispatch. Each site is armed independently with a
+// probability and a seed (CLARA_FAULT=site:prob:seed env var or --fault=
+// flags; "all" arms every site), and draws from its own counter-based hash
+// stream, so a given (site, prob, seed) configuration injects the same
+// decision sequence on every run — chaos tests are replayable.
+//
+// The disarmed fast path is one relaxed atomic load (Armed()), so threading
+// ShouldFail() through hot paths costs nothing in production. Every injected
+// fault increments both a lock-free per-site counter (InjectedCount, usable
+// with obs off) and a `fault.<site>.injected` counter in the global metrics
+// registry, so tests can assert the injection happened *and* that the system
+// recovered from it.
+#ifndef SRC_UTIL_FAULT_H_
+#define SRC_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace clara {
+namespace fault {
+
+enum class Site : uint8_t {
+  kBinioRead = 0,   // BinReader poisons itself on first read
+  kArtifactCrc,     // artifact CRC check reports a mismatch
+  kArtifactLoad,    // artifact deserialization fails outright
+  kSockRead,        // transport read returns a connection error
+  kSockWrite,       // transport write returns a connection error
+  kSockAccept,      // accepted connection is dropped immediately
+  kQueueAdmit,      // engine admission rejects with kQueueFull
+  kDispatch,        // worker dispatch fails the request with kInternal
+  kCount,
+};
+inline constexpr size_t kSiteCount = static_cast<size_t>(Site::kCount);
+
+// "binio.read", "artifact.crc", ... (nullptr-safe; "?" for out of range).
+const char* SiteName(Site site);
+// Reverse lookup; false when the name matches no site.
+bool SiteFromName(std::string_view name, Site* out);
+
+// Arms sites from a spec: "site:prob[:seed]" entries separated by commas,
+// e.g. "sock.read:0.05:7,dispatch:0.01". Site "all" arms every site with the
+// given prob/seed. Probabilities outside [0,1] or unknown site names fail
+// with *error set and leave the previous configuration untouched. An empty
+// spec is a no-op. Configure is additive over Reset(): call Reset() first to
+// replace instead of extend.
+bool Configure(std::string_view spec, std::string* error);
+
+// Reads the CLARA_FAULT environment variable (no-op when unset/empty).
+bool ConfigureFromEnv(std::string* error);
+
+// Disarms every site and zeroes the counters.
+void Reset();
+
+// True when at least one site is armed. Inline fast gate for hot paths.
+inline std::atomic<bool>& ArmedFlag() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+inline bool Armed() { return ArmedFlag().load(std::memory_order_relaxed); }
+
+// Draws the site's next deterministic decision; true = inject the fault.
+// Always false when the site is disarmed. Counts evaluations and injections.
+bool ShouldFail(Site site);
+
+uint64_t InjectedCount(Site site);
+uint64_t EvaluatedCount(Site site);
+
+// {"armed":true,"sites":{"sock.read":{"prob":0.05,"injected":3,...},...}} —
+// armed sites only; embedded in the daemon's stats envelope.
+std::string StatsJson();
+
+}  // namespace fault
+}  // namespace clara
+
+#endif  // SRC_UTIL_FAULT_H_

@@ -1,0 +1,92 @@
+#include "src/util/net.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/util/fault.h"
+
+namespace clara {
+namespace net {
+namespace {
+
+// Blocks until fd is ready for `events` (POLLIN/POLLOUT). False on hard
+// poll failure.
+bool WaitReady(int fd, short events, std::string* error) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    int rc = ::poll(&pfd, 1, -1);
+    if (rc >= 0) {
+      return true;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    *error = std::string("poll: ") + std::strerror(errno);
+    return false;
+  }
+}
+
+}  // namespace
+
+bool WriteAll(int fd, std::string_view data, std::string* error) {
+  if (fault::Armed() && fault::ShouldFail(fault::Site::kSockWrite)) {
+    *error = "write: injected fault (sock.write)";
+    return false;
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!WaitReady(fd, POLLOUT, error)) {
+          return false;
+        }
+        continue;
+      }
+      *error = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+IoStatus ReadSome(int fd, void* buf, size_t cap, size_t* n, std::string* error) {
+  if (fault::Armed() && fault::ShouldFail(fault::Site::kSockRead)) {
+    *error = "read: injected fault (sock.read)";
+    return IoStatus::kError;
+  }
+  for (;;) {
+    ssize_t r = ::read(fd, buf, cap);
+    if (r > 0) {
+      *n = static_cast<size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (r == 0) {
+      return IoStatus::kEof;
+    }
+    if (errno == EINTR) {
+      return IoStatus::kInterrupted;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!WaitReady(fd, POLLIN, error)) {
+        return IoStatus::kError;
+      }
+      continue;
+    }
+    *error = std::string("read: ") + std::strerror(errno);
+    return IoStatus::kError;
+  }
+}
+
+}  // namespace net
+}  // namespace clara

@@ -1,0 +1,47 @@
+// Shared POSIX socket/pipe I/O for the serve-plane front ends.
+//
+// clara_serve, clara_client and clara_chaos all speak the length-prefixed
+// frame protocol over fds; these helpers give them one uniform error model:
+//   * short writes are always resumed (a partial write() of a frame must
+//     never desynchronize the stream),
+//   * EINTR is retried, EAGAIN/EWOULDBLOCK waits for readiness via poll()
+//     (so the helpers behave identically on blocking and non-blocking fds),
+//   * every failure carries strerror(errno) text,
+//   * the sock.read / sock.write fault-injection sites (src/util/fault.h)
+//     are threaded through, simulating peer resets under chaos testing.
+//
+// ReadSome deliberately does NOT retry EINTR: the callers' main loops use
+// signal interruption (SIGTERM/SIGHUP/SIGUSR1) to wake up, so an EINTR read
+// returns kInterrupted and lets the caller observe its flags.
+#ifndef SRC_UTIL_NET_H_
+#define SRC_UTIL_NET_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace clara {
+namespace net {
+
+enum class IoStatus {
+  kOk = 0,
+  kEof,          // read: peer closed
+  kInterrupted,  // read: EINTR (caller checks its signal flags and retries)
+  kError,        // hard failure; *error holds strerror text
+};
+
+// Writes all of `data`, resuming short writes and EINTR, polling on EAGAIN.
+// False on hard error (*error = "write: <strerror>" or the injected-fault
+// text when the sock.write site fires).
+bool WriteAll(int fd, std::string_view data, std::string* error);
+
+// One read of up to `cap` bytes into buf. kOk sets *n (> 0); EAGAIN waits
+// for readability and retries internally.
+IoStatus ReadSome(int fd, void* buf, size_t cap, size_t* n, std::string* error);
+
+}  // namespace net
+}  // namespace clara
+
+#endif  // SRC_UTIL_NET_H_

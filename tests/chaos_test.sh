@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Chaos suite for the serving daemon: trains a small bundle with clara_cli,
+# then hands it to clara_chaos, which forks real daemons and runs the fault
+# sweeps (every fault site at prob 0.05, seeded), kill/restart, torn-frame,
+# hot-reload-under-load, and corrupt-reload scenarios. Each scenario asserts
+# no crash, no wrong answer (byte-compare vs a fault-free baseline), and
+# bounded recovery.
+#
+# Usage: chaos_test.sh [build-dir]   (defaults to the current directory)
+# Env:   CLARA_CHAOS_ITERS  requests per fault sweep (default 60; CI raises
+#                           it so the sweeps total ~1k requests)
+#        CLARA_CHAOS_SCENARIO  run a single scenario instead of all
+set -euo pipefail
+
+BUILD_DIR="${1:-$(pwd)}"
+CLI="$BUILD_DIR/tools/clara_cli"
+SERVE="$BUILD_DIR/tools/clara_serve"
+CHAOS="$BUILD_DIR/tools/clara_chaos"
+ITERS="${CLARA_CHAOS_ITERS:-60}"
+SCENARIO="${CLARA_CHAOS_SCENARIO:-all}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== train a small bundle =="
+"$CLI" train --fast --model-dir="$WORK/models"
+test -f "$WORK/models/clara_bundle.bin"
+
+echo "== chaos scenarios (iters=$ITERS scenario=$SCENARIO) =="
+"$CHAOS" --serve="$SERVE" --model-dir="$WORK/models" --workdir="$WORK" \
+  --iters="$ITERS" --seed=1 --scenario="$SCENARIO"
+
+echo "chaos_test: all scenarios passed"

@@ -82,6 +82,25 @@ grep -q '"infer":"int8"' "$WORK/health.json"
 grep -q '"records"' "$WORK/dump.json"
 grep -q 'udpcount' "$WORK/dump.json"
 
+echo "== hot reload: control frame and SIGHUP both bump artifact_version =="
+grep -q '"artifact_version":1' "$WORK/health.json"
+"$CLIENT" reload --socket="$WORK/clara.sock" | tee "$WORK/reload.json" \
+  | assert_json reload
+grep -q '"reloaded":true' "$WORK/reload.json"
+"$CLIENT" health --socket="$WORK/clara.sock" | tee "$WORK/health2.json" > /dev/null
+grep -q '"artifact_version":2' "$WORK/health2.json"
+# Requests keep answering across the swap (the response cache restarts cold).
+"$CLIENT" --socket="$WORK/clara.sock" --element=udpcount > /dev/null
+kill -HUP "$pid"
+# SIGHUP reloads when the accept loop next wakes; poke it with health queries.
+for _ in $(seq 1 50); do
+  "$CLIENT" health --socket="$WORK/clara.sock" > "$WORK/health3.json"
+  grep -q '"artifact_version":3' "$WORK/health3.json" && break
+  sleep 0.1
+done
+grep -q '"artifact_version":3' "$WORK/health3.json"
+grep -q 'reloaded' "$WORK/serve.log"
+
 echo "== SIGUSR1 dumps the flight recorder to stderr =="
 kill -USR1 "$pid"
 # The dump is written when the accept loop next wakes; poke it with a query.

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -25,7 +26,9 @@
 #include "src/ml/tree.h"
 #include "src/obs/trace.h"
 #include "src/serve/artifact.h"
+#include "src/serve/brownout.h"
 #include "src/serve/proto.h"
+#include "src/serve/retry.h"
 #include "src/serve/server.h"
 #include "src/util/binio.h"
 #include "src/util/rng.h"
@@ -924,6 +927,281 @@ TEST(Engine, ServerAssignsTraceIdsWhenSinkIsLive) {
   EXPECT_NE(a.breakdown.trace_id, 0u);
   EXPECT_NE(b.breakdown.trace_id, 0u);
   EXPECT_NE(a.breakdown.trace_id, b.breakdown.trace_id);
+}
+
+// ---- wire extensions: priority + retry hints ----
+
+TEST(Proto, PriorityRoundTripsAndZeroIsOmitted) {
+  serve::InsightRequest req;
+  req.id = 5;
+  req.element = "aggcounter";
+  req.workload = WorkloadSpec::SmallFlows();
+  std::string v1_bytes = serve::EncodeRequest(req);  // priority 0: no section
+  req.priority = 7;
+  std::string prioritized = serve::EncodeRequest(req);
+  EXPECT_GT(prioritized.size(), v1_bytes.size());
+
+  serve::InsightRequest out;
+  std::string error;
+  ASSERT_TRUE(serve::ParseRequest(prioritized, &out, &error)) << error;
+  EXPECT_EQ(out.priority, 7);
+  ASSERT_TRUE(serve::ParseRequest(v1_bytes, &out, &error)) << error;
+  EXPECT_EQ(out.priority, 0);
+
+  // Trace + priority sections coexist on one frame.
+  req.trace_id = 99;
+  ASSERT_TRUE(serve::ParseRequest(serve::EncodeRequest(req), &out, &error)) << error;
+  EXPECT_EQ(out.trace_id, 99u);
+  EXPECT_EQ(out.priority, 7);
+}
+
+TEST(Proto, RetryAfterRoundTripsAndStaysOutOfTheBody) {
+  serve::InsightResponse resp;
+  resp.id = 4;
+  resp.error = serve::ErrorCode::kQueueFull;
+  resp.error_message = "busy";
+  std::string body_plain = serve::EncodeResponseBody(resp);
+  resp.retry_after_ms = 250;
+  // The hint is per-delivery advice, never part of the cached answer bytes.
+  EXPECT_EQ(serve::EncodeResponseBody(resp), body_plain);
+
+  serve::InsightResponse out;
+  std::string error;
+  ASSERT_TRUE(serve::ParseResponse(serve::EncodeResponse(resp), &out, &error)) << error;
+  EXPECT_EQ(out.retry_after_ms, 250u);
+  resp.retry_after_ms = 0;  // zero hint: section omitted, v1 decode
+  ASSERT_TRUE(serve::ParseResponse(serve::EncodeResponse(resp), &out, &error)) << error;
+  EXPECT_EQ(out.retry_after_ms, 0u);
+
+  // Breakdown + retry sections coexist; a duplicated section is rejected.
+  resp.retry_after_ms = 10;
+  resp.breakdown.valid = true;
+  resp.breakdown.total_us = 5;
+  std::string both = serve::EncodeResponse(resp);
+  ASSERT_TRUE(serve::ParseResponse(both, &out, &error)) << error;
+  EXPECT_TRUE(out.breakdown.valid);
+  EXPECT_EQ(out.retry_after_ms, 10u);
+  std::string doubled = both;
+  doubled.append(both.end() - 6, both.end());  // second retry section (tag+u32)
+  EXPECT_FALSE(serve::ParseResponse(doubled, &out, &error));
+  EXPECT_NE(error.find("section"), std::string::npos) << error;
+}
+
+TEST(Proto, SheddedErrorsAreRetryable) {
+  EXPECT_TRUE(serve::IsRetryable(serve::ErrorCode::kShedded));
+  EXPECT_TRUE(serve::IsRetryable(serve::ErrorCode::kQueueFull));
+  EXPECT_TRUE(serve::IsRetryable(serve::ErrorCode::kShutdown));
+  EXPECT_FALSE(serve::IsRetryable(serve::ErrorCode::kBadRequest));
+  EXPECT_FALSE(serve::IsRetryable(serve::ErrorCode::kUnknownElement));
+  EXPECT_NE(std::string(serve::ErrorCodeName(serve::ErrorCode::kShedded)), "?");
+}
+
+TEST(Proto, ReloadControlOpRoundTrips) {
+  serve::ControlRequest req;
+  req.op = serve::ControlOp::kReload;
+  serve::ControlRequest out;
+  std::string error;
+  ASSERT_TRUE(serve::ParseControlRequest(serve::EncodeControlRequest(req), &out, &error))
+      << error;
+  EXPECT_EQ(out.op, serve::ControlOp::kReload);
+}
+
+// ---- brownout policy (fake clock) ----
+
+TEST(Brownout, EntersOnDegradedWindowAndExitsWithHysteresis) {
+  serve::BrownoutPolicy::Options opts;
+  opts.enter_threshold_us = 1000;
+  opts.exit_margin = 0.8;  // exit bar: p99 < 800us ...
+  opts.exit_hold_us = 1000;  // ... sustained for 1ms of fake time
+  serve::BrownoutPolicy policy(opts);
+
+  EXPECT_FALSE(policy.Update(/*now_us=*/0, /*p99_us=*/500, /*count=*/10));
+  EXPECT_TRUE(policy.Update(10, 1500, 10));  // over threshold: enter
+  EXPECT_EQ(policy.entered(), 1u);
+
+  // Calm-but-above-exit-bar readings must NOT exit (hysteresis band).
+  EXPECT_TRUE(policy.Update(20, 900, 10));
+  // Below the bar, but not yet sustained for exit_hold_us.
+  EXPECT_TRUE(policy.Update(100, 700, 10));
+  EXPECT_TRUE(policy.Update(600, 700, 10));
+  // A spike resets the calm streak.
+  EXPECT_TRUE(policy.Update(900, 950, 10));
+  EXPECT_TRUE(policy.Update(1000, 700, 10));
+  EXPECT_TRUE(policy.Update(1500, 700, 10));  // only 500us of calm so far
+  EXPECT_FALSE(policy.Update(2100, 700, 10));  // 1100us >= hold: exit
+  EXPECT_EQ(policy.exited(), 1u);
+}
+
+TEST(Brownout, EmptyWindowsNeverTransition) {
+  serve::BrownoutPolicy::Options opts;
+  opts.enter_threshold_us = 1000;
+  opts.exit_hold_us = 100;
+  serve::BrownoutPolicy policy(opts);
+  // No samples: huge p99 values are vacuous, no entry.
+  EXPECT_FALSE(policy.Update(0, 1e9, 0));
+  EXPECT_TRUE(policy.Update(10, 2000, 1));
+  // No samples while active: no evidence of calm either, stays active.
+  EXPECT_TRUE(policy.Update(10000, 0, 0));
+  EXPECT_TRUE(policy.Update(20000, 0, 0));
+}
+
+TEST(Brownout, ZeroThresholdDisablesThePolicy) {
+  serve::BrownoutPolicy policy(serve::BrownoutPolicy::Options{});  // threshold 0
+  EXPECT_FALSE(policy.Update(0, 1e9, 1000));
+  EXPECT_EQ(policy.entered(), 0u);
+}
+
+// ---- client retry schedule (seeded jitter) ----
+
+TEST(Retry, DelaysStayInTheEqualJitterBand) {
+  serve::RetryPolicy::Options opts;
+  opts.max_attempts = 6;
+  opts.base_ms = 25;
+  opts.max_ms = 2000;
+  opts.jitter_seed = 7;
+  serve::RetryPolicy policy(opts);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    uint64_t full = std::min<uint64_t>(
+        static_cast<uint64_t>(opts.base_ms) << attempt, opts.max_ms);
+    uint32_t delay = policy.NextDelayMs(attempt, /*retry_after_ms=*/0);
+    EXPECT_GE(delay, full / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, full) << "attempt " << attempt;
+  }
+  EXPECT_TRUE(policy.ShouldRetry(5));
+  EXPECT_FALSE(policy.ShouldRetry(6));
+}
+
+TEST(Retry, ServerHintIsAFloorAndScheduleIsDeterministic) {
+  serve::RetryPolicy::Options opts;
+  opts.max_attempts = 3;
+  opts.jitter_seed = 11;
+  serve::RetryPolicy a(opts);
+  serve::RetryPolicy b(opts);
+  // Same seed, same sequence.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(a.NextDelayMs(attempt, 0), b.NextDelayMs(attempt, 0));
+  }
+  // A server hint larger than the whole backoff window wins outright.
+  EXPECT_GE(a.NextDelayMs(0, 5000), 5000u);
+  // max_attempts=0 means fail fast.
+  serve::RetryPolicy none((serve::RetryPolicy::Options()));
+  EXPECT_FALSE(none.ShouldRetry(0));
+}
+
+// ---- hot reload ----
+
+TEST(Engine, ReloadSwapsSnapshotBumpsVersionAndClearsCache) {
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  EXPECT_EQ(engine.artifact_version(), 1u);
+  serve::InsightResponse before = engine.Handle(ElementRequest(1, "aggcounter"));
+  ASSERT_EQ(before.error, serve::ErrorCode::kOk) << before.error_message;
+  EXPECT_EQ(engine.cache_entries(), 1u);
+
+  std::string why;
+  ASSERT_TRUE(engine.Reload(ReloadedBundle(), &why)) << why;
+  EXPECT_EQ(engine.artifact_version(), 2u);
+  EXPECT_EQ(engine.reloads_ok(), 1u);
+  // The response cache is keyed by model generation: a swap empties it so no
+  // stale answer can outlive the artifact that produced it.
+  EXPECT_EQ(engine.cache_entries(), 0u);
+  EXPECT_NE(engine.HealthJson().find("\"artifact_version\":2"), std::string::npos);
+  EXPECT_NE(engine.StatsJson().find("\"artifact_version\":2"), std::string::npos);
+
+  // Identical bundle ⇒ identical answers across the swap.
+  serve::InsightResponse after = engine.Handle(ElementRequest(2, "aggcounter"));
+  ASSERT_EQ(after.error, serve::ErrorCode::kOk) << after.error_message;
+  EXPECT_EQ(serve::EncodeResponseBody(before), serve::EncodeResponseBody(after));
+}
+
+TEST(Engine, RejectedReloadKeepsTheOldModelServing) {
+  serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+  std::string why;
+  TrainedBundle untrained;
+  EXPECT_FALSE(engine.Reload(std::move(untrained), &why));
+  EXPECT_FALSE(why.empty());
+  EXPECT_EQ(engine.artifact_version(), 1u);
+  EXPECT_EQ(engine.reloads_rejected(), 1u);
+
+  // Corrupt bytes on disk: rejected at load, old model keeps serving.
+  std::string path = testing::TempDir() + "/clara_corrupt_bundle.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a bundle", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(engine.ReloadFromFile(path, &why));
+  EXPECT_EQ(engine.reloads_rejected(), 2u);
+  EXPECT_EQ(engine.artifact_version(), 1u);
+  std::remove(path.c_str());
+
+  serve::InsightResponse resp = engine.Handle(ElementRequest(1, "aggcounter"));
+  EXPECT_EQ(resp.error, serve::ErrorCode::kOk) << resp.error_message;
+}
+
+// ---- brownout end-to-end (engine) ----
+
+TEST(Engine, BrownoutShedsOnlyLowPriorityCacheMisses) {
+  serve::ServeOptions opts = FastServeOptions();
+  opts.slo_p99_us = 0.5;  // every real request busts the SLO: brownout is
+                          // inevitable once the dispatcher samples a window
+  serve::ServeEngine engine(ReloadedBundle(), opts);
+  engine.Start();
+  // Seed the cache and the SLO window with one request.
+  serve::InsightResponse warm = engine.Submit(ElementRequest(1, "aggcounter")).get();
+  ASSERT_EQ(warm.error, serve::ErrorCode::kOk) << warm.error_message;
+  // The dispatcher evaluates brownout at most every ~100ms; wait for entry.
+  bool active = false;
+  for (int i = 0; i < 100 && !active; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    active = engine.brownout_active();
+  }
+  ASSERT_TRUE(active) << "brownout never engaged";
+
+  // Priority-0 cache miss: shed with a structured error and a retry hint.
+  serve::InsightResponse shed = engine.Submit(ElementRequest(2, "heavyhitter")).get();
+  EXPECT_EQ(shed.error, serve::ErrorCode::kShedded) << shed.error_message;
+  EXPECT_GT(shed.retry_after_ms, 0u);
+
+  // Cache hits still serve under brownout (they are nearly free).
+  serve::InsightResponse hit = engine.Submit(ElementRequest(3, "aggcounter")).get();
+  EXPECT_EQ(hit.error, serve::ErrorCode::kOk) << hit.error_message;
+  EXPECT_GE(engine.shedded(), 1u);
+
+  // Higher-priority work rides through the brownout.
+  serve::InsightRequest vip = ElementRequest(4, "heavyhitter");
+  vip.priority = 5;
+  serve::InsightResponse vip_resp = engine.Submit(std::move(vip)).get();
+  EXPECT_EQ(vip_resp.error, serve::ErrorCode::kOk) << vip_resp.error_message;
+  engine.Stop();
+}
+
+// ---- shutdown drain race ----
+
+TEST(Engine, SubmitRacingStopNeverStrandsAPromise) {
+  // Regression for the Submit-vs-Stop race: a request submitted while Stop()
+  // drains must get kShutdown (or a normal answer), never a broken promise.
+  for (int round = 0; round < 8; ++round) {
+    serve::ServeEngine engine(ReloadedBundle(), FastServeOptions());
+    engine.Start();
+    std::vector<std::future<serve::InsightResponse>> futures;
+    std::thread submitter([&] {
+      for (uint64_t i = 0; i < 16; ++i) {
+        futures.push_back(engine.Submit(ElementRequest(i + 1, "nosuchelement")));
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * round));
+    engine.Stop();
+    submitter.join();
+    for (auto& fut : futures) {
+      ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+      serve::ErrorCode code = fut.get().error;
+      EXPECT_TRUE(code == serve::ErrorCode::kUnknownElement ||
+                  code == serve::ErrorCode::kShutdown ||
+                  code == serve::ErrorCode::kQueueFull)
+          << static_cast<int>(code);
+    }
+  }
 }
 
 TEST(Engine, StopAnswersQueuedRequestsWithShutdown) {

@@ -6,7 +6,8 @@
 //   --decode           read response frames from stdin, print them readably
 //   --socket=PATH      connect to a clara_serve Unix socket, send the
 //                      requests, and decode the responses in one step
-//   stats|health|dump  control-plane query: send one control frame over
+//   stats|health|dump|reload
+//                      control-plane query: send one control frame over
 //                      --socket=PATH and print the JSON answer to stdout
 //
 // Request flags (for --emit / --socket):
@@ -17,8 +18,17 @@
 //   --count=N          emit N copies with ids 1..N (default 1)
 //   --trace-id=N       tag the request(s) for end-to-end tracing (the daemon
 //                      assigns ids itself when 0 and a trace sink is live)
+//   --priority=N       shed class 0..255 (higher survives brownout shedding)
 //   --full             (--decode) print the rendered insight text and the
 //                      per-stage latency breakdown too
+//
+// Retry flags (--socket only):
+//   --retries=N        retry transient failures (queue-full, shedded,
+//                      shutdown, internal, dropped connections) up to N
+//                      times with exponential backoff + jitter, honoring the
+//                      server's retry_after_ms hint; only the failed request
+//                      ids are re-sent
+//   --retry-base-ms=N  first-retry delay before jitter (default 25)
 //
 // Example round trip:
 //   clara_client --emit --element=aggcounter --count=2 \
@@ -28,13 +38,18 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/serve/proto.h"
+#include "src/serve/retry.h"
+#include "src/util/net.h"
 
 namespace {
 
@@ -44,8 +59,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: clara_client --emit|--emit-malformed|--decode|--socket=PATH\n"
                "         [--element=NAME | --source-file=F] [--workload=small|large]\n"
-               "         [--deadline-ms=N] [--count=N] [--trace-id=N] [--full]\n"
-               "   or: clara_client stats|health|dump --socket=PATH\n");
+               "         [--deadline-ms=N] [--count=N] [--trace-id=N] [--priority=N]\n"
+               "         [--retries=N] [--retry-base-ms=N] [--full]\n"
+               "   or: clara_client stats|health|dump|reload --socket=PATH\n");
   return 2;
 }
 
@@ -58,10 +74,13 @@ bool ReadAll(std::FILE* f, std::string* out) {
   return std::ferror(f) == 0;
 }
 
-std::string BuildRequests(const std::string& element, const std::string& source,
-                          const WorkloadSpec& workload, uint32_t deadline_ms, int count,
-                          uint64_t trace_id) {
-  std::string out;
+std::vector<serve::InsightRequest> BuildRequests(const std::string& element,
+                                                 const std::string& source,
+                                                 const WorkloadSpec& workload,
+                                                 uint32_t deadline_ms, int count,
+                                                 uint64_t trace_id, uint8_t priority) {
+  std::vector<serve::InsightRequest> reqs;
+  reqs.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     serve::InsightRequest req;
     req.id = static_cast<uint64_t>(i) + 1;
@@ -71,6 +90,15 @@ std::string BuildRequests(const std::string& element, const std::string& source,
     req.deadline_ms = deadline_ms;
     // Distinct trace id per copy so traced requests stay distinguishable.
     req.trace_id = trace_id == 0 ? 0 : trace_id + static_cast<uint64_t>(i);
+    req.priority = priority;
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+std::string EncodeFrames(const std::vector<serve::InsightRequest>& reqs) {
+  std::string out;
+  for (const auto& req : reqs) {
     serve::AppendFrame(&out, serve::EncodeRequest(req));
   }
   return out;
@@ -127,7 +155,9 @@ int DecodeStream(const std::string& data, bool full, int* errors) {
 }
 
 // One socket round trip: connect, send all of `requests`, half-close, read
-// the reply stream until the daemon closes. False on any transport error.
+// the reply stream until the daemon closes. False on any transport error
+// (errno text on stderr); short writes and EAGAIN are handled uniformly by
+// the net helpers.
 bool SocketExchange(const std::string& path, const std::string& requests,
                     std::string* reply) {
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -150,47 +180,109 @@ bool SocketExchange(const std::string& path, const std::string& requests,
     ::close(fd);
     return false;
   }
-  size_t off = 0;
-  while (off < requests.size()) {
-    ssize_t n = ::write(fd, requests.data() + off, requests.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      std::fprintf(stderr, "clara_client: write: %s\n", std::strerror(errno));
-      ::close(fd);
-      return false;
-    }
-    off += static_cast<size_t>(n);
+  std::string io_error;
+  if (!net::WriteAll(fd, requests, &io_error)) {
+    std::fprintf(stderr, "clara_client: %s\n", io_error.c_str());
+    ::close(fd);
+    return false;
   }
   ::shutdown(fd, SHUT_WR);
   char buf[1 << 16];
   for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      std::fprintf(stderr, "clara_client: read: %s\n", std::strerror(errno));
+    size_t n = 0;
+    net::IoStatus st = net::ReadSome(fd, buf, sizeof(buf), &n, &io_error);
+    if (st == net::IoStatus::kInterrupted) {
+      continue;
+    }
+    if (st == net::IoStatus::kError) {
+      std::fprintf(stderr, "clara_client: %s\n", io_error.c_str());
       ::close(fd);
       return false;
     }
-    if (n == 0) {
+    if (st == net::IoStatus::kEof) {
       break;
     }
-    reply->append(buf, static_cast<size_t>(n));
+    reply->append(buf, n);
   }
   ::close(fd);
   return true;
 }
 
-int RunSocket(const std::string& path, const std::string& requests, bool full) {
-  std::string data;
-  if (!SocketExchange(path, requests, &data)) {
-    return 1;
+// Socket mode with bounded retry: transient per-request failures (and whole
+// dropped connections) are retried with exponential backoff + jitter, only
+// re-sending the request ids that failed; the server's retry_after_ms hint
+// floors each delay. Responses print in id order once everything settles.
+int RunSocket(const std::string& path, std::vector<serve::InsightRequest> pending,
+              bool full, serve::RetryPolicy::Options retry_opts) {
+  serve::RetryPolicy policy(retry_opts);
+  std::map<uint64_t, serve::InsightResponse> results;
+  int undecodable = 0;
+  int attempt = 0;
+  while (!pending.empty()) {
+    std::string data;
+    bool transport_ok = SocketExchange(path, EncodeFrames(pending), &data);
+    std::vector<serve::InsightRequest> next;
+    uint32_t hint_ms = 0;
+    if (transport_ok) {
+      std::map<uint64_t, serve::InsightResponse> round;
+      serve::FrameReader reader;
+      reader.Feed(data.data(), data.size());
+      std::string frame;
+      while (reader.Next(&frame)) {
+        serve::InsightResponse resp;
+        std::string err;
+        if (!serve::ParseResponse(frame, &resp, &err)) {
+          std::printf("[?] undecodable response: %s\n", err.c_str());
+          ++undecodable;
+          continue;
+        }
+        round[resp.id] = std::move(resp);
+      }
+      for (auto& req : pending) {
+        auto it = round.find(req.id);
+        if (it == round.end()) {
+          // Connection survived but this id got no answer (e.g. the daemon
+          // restarted mid-stream): transient, retry the request.
+          next.push_back(std::move(req));
+          continue;
+        }
+        if (serve::IsRetryable(it->second.error) && policy.ShouldRetry(attempt)) {
+          hint_ms = std::max(hint_ms, it->second.retry_after_ms);
+          next.push_back(std::move(req));
+          continue;
+        }
+        results[req.id] = std::move(it->second);
+      }
+    } else {
+      next = std::move(pending);  // whole exchange failed: retry everything
+    }
+    if (next.empty()) {
+      break;
+    }
+    if (!policy.ShouldRetry(attempt)) {
+      for (auto& req : next) {
+        serve::InsightResponse resp;
+        resp.id = req.id;
+        resp.error = serve::ErrorCode::kInternal;
+        resp.error_message = "no answer after " + std::to_string(attempt) + " retries";
+        results[req.id] = std::move(resp);
+      }
+      break;
+    }
+    uint32_t delay_ms = policy.NextDelayMs(attempt, hint_ms);
+    std::fprintf(stderr, "clara_client: retrying %zu request(s) in %ums (attempt %d/%d)\n",
+                 next.size(), delay_ms, attempt + 1, retry_opts.max_attempts);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    pending = std::move(next);
+    ++attempt;
   }
-  int errors = 0;
-  DecodeStream(data, full, &errors);
+  int errors = undecodable;
+  for (const auto& [id, resp] : results) {
+    if (resp.error != serve::ErrorCode::kOk) {
+      ++errors;
+    }
+    PrintResponse(resp, full);
+  }
   return errors == 0 ? 0 : 1;
 }
 
@@ -270,7 +362,9 @@ int main(int argc, char** argv) {
   uint32_t deadline_ms = 0;
   uint64_t trace_id = 0;
   int count = 1;
+  int priority = 0;
   bool full = false;
+  serve::RetryPolicy::Options retry_opts;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--emit") {
@@ -279,11 +373,12 @@ int main(int argc, char** argv) {
       mode = Mode::kEmitMalformed;
     } else if (a == "--decode") {
       mode = Mode::kDecode;
-    } else if (a == "stats" || a == "health" || a == "dump") {
+    } else if (a == "stats" || a == "health" || a == "dump" || a == "reload") {
       mode = Mode::kControl;
-      control_op = a == "stats"   ? serve::ControlOp::kStats
+      control_op = a == "stats"    ? serve::ControlOp::kStats
                    : a == "health" ? serve::ControlOp::kHealth
-                                   : serve::ControlOp::kDump;
+                   : a == "dump"   ? serve::ControlOp::kDump
+                                   : serve::ControlOp::kReload;
     } else if (a.rfind("--socket=", 0) == 0) {
       if (mode != Mode::kControl) {
         mode = Mode::kSocket;
@@ -302,13 +397,21 @@ int main(int argc, char** argv) {
           std::strtoul(a.c_str() + std::strlen("--deadline-ms="), nullptr, 10));
     } else if (a.rfind("--count=", 0) == 0) {
       count = std::atoi(a.c_str() + std::strlen("--count="));
+    } else if (a.rfind("--priority=", 0) == 0) {
+      priority = std::atoi(a.c_str() + std::strlen("--priority="));
+    } else if (a.rfind("--retries=", 0) == 0) {
+      retry_opts.max_attempts = std::atoi(a.c_str() + std::strlen("--retries="));
+    } else if (a.rfind("--retry-base-ms=", 0) == 0) {
+      retry_opts.base_ms = static_cast<uint32_t>(
+          std::strtoul(a.c_str() + std::strlen("--retry-base-ms="), nullptr, 10));
     } else if (a == "--full") {
       full = true;
     } else {
       return Usage();
     }
   }
-  if (mode == Mode::kNone || count < 1) {
+  if (mode == Mode::kNone || count < 1 || priority < 0 || priority > 255 ||
+      retry_opts.max_attempts < 0) {
     return Usage();
   }
 
@@ -360,11 +463,13 @@ int main(int argc, char** argv) {
   }
   WorkloadSpec workload =
       workload_name == "large" ? WorkloadSpec::LargeFlows() : WorkloadSpec::SmallFlows();
-  std::string requests =
-      BuildRequests(element, source, workload, deadline_ms, count, trace_id);
+  std::vector<serve::InsightRequest> requests = BuildRequests(
+      element, source, workload, deadline_ms, count, trace_id,
+      static_cast<uint8_t>(priority));
   if (mode == Mode::kSocket) {
-    return RunSocket(socket_path, requests, full);
+    return RunSocket(socket_path, std::move(requests), full, retry_opts);
   }
-  std::fwrite(requests.data(), 1, requests.size(), stdout);
+  std::string out = EncodeFrames(requests);
+  std::fwrite(out.data(), 1, out.size(), stdout);
   return 0;
 }

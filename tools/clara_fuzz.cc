@@ -514,12 +514,15 @@ std::string BaseServeBytes(Rng& rng, const std::string& target,
     if (rng.NextBounded(2) == 0) {  // half traced: exercises the optional section
       req.trace_id = rng.NextU64();
     }
+    if (rng.NextBounded(2) == 0) {  // half prioritized: second optional section
+      req.priority = static_cast<uint8_t>(1 + rng.NextBounded(255));
+    }
     return serve::EncodeRequest(req);
   }
   if (target == "response") {
     serve::InsightResponse resp;
     resp.id = rng.NextU64();
-    resp.error = static_cast<serve::ErrorCode>(rng.NextBounded(10));
+    resp.error = static_cast<serve::ErrorCode>(rng.NextBounded(11));  // incl. kShedded
     resp.error_message = RandomBytes(rng, 64);
     resp.nf_name = RandomBytes(rng, 24);
     resp.accelerator = RandomBytes(rng, 16);
@@ -535,19 +538,31 @@ std::string BaseServeBytes(Rng& rng, const std::string& target,
       resp.breakdown.infer_us = static_cast<uint32_t>(rng.NextU64());
       resp.breakdown.total_us = static_cast<uint32_t>(rng.NextU64());
     }
+    if (rng.NextBounded(2) == 0) {  // half carry the optional retry-hint section
+      resp.retry_after_ms = static_cast<uint32_t>(1 + rng.NextBounded(60000));
+    }
     return serve::EncodeResponse(resp);
   }
   if (target == "artifact") {
     return artifact_bytes;
   }
   if (target == "control") {
-    if (rng.NextBounded(2) == 0) {
+    uint64_t pick = rng.NextBounded(3);
+    if (pick == 0) {
       serve::ControlRequest creq;
-      creq.op = static_cast<serve::ControlOp>(rng.NextBounded(3));
+      creq.op = static_cast<serve::ControlOp>(rng.NextBounded(4));  // incl. kReload
+      return serve::EncodeControlRequest(creq);
+    }
+    if (pick == 1) {
+      // Reload frames get a dedicated generator arm: they are the only
+      // state-changing control op, so their parser deserves the densest
+      // adversarial coverage (Mutate() then flips/truncates/extends them).
+      serve::ControlRequest creq;
+      creq.op = serve::ControlOp::kReload;
       return serve::EncodeControlRequest(creq);
     }
     serve::ControlResponse cresp;
-    cresp.op = static_cast<serve::ControlOp>(rng.NextBounded(3));
+    cresp.op = static_cast<serve::ControlOp>(rng.NextBounded(4));
     cresp.ok = rng.NextBounded(2) == 0;
     cresp.error = RandomBytes(rng, 32);
     cresp.json = RandomBytes(rng, 160);

@@ -8,20 +8,36 @@
 //   --pipe          read request frames from stdin, write response frames to
 //                   stdout (the default; composes with clara_client --emit)
 //   --socket=PATH   listen on a Unix domain socket; serves connections one
-//                   at a time, each carrying any number of frames
+//                   at a time, each carrying any number of frames. A failed
+//                   connection is dropped and logged — the daemon keeps
+//                   serving the next one.
 //
 // All requests buffered at once are micro-batched through the serving
 // engine, so N concurrent insight requests share one parallel per-block
 // inference pass. Malformed payloads and oversized frames get structured
 // error responses; SIGINT/SIGTERM shut the daemon down cleanly.
 //
+// Self-healing plane:
+//   * SIGHUP (or a control Reload frame) hot-reloads the bundle from
+//     --model-dir: the candidate is CRC-checked and canary-validated off the
+//     serving path, then atomically swapped in; in-flight batches finish on
+//     the old model and a rejected candidate leaves it serving. Health
+//     reports the bumped artifact_version.
+//   * --fault=SPEC (or CLARA_FAULT=SPEC) arms the deterministic fault
+//     injector — "site:prob[:seed]" entries, see src/util/fault.h — strictly
+//     AFTER the initial bundle load, so chaos sweeps over binio/artifact
+//     sites cannot prevent startup. Injections surface in the stats
+//     envelope's "fault" object.
+//   * --slo-p99-us also arms brownout degradation: when the rolling p99
+//     blows the budget the engine sheds low-priority work with kShedded +
+//     retry hints and drops to int8 inference until the window recovers.
+//
 // Telemetry plane:
-//   * Control frames (stats/health/dump) are answered immediately, without
-//     entering the request queue — `clara_client stats --socket=PATH` etc.
+//   * Control frames (stats/health/dump/reload) are answered immediately,
+//     without entering the request queue — `clara_client stats
+//     --socket=PATH` etc.
 //   * --trace=FILE records every request's per-stage span tree and writes a
 //     Chrome trace (chrome://tracing / Perfetto) at shutdown.
-//   * --slo-p99-us=X flips Health to "degraded" when the rolling-window p99
-//     exceeds X microseconds (--slo-window-ms sizes the window).
 //   * --metrics-jsonl=FILE appends a metrics snapshot every
 //     --metrics-interval=MS milliseconds — a time series, not just the
 //     shutdown snapshot.
@@ -51,6 +67,8 @@
 #include "src/obs/trace.h"
 #include "src/serve/artifact.h"
 #include "src/serve/server.h"
+#include "src/util/fault.h"
+#include "src/util/net.h"
 
 namespace {
 
@@ -58,21 +76,26 @@ using namespace clara;
 
 volatile sig_atomic_t g_stop = 0;
 volatile sig_atomic_t g_dump_flight = 0;
+volatile sig_atomic_t g_reload = 0;
 
 void OnSignal(int) { g_stop = 1; }
 
 void OnDumpSignal(int) { g_dump_flight = 1; }
+
+void OnReloadSignal(int) { g_reload = 1; }
 
 void InstallSignalHandlers() {
   struct sigaction sa;
   std::memset(&sa, 0, sizeof(sa));
   sa.sa_handler = OnSignal;
   // No SA_RESTART: blocking read()/accept() must return EINTR so the main
-  // loop can observe g_stop (and g_dump_flight).
+  // loop can observe g_stop (and g_dump_flight / g_reload).
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
   sa.sa_handler = OnDumpSignal;
   sigaction(SIGUSR1, &sa, nullptr);
+  sa.sa_handler = OnReloadSignal;
+  sigaction(SIGHUP, &sa, nullptr);
 }
 
 // SIGUSR1: operator asked for the flight recorder. Checked from the serve
@@ -85,41 +108,48 @@ void MaybeDumpFlight(serve::ServeEngine& engine) {
   }
 }
 
-bool WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    off += static_cast<size_t>(n);
+// SIGHUP: hot-reload the artifact. A rejected candidate is logged and the
+// old model keeps serving — reload never takes the daemon down.
+void MaybeReload(serve::ServeEngine& engine, const std::string& bundle_path) {
+  if (g_reload == 0) {
+    return;
   }
-  return true;
+  g_reload = 0;
+  std::string error;
+  if (engine.ReloadFromFile(bundle_path, &error)) {
+    std::fprintf(stderr, "clara_serve: reloaded %s (artifact_version %llu)\n",
+                 bundle_path.c_str(),
+                 static_cast<unsigned long long>(engine.artifact_version()));
+  } else {
+    std::fprintf(stderr, "clara_serve: reload rejected, keeping current model: %s\n",
+                 error.c_str());
+  }
 }
 
 // Serves one byte stream (pipe or accepted socket connection) until EOF or
 // shutdown. Frames buffered together are submitted together, so the engine
 // micro-batches them; responses are written back in request order.
-int ServeStream(serve::ServeEngine& engine, int in_fd, int out_fd) {
+int ServeStream(serve::ServeEngine& engine, const std::string& bundle_path, int in_fd,
+                int out_fd) {
   serve::FrameReader reader;
   char buf[1 << 16];
   while (g_stop == 0) {
     MaybeDumpFlight(engine);
-    ssize_t n = ::read(in_fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      std::fprintf(stderr, "clara_serve: read: %s\n", std::strerror(errno));
+    MaybeReload(engine, bundle_path);
+    size_t n = 0;
+    std::string io_error;
+    net::IoStatus st = net::ReadSome(in_fd, buf, sizeof(buf), &n, &io_error);
+    if (st == net::IoStatus::kInterrupted) {
+      continue;  // signal: re-check the flags
+    }
+    if (st == net::IoStatus::kError) {
+      std::fprintf(stderr, "clara_serve: %s\n", io_error.c_str());
       return 1;
     }
-    if (n == 0) {
-      break;  // EOF
+    if (st == net::IoStatus::kEof) {
+      break;
     }
-    reader.Feed(buf, static_cast<size_t>(n));
+    reader.Feed(buf, n);
 
     std::vector<std::future<serve::InsightResponse>> futures;
     std::string frame;
@@ -148,15 +178,16 @@ int ServeStream(serve::ServeEngine& engine, int in_fd, int out_fd) {
     for (auto& f : futures) {
       serve::AppendFrame(&out, serve::EncodeResponse(f.get()));
     }
-    if (!out.empty() && !WriteAll(out_fd, out)) {
-      std::fprintf(stderr, "clara_serve: write: %s\n", std::strerror(errno));
+    if (!out.empty() && !net::WriteAll(out_fd, out, &io_error)) {
+      std::fprintf(stderr, "clara_serve: %s\n", io_error.c_str());
       return 1;
     }
   }
   return 0;
 }
 
-int ServeSocket(serve::ServeEngine& engine, const std::string& path) {
+int ServeSocket(serve::ServeEngine& engine, const std::string& bundle_path,
+                const std::string& path) {
   int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     std::fprintf(stderr, "clara_serve: socket: %s\n", std::strerror(errno));
@@ -183,6 +214,7 @@ int ServeSocket(serve::ServeEngine& engine, const std::string& path) {
   int rc = 0;
   while (g_stop == 0) {
     MaybeDumpFlight(engine);
+    MaybeReload(engine, bundle_path);
     int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {
       if (errno == EINTR) {
@@ -192,7 +224,21 @@ int ServeSocket(serve::ServeEngine& engine, const std::string& path) {
       rc = 1;
       break;
     }
-    rc |= ServeStream(engine, conn, conn);
+    // Fault site sock.accept: the connection is dropped before a byte is
+    // exchanged — the client sees a reset, the daemon serves the next one.
+    if (fault::Armed() && fault::ShouldFail(fault::Site::kSockAccept)) {
+      ::close(conn);
+      continue;
+    }
+    // A connection that fails mid-stream (client vanished, injected socket
+    // fault) is that connection's problem, not the daemon's: log, drop,
+    // keep accepting.
+    if (ServeStream(engine, bundle_path, conn, conn) != 0) {
+      std::fprintf(stderr, "clara_serve: connection dropped\n");
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global().GetCounter("serve.conn.dropped").Add(1);
+      }
+    }
     ::close(conn);
   }
   ::close(listener);
@@ -208,10 +254,16 @@ int Usage() {
                "                   [--metrics-json=FILE] [--trace=FILE]\n"
                "                   [--slo-p99-us=X] [--slo-window-ms=N] [--flight=N]\n"
                "                   [--metrics-jsonl=FILE] [--metrics-interval=MS]\n"
+               "                   [--fault=site:prob[:seed],...]\n"
+               "                   [--brownout-exit-margin=X]\n"
+               "                   [--brownout-exit-hold-ms=N]\n"
+               "                   [--brownout-retry-after-ms=N]\n"
                "Serves Clara offloading insights from a pre-trained bundle\n"
                "(create one with `clara_cli train --model-dir=DIR`).\n"
-               "SIGUSR1 dumps the flight recorder to stderr; clara_client\n"
-               "stats|health|dump query a --socket daemon live.\n");
+               "SIGHUP hot-reloads the bundle; SIGUSR1 dumps the flight\n"
+               "recorder to stderr; clara_client stats|health|dump|reload\n"
+               "query a --socket daemon live. --fault / CLARA_FAULT arm the\n"
+               "deterministic fault injector (after the initial load).\n");
   return 2;
 }
 
@@ -223,6 +275,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string metrics_jsonl_path;
+  std::string fault_spec;
   int64_t metrics_interval_ms = 1000;
   serve::ServeOptions opts;
   for (int i = 1; i < argc; ++i) {
@@ -261,18 +314,35 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--metrics-interval=", 0) == 0) {
       metrics_interval_ms =
           std::strtoll(a.c_str() + std::strlen("--metrics-interval="), nullptr, 10);
+    } else if (a.rfind("--brownout-exit-margin=", 0) == 0) {
+      opts.brownout_exit_margin =
+          std::strtod(a.c_str() + std::strlen("--brownout-exit-margin="), nullptr);
+    } else if (a.rfind("--brownout-exit-hold-ms=", 0) == 0) {
+      opts.brownout_exit_hold_ms =
+          std::strtoll(a.c_str() + std::strlen("--brownout-exit-hold-ms="), nullptr, 10);
+    } else if (a.rfind("--brownout-retry-after-ms=", 0) == 0) {
+      opts.brownout_retry_after_ms = static_cast<uint32_t>(
+          std::strtoul(a.c_str() + std::strlen("--brownout-retry-after-ms="), nullptr, 10));
+    } else if (a.rfind("--fault=", 0) == 0) {
+      if (!fault_spec.empty()) {
+        fault_spec += ",";
+      }
+      fault_spec += a.substr(std::strlen("--fault="));
     } else {
       return Usage();
     }
   }
   if (model_dir.empty() || opts.queue_capacity == 0 || opts.max_batch == 0 ||
-      opts.slo_window_ms <= 0 || metrics_interval_ms <= 0) {
+      opts.slo_window_ms <= 0 || metrics_interval_ms <= 0 ||
+      opts.brownout_exit_margin <= 0 || opts.brownout_exit_margin > 1 ||
+      opts.brownout_exit_hold_ms < 0) {
     return Usage();
   }
 
+  std::string bundle_path = serve::BundlePath(model_dir);
   TrainedBundle bundle;
   std::string error;
-  if (!serve::LoadBundleFile(serve::BundlePath(model_dir), &bundle, &error)) {
+  if (!serve::LoadBundleFile(bundle_path, &bundle, &error)) {
     std::fprintf(stderr, "clara_serve: %s\n", error.c_str());
     return 1;
   }
@@ -291,11 +361,25 @@ int main(int argc, char** argv) {
   }
 
   serve::ServeEngine engine(std::move(bundle), opts);
+  engine.SetReloadPath(bundle_path);
   std::fprintf(stderr, "clara_serve: inference backend %s (simd: %s)\n",
                InferBackendName(opts.infer_backend), simd::FeatureString().c_str());
+
+  // Arm fault injection only now, after the initial bundle loaded and the
+  // engine exists: a chaos sweep over the binio/artifact sites must exercise
+  // the serving and reload paths, not prevent startup.
+  if (!fault::ConfigureFromEnv(&error) || !fault::Configure(fault_spec, &error)) {
+    std::fprintf(stderr, "clara_serve: bad fault spec: %s\n", error.c_str());
+    return Usage();
+  }
+  if (fault::Armed()) {
+    std::fprintf(stderr, "clara_serve: fault injection armed\n");
+  }
+
   engine.Start();
-  int rc = socket_path.empty() ? ServeStream(engine, STDIN_FILENO, STDOUT_FILENO)
-                               : ServeSocket(engine, socket_path);
+  int rc = socket_path.empty()
+               ? ServeStream(engine, bundle_path, STDIN_FILENO, STDOUT_FILENO)
+               : ServeSocket(engine, bundle_path, socket_path);
   engine.Stop();
 
   exporter.Stop();
