@@ -825,6 +825,11 @@ void ServeEngine::UpdateBrownout() {
 
 obs::SloTracker::Window ServeEngine::SloWindow() const { return slo_.Snapshot(NowUs()); }
 
+void ServeEngine::SetTransportStatsProvider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  transport_stats_ = std::move(provider);
+}
+
 std::string ServeEngine::StatsJson() const {
   // Envelope so load tests can verify which inference path they measured;
   // the metrics registry dump keeps its shape under "metrics". stats_version
@@ -838,6 +843,14 @@ std::string ServeEngine::StatsJson() const {
   j += "\"artifact_version\":" + std::to_string(artifact_version()) + ",";
   j += "\"brownout\":" + std::string(brownout_active() ? "true" : "false") + ",";
   j += "\"fault\":" + fault::StatsJson() + ",";
+  {
+    // Additive key: v2 consumers that don't know "transport" skip it, so the
+    // envelope schema version stays 2.
+    std::lock_guard<std::mutex> lock(transport_mu_);
+    if (transport_stats_) {
+      j += "\"transport\":" + transport_stats_() + ",";
+    }
+  }
   j += "\"metrics\":" + obs::MetricsRegistry::Global().ToJson();
   j += "}";
   return j;

@@ -54,6 +54,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -163,6 +164,11 @@ class ServeEngine {
   uint64_t shedded() const { return shedded_.load(std::memory_order_relaxed); }
 
   // ---- control plane (answered immediately, never queued) ----
+  // A transport front end (the epoll event loop) can register a callback
+  // rendering its connection gauges as one JSON object; StatsJson() embeds
+  // the result under "transport". Unset (default) omits the key, keeping the
+  // pipe/sequential envelopes unchanged.
+  void SetTransportStatsProvider(std::function<std::string()> provider);
   // Metrics registry snapshot as one JSON object.
   std::string StatsJson() const;
   // Queue depth, cache hit rate, artifact version, uptime, SLO window state.
@@ -283,6 +289,10 @@ class ServeEngine {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+
+  // Transport stats callback (see SetTransportStatsProvider).
+  mutable std::mutex transport_mu_;
+  std::function<std::string()> transport_stats_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,65 @@
+#include "src/util/pidfile.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace clara {
+namespace util {
+
+PidFile::~PidFile() { Release(); }
+
+bool PidFile::Acquire(const std::string& path, std::string* error) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    *error = "open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) < 0) {
+    if (errno == EWOULDBLOCK) {
+      char buf[32] = {0};
+      ssize_t n = ::pread(fd, buf, sizeof(buf) - 1, 0);
+      long owner = n > 0 ? std::strtol(buf, nullptr, 10) : 0;
+      *error = "another daemon";
+      if (owner > 0) {
+        *error += " (pid " + std::to_string(owner) + ")";
+      }
+      *error += " holds " + path;
+    } else {
+      *error = "flock " + path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  char buf[32];
+  int len = std::snprintf(buf, sizeof(buf), "%ld\n", static_cast<long>(::getpid()));
+  if (::ftruncate(fd, 0) < 0 || ::pwrite(fd, buf, static_cast<size_t>(len), 0) != len) {
+    *error = "write " + path + ": " + std::strerror(errno);
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  return true;
+}
+
+void PidFile::Release() {
+  if (fd_ < 0) {
+    return;
+  }
+  ::unlink(path_.c_str());
+  ::flock(fd_, LOCK_UN);
+  ::close(fd_);
+  fd_ = -1;
+  path_.clear();
+}
+
+}  // namespace util
+}  // namespace clara

@@ -1,0 +1,48 @@
+// flock()-based pidfile: exclusive ownership of a Unix-socket endpoint.
+//
+// clara_serve used to unconditionally unlink() its socket path at startup to
+// clear stale files from a crashed predecessor — which also deleted the live
+// socket of a *running* sibling daemon pointed at the same path, silently
+// stealing its endpoint. The fix: before touching the socket file, take an
+// exclusive flock() on "<socket>.pid". The lock is held for the daemon's
+// lifetime and released automatically by the kernel on any exit (including
+// SIGKILL), so a crashed daemon never wedges the path, while a live one
+// makes a second daemon fail fast with the owner's pid instead of
+// hijacking the socket.
+#ifndef SRC_UTIL_PIDFILE_H_
+#define SRC_UTIL_PIDFILE_H_
+
+#include <string>
+
+namespace clara {
+namespace util {
+
+class PidFile {
+ public:
+  PidFile() = default;
+  // Releases the lock and removes the file when held.
+  ~PidFile();
+
+  PidFile(const PidFile&) = delete;
+  PidFile& operator=(const PidFile&) = delete;
+
+  // Creates/opens `path`, takes a non-blocking exclusive flock(), and writes
+  // our pid. False when another process holds the lock (*error names the
+  // owning pid) or on I/O failure.
+  bool Acquire(const std::string& path, std::string* error);
+
+  // Drops the lock and unlinks the file (idempotent; also run by the
+  // destructor).
+  void Release();
+
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace util
+}  // namespace clara
+
+#endif  // SRC_UTIL_PIDFILE_H_

@@ -2,8 +2,9 @@
 # Chaos suite for the serving daemon: trains a small bundle with clara_cli,
 # then hands it to clara_chaos, which forks real daemons and runs the fault
 # sweeps (every fault site at prob 0.05, seeded), kill/restart, torn-frame,
-# hot-reload-under-load, and corrupt-reload scenarios. Each scenario asserts
-# no crash, no wrong answer (byte-compare vs a fault-free baseline), and
+# hot-reload-under-load, corrupt-reload, and connfloods (slowloris half-open
+# connection flood + accept faults) scenarios. Each scenario asserts no
+# crash, no wrong answer (byte-compare vs a fault-free baseline), and
 # bounded recovery.
 #
 # Usage: chaos_test.sh [build-dir]   (defaults to the current directory)

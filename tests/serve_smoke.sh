@@ -72,6 +72,21 @@ echo "== control plane: stats/health/dump return well-formed JSON =="
 grep -q 'serve.requests' "$WORK/stats.json"
 grep -q '"stats_version":2' "$WORK/stats.json"
 grep -q '"infer":"int8"' "$WORK/stats.json"
+# The epoll transport (the socket-mode default) reports itself in the envelope.
+grep -q '"transport":{"mode":"epoll"' "$WORK/stats.json"
+
+echo "== pidfile: a second daemon on the same socket refuses to start =="
+set +e
+"$SERVE" --socket="$WORK/clara.sock" --model-dir="$WORK/models" \
+  2> "$WORK/serve2.log"
+second_rc=$?
+set -e
+test "$second_rc" -ne 0
+grep -q 'refusing to start' "$WORK/serve2.log"
+grep -q "pid $pid" "$WORK/serve2.log"
+# The incumbent's socket must NOT have been unlinked by the loser.
+test -S "$WORK/clara.sock"
+"$CLIENT" --socket="$WORK/clara.sock" --element=udpcount > /dev/null
 "$CLIENT" health --socket="$WORK/clara.sock" | tee "$WORK/health.json" \
   | assert_json health
 grep -q '"status":"ok"' "$WORK/health.json"

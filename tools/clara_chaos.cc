@@ -741,12 +741,101 @@ void ScenarioCorruptReload(const ChaosConfig& cfg,
   }
 }
 
+// connfloods: a slowloris-style connection flood — dozens of clients that
+// deliver a frame header plus half a payload and then stall half-open,
+// pinning per-connection FrameReader state in the epoll loop — while the
+// sock.accept fault site randomly drops incoming connections. Legitimate
+// traffic threaded through the flood (with retries: an accept fault costs
+// that connection) must keep answering byte-identically, and once the flood
+// is released the daemon must return to clean service within one bounded
+// retry batch.
+void ScenarioConnFloods(const ChaosConfig& cfg, const std::string& model_dir,
+                        const std::map<std::string, std::string>& baseline) {
+  std::string sock = cfg.workdir + "/flood.sock";
+  std::string spec = "sock.accept:0.05:" + std::to_string(cfg.seed + 101);
+  pid_t pid =
+      StartDaemon(cfg, sock, model_dir, spec, cfg.workdir + "/flood.log");
+  if (pid < 0 || !WaitForSocket(sock, 15000)) {
+    Fail("connfloods: daemon did not come up");
+    return;
+  }
+  bool all_ok = true;
+
+  // Mount the half-open flood. Writes can race an injected accept-drop
+  // (EPIPE; SIGPIPE is ignored) — the fd still counts as flood pressure.
+  constexpr size_t kFlood = 32;
+  std::string teaser;
+  serve::AppendFrame(&teaser, serve::EncodeRequest(MakeRequest(1, kElements[0])));
+  teaser.resize(teaser.size() / 2);  // header promises more than ever arrives
+  std::vector<int> floods;
+  for (size_t i = 0; i < kFlood; ++i) {
+    int fd;
+    if (!TryConnect(sock, &fd)) {
+      continue;
+    }
+    (void)!::write(fd, teaser.data(), teaser.size());
+    floods.push_back(fd);
+  }
+  if (DaemonDied(pid)) {
+    Fail("connfloods: daemon crashed under the half-open flood");
+    return;
+  }
+
+  // Legitimate traffic through the flood: every answer byte-equal, retries
+  // absorbing the accept faults.
+  int sent = 0;
+  std::string why;
+  while (sent < cfg.iters) {
+    size_t n = std::min<size_t>(kBatch, static_cast<size_t>(cfg.iters - sent));
+    if (!RunBatch(sock, MakeBatch(n), /*max_retries=*/12, baseline, &why)) {
+      Fail("connfloods: legit traffic failed mid-flood: " + why);
+      all_ok = false;
+      break;
+    }
+    sent += static_cast<int>(n);
+  }
+
+  // The transport stats see the stalled connections (an injected accept
+  // fault drops ~5%, so a conservative floor).
+  bool ok = false;
+  std::string stats = ControlJson(sock, serve::ControlOp::kStats, &ok);
+  uint64_t active = JsonU64Field(stats, "conn_active");
+  if (!ok || active < kFlood / 2) {
+    Fail("connfloods: transport stats report " + std::to_string(active) +
+         " active connection(s) under a " + std::to_string(floods.size()) +
+         "-connection flood");
+    all_ok = false;
+  }
+
+  // Release the flood: bounded recovery back to clean service.
+  for (int fd : floods) {
+    ::close(fd);
+  }
+  if (DaemonDied(pid)) {
+    Fail("connfloods: daemon crashed when the flood hung up");
+    return;
+  }
+  if (!RunBatch(sock, MakeBatch(kBatch), /*max_retries=*/12, baseline, &why)) {
+    Fail("connfloods: recovery after flood release failed: " + why);
+    all_ok = false;
+  }
+  if (!StopDaemonClean(pid)) {
+    Fail("connfloods: daemon did not shut down cleanly");
+    all_ok = false;
+  }
+  if (all_ok) {
+    Note("connfloods: OK (" + std::to_string(floods.size()) +
+         " slowloris connection(s), " + std::to_string(sent) +
+         " legit request(s))");
+  }
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: clara_chaos --serve=PATH --model-dir=DIR --workdir=DIR\n"
                "                   [--iters=N] [--seed=N]\n"
                "                   [--scenario=faults|killrestart|dropframe|reload|"
-               "corruptreload|all]\n");
+               "corruptreload|connfloods|all]\n");
   return 2;
 }
 
@@ -800,6 +889,9 @@ int main(int argc, char** argv) {
   }
   if (all || cfg.scenario == "corruptreload") {
     ScenarioCorruptReload(cfg, baseline);
+  }
+  if (all || cfg.scenario == "connfloods") {
+    ScenarioConnFloods(cfg, cfg.model_dir, baseline);
   }
 
   if (g_failures > 0) {

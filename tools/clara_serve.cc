@@ -7,15 +7,25 @@
 // Transports:
 //   --pipe          read request frames from stdin, write response frames to
 //                   stdout (the default; composes with clara_client --emit)
-//   --socket=PATH   listen on a Unix domain socket; serves connections one
-//                   at a time, each carrying any number of frames. A failed
-//                   connection is dropped and logged — the daemon keeps
-//                   serving the next one.
+//   --socket=PATH   listen on a Unix domain socket. The default transport is
+//                   an epoll event loop (src/serve/eventloop.h) serving many
+//                   clients concurrently: per-connection frame reassembly, a
+//                   sharded worker pool feeding the engine queue
+//                   (--shards=N), and bounded per-connection write buffers
+//                   (--max-outbound-bytes) that disconnect slow readers.
+//                   --transport=sequential keeps the legacy one-connection-
+//                   at-a-time loop for byte-identity comparisons. Either
+//                   way, a failed connection is dropped and logged — the
+//                   daemon keeps serving the others. Socket mode takes a
+//                   flock()'d "<socket>.pid" pidfile before unlinking the
+//                   path, so a second daemon refuses to start instead of
+//                   deleting a live sibling's socket.
 //
 // All requests buffered at once are micro-batched through the serving
 // engine, so N concurrent insight requests share one parallel per-block
-// inference pass. Malformed payloads and oversized frames get structured
-// error responses; SIGINT/SIGTERM shut the daemon down cleanly.
+// inference pass (connections on different shards batch together through
+// the shared Submit() funnel). Malformed payloads and oversized frames get
+// structured error responses; SIGINT/SIGTERM shut the daemon down cleanly.
 //
 // Self-healing plane:
 //   * SIGHUP (or a control Reload frame) hot-reloads the bundle from
@@ -54,6 +64,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,17 +77,22 @@
 #include "src/obs/obs.h"
 #include "src/obs/trace.h"
 #include "src/serve/artifact.h"
+#include "src/serve/eventloop.h"
 #include "src/serve/server.h"
 #include "src/util/fault.h"
 #include "src/util/net.h"
+#include "src/util/pidfile.h"
 
 namespace {
 
 using namespace clara;
 
-volatile sig_atomic_t g_stop = 0;
-volatile sig_atomic_t g_dump_flight = 0;
-volatile sig_atomic_t g_reload = 0;
+// Lock-free atomic<int> stores are async-signal-safe, and unlike plain
+// sig_atomic_t these flags are also read from the epoll loop thread while a
+// signal handler may run on any thread.
+std::atomic<int> g_stop{0};
+std::atomic<int> g_dump_flight{0};
+std::atomic<int> g_reload{0};
 
 void OnSignal(int) { g_stop = 1; }
 
@@ -186,6 +202,11 @@ int ServeStream(serve::ServeEngine& engine, const std::string& bundle_path, int 
   return 0;
 }
 
+// Legacy sequential socket transport (--transport=sequential): accepts one
+// connection, serves it to completion, then accepts the next. Kept as the
+// byte-identity reference for the epoll loop (tests/serve_load.sh compares
+// responses across the two) and for debugging. The caller must already hold
+// the socket's pidfile lock — the unlink below is only safe then.
 int ServeSocket(serve::ServeEngine& engine, const std::string& bundle_path,
                 const std::string& path) {
   int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -202,7 +223,7 @@ int ServeSocket(serve::ServeEngine& engine, const std::string& bundle_path,
     return 1;
   }
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  ::unlink(path.c_str());  // stale socket from a previous run
+  ::unlink(path.c_str());  // stale socket; our flock'd pidfile proves no live owner
   if (::bind(listener, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0 ||
       ::listen(listener, 8) < 0) {
     std::fprintf(stderr, "clara_serve: bind/listen %s: %s\n", path.c_str(),
@@ -246,10 +267,36 @@ int ServeSocket(serve::ServeEngine& engine, const std::string& bundle_path,
   return rc;
 }
 
+// Default socket transport: the epoll multi-client event loop. The tick
+// callback runs the signal-flag work (flight dump, SIGHUP reload) on the
+// loop thread between epoll waits.
+int ServeEpoll(serve::ServeEngine& engine, const std::string& bundle_path,
+               serve::EventLoopOptions opts) {
+  std::string path = opts.socket_path;
+  serve::EventLoop loop(engine, std::move(opts));
+  std::string error;
+  if (!loop.Init(&error)) {
+    std::fprintf(stderr, "clara_serve: %s\n", error.c_str());
+    return 1;
+  }
+  engine.SetTransportStatsProvider([&loop] { return loop.StatsJson(); });
+  std::fprintf(stderr, "clara_serve: listening on %s (epoll, %zu shard(s))\n",
+               path.c_str(), loop.shards());
+  int rc = loop.Run(&g_stop, [&engine, &bundle_path] {
+    MaybeDumpFlight(engine);
+    MaybeReload(engine, bundle_path);
+  });
+  engine.SetTransportStatsProvider(nullptr);
+  return rc;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: clara_serve --model-dir=DIR [--pipe | --socket=PATH]\n"
+               "                   [--transport=epoll|sequential] [--shards=N]\n"
+               "                   [--max-outbound-bytes=N] [--max-conns=N]\n"
                "                   [--queue=N] [--batch=N] [--cache=N]\n"
+               "                   [--profile-packets=N]\n"
                "                   [--infer=f64|f32|int8]\n"
                "                   [--metrics-json=FILE] [--trace=FILE]\n"
                "                   [--slo-p99-us=X] [--slo-window-ms=N] [--flight=N]\n"
@@ -272,6 +319,8 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string model_dir;
   std::string socket_path;
+  std::string transport = "epoll";
+  serve::EventLoopOptions loop_opts;
   std::string metrics_path;
   std::string trace_path;
   std::string metrics_jsonl_path;
@@ -286,6 +335,24 @@ int main(int argc, char** argv) {
       // default transport
     } else if (a.rfind("--socket=", 0) == 0) {
       socket_path = a.substr(std::strlen("--socket="));
+    } else if (a.rfind("--transport=", 0) == 0) {
+      transport = a.substr(std::strlen("--transport="));
+      if (transport != "epoll" && transport != "sequential") {
+        std::fprintf(stderr, "clara_serve: unknown --transport '%s'\n",
+                     transport.c_str());
+        return Usage();
+      }
+    } else if (a.rfind("--shards=", 0) == 0) {
+      loop_opts.shards = std::strtoul(a.c_str() + std::strlen("--shards="), nullptr, 10);
+    } else if (a.rfind("--max-outbound-bytes=", 0) == 0) {
+      loop_opts.max_outbound_bytes =
+          std::strtoul(a.c_str() + std::strlen("--max-outbound-bytes="), nullptr, 10);
+    } else if (a.rfind("--max-conns=", 0) == 0) {
+      loop_opts.max_connections =
+          std::strtoul(a.c_str() + std::strlen("--max-conns="), nullptr, 10);
+    } else if (a.rfind("--profile-packets=", 0) == 0) {
+      opts.profile_packets =
+          std::strtoul(a.c_str() + std::strlen("--profile-packets="), nullptr, 10);
     } else if (a.rfind("--queue=", 0) == 0) {
       opts.queue_capacity = std::strtoul(a.c_str() + std::strlen("--queue="), nullptr, 10);
     } else if (a.rfind("--batch=", 0) == 0) {
@@ -333,6 +400,8 @@ int main(int argc, char** argv) {
     }
   }
   if (model_dir.empty() || opts.queue_capacity == 0 || opts.max_batch == 0 ||
+      opts.profile_packets == 0 || loop_opts.max_outbound_bytes == 0 ||
+      loop_opts.max_connections == 0 ||
       opts.slo_window_ms <= 0 || metrics_interval_ms <= 0 ||
       opts.brownout_exit_margin <= 0 || opts.brownout_exit_margin > 1 ||
       opts.brownout_exit_hold_ms < 0) {
@@ -376,10 +445,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "clara_serve: fault injection armed\n");
   }
 
+  // Socket modes claim the endpoint before touching the socket file: the
+  // flock'd pidfile makes "unlink a stale socket" safe and a second daemon
+  // on the same path fail fast instead of stealing a live sibling's socket.
+  util::PidFile pidfile;
+  if (!socket_path.empty() && !pidfile.Acquire(socket_path + ".pid", &error)) {
+    std::fprintf(stderr,
+                 "clara_serve: refusing to start: %s (is another clara_serve "
+                 "already serving %s?)\n",
+                 error.c_str(), socket_path.c_str());
+    return 1;
+  }
+
   engine.Start();
-  int rc = socket_path.empty()
-               ? ServeStream(engine, bundle_path, STDIN_FILENO, STDOUT_FILENO)
-               : ServeSocket(engine, bundle_path, socket_path);
+  int rc;
+  if (socket_path.empty()) {
+    rc = ServeStream(engine, bundle_path, STDIN_FILENO, STDOUT_FILENO);
+  } else if (transport == "sequential") {
+    rc = ServeSocket(engine, bundle_path, socket_path);
+  } else {
+    loop_opts.socket_path = socket_path;
+    rc = ServeEpoll(engine, bundle_path, loop_opts);
+  }
   engine.Stop();
 
   exporter.Stop();
